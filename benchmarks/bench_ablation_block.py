@@ -1,0 +1,75 @@
+"""Ablation: warps per block for block-level tile sharing (Section V-A).
+
+Sweeps N ∈ {1, 2, 4, 8} warps per block and reports (i) per-matvec
+global traffic — which sharing amortizes by ~1/N — and (ii) the
+makespan of a size-skewed workload, where larger blocks shorten the
+critical path of the biggest pair but reduce the number of concurrently
+resident blocks.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.graphs.datasets import drugbank_dataset
+from repro.kernels.basekernels import molecule_kernels
+from repro.scheduler import PairJob, simulate_schedule
+from repro.scheduler.balance import concurrent_block_slots
+from repro.scheduler.jobs import estimate_iterations
+from repro.vgpu.device import DeviceSpec
+from repro.xmv.pipeline import VgpuPipeline
+
+DEVICE = DeviceSpec(
+    name="V100-scaled", sm_count=4, clock_hz=1.53e9,
+    fp32_lanes_per_sm=64, global_bandwidth=45e9,
+)
+
+
+def run_ablation():
+    graphs = drugbank_dataset(n_graphs=14, seed=9, max_atoms=140)
+    _, ek = molecule_kernels()
+    rows = []
+    for bw in (1, 2, 4, 8):
+        jobs = []
+        loads = 0.0
+        for i in range(len(graphs)):
+            for j in range(i, len(graphs)):
+                pipe = VgpuPipeline(graphs[i], graphs[j], ek, block_warps=bw,
+                                    device=DEVICE)
+                iters = estimate_iterations(
+                    graphs[i].n_nodes, graphs[j].n_nodes, 0.05
+                )
+                loads += pipe.per_matvec_counters.global_load_bytes * iters
+                jobs.append(PairJob(
+                    i=i, j=j,
+                    cycles=pipe.per_matvec_effective_cycles * iters,
+                    warps=bw,
+                ))
+        slots = concurrent_block_slots(DEVICE, bw, occupancy_warps_per_sm=16)
+        makespan = simulate_schedule(jobs, slots, "dynamic").seconds(DEVICE)
+        max_span = max(j.span for j in jobs)
+        rows.append(dict(bw=bw, loads=loads, makespan=makespan,
+                         slots=slots, max_span=max_span))
+    return rows
+
+
+def test_ablation_block(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    banner("Ablation — warps per block (tile sharing), size-skewed DrugBank")
+    print(f"{'warps/block':>12s} {'global loads':>13s} {'slots':>6s} "
+          f"{'longest job':>12s} {'makespan':>10s}")
+    for r in rows:
+        print(f"{r['bw']:12d} {r['loads'] / 2**20:10.1f} MiB {r['slots']:6d} "
+              f"{r['max_span'] / 1.53e9 * 1e3:9.2f} ms "
+              f"{r['makespan'] * 1e3:7.2f} ms")
+
+    by = {r["bw"]: r for r in rows}
+    # global traffic amortizes monotonically with the block size
+    loads = [by[bw]["loads"] for bw in (1, 2, 4, 8)]
+    assert all(b < a for a, b in zip(loads, loads[1:]))
+    # the longest job's critical path shrinks ~1/N
+    assert by[8]["max_span"] < by[1]["max_span"] / 6
+    # makespan improves from 1 -> 4 warps on this skewed dataset,
+    # then flattens or regresses as slot count drops (the trade-off)
+    assert by[4]["makespan"] < by[1]["makespan"]
+    assert by[8]["makespan"] > 0.5 * by[4]["makespan"]

@@ -1,0 +1,106 @@
+"""Figure 10: time-to-solution vs. GraKeL-like and GraphKernels-like.
+
+The paper reports 3-4 orders of magnitude over GraKeL (6461x / 3297x)
+and GraphKernels (998x / 12430x) on DrugBank and PDB.  Offline we
+compare against the algorithmic stand-ins of :mod:`repro.baselines`
+(see DESIGN.md §2) on subsets sized for one CPU core:
+
+* baselines: measured wall-clock (time.perf_counter_ns, as the paper's
+  CPU measurements);
+* present solver: measured wall-clock of the fused CPU engine (a
+  conservative lower bound on the speedup) AND the modeled V100 time of
+  the vgpu engine (the paper's actual comparison is GPU vs. CPU).
+
+The baselines run at q = 0.3 — the paper notes it "had to carry out the
+computation using a relatively large stopping probability" for them;
+the present solver uses the same q for a like-for-like Gram matrix.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import SCALE, banner
+from repro import MarginalizedGraphKernel
+from repro.baselines import GrakelLikeKernel, GraphKernelsLikeKernel
+from repro.graphs.datasets import drugbank_dataset, protein_dataset
+from repro.kernels.basekernels import molecule_kernels, protein_kernels
+from repro.scheduler.jobs import estimate_iterations
+from repro.xmv.pipeline import VgpuPipeline
+
+Q = 0.3
+
+
+def _modeled_gpu_seconds(graphs, edge_kernel):
+    """Modeled V100 time for the full Gram computation (all pairs run
+    concurrently on the device; the makespan is work / device rate)."""
+    from repro.analysis.perfmodel import cycles_to_seconds
+
+    total = 0.0
+    for i in range(len(graphs)):
+        for j in range(i, len(graphs)):
+            pipe = VgpuPipeline(
+                graphs[i], graphs[j], edge_kernel, reorder=None,
+                adaptive=True, compact=True, block_warps=4,
+            )
+            iters = estimate_iterations(graphs[i].n_nodes, graphs[j].n_nodes, Q)
+            total += pipe.per_matvec_effective_cycles * iters
+    return cycles_to_seconds(total)
+
+
+def run_fig10():
+    k = max(1.0, SCALE)
+    cases = {
+        "PDB": (
+            protein_dataset(n_graphs=int(4 * k), size_range=(30, 45), seed=5),
+            protein_kernels(),
+        ),
+        "DrugBank": (
+            drugbank_dataset(n_graphs=int(6 * k), seed=6, max_atoms=28),
+            molecule_kernels(),
+        ),
+    }
+    rows = {}
+    for name, (graphs, (nk, ek)) in cases.items():
+        _, t_grakel = GrakelLikeKernel(nk, ek, q=Q).timed_gram(graphs)
+        _, t_gkern = GraphKernelsLikeKernel(nk, ek, q=Q).timed_gram(graphs)
+        mgk = MarginalizedGraphKernel(nk, ek, q=Q)
+        res = mgk(graphs)
+        t_fused = res.wall_time
+        t_gpu = _modeled_gpu_seconds(graphs, ek)
+        rows[name] = dict(
+            n_graphs=len(graphs),
+            grakel=t_grakel,
+            graphkernels=t_gkern,
+            fused=t_fused,
+            gpu=t_gpu,
+        )
+    return rows
+
+
+def test_fig10(benchmark):
+    rows = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    banner("Fig. 10 — time-to-solution vs. GraKeL-like / GraphKernels-like")
+    print(f"{'dataset':>10s} {'pairs':>6s} {'GraKeL-like':>12s} "
+          f"{'GraphKernels-like':>18s} {'present (CPU)':>14s} "
+          f"{'present (modeled GPU)':>22s}")
+    for name, r in rows.items():
+        pairs = r["n_graphs"] * (r["n_graphs"] + 1) // 2
+        print(f"{name:>10s} {pairs:6d} {r['grakel']:10.2f} s "
+              f"{r['graphkernels']:16.2f} s {r['fused']:12.3f} s "
+              f"{r['gpu'] * 1e6:18.1f} us")
+    print("\nspeedups over the present solver:")
+    for name, r in rows.items():
+        print(f"{name:>10s}: GraKeL-like  x{r['grakel'] / r['fused']:8.0f} (CPU) "
+              f"x{r['grakel'] / r['gpu']:10.0f} (GPU-modeled)")
+        print(f"{'':>10s}  GraphKernels x{r['graphkernels'] / r['fused']:8.0f} (CPU) "
+              f"x{r['graphkernels'] / r['gpu']:10.0f} (GPU-modeled)")
+    print("\npaper: GraKeL 6461x (DrugBank) / 3297x (PDB); "
+          "GraphKernels 998x / 12430x")
+
+    for name, r in rows.items():
+        # even the CPU engine beats both baselines decisively
+        assert r["grakel"] / r["fused"] > 20, name
+        assert r["graphkernels"] / r["fused"] > 5, name
+        # the GPU-modeled solver reaches the paper's 3+ orders of magnitude
+        assert r["grakel"] / r["gpu"] > 1e3, name
+        assert r["graphkernels"] / r["gpu"] > 1e3, name

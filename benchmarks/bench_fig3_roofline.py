@@ -1,0 +1,51 @@
+"""Figure 3: preliminary Roofline analysis of naive vs. on-the-fly XMV.
+
+Regenerates the series of Fig. 3 for the unlabeled model problem
+(E = 0, F = 4, X = 3) on the V100 model:
+
+* the naive precomputed-matrix solver at AI = 2/F = 1/2, pinned to the
+  global-bandwidth roof at ~3% of peak;
+* the on-the-fly solver at AI = cX/(E+F) = 3c/4 for c = 4, 16, 64,
+  climbing the roof and crossing the ridge point.
+"""
+
+import pytest
+
+from conftest import banner
+from repro.analysis.table1 import BASE_OPS_PER_ELEMENT
+from repro.vgpu import RooflineModel, V100
+
+
+def fig3_series():
+    rl = RooflineModel(V100)
+    E, F, X = 0, 4, BASE_OPS_PER_ELEMENT
+    rows = [("naive", 2.0 / F)]
+    for c in (4, 16, 64):
+        rows.append((f"on-the-fly c={c}", c * X / (E + F)))
+    out = []
+    for name, ai in rows:
+        perf = rl.attainable_per_sm(ai)
+        out.append((name, ai, perf, perf / rl.adjusted_peak_per_sm))
+    return rl, out
+
+
+def test_fig3_roofline(benchmark):
+    rl, rows = benchmark.pedantic(fig3_series, rounds=3, iterations=1)
+    banner("Fig. 3 — Roofline, unlabeled model problem (E=0, F=4, X=3), V100")
+    print(f"{'series':>18s} {'AI (FLOP/B)':>12s} {'GFLOP/s/SM':>12s} {'% peak':>8s}")
+    for name, ai, perf, frac in rows:
+        print(f"{name:>18s} {ai:12.2f} {perf / 1e9:12.1f} {100 * frac:7.1f}%")
+    print(f"{'ridge point':>18s} {rl.ridge_point_global:12.2f} FLOP/B")
+
+    # --- shape assertions (paper's claims) -----------------------------
+    naive = rows[0]
+    assert naive[1] == pytest.approx(0.5)
+    assert naive[3] < 0.04  # "at most 3% utilization"
+    # AI grows linearly with c: 3c/4
+    for (name, ai, _, _), c in zip(rows[1:], (4, 16, 64)):
+        assert ai == pytest.approx(0.75 * c)
+    # crossing the ridge: c = 4 still memory-bound, c = 64 compute-bound
+    assert rows[1][3] < 1.0 - 1e-9
+    assert rows[3][3] == pytest.approx(1.0)
+    # ridge point sits near c ~ 16 (paper's tuning guidance)
+    assert 4 * 0.75 < rl.ridge_point_global < 64 * 0.75

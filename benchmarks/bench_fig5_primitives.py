@@ -1,0 +1,126 @@
+"""Figure 5: microbenchmark of the three on-the-fly XMV primitives.
+
+The paper's configuration: 5120 pairs of dense graphs with 72 nodes
+each, unlabeled model problem, V100.  Each primitive x parameter set is
+placed on the Roofline from its (verified-exact) counters, yielding the
+four Fig. 5 panels: modeled walltime, FLOPS efficiency, device-memory
+throughput, and per-SM shared-memory throughput.
+
+Shape criteria (DESIGN.md): tiling-blocking (8,8) wins walltime and
+FLOPS efficiency; shared tiling is shared-bandwidth-bound; register
+blocking improves with r until the r = 24 register spill.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import SCALE, banner
+from repro.graphs.graph import Graph
+from repro.kernels.basekernels import Constant
+from repro.vgpu import RooflineModel, V100
+from repro.xmv import PRIMITIVES
+
+N_NODES = 96  # divisible by every chunk length (72 in the paper pads at r=16)
+N_PAIRS = int(5120 * min(1.0, SCALE))
+
+CONFIGS = [
+    ("naive", 8, 8),
+    ("shared_tiling", 8, 2),
+    ("shared_tiling", 8, 4),
+    ("shared_tiling", 8, 8),
+    ("shared_tiling", 8, 12),
+    ("shared_tiling", 8, 24),
+    ("register_blocking", 8, 4),
+    ("register_blocking", 8, 8),
+    ("register_blocking", 8, 16),
+    ("register_blocking", 8, 24),
+    ("tiling_blocking", 8, 2),
+    ("tiling_blocking", 8, 4),
+    ("tiling_blocking", 8, 8),
+]
+
+
+def _complete_graph(n: int) -> Graph:
+    A = np.ones((n, n)) - np.eye(n)
+    return Graph(A)
+
+
+def run_fig5():
+    g = _complete_graph(N_NODES)
+    ek = Constant(1.0)  # unlabeled: E = 0, X = 3
+    rl = RooflineModel(V100)
+    warps = V100.sm_count * V100.max_warps_per_sm // 2
+    rows = []
+    for name, t, r in CONFIGS:
+        prim = PRIMITIVES[name](g, g, ek, t=t, r=r)
+        launch = prim.launch(matvecs=N_PAIRS, warps=warps)
+        time = rl.time_for_launch(launch)
+        c = launch.effective_counters(V100)
+        rows.append(
+            dict(
+                name=name,
+                t=t,
+                r=r,
+                time=time,
+                eff=rl.flops_efficiency(c, time),
+                bw_g=rl.achieved_global_bandwidth(c, time),
+                bw_s=rl.achieved_shared_bandwidth_per_sm(c, time),
+                spilled=launch.spilled(V100),
+            )
+        )
+    return rows
+
+
+def test_fig5(benchmark):
+    rows = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    banner(
+        f"Fig. 5 — XMV primitives, {N_PAIRS} pairs of {N_NODES}-node dense "
+        f"graphs, unlabeled, V100 (modeled)"
+    )
+    print(f"{'primitive':>20s} {'(t,r)':>8s} {'walltime':>10s} {'FLOPS eff':>10s} "
+          f"{'dev GiB/s':>10s} {'shm GiB/s/SM':>13s} {'spill':>6s}")
+    for row in rows:
+        print(f"{row['name']:>20s} ({row['t']},{row['r']:2d}) "
+              f"{row['time'] * 1e3:8.1f}ms {100 * row['eff']:9.1f}% "
+              f"{row['bw_g'] / 2**30:10.1f} {row['bw_s'] / 2**30:13.1f} "
+              f"{'yes' if row['spilled'] else '':>6s}")
+
+    by = {(r["name"], r["r"]): r for r in rows}
+
+    # 1. tiling-blocking (8,8) wins walltime and efficiency
+    best = min(rows, key=lambda r: r["time"])
+    assert (best["name"], best["r"]) == ("tiling_blocking", 8)
+    best_eff = max(rows, key=lambda r: r["eff"])
+    assert (best_eff["name"], best_eff["r"]) == ("tiling_blocking", 8)
+
+    # 2. the naive primitive is slowest by an order of magnitude
+    assert by[("naive", 8)]["time"] > 5 * best["time"]
+
+    # 3. within each family, increasing r helps until the spill cliff
+    st_times = [by[("shared_tiling", r)]["time"] for r in (2, 4, 8, 12)]
+    assert all(a > b for a, b in zip(st_times, st_times[1:]))
+    rb = [by[("register_blocking", r)]["time"] for r in (4, 8, 16)]
+    assert all(a >= b for a, b in zip(rb, rb[1:]))
+    # r = 24 spills: no further improvement
+    assert by[("register_blocking", 24)]["spilled"]
+    assert (
+        by[("register_blocking", 24)]["time"]
+        >= by[("register_blocking", 16)]["time"]
+    )
+
+    # 4. shared tiling sustains by far the highest shared-memory traffic
+    #    (it is the shared-bandwidth-bound primitive)
+    st_bw = by[("shared_tiling", 8)]["bw_s"]
+    assert st_bw > by[("register_blocking", 8)]["bw_s"]
+    assert st_bw > by[("tiling_blocking", 8)]["bw_s"]
+    assert st_bw > 0.5 * V100.shared_bandwidth_per_sm / 2**30 * 2**30 * 0.5
+
+
+def test_fig5_real_matvec_walltime(benchmark):
+    """Actual (host) execution time of one tiling-blocking matvec — the
+    pytest-benchmark measured quantity, complementing the model."""
+    g = _complete_graph(24)
+    prim = PRIMITIVES["tiling_blocking"](g, g, Constant(1.0), t=8, r=8)
+    p = np.random.default_rng(0).normal(size=24 * 24)
+    y = benchmark(prim.matvec, p)
+    assert np.isfinite(y).all()

@@ -1,0 +1,62 @@
+"""Figure 8: profitable regions of the dense/sparse tile primitives.
+
+For every (nnz₁, nnz₂) pair of octile populations, which product kernel
+— sparse x sparse, dense x sparse, dense x dense — is fastest?  The
+paper reports the sparse x sparse kernel winning "when each of the
+octiles contains up to 8-10 nonzeros for the unlabeled graphs and up to
+16 nonzeros for the labeled graphs", dense x dense taking over when
+both tiles are dense, and dense x sparse covering the band in between.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.analysis.perfmodel import TileCostModel
+from repro.analysis.table1 import element_ops
+
+CASES = [
+    ("unlabeled", element_ops(0)),  # X = 3
+    ("labeled (SE)", element_ops(4)),  # X = 7
+]
+
+_GLYPH = {"sparse_sparse": "s", "dense_sparse": "m", "dense_dense": "D"}
+
+
+def run_fig8():
+    out = {}
+    for name, x_ops in CASES:
+        model = TileCostModel(x_ops=x_ops)
+        region = model.profitable_region(64)
+        out[name] = (model.sparse_sparse_boundary(), region)
+    return out
+
+
+def test_fig8(benchmark):
+    out = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    banner("Fig. 8 — profitable regions of the tile product primitives")
+    for name, (boundary, region) in out.items():
+        counts = {
+            g: int((region == m).sum()) for m, g in _GLYPH.items()
+        }
+        print(f"\n{name}: sparse x sparse boundary at nnz = {boundary:.0f} "
+              f"per tile;  cells s={counts['s']} m={counts['m']} D={counts['D']}")
+        # downsampled 16x16 map (4-nnz cells)
+        print("    nnz2 ->")
+        for i in range(0, 64, 4):
+            row = "".join(_GLYPH[region[i, j]] for j in range(0, 64, 4))
+            print(f"    {row}  nnz1={i + 1}")
+    print("\nlegend: s = sparse x sparse, m = dense x sparse, D = dense x dense")
+    print("paper: s wins up to ~8-10 nnz (unlabeled), ~16 (labeled)")
+
+    unl_boundary = out["unlabeled"][0]
+    lab_boundary = out["labeled (SE)"][0]
+    # the paper's quoted crossovers
+    assert 8 <= unl_boundary <= 10
+    assert 14 <= lab_boundary <= 18
+    assert lab_boundary > unl_boundary
+    for name, (_, region) in out.items():
+        # all three regions exist and sit where they should
+        assert region[0, 0] == "sparse_sparse", name
+        assert region[63, 63] == "dense_dense", name
+        assert region[63, 2] == "dense_sparse", name

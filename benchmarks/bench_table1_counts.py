@@ -1,0 +1,79 @@
+"""Table I: operation counts, load/store counts, arithmetic intensities.
+
+Regenerates the Table I entries for the four primitives (executing each
+one on the virtual GPU and printing measured-vs-analytic counts), in the
+labeled configuration E = 4, F = 4, X = 7 and the unlabeled one E = 0,
+X = 3.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.analysis.table1 import appendix_c_costs, table1_costs
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import Constant, synthetic_kernels
+from repro.xmv import PRIMITIVES
+
+CONFIGS = [
+    ("naive", 8, 8),
+    ("shared_tiling", 8, 8),
+    ("register_blocking", 8, 8),
+    ("tiling_blocking", 8, 8),
+]
+
+
+def run_table1():
+    g1 = random_labeled_graph(24, density=0.6, seed=1)
+    g2 = random_labeled_graph(24, density=0.6, seed=2)
+    _, ek = synthetic_kernels()
+    p = np.random.default_rng(0).normal(size=24 * 24)
+    rows = []
+    for name, t, r in CONFIGS:
+        prim = PRIMITIVES[name](g1, g2, ek, t=t, r=r)
+        prim.matvec(p)
+        meas = prim.counters
+        ana = appendix_c_costs(
+            name, prim.np_, prim.mp_, t, r, prim.E_bytes, prim.F_bytes, prim.X
+        )
+        asym = table1_costs(
+            name, prim.np_, prim.mp_, t, r, prim.E_bytes, prim.F_bytes, prim.X
+        )
+        rows.append((name, meas, ana, asym))
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    banner("Table I — XMV cost accounting (labeled: E=4, F=4, X=7; n=m=24)")
+    hdr = f"{'primitive':>20s} {'Ops':>12s} {'LD.G':>12s} {'ST.G':>9s} {'LD.S':>12s} {'ST.S':>12s} {'AI.G':>7s}"
+    print(hdr)
+    for name, meas, ana, asym in rows:
+        print(
+            f"{name:>20s} {meas.flops:12.3g} {meas.global_load_bytes:12.3g} "
+            f"{meas.global_store_bytes:9.3g} {meas.shared_load_bytes:12.3g} "
+            f"{meas.shared_store_bytes:12.3g} "
+            f"{meas.arithmetic_intensity_global:7.2f}"
+        )
+        # measured == exact Appendix C formulas
+        assert meas.flops == pytest.approx(ana.ops)
+        assert meas.global_load_bytes == pytest.approx(ana.global_load)
+        assert meas.global_store_bytes == pytest.approx(ana.global_store)
+        assert meas.shared_load_bytes == pytest.approx(ana.shared_load)
+        assert meas.shared_store_bytes == pytest.approx(ana.shared_store)
+
+    print("\nasymptotic arithmetic intensities (Table I bottom rows):")
+    for name, _, _, asym in rows:
+        ai_s = asym.ai_shared
+        s = f"{ai_s:7.2f}" if np.isfinite(ai_s) else "    inf"
+        print(f"{name:>20s}  A.I. global {asym.ai_global:7.2f}   A.I. shared {s}")
+
+    by_name = {name: asym for name, _, _, asym in rows}
+    # naive AI = 2/F; on-the-fly AIs far higher; tiling-blocking = t²X/(E+2F)
+    assert by_name["naive"].ai_global == pytest.approx(0.5, rel=0.05)
+    tb = by_name["tiling_blocking"]
+    # load-only intensity matches the closed form t²X/(E+2F) exactly;
+    # the output-store term only matters at these small sizes
+    assert tb.ops / tb.global_load == pytest.approx(64 * 7 / (4 + 8), rel=0.01)
+    for name in ("shared_tiling", "register_blocking", "tiling_blocking"):
+        assert by_name[name].ai_global > 20 * by_name["naive"].ai_global

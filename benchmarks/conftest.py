@@ -1,0 +1,31 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it prints the
+same rows/series the paper reports (scaled to a single-CPU-core budget)
+and asserts the *shape* criteria listed in DESIGN.md §5 — who wins, by
+roughly what factor, where crossovers fall.  Absolute numbers differ
+from the paper's Summit/V100 testbed by construction.
+
+Run with:  pytest benchmarks/ --benchmark-only
+Scale up:  REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Global workload multiplier (1.0 = CI-friendly sizes).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return SCALE

@@ -1,0 +1,79 @@
+"""Gaussian-process regression of per-atom molecular energies.
+
+The application that motivated the marginalized graph kernel work
+(Tang & de Jong 2019, cited as [2] in the paper): predict a molecular
+energy from structure alone using GP regression with the graph-kernel
+Gram matrix.  Offline substitute for the quantum-chemistry target: a
+synthetic "atomization energy" assembled from per-element and per-bond
+contributions plus a small nonlinear ring strain term — learnable from
+structure, not from trivial size counting alone.
+
+Run:  python examples/atomization_energy_gpr.py [n_molecules]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MarginalizedGraphKernel
+from repro.graphs.generators import drugbank_like_molecule
+from repro.kernels.basekernels import molecule_kernels
+from repro.ml import GaussianProcessRegressor
+
+#: synthetic per-element atomic contributions (arbitrary energy units)
+E_ATOM = {6: -38.0, 7: -54.6, 8: -75.1, 16: -398.0, 9: -99.7,
+          17: -460.1, 35: -2572.4, 15: -341.3}
+
+
+def synthetic_energy_per_atom(g, rng) -> float:
+    """Per-atom energy: element / bond-order terms + ring strain + noise.
+
+    An *intensive* target — the normalized kernel compares composition
+    and bonding patterns, not molecule size, so the learnable quantity
+    is energy per atom (total energies just count atoms).
+    """
+    e = sum(E_ATOM.get(int(z), -40.0) for z in g.node_labels["element"])
+    orders = g.edge_labels["order"][np.triu_indices(g.n_nodes, 1)]
+    e += -12.0 * (orders == 1.0).sum() - 25.0 * (orders == 2.0).sum()
+    cycles = g.n_edges - g.n_nodes + 1  # cyclomatic number
+    e += 3.5 * cycles**1.2
+    return e / g.n_nodes + rng.normal(scale=0.2)
+
+
+def main(n_molecules: int = 40) -> None:
+    rng = np.random.default_rng(7)
+    graphs = [
+        drugbank_like_molecule(int(rng.integers(6, 30)), seed=rng)
+        for _ in range(n_molecules)
+    ]
+    y = np.array([synthetic_energy_per_atom(g, rng) for g in graphs])
+
+    node_kernel, edge_kernel = molecule_kernels()
+    mgk = MarginalizedGraphKernel(node_kernel, edge_kernel, q=0.05)
+    res = mgk(graphs, normalize=True)
+    K = res.matrix
+    print(f"Gram matrix over {n_molecules} molecules: {res.wall_time:.2f} s")
+
+    n_train = int(0.75 * n_molecules)
+    gpr = GaussianProcessRegressor(alpha=1e-4).fit(
+        K[:n_train, :n_train], y[:n_train]
+    )
+    mu, std = gpr.predict(K[n_train:, :n_train], return_std=True)
+    err = mu - y[n_train:]
+    baseline = np.abs(y[n_train:] - y[:n_train].mean())
+    print(f"\ntest MAE  : {np.abs(err).mean():10.2f}")
+    print(f"mean-pred : {baseline.mean():10.2f}  (predicting the training mean)")
+    print(f"test RMSE : {np.sqrt((err ** 2).mean()):10.2f}")
+    print(f"mean predictive std: {std.mean():.2f}")
+
+    loo = gpr.loocv_predictions(y[:n_train])
+    print(f"train LOOCV MAE: {np.abs(loo - y[:n_train]).mean():.2f}")
+
+    print("\nsample predictions (test set):")
+    for k in range(min(5, len(mu))):
+        print(f"  true {y[n_train + k]:10.1f}   "
+              f"predicted {mu[k]:10.1f} ± {std[k]:.1f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

@@ -1,0 +1,61 @@
+"""Drug-like molecular similarity search and classification.
+
+The workload the paper's introduction motivates: compute the pairwise
+similarity matrix over a DrugBank-style dataset, then use it for
+(a) nearest-neighbour retrieval and (b) kernel k-NN classification of a
+simple molecular property (aromaticity-dominated vs. aliphatic).
+
+Run:  python examples/molecular_similarity.py [n_molecules]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MarginalizedGraphKernel
+from repro.graphs.generators import drugbank_like_molecule
+from repro.kernels.basekernels import molecule_kernels
+from repro.ml import kernel_knn_predict
+
+
+def main(n_molecules: int = 24) -> None:
+    rng = np.random.default_rng(42)
+    graphs = [
+        drugbank_like_molecule(int(rng.integers(8, 40)), seed=rng)
+        for _ in range(n_molecules)
+    ]
+    names = [f"mol{i:02d}(n={g.n_nodes})" for i, g in enumerate(graphs)]
+
+    node_kernel, edge_kernel = molecule_kernels()
+    mgk = MarginalizedGraphKernel(node_kernel, edge_kernel, q=0.05)
+    res = mgk(graphs, normalize=True)
+    K = res.matrix
+    print(f"Gram matrix over {n_molecules} molecules in {res.wall_time:.2f} s "
+          f"({res.iterations.max()} max CG iterations)\n")
+
+    # (a) similarity search: top-3 neighbours of the first molecule
+    query = 0
+    sims = K[query].copy()
+    sims[query] = -1
+    top = np.argsort(sims)[::-1][:3]
+    print(f"query: {names[query]}")
+    for t in top:
+        print(f"  neighbour {names[t]}  similarity {K[query, t]:.4f}")
+
+    # (b) kernel k-NN classification of a structural property:
+    # "unsaturated" = has any double/aromatic bond.
+    labels = np.array(
+        [int((g.edge_labels["order"] > 1.0).any()) for g in graphs]
+    )
+    n_train = int(0.7 * n_molecules)
+    pred = kernel_knn_predict(
+        K[n_train:, :n_train], labels[:n_train], k=3
+    )
+    acc = float((pred == labels[n_train:]).mean())
+    print(f"\nkernel 3-NN accuracy on 'unsaturated' property: {acc:.2f} "
+          f"({n_molecules - n_train} test molecules, "
+          f"base rate {max(labels.mean(), 1 - labels.mean()):.2f})")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 24)

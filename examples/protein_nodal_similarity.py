@@ -1,0 +1,69 @@
+"""Protein structures: nodal similarity and tile-sparsity visualization.
+
+Two demonstrations on synthetic protein-like 3D structures (the PDB-3k
+substitute):
+
+1. the *node-wise* similarity map R(i, i') between two structures —
+   the quantity the paper highlights for node-label-transfer tasks
+   (e.g. protein function prediction);
+2. the effect of graph reordering on octile sparsity — an ASCII
+   rendering of the tile occupancy under the natural, RCM and PBR
+   orders (the paper's Fig. 6).
+
+Run:  python examples/protein_nodal_similarity.py
+"""
+
+import numpy as np
+
+from repro import MarginalizedGraphKernel
+from repro.graphs.pdb import protein_like_structure, structure_to_graph
+from repro.kernels.basekernels import protein_kernels
+from repro.octile.tiles import OctileMatrix
+from repro.reorder import pbr_order, rcm_order
+
+
+def tile_picture(graph, order=None, t=8) -> str:
+    g = graph if order is None else graph.permute(np.asarray(order))
+    om = OctileMatrix.from_dense(g.adjacency, t=t)
+    nt = -(-g.n_nodes // t)
+    grid = [["." for _ in range(nt)] for _ in range(nt)]
+    for tile in om.tiles:
+        d = tile.density
+        grid[tile.ti][tile.tj] = "#" if d > 0.5 else ("+" if d > 0.15 else "o")
+    return "\n".join(" ".join(row) for row in grid), om.num_nonempty_tiles
+
+
+def main() -> None:
+    s1 = protein_like_structure(72, seed=1, name="protA")
+    s2 = protein_like_structure(56, seed=2, name="protB")
+    g1 = structure_to_graph(s1, cutoff=4.0)
+    g2 = structure_to_graph(s2, cutoff=4.0)
+
+    node_kernel, edge_kernel = protein_kernels()
+    mgk = MarginalizedGraphKernel(node_kernel, edge_kernel, q=0.05)
+
+    # -- nodal similarity --------------------------------------------------
+    R = mgk.nodal(g1, g2)
+    print(f"nodal similarity map R: {R.shape}, K(A,B) = {R.mean():.3e}")
+    best = np.unravel_index(np.argmax(R), R.shape)
+    print(f"most similar node pair: atom {best[0]} of A <-> atom {best[1]} of B "
+          f"(R = {R[best]:.3e})")
+    # per-atom best matches: useful for label transfer
+    matches = R.argmax(axis=1)
+    print(f"first 10 label-transfer matches A->B: {matches[:10].tolist()}\n")
+
+    # -- reordering / tile sparsity (paper Fig. 6) -------------------------
+    for name, order in [
+        ("NATURAL", None),
+        ("RCM", rcm_order(g1)),
+        ("PBR", pbr_order(g1)),
+    ]:
+        pic, count = tile_picture(g1, order)
+        print(f"{name}: {count} tiles populated "
+              f"(. empty  o <15%  + <50%  # dense)")
+        print(pic)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: marginalized graph kernel between molecules in ~30 lines.
+
+Builds a few molecules from SMILES strings, computes the pairwise
+similarity matrix with the marginalized graph kernel (Eq. 1 of the
+paper), and prints the normalized Gram matrix.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MarginalizedGraphKernel, graph_from_smiles
+from repro.kernels.basekernels import molecule_kernels
+
+MOLECULES = {
+    "ethanol": "CCO",
+    "ethylamine": "CCN",
+    "propanol": "CCCO",
+    "benzene": "c1ccccc1",
+    "toluene": "Cc1ccccc1",
+    "cyclohexane": "C1CCCCC1",
+}
+
+
+def main() -> None:
+    names = list(MOLECULES)
+    graphs = [graph_from_smiles(s, name=n) for n, s in MOLECULES.items()]
+
+    # Vertex kernel: element x charge x hybridization deltas;
+    # edge kernel: bond order x conjugacy deltas (paper Section VI-B).
+    node_kernel, edge_kernel = molecule_kernels()
+    mgk = MarginalizedGraphKernel(node_kernel, edge_kernel, q=0.05)
+
+    result = mgk(graphs, normalize=True)
+    K = result.matrix
+
+    width = max(len(n) for n in names)
+    print(f"Normalized marginalized-graph-kernel Gram matrix "
+          f"(q = {mgk.q}, {result.wall_time:.2f} s):\n")
+    print(" " * (width + 2) + "  ".join(f"{n[:10]:>10s}" for n in names))
+    for i, n in enumerate(names):
+        row = "  ".join(f"{K[i, j]:10.4f}" for j in range(len(names)))
+        print(f"{n:>{width}s}  {row}")
+
+    # Sanity: the kernel is a proper inner product.
+    eigmin = np.linalg.eigvalsh(K).min()
+    print(f"\nsmallest Gram eigenvalue: {eigmin:.2e} (positive semidefinite)")
+    i, j = np.unravel_index(
+        np.argmax(K - np.eye(len(names))), K.shape
+    )
+    print(f"most similar pair: {names[i]} / {names[j]}  (K = {K[i, j]:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Analytic cost formulas and the tile-level performance model.
+
+* :mod:`repro.analysis.table1` — the operation / load / store counts and
+  asymptotic arithmetic intensities of Table I (and the exact
+  per-pseudocode-line counts of Appendix C) for the four on-the-fly XMV
+  primitives.  Property tests verify the executing primitives against
+  these formulas bit for bit.
+* :mod:`repro.analysis.perfmodel` — the calibrated per-tile-pair cycle
+  model for the dense/sparse octile primitives (Fig. 8 profitable
+  regions) and the conversion from cycles to modeled GPU seconds used by
+  the incremental-optimization study (Fig. 9).
+"""
+
+from .table1 import PrimitiveCosts, table1_costs
+from .perfmodel import TileCostModel
+
+__all__ = ["PrimitiveCosts", "TileCostModel", "table1_costs"]

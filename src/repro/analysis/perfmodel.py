@@ -1,0 +1,161 @@
+"""Calibrated per-tile-pair cycle model (Figs. 8 and 9).
+
+The sparse-octile primitives trade fewer arithmetic operations for
+irregular execution: bitmap decoding (``__ffs``/``__popc`` chains),
+compact-index arithmetic, divergent lanes, and gather-style shared-memory
+access.  The paper measures the resulting crossovers empirically
+(Fig. 8); this module models them with a three-parameter warp-cycle
+model per 8x8 tile pair:
+
+* ``dense x dense``  :  t⁴ · X / LANES_DENSE
+  — fully unrolled FMA streams, all 32 lanes busy, dual-issue.
+* ``dense x sparse`` :  t² · nnz_s · X / LANES_MIXED + DECODE · nnz_s
+  — the sparse operand is walked via its bitmap; mild divergence.
+* ``sparse x sparse``:  nnz₁ · nnz₂ · X / LANES_SPARSE
+                        + DECODE · (nnz₁ + nnz₂)
+  — both operands bit-walked; heavy serialization.
+
+Calibration (see DESIGN.md §7): LANES_SPARSE and DECODE are fixed by
+requiring the sparse x sparse region boundary to sit at ~9 nonzeros per
+tile for unlabeled graphs (X = 3) and ~16 for square-exponential labeled
+graphs (X = 7), the values the paper reports; LANES_MIXED and
+LANES_DENSE then place the dense x dense takeover in the upper-density
+range consistent with Fig. 8.  The *shape* of the regions — three
+contiguous zones, s x s in the low-nnz corner, the labeled s x s zone
+extending further than the unlabeled one — is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vgpu.device import DeviceSpec, V100
+
+#: Effective lanes for the fully dense tile product (32 lanes, FMA
+#: dual-issue).
+LANES_DENSE = 64.0
+#: Effective lanes when one operand is bit-walked.
+LANES_MIXED = 48.0
+#: Effective lanes when both operands are bit-walked (solved from the
+#: paper's reported crossovers; see module docstring).
+LANES_SPARSE = 16.0
+#: Warp-cycles per nonzero for bitmap decode + compact-index arithmetic.
+DECODE = 2.3
+
+#: Warp-cycles consumed per byte of device-memory traffic, at the
+#: production kernel's occupancy.  Calibrated (DESIGN.md §7) so that a
+#: labeled dense-storage octile pair processed by the *adaptive* sparse
+#: primitives is mildly memory-bound (~1.1x), which reproduces the
+#: paper's Fig. 9 observation that the compact storage format buys a
+#: further ~5-15% after the adaptive switch, while the dense x dense
+#: compute path stays compute-bound.  The value is far below the raw
+#: per-warp bandwidth share because the pipeline's per-pair load
+#: accounting intentionally over-counts re-loads that the real kernel's
+#: outer-loop caching amortizes.  Used by
+#: :meth:`repro.xmv.pipeline.VgpuPipeline.per_matvec_effective_cycles`.
+GLOBAL_LOAD_CYCLES_PER_BYTE = 0.05
+
+
+@dataclass(frozen=True)
+class TileCostModel:
+    """Warp-cycle costs of one t x t tile-pair XMV under each primitive.
+
+    ``x_ops`` is the paper's X: operations per product element,
+    including the weight product and the FMA (use
+    :func:`repro.analysis.table1.element_ops`).
+    """
+
+    t: int = 8
+    x_ops: int = 3
+
+    @property
+    def t4(self) -> int:
+        return self.t**4
+
+    def dense_dense(self) -> float:
+        """Cycles to combine two dense-treated tiles."""
+        return self.t4 * self.x_ops / LANES_DENSE
+
+    def dense_sparse(self, nnz_sparse: int) -> float:
+        """Cycles when the sparser operand (``nnz_sparse``) is bit-walked."""
+        return (
+            self.t**2 * nnz_sparse * self.x_ops / LANES_MIXED
+            + DECODE * nnz_sparse
+        )
+
+    def sparse_sparse(self, nnz1: int, nnz2: int) -> float:
+        """Cycles when both operands are bit-walked."""
+        return (
+            nnz1 * nnz2 * self.x_ops / LANES_SPARSE
+            + DECODE * (nnz1 + nnz2)
+        )
+
+    def best(self, nnz1: int, nnz2: int) -> tuple[str, float]:
+        """The cheapest primitive and its cycle cost for a tile pair.
+
+        This is the production kernel's dynamic dispatch rule
+        (Section IV-B, "we dynamically select ... depending on the type
+        of the graph and the number of products the two octiles
+        require").
+        """
+        costs = {
+            "dense_dense": self.dense_dense(),
+            "dense_sparse": self.dense_sparse(min(nnz1, nnz2)),
+            "sparse_sparse": self.sparse_sparse(nnz1, nnz2),
+        }
+        name = min(costs, key=costs.get)
+        return name, costs[name]
+
+    def cost(self, primitive: str, nnz1: int, nnz2: int) -> float:
+        """Cycle cost of a *specific* primitive on a tile pair."""
+        if primitive == "dense_dense":
+            return self.dense_dense()
+        if primitive == "dense_sparse":
+            return self.dense_sparse(min(nnz1, nnz2))
+        if primitive == "sparse_sparse":
+            return self.sparse_sparse(nnz1, nnz2)
+        raise ValueError(f"unknown primitive {primitive!r}")
+
+    def profitable_region(self, max_nnz: int | None = None):
+        """Fig. 8: the winning primitive for every (nnz1, nnz2) pair.
+
+        Returns an (max_nnz, max_nnz) array of region labels
+        ("sparse_sparse" / "dense_sparse" / "dense_dense"), 1-indexed
+        nonzero counts.
+        """
+        import numpy as np
+
+        if max_nnz is None:
+            max_nnz = self.t**2
+        out = np.empty((max_nnz, max_nnz), dtype=object)
+        for i in range(1, max_nnz + 1):
+            for j in range(1, max_nnz + 1):
+                out[i - 1, j - 1] = self.best(i, j)[0]
+        return out
+
+    def sparse_sparse_boundary(self) -> float:
+        """The nnz (on the diagonal nnz1 = nnz2 = ν) where s x s stops winning."""
+        import numpy as np
+
+        for nu in range(1, self.t**2 + 1):
+            if self.best(nu, nu)[0] != "sparse_sparse":
+                return float(nu - 1)
+        return float(self.t**2)
+
+
+def cycles_to_seconds(
+    cycles: float,
+    device: DeviceSpec = V100,
+    resident_warps: float | None = None,
+) -> float:
+    """Convert aggregate warp-cycles into modeled wall seconds.
+
+    ``cycles`` is the sum over all tile-pair operations of the model's
+    per-warp cycle costs; ``resident_warps`` is the sustained number of
+    concurrently executing warps (device-wide).  Defaults to half the
+    architectural maximum — the typical occupancy of the production
+    kernel once shared-memory usage is accounted for.
+    """
+    if resident_warps is None:
+        resident_warps = device.sm_count * device.max_warps_per_sm / 2
+    return cycles / (device.clock_hz * resident_warps)

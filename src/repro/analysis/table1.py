@@ -1,0 +1,210 @@
+"""Table I / Appendix C: analytic cost formulas of the XMV primitives.
+
+For one on-the-fly Kronecker-product matrix-vector multiplication
+(line 10 of Algorithm 1) over a graph pair with n and m nodes:
+
+* ``E`` — byte size of an edge label,
+* ``F`` — byte size of an edge weight / float,
+* ``X`` — operation count of one product element, i.e. the base-kernel
+  evaluation *plus* the weight product and the FMA into the accumulator
+  (the paper's unlabeled case has X = 3: one multiply A_ij·A'_i'j' and
+  one FMA; a labeled kernel adds its κe cost on top),
+* ``t`` — tile height (and width, for square tiles),
+* ``r`` — streaming chunk length / register block length.
+
+Two flavours are provided:
+
+* :func:`table1_costs` — the *asymptotic* entries exactly as printed in
+  Table I (lower-order O(n²m) terms dropped);
+* :func:`appendix_c_costs` — the *exact* per-line sums of the Appendix C
+  pseudocode tables, including lower-order terms.  The executing
+  primitives in :mod:`repro.xmv` increment their counters at the same
+  loop levels as the pseudocode, so their measured counters equal these
+  formulas exactly — that equality is enforced by property tests.
+
+All counts assume n and m divisible by t and r (pad otherwise, as the
+GPU kernels do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vgpu.counters import Counters
+
+#: Operation count of the weight product + FMA, excluding the base
+#: kernel: a_ii' += (A_ij * A'_i'j' * κe) * p_jj' costs one multiply for
+#: the weight product, and two for the multiply-accumulate.
+BASE_OPS_PER_ELEMENT = 3
+
+
+@dataclass(frozen=True)
+class PrimitiveCosts:
+    """Cost-formula bundle for one primitive configuration."""
+
+    name: str
+    ops: float
+    global_load: float
+    global_store: float
+    shared_load: float
+    shared_store: float
+
+    @property
+    def ai_global(self) -> float:
+        """Asymptotic arithmetic intensity w.r.t. device memory."""
+        denom = self.global_load + self.global_store
+        return self.ops / denom if denom else float("inf")
+
+    @property
+    def ai_shared(self) -> float:
+        """Asymptotic arithmetic intensity w.r.t. shared memory."""
+        denom = self.shared_load + self.shared_store
+        return self.ops / denom if denom else float("inf")
+
+    def counters(self) -> Counters:
+        """As a :class:`Counters` record (flops = ops)."""
+        return Counters(
+            global_load_bytes=self.global_load,
+            global_store_bytes=self.global_store,
+            shared_load_bytes=self.shared_load,
+            shared_store_bytes=self.shared_store,
+            flops=self.ops,
+        )
+
+
+def element_ops(kernel_flops: int) -> int:
+    """The paper's X for a base kernel costing ``kernel_flops`` ops."""
+    return BASE_OPS_PER_ELEMENT + kernel_flops
+
+
+def table1_costs(
+    primitive: str,
+    n: int,
+    m: int,
+    t: int = 8,
+    r: int = 8,
+    E: int = 0,
+    F: int = 4,
+    X: int = BASE_OPS_PER_ELEMENT,
+    warp: int = 32,
+) -> PrimitiveCosts:
+    """Asymptotic Table I entries for one primitive.
+
+    ``primitive`` is one of "naive", "shared_tiling",
+    "register_blocking", "tiling_blocking".
+    """
+    n2m2 = float(n) * n * m * m
+    nm = float(n) * m
+    if primitive == "naive":
+        return PrimitiveCosts(
+            name="naive",
+            ops=2.0 * n2m2,
+            global_load=n2m2 * F,
+            global_store=nm * F,
+            shared_load=0.0,
+            shared_store=0.0,
+        )
+    if primitive == "shared_tiling":
+        return PrimitiveCosts(
+            name=f"shared_tiling({t},{r})",
+            ops=n2m2 * X,
+            global_load=n2m2 * (t / r * E + (r + t) / r * F) / t**2,
+            global_store=nm * F,
+            shared_load=n2m2 * ((r + 1) / r * E + (2 * r + 1) / r * F),
+            shared_store=n2m2 * (t / r * E + (r + t) / r * F) / t**2,
+        )
+    if primitive == "register_blocking":
+        return PrimitiveCosts(
+            name=f"register_blocking({t},{r})",
+            ops=n2m2 * X,
+            global_load=n2m2 * (t / r * E + (t + r) / r * F) / t**2,
+            global_store=nm * F,
+            shared_load=n2m2 * F,
+            shared_store=n2m2 * F / t**2,
+        )
+    if primitive == "tiling_blocking":
+        return PrimitiveCosts(
+            name=f"tiling_blocking({t},{r})",
+            ops=n2m2 * X,
+            global_load=n2m2 * (E + 2 * F) / t**2,
+            global_store=nm * F,
+            shared_load=n2m2 * ((r + t) / (r * t) * E + (r + t) / (r * t) * F),
+            shared_store=n2m2 * (E + F) / t**2,
+        )
+    raise ValueError(f"unknown primitive {primitive!r}")
+
+
+def appendix_c_costs(
+    primitive: str,
+    n: int,
+    m: int,
+    t: int = 8,
+    r: int = 8,
+    E: int = 0,
+    F: int = 4,
+    X: int = BASE_OPS_PER_ELEMENT,
+    warp: int = 32,
+) -> PrimitiveCosts:
+    """Exact Appendix C per-line cost sums (lower-order terms included).
+
+    These are what the executing primitives' counters must match
+    exactly; ratios against :func:`table1_costs` converge to one as
+    n, m grow (a property test pins that convergence down).
+    """
+    n2m2 = float(n) * n * m * m
+    n2m = float(n) * n * m
+    nm = float(n) * m
+    if primitive == "naive":
+        return PrimitiveCosts(
+            name="naive",
+            ops=2.0 * n2m2,
+            # line 4: rhs loads, one coalesced warp load per 32 columns;
+            # line 6: matrix loads.
+            global_load=n2m2 * F / warp + n2m2 * F,
+            global_store=nm * F,
+            shared_load=0.0,
+            shared_store=0.0,
+        )
+    if primitive == "shared_tiling":
+        return PrimitiveCosts(
+            name=f"shared_tiling({t},{r})",
+            ops=n2m2 * X,
+            # lines 5,7 (outer-graph tiles) + 10,12 (inner) + 14 (rhs)
+            global_load=(
+                n2m * (E + F) / t + n2m2 * (E + F) / (r * t) + n2m2 * F / t**2
+            ),
+            global_store=nm * F,
+            # lines 18 (A,E row chunk) + 20,21 (A',E' element) + 22 (rhs)
+            shared_load=n2m2 * ((E + F) / r + E + 2 * F),
+            # lines 6,8 + 11,13 + 15
+            shared_store=(
+                n2m * (E + F) / t + n2m2 * (E + F) / (r * t) + n2m2 * F / t**2
+            ),
+        )
+    if primitive == "register_blocking":
+        return PrimitiveCosts(
+            name=f"register_blocking({t},{r})",
+            ops=n2m2 * X,
+            # lines 4,5 + 7,8 + 9
+            global_load=(
+                n2m * (E + F) / t + n2m2 * (E + F) / (r * t) + n2m2 * F / t**2
+            ),
+            global_store=nm * F,
+            shared_load=n2m2 * F,  # line 13
+            shared_store=n2m2 * F / t**2,  # line 10
+        )
+    if primitive == "tiling_blocking":
+        return PrimitiveCosts(
+            name=f"tiling_blocking({t},{r})",
+            ops=n2m2 * X,
+            # lines 5,7 + 10,12 + 14
+            global_load=(
+                n2m * (E + F) / t + n2m2 * (E + F) / t**2 + n2m2 * F / t**2
+            ),
+            global_store=nm * F,
+            # lines 17,18 + 20,21
+            shared_load=n2m2 * (E + F) / t + n2m2 * (E + F) / r,
+            # lines 6,8 + 11,13
+            shared_store=n2m * (E + F) / t + n2m2 * (E + F) / t**2,
+        )
+    raise ValueError(f"unknown primitive {primitive!r}")

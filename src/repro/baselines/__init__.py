@@ -1,0 +1,22 @@
+"""CPU baseline packages (Section VII-B comparators).
+
+The paper benchmarks against GraKeL and GraphKernels, the two existing
+packages implementing random-walk / marginalized graph kernels on CPUs.
+Neither is installable offline, so this package implements faithful
+algorithmic stand-ins (see DESIGN.md §2 for the substitution argument):
+
+* :mod:`repro.baselines.grakel_like` — explicit product-matrix assembly
+  + direct dense solve per pair, GraKeL's approach for the labeled
+  random-walk kernel family.
+* :mod:`repro.baselines.graphkernels_like` — explicit product matrix +
+  fixed-point iteration, the GraphKernels approach; inherits its
+  convergence fragility at small stopping probability.
+
+Both expose the same ``gram(graphs)`` entry point as the main kernel so
+the Fig. 10 bench can time the three implementations uniformly.
+"""
+
+from .grakel_like import GrakelLikeKernel
+from .graphkernels_like import GraphKernelsLikeKernel
+
+__all__ = ["GrakelLikeKernel", "GraphKernelsLikeKernel"]

@@ -1,0 +1,39 @@
+"""Graph data structures, parsers, generators, and benchmark datasets.
+
+* :mod:`repro.graphs.graph` — the labeled, weighted, undirected
+  :class:`Graph` that the whole library operates on (Definitions 1-5 of
+  the paper).
+* :mod:`repro.graphs.generators` — Newman-Watts-Strogatz and
+  Barabási-Albert synthetic graphs (Section VI-A) plus molecule-like and
+  protein-like generators used as offline substitutes for DrugBank and
+  PDB-3k.
+* :mod:`repro.graphs.smiles` — a from-scratch SMILES parser/writer, the
+  substrate the DrugBank evaluation depends on.
+* :mod:`repro.graphs.pdb` — synthetic 3D protein-like structures with
+  spatial-cutoff adjacency (the PDB-3k substitute).
+* :mod:`repro.graphs.datasets` — builders for the four benchmark
+  datasets of Section VI with the paper's parameters.
+"""
+
+from .graph import Graph
+from .generators import (
+    barabasi_albert,
+    drugbank_like_molecule,
+    newman_watts_strogatz,
+    random_labeled_graph,
+)
+from .smiles import MoleculeParseError, graph_from_smiles, parse_smiles
+from .pdb import protein_like_structure, structure_to_graph
+
+__all__ = [
+    "Graph",
+    "MoleculeParseError",
+    "barabasi_albert",
+    "drugbank_like_molecule",
+    "graph_from_smiles",
+    "newman_watts_strogatz",
+    "parse_smiles",
+    "protein_like_structure",
+    "random_labeled_graph",
+    "structure_to_graph",
+]

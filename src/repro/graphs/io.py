@@ -1,0 +1,194 @@
+"""Graph and structure I/O (the dataset-pipeline substrate).
+
+The paper's PDB-3k dataset is built by parsing Protein Data Bank files
+and converting them to spatial-contact graphs; DrugBank enters as SMILES
+strings.  SMILES lives in :mod:`repro.graphs.smiles`; this module
+provides the remaining file formats:
+
+* a minimal **PDB format** reader/writer (``ATOM``/``HETATM`` records,
+  heavy atoms) producing :class:`repro.graphs.pdb.Structure` objects, so
+  the protein pipeline runs end-to-end from files exactly as the paper's
+  did;
+* a **JSON graph** format round-tripping the full :class:`Graph`
+  (adjacency, node/edge labels, coordinates), used to persist generated
+  benchmark datasets;
+* an **edge-list** text format for interoperability with generic graph
+  tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .graph import Graph
+from .pdb import Structure
+
+#: Element symbols for the atomic numbers the generators emit.
+_SYMBOL = {
+    1: "H", 5: "B", 6: "C", 7: "N", 8: "O", 9: "F", 14: "SI", 15: "P",
+    16: "S", 17: "CL", 34: "SE", 35: "BR", 53: "I",
+}
+_NUMBER = {v: k for k, v in _SYMBOL.items()}
+
+
+# ----------------------------------------------------------------------
+# PDB format
+# ----------------------------------------------------------------------
+
+
+def write_pdb(structure: Structure, path: str | Path) -> None:
+    """Write a structure as minimal PDB ATOM records (fixed columns)."""
+    lines = []
+    for k in range(structure.n_atoms):
+        x, y, z = structure.coords[k]
+        el = _SYMBOL.get(int(structure.elements[k]), "C")
+        name = el[:1] if len(el) > 1 else el
+        lines.append(
+            f"ATOM  {k + 1:5d}  {name:<3s} ALA A{(k // 4) + 1:4d}    "
+            f"{x:8.3f}{y:8.3f}{z:8.3f}  1.00  0.00          {el:>2s}"
+        )
+    lines.append("END")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_pdb(path: str | Path, heavy_only: bool = True) -> Structure:
+    """Parse ATOM/HETATM records into a :class:`Structure`.
+
+    Follows the fixed-column PDB layout: coordinates from columns 31-54,
+    the element from columns 77-78 (falling back to the atom name when
+    absent, as many legacy files require).  Hydrogens are skipped when
+    ``heavy_only`` (the paper's graphs use heavy atoms).
+    """
+    coords = []
+    elements = []
+    text = Path(path).read_text()
+    for line in text.splitlines():
+        rec = line[:6].strip()
+        if rec not in ("ATOM", "HETATM"):
+            continue
+        if len(line) < 54:
+            raise ValueError(f"truncated ATOM record: {line!r}")
+        x = float(line[30:38])
+        y = float(line[38:46])
+        z = float(line[46:54])
+        el = line[76:78].strip().upper() if len(line) >= 78 else ""
+        if not el:
+            name = line[12:16].strip().upper()
+            el = name[:2] if name[:2] in _NUMBER else name[:1]
+        if el not in _NUMBER:
+            raise ValueError(f"unknown element {el!r} in {line!r}")
+        z_num = _NUMBER[el]
+        if heavy_only and z_num == 1:
+            continue
+        coords.append((x, y, z))
+        elements.append(z_num)
+    if not coords:
+        raise ValueError("no ATOM records found")
+    return Structure(
+        coords=np.array(coords, dtype=np.float64),
+        elements=np.array(elements, dtype=np.int64),
+        name=Path(path).stem,
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON graph format
+# ----------------------------------------------------------------------
+
+
+def graph_to_json(graph: Graph) -> str:
+    """Serialize a graph (losslessly for numeric labels) to JSON."""
+    edges = graph.edge_list()
+    payload = {
+        "n": graph.n_nodes,
+        "name": graph.name,
+        "edges": edges.tolist(),
+        "weights": [float(graph.adjacency[i, j]) for i, j in edges],
+        "node_labels": {
+            k: np.asarray(v).tolist() for k, v in graph.node_labels.items()
+        },
+        "edge_labels": {
+            k: [float(v[i, j]) for i, j in edges]
+            for k, v in graph.edge_labels.items()
+        },
+        "coords": graph.coords.tolist() if graph.coords is not None else None,
+    }
+    return json.dumps(payload)
+
+
+def graph_from_json(text: str) -> Graph:
+    """Inverse of :func:`graph_to_json`."""
+    d = json.loads(text)
+    g = Graph.from_edges(
+        d["n"],
+        d["edges"],
+        weights=np.asarray(d["weights"], dtype=np.float64)
+        if d["edges"]
+        else 1.0,
+        node_labels={k: np.asarray(v) for k, v in d["node_labels"].items()},
+        edge_label_values={
+            k: np.asarray(v) for k, v in d["edge_labels"].items()
+        },
+        name=d.get("name", ""),
+    )
+    if d.get("coords") is not None:
+        g.coords = np.asarray(d["coords"], dtype=np.float64)
+    return g
+
+
+def save_dataset(graphs: list[Graph], path: str | Path) -> None:
+    """Persist a dataset as JSON-lines (one graph per line)."""
+    with open(path, "w") as fh:
+        for g in graphs:
+            fh.write(graph_to_json(g) + "\n")
+
+
+def load_dataset(path: str | Path) -> list[Graph]:
+    """Load a dataset written by :func:`save_dataset`."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(graph_from_json(line))
+    return out
+
+
+# ----------------------------------------------------------------------
+# edge-list text format
+# ----------------------------------------------------------------------
+
+
+def write_edgelist(graph: Graph, path: str | Path) -> None:
+    """Write ``i j weight`` lines (plus a ``# n <count>`` header)."""
+    lines = [f"# n {graph.n_nodes}"]
+    for i, j in graph.edge_list():
+        lines.append(f"{i} {j} {graph.adjacency[i, j]:.17g}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_edgelist(path: str | Path) -> Graph:
+    """Read the format written by :func:`write_edgelist`."""
+    n = None
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if parts and parts[0] == "n":
+                n = int(parts[1])
+            continue
+        a, b, *w = line.split()
+        edges.append((int(a), int(b)))
+        weights.append(float(w[0]) if w else 1.0)
+    if n is None:
+        n = max((max(i, j) for i, j in edges), default=-1) + 1
+    if n < 1:
+        raise ValueError("empty edge list without node-count header")
+    return Graph.from_edges(n, edges, weights=np.asarray(weights))

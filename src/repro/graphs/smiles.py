@@ -1,0 +1,432 @@
+"""A from-scratch SMILES parser (DrugBank substrate).
+
+The paper's DrugBank evaluation starts from SMILES strings, "obtained
+from a depth-first traversal of the corresponding molecular graph", and
+extracts "a rich body of node and edge attributes ... such as
+hybridization state, charge, bond order, and conjugacy".  This module
+provides that substrate offline: a parser for the SMILES subset that
+organic drug-like molecules use, producing :class:`~repro.graphs.graph.Graph`
+objects with the attribute set above, plus a writer used to round-trip
+the synthetic DrugBank-like generator.
+
+Supported SMILES features
+-------------------------
+* organic-subset bare atoms: B C N O P S F Cl Br I
+* bracket atoms ``[...]`` with isotope, symbol, charge and explicit H
+  counts (e.g. ``[NH4+]``, ``[13CH3]``, ``[O-]``)
+* aromatic atoms in lowercase (b c n o p s) and aromatic bonds
+* bond symbols ``- = # : /``/``\\`` (directional bonds are treated as
+  single bonds; stereochemistry is out of scope for graph kernels)
+* branches ``( ... )``
+* ring-closure digits, including ``%nn`` two-digit closures
+* disconnected components separated by ``.`` (rejected by
+  :func:`graph_from_smiles`, which requires a single component, but
+  parsed by :func:`parse_smiles`)
+
+The output attributes per atom: atomic number ``element``, formal
+``charge``, ``aromatic`` flag, ``hybridization`` (1 = sp, 2 = sp2,
+3 = sp3; heuristic from bond orders), ``hcount`` (implicit + explicit
+hydrogens); per bond: ``order`` (1.0 / 1.5 aromatic / 2.0 / 3.0) and
+``conjugated`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graph import Graph
+
+
+class MoleculeParseError(ValueError):
+    """Raised for syntactically or chemically invalid SMILES input."""
+
+
+#: Symbol -> atomic number for the elements the parser accepts.
+ATOMIC_NUMBER = {
+    "H": 1, "B": 5, "C": 6, "N": 7, "O": 8, "F": 9,
+    "Si": 14, "P": 15, "S": 16, "Cl": 17, "Se": 34, "Br": 35, "I": 53,
+}
+
+#: Default valences used to infer implicit hydrogen counts.
+DEFAULT_VALENCE = {
+    1: 1, 5: 3, 6: 4, 7: 3, 8: 2, 9: 1,
+    14: 4, 15: 3, 16: 2, 17: 1, 34: 2, 35: 1, 53: 1,
+}
+
+#: Elements allowed as bare (organic-subset) atoms.
+ORGANIC_SUBSET = {"B", "C", "N", "O", "P", "S", "F", "Cl", "Br", "I"}
+
+#: Aromatic lowercase symbols.
+AROMATIC_SYMBOLS = {"b": "B", "c": "C", "n": "N", "o": "O", "p": "P", "s": "S"}
+
+_BOND_ORDER = {"-": 1.0, "=": 2.0, "#": 3.0, ":": 1.5, "/": 1.0, "\\": 1.0}
+
+
+@dataclass
+class _Atom:
+    element: int
+    aromatic: bool = False
+    charge: int = 0
+    explicit_h: int | None = None
+    isotope: int = 0
+
+
+@dataclass
+class _Bond:
+    i: int
+    j: int
+    order: float
+
+
+@dataclass
+class ParsedMolecule:
+    """Raw parse result before graph conversion."""
+
+    atoms: list[_Atom] = field(default_factory=list)
+    bonds: list[_Bond] = field(default_factory=list)
+    n_components: int = 1
+
+
+def _parse_bracket_atom(s: str, pos: int) -> tuple[_Atom, int]:
+    """Parse a bracket atom starting at ``s[pos] == '['``; return atom, next pos."""
+    end = s.find("]", pos)
+    if end < 0:
+        raise MoleculeParseError(f"unterminated bracket atom at {pos}")
+    body = s[pos + 1 : end]
+    k = 0
+    isotope = 0
+    while k < len(body) and body[k].isdigit():
+        isotope = isotope * 10 + int(body[k])
+        k += 1
+    if k >= len(body):
+        raise MoleculeParseError(f"bracket atom missing symbol: [{body}]")
+    aromatic = False
+    # Two-letter symbols first.
+    sym = body[k : k + 2]
+    if sym in ATOMIC_NUMBER and sym[0].isupper() and len(sym) == 2 and sym[1].islower():
+        k += 2
+    else:
+        ch = body[k]
+        if ch in AROMATIC_SYMBOLS:
+            sym = AROMATIC_SYMBOLS[ch]
+            aromatic = True
+            k += 1
+        elif ch.upper() in ATOMIC_NUMBER and ch.isupper():
+            sym = ch
+            k += 1
+        else:
+            raise MoleculeParseError(f"unknown element in [{body}]")
+    if sym not in ATOMIC_NUMBER:
+        raise MoleculeParseError(f"unknown element {sym!r}")
+    explicit_h = 0
+    charge = 0
+    while k < len(body):
+        ch = body[k]
+        if ch == "H":
+            k += 1
+            cnt = 0
+            while k < len(body) and body[k].isdigit():
+                cnt = cnt * 10 + int(body[k])
+                k += 1
+            explicit_h = cnt if cnt else 1
+        elif ch in "+-":
+            sign = 1 if ch == "+" else -1
+            k += 1
+            if k < len(body) and body[k].isdigit():
+                mag = 0
+                while k < len(body) and body[k].isdigit():
+                    mag = mag * 10 + int(body[k])
+                    k += 1
+                charge += sign * mag
+            else:
+                charge += sign
+                while k < len(body) and body[k] == ch:
+                    charge += sign
+                    k += 1
+        elif ch == "@":
+            k += 1  # chirality markers are parsed and discarded
+        else:
+            raise MoleculeParseError(f"unexpected {ch!r} in [{body}]")
+    atom = _Atom(
+        element=ATOMIC_NUMBER[sym],
+        aromatic=aromatic,
+        charge=charge,
+        explicit_h=explicit_h,
+        isotope=isotope,
+    )
+    return atom, end + 1
+
+
+def parse_smiles(s: str) -> ParsedMolecule:
+    """Parse a SMILES string into atoms and bonds.
+
+    Raises :class:`MoleculeParseError` on malformed input (unbalanced
+    parentheses, dangling ring closures, unknown atoms, bond conflicts).
+    """
+    if not s or not s.strip():
+        raise MoleculeParseError("empty SMILES")
+    s = s.strip()
+    mol = ParsedMolecule()
+    prev: int | None = None
+    pending_bond: float | None = None
+    stack: list[int | None] = []
+    ring_open: dict[int, tuple[int, float | None]] = {}
+    pos = 0
+    while pos < len(s):
+        ch = s[pos]
+        if ch == "(":
+            stack.append(prev)
+            pos += 1
+            continue
+        if ch == ")":
+            if not stack:
+                raise MoleculeParseError("unbalanced ')'")
+            prev = stack.pop()
+            pos += 1
+            continue
+        if ch == ".":
+            prev = None
+            pending_bond = None
+            mol.n_components += 1
+            pos += 1
+            continue
+        if ch in _BOND_ORDER:
+            if pending_bond is not None:
+                raise MoleculeParseError(f"double bond symbol at {pos}")
+            pending_bond = _BOND_ORDER[ch]
+            pos += 1
+            continue
+        if ch.isdigit() or ch == "%":
+            if ch == "%":
+                if pos + 2 >= len(s) or not s[pos + 1 : pos + 3].isdigit():
+                    raise MoleculeParseError(f"bad %nn ring closure at {pos}")
+                num = int(s[pos + 1 : pos + 3])
+                pos += 3
+            else:
+                num = int(ch)
+                pos += 1
+            if prev is None:
+                raise MoleculeParseError("ring closure before any atom")
+            if num in ring_open:
+                other, obond = ring_open.pop(num)
+                order = pending_bond if pending_bond is not None else obond
+                if order is None:
+                    a, b = mol.atoms[prev], mol.atoms[other]
+                    order = 1.5 if (a.aromatic and b.aromatic) else 1.0
+                if other == prev:
+                    raise MoleculeParseError("ring closure to self")
+                mol.bonds.append(_Bond(other, prev, order))
+            else:
+                ring_open[num] = (prev, pending_bond)
+            pending_bond = None
+            continue
+        # atom
+        if ch == "[":
+            atom, pos = _parse_bracket_atom(s, pos)
+        else:
+            sym2 = s[pos : pos + 2]
+            if sym2 in ("Cl", "Br"):
+                atom = _Atom(element=ATOMIC_NUMBER[sym2])
+                pos += 2
+            elif ch in AROMATIC_SYMBOLS:
+                atom = _Atom(element=ATOMIC_NUMBER[AROMATIC_SYMBOLS[ch]], aromatic=True)
+                pos += 1
+            elif ch.upper() in ORGANIC_SUBSET and ch.isupper():
+                atom = _Atom(element=ATOMIC_NUMBER[ch])
+                pos += 1
+            else:
+                raise MoleculeParseError(f"unexpected character {ch!r} at {pos}")
+        idx = len(mol.atoms)
+        mol.atoms.append(atom)
+        if prev is not None:
+            order = pending_bond
+            if order is None:
+                a, b = mol.atoms[prev], atom
+                order = 1.5 if (a.aromatic and b.aromatic) else 1.0
+            mol.bonds.append(_Bond(prev, idx, order))
+        pending_bond = None
+        prev = idx
+    if stack:
+        raise MoleculeParseError("unbalanced '('")
+    if ring_open:
+        raise MoleculeParseError(f"dangling ring closures: {sorted(ring_open)}")
+    if pending_bond is not None:
+        raise MoleculeParseError("trailing bond symbol")
+    seen: set[tuple[int, int]] = set()
+    for b in mol.bonds:
+        key = (min(b.i, b.j), max(b.i, b.j))
+        if key in seen:
+            raise MoleculeParseError(f"duplicate bond {key}")
+        seen.add(key)
+    return mol
+
+
+def _hybridization(order_sum: float, orders: list[float], aromatic: bool) -> int:
+    """sp (1), sp2 (2) or sp3 (3) from incident bond orders (heuristic)."""
+    if aromatic or any(o == 1.5 for o in orders):
+        return 2
+    if any(o == 3.0 for o in orders) or sum(1 for o in orders if o == 2.0) >= 2:
+        return 1
+    if any(o == 2.0 for o in orders):
+        return 2
+    return 3
+
+
+def graph_from_smiles(s: str, name: str = "") -> Graph:
+    """Convert a single-component SMILES string to a labeled :class:`Graph`.
+
+    Nodes carry ``element``, ``charge``, ``aromatic``, ``hybridization``
+    and ``hcount``; edges carry ``order`` and ``conjugated`` and have
+    unit weight (chemical bonds are unweighted in the paper's DrugBank
+    setting).
+    """
+    mol = parse_smiles(s)
+    if mol.n_components != 1:
+        raise MoleculeParseError("graph_from_smiles requires a connected molecule")
+    n = len(mol.atoms)
+    incident: list[list[float]] = [[] for _ in range(n)]
+    for b in mol.bonds:
+        incident[b.i].append(b.order)
+        incident[b.j].append(b.order)
+
+    element = np.array([a.element for a in mol.atoms], dtype=np.int64)
+    charge = np.array([a.charge for a in mol.atoms], dtype=np.int64)
+    aromatic = np.array([a.aromatic for a in mol.atoms], dtype=np.int64)
+    hybrid = np.array(
+        [
+            _hybridization(sum(incident[k]), incident[k], mol.atoms[k].aromatic)
+            for k in range(n)
+        ],
+        dtype=np.int64,
+    )
+    hcount = np.zeros(n, dtype=np.int64)
+    for k, a in enumerate(mol.atoms):
+        if a.explicit_h is not None:
+            hcount[k] = a.explicit_h
+        else:
+            val = DEFAULT_VALENCE.get(a.element, 4)
+            used = sum(int(round(o if o != 1.5 else 1.0)) for o in incident[k])
+            if a.aromatic:
+                used += 1  # one bonding electron in the aromatic system
+            hcount[k] = max(0, val - used + a.charge)
+
+    edges = [(b.i, b.j) for b in mol.bonds]
+    orders = np.array([b.order for b in mol.bonds])
+    conj = np.array(
+        [
+            1.0
+            if (
+                b.order == 1.5
+                or (
+                    b.order == 1.0
+                    and any(o > 1.0 for o in incident[b.i])
+                    and any(o > 1.0 for o in incident[b.j])
+                )
+            )
+            else 0.0
+            for b in mol.bonds
+        ]
+    )
+    if not edges:
+        # Single-atom molecule: 1x1 zero adjacency.
+        return Graph(
+            np.zeros((1, 1)),
+            node_labels={
+                "element": element,
+                "charge": charge,
+                "aromatic": aromatic,
+                "hybridization": hybrid,
+                "hcount": hcount,
+            },
+            name=name or s,
+        )
+    return Graph.from_edges(
+        n,
+        edges,
+        weights=1.0,
+        node_labels={
+            "element": element,
+            "charge": charge,
+            "aromatic": aromatic,
+            "hybridization": hybrid,
+            "hcount": hcount,
+        },
+        edge_label_values={"order": orders, "conjugated": conj},
+        name=name or s,
+    )
+
+
+def to_smiles(graph: Graph) -> str:
+    """Write a (kekulized, charge-free) SMILES string for a molecule graph.
+
+    Only the subset the synthetic generator produces is supported:
+    ``element`` node labels and ``order`` edge labels with integer
+    orders.  A depth-first traversal emits branches and ring closures —
+    the same construction the paper describes for DrugBank.
+    """
+    if "element" not in graph.node_labels:
+        raise ValueError("graph lacks 'element' node labels")
+    sym = {v: k for k, v in ATOMIC_NUMBER.items()}
+    n = graph.n_nodes
+    A = graph.adjacency
+    order = graph.edge_labels.get("order", (A != 0).astype(float))
+    bond_sym = {1.0: "", 2.0: "=", 3.0: "#"}
+    visited = np.zeros(n, dtype=bool)
+    ring_id = [1]
+    closures: dict[tuple[int, int], int] = {}
+
+    # Pre-pass: find back edges via DFS to assign ring-closure digits.
+    parent = -np.ones(n, dtype=int)
+
+    def dfs_edges(u: int) -> None:
+        visited[u] = True
+        for v in np.nonzero(A[u])[0]:
+            v = int(v)
+            if not visited[v]:
+                parent[v] = u
+                dfs_edges(v)
+            elif parent[u] != v and (min(u, v), max(u, v)) not in closures:
+                closures[(min(u, v), max(u, v))] = ring_id[0]
+                ring_id[0] += 1
+
+    dfs_edges(0)
+    if not visited.all():
+        raise ValueError("to_smiles requires a connected graph")
+
+    visited[:] = False
+
+    def emit(u: int, via_order: float) -> str:
+        visited[u] = True
+        el = sym.get(int(graph.node_labels["element"][u]), "C")
+        out = bond_sym.get(via_order, "") + el
+        for v in np.nonzero(A[u])[0]:
+            v = int(v)
+            key = (min(u, v), max(u, v))
+            if key in closures and closures[key] > 0:
+                rid = closures[key]
+                digit = str(rid) if rid < 10 else f"%{rid:02d}"
+                out += bond_sym.get(order[u, v], "") + digit
+                closures[key] = -rid  # emit each closure digit twice, then done
+            elif key in closures and closures[key] < 0:
+                rid = -closures[key]
+                digit = str(rid) if rid < 10 else f"%{rid:02d}"
+                out += digit
+                closures[key] = 0
+        children = [
+            int(v)
+            for v in np.nonzero(A[u])[0]
+            if not visited[int(v)] and (min(u, int(v)), max(u, int(v))) not in closures
+        ]
+        for k, v in enumerate(children):
+            if visited[v]:
+                continue
+            sub = emit(v, order[u, v])
+            if k < len(children) - 1:
+                out += f"({sub})"
+            else:
+                out += sub
+        return out
+
+    return emit(0, 1.0)

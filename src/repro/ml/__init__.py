@@ -1,0 +1,19 @@
+"""Kernel-based learning on Gram matrices.
+
+The marginalized graph kernel exists to feed kernel methods — the paper
+cites Gaussian-process prediction of molecular atomization energies
+[Tang & de Jong 2019] as the motivating application.  This package
+provides the downstream consumers the examples use:
+
+* :mod:`repro.ml.gpr` — Gaussian process regression on a precomputed
+  Gram matrix (exact, with jitter handling and LOOCV utilities);
+* :mod:`repro.ml.kpca` — kernel PCA for embedding / visualization;
+* :mod:`repro.ml.knn` — kernel nearest-neighbour classification via the
+  kernel-induced distance.
+"""
+
+from .gpr import GaussianProcessRegressor
+from .kpca import kernel_pca
+from .knn import kernel_knn_predict
+
+__all__ = ["GaussianProcessRegressor", "kernel_knn_predict", "kernel_pca"]

@@ -1,0 +1,60 @@
+"""Kernel nearest-neighbour classification via the kernel-induced metric.
+
+The kernel defines a feature-space distance
+d(x, y)² = K(x,x) + K(y,y) − 2 K(x,y); with a normalized kernel this is
+2 (1 − K(x,y)), so nearest neighbours are simply the most similar items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kernel_distance_sq(
+    K_cross: np.ndarray, K_xx_diag: np.ndarray, K_yy_diag: np.ndarray
+) -> np.ndarray:
+    """Squared feature-space distances from kernel values.
+
+    ``K_cross`` is (n, m) = K(X_i, Y_j); the diags are self-similarities.
+    Clipped at zero against round-off.
+    """
+    d2 = K_xx_diag[:, None] + K_yy_diag[None, :] - 2.0 * K_cross
+    return np.maximum(d2, 0.0)
+
+
+def kernel_knn_predict(
+    K_test_train: np.ndarray,
+    train_labels: np.ndarray,
+    k: int = 3,
+    K_test_diag: np.ndarray | None = None,
+    K_train_diag: np.ndarray | None = None,
+) -> np.ndarray:
+    """k-NN class prediction from kernel values.
+
+    With diagonals omitted, the kernel is assumed normalized (all
+    self-similarities 1).  Majority vote, ties broken by summed
+    similarity.
+    """
+    K_test_train = np.atleast_2d(np.asarray(K_test_train, dtype=np.float64))
+    labels = np.asarray(train_labels)
+    nt, ntr = K_test_train.shape
+    if labels.shape[0] != ntr:
+        raise ValueError("label length mismatch")
+    if not 1 <= k <= ntr:
+        raise ValueError("k out of range")
+    if K_test_diag is None:
+        K_test_diag = np.ones(nt)
+    if K_train_diag is None:
+        K_train_diag = np.ones(ntr)
+    d2 = kernel_distance_sq(K_test_train, K_test_diag, K_train_diag)
+    out = np.empty(nt, dtype=labels.dtype)
+    for i in range(nt):
+        nn = np.argsort(d2[i], kind="stable")[:k]
+        classes, counts = np.unique(labels[nn], return_counts=True)
+        best = classes[counts == counts.max()]
+        if len(best) == 1:
+            out[i] = best[0]
+        else:
+            sims = {c: K_test_train[i, nn][labels[nn] == c].sum() for c in best}
+            out[i] = max(sims, key=sims.get)
+    return out

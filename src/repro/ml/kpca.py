@@ -1,0 +1,27 @@
+"""Kernel principal component analysis on a precomputed Gram matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kernel_pca(K: np.ndarray, n_components: int = 2) -> np.ndarray:
+    """Embed items into the top principal directions of feature space.
+
+    Standard KPCA: double-center the Gram matrix, eigendecompose, and
+    scale eigenvectors by the root eigenvalues.  Returns an
+    (n, n_components) coordinate array.  Components beyond the numeric
+    rank come out as zeros.
+    """
+    K = np.asarray(K, dtype=np.float64)
+    if K.ndim != 2 or K.shape[0] != K.shape[1]:
+        raise ValueError("K must be square")
+    n = K.shape[0]
+    if not 1 <= n_components <= n:
+        raise ValueError("n_components out of range")
+    one = np.full((n, n), 1.0 / n)
+    Kc = K - one @ K - K @ one + one @ K @ one
+    w, V = np.linalg.eigh(Kc)
+    idx = np.argsort(w)[::-1][:n_components]
+    w = np.maximum(w[idx], 0.0)
+    return V[:, idx] * np.sqrt(w)[None, :]

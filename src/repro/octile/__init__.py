@@ -1,0 +1,37 @@
+"""Hierarchical sparse tile storage ("octiles", Section IV of the paper).
+
+The solver streams graphs in t x t square tiles.  The paper fixes t = 8
+("octiles") after the microbenchmark study of Section III and stores
+
+* **inter-tile sparsity** — only non-empty tiles, in coordinate (COO)
+  format keyed by tile-row / tile-column;
+* **intra-tile sparsity** — within each stored tile, a 64-bit occupancy
+  bitmap plus a compact array of the nonzero values (and, for labeled
+  graphs, the corresponding edge labels).
+
+:mod:`repro.octile.bitmap` provides the 64-bit bitmap manipulation
+primitives (population count, count-trailing-zeros, bit iteration) that
+the sparse XMV primitives rely on, and :mod:`repro.octile.tiles` the
+octile decomposition itself.
+"""
+
+from .bitmap import (
+    bit_index,
+    bitmap_from_dense,
+    bitmap_to_dense,
+    ctz,
+    iterate_bits,
+    popcount,
+)
+from .tiles import Octile, OctileMatrix
+
+__all__ = [
+    "Octile",
+    "OctileMatrix",
+    "bit_index",
+    "bitmap_from_dense",
+    "bitmap_to_dense",
+    "ctz",
+    "iterate_bits",
+    "popcount",
+]

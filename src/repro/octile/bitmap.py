@@ -1,0 +1,136 @@
+"""64-bit occupancy bitmaps for 8 x 8 octiles.
+
+The paper stores each non-empty octile compactly: a 64-bit integer whose
+i-th bit is set iff the i-th element (row-major within the tile) is
+nonzero, followed by the nonzero values only.  The GPU kernels recover
+element coordinates with bit manipulation (``__popc``/``__ffs``); the
+functions here are the portable equivalents.
+
+Bit convention
+--------------
+Element (i, j) of an 8 x 8 tile maps to bit ``i * 8 + j``; bit 0 is the
+least-significant bit.  This matches row-major streaming order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+#: Number of rows/columns in an octile.
+TILE = 8
+#: Number of elements in an octile.
+TILE2 = TILE * TILE
+#: All 64 bits set — a fully dense octile.
+FULL_MASK = (1 << TILE2) - 1
+
+
+def bit_index(i: int, j: int, t: int = TILE) -> int:
+    """Bit position of element (i, j) of a t x t tile (row-major)."""
+    if not (0 <= i < t and 0 <= j < t):
+        raise IndexError(f"({i}, {j}) outside {t}x{t} tile")
+    return i * t + j
+
+
+def popcount(bitmap: int) -> int:
+    """Number of set bits — the nonzero count of the tile (``__popc``)."""
+    return int(bitmap).bit_count()
+
+
+def ctz(bitmap: int) -> int:
+    """Count trailing zeros — position of the lowest set bit (``__ffs``-1).
+
+    Raises :class:`ValueError` on zero input, mirroring the undefinedness
+    of ``__ffs(0)-1`` arithmetic in the CUDA code.
+    """
+    if bitmap == 0:
+        raise ValueError("ctz undefined for 0")
+    return (int(bitmap) & -int(bitmap)).bit_length() - 1
+
+
+def iterate_bits(bitmap: int) -> Iterator[tuple[int, int, int]]:
+    """Yield (rank, row, col) for each set bit, in ascending bit order.
+
+    ``rank`` is the index of the element inside the compact value array,
+    i.e. the number of set bits below it — exactly how the sparse
+    primitives translate a bit position into a compact-storage offset via
+    ``__popc(bitmap & ((1 << pos) - 1))``.
+    """
+    b = int(bitmap)
+    rank = 0
+    while b:
+        pos = ctz(b)
+        yield rank, pos // TILE, pos % TILE
+        b &= b - 1
+        rank += 1
+
+
+def bitmap_from_dense(block: np.ndarray, t: int = TILE) -> int:
+    """Occupancy bitmap of a dense t x t block (nonzero -> bit set)."""
+    block = np.asarray(block)
+    if block.shape != (t, t):
+        raise ValueError(f"expected {t}x{t} block, got {block.shape}")
+    mask = block != 0
+    bits = np.flatnonzero(mask.ravel())
+    out = 0
+    for pos in bits:
+        out |= 1 << int(pos)
+    return out
+
+
+def bitmap_to_dense(bitmap: int, t: int = TILE) -> np.ndarray:
+    """Boolean t x t occupancy mask of a bitmap."""
+    if bitmap < 0 or bitmap >= (1 << (t * t)):
+        raise ValueError("bitmap out of range for tile size")
+    flat = np.zeros(t * t, dtype=bool)
+    b = int(bitmap)
+    while b:
+        pos = ctz(b)
+        flat[pos] = True
+        b &= b - 1
+    return flat.reshape(t, t)
+
+
+def rows_mask(bitmap: int, t: int = TILE) -> int:
+    """Bitmask (t bits) of rows that contain at least one nonzero."""
+    out = 0
+    row_all = (1 << t) - 1
+    for i in range(t):
+        if (bitmap >> (i * t)) & row_all:
+            out |= 1 << i
+    return out
+
+
+def cols_mask(bitmap: int, t: int = TILE) -> int:
+    """Bitmask (t bits) of columns that contain at least one nonzero."""
+    out = 0
+    for j in range(t):
+        col_bits = 0
+        for i in range(t):
+            col_bits |= (bitmap >> (i * t + j)) & 1
+        if col_bits:
+            out |= 1 << j
+    return out
+
+
+def transpose_bitmap(bitmap: int, t: int = TILE) -> int:
+    """Bitmap of the transposed tile."""
+    out = 0
+    b = int(bitmap)
+    while b:
+        pos = ctz(b)
+        i, j = pos // t, pos % t
+        out |= 1 << (j * t + i)
+        b &= b - 1
+    return out
+
+
+def compact_rank(bitmap: int, pos: int) -> int:
+    """Rank of bit ``pos`` within the compact value array.
+
+    Equivalent to ``__popc(bitmap & ((1 << pos) - 1))`` in the CUDA code:
+    the number of set bits strictly below ``pos``.  ``pos`` itself need
+    not be set (the result is then the insertion point).
+    """
+    return popcount(int(bitmap) & ((1 << pos) - 1))

@@ -1,0 +1,275 @@
+"""Octile decomposition of adjacency / edge-label matrices (Section IV).
+
+An :class:`OctileMatrix` stores a square sparse matrix as a coordinate
+list of non-empty t x t tiles.  Each :class:`Octile` keeps a 64-bit
+occupancy bitmap and compact arrays of the nonzero weights (and edge
+labels, when present), which is the storage format the production GPU
+kernel loads from global memory and expands into shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from . import bitmap as bm
+
+
+@dataclass
+class Octile:
+    """One non-empty t x t tile of a sparse matrix.
+
+    Attributes
+    ----------
+    ti, tj:
+        Tile-row and tile-column indices (block coordinates).
+    bitmap:
+        Occupancy bitmap; bit ``i * t + j`` set iff local element (i, j)
+        is nonzero.
+    values:
+        Compact array of the nonzero weights in ascending bit order.
+    labels:
+        Optional compact array of edge labels, aligned with ``values``.
+        May be multi-dimensional (one row per nonzero) for composite
+        labels.
+    t:
+        Tile edge length (8 in the paper's production configuration).
+    """
+
+    ti: int
+    tj: int
+    bitmap: int
+    values: np.ndarray
+    labels: np.ndarray | dict | None = None
+    t: int = bm.TILE
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.shape[0] != self.nnz:
+            raise ValueError(
+                f"compact array has {self.values.shape[0]} entries, "
+                f"bitmap has {self.nnz} set bits"
+            )
+        if isinstance(self.labels, dict):
+            self.labels = {k: np.asarray(v) for k, v in self.labels.items()}
+            for k, v in self.labels.items():
+                if v.shape[0] != self.nnz:
+                    raise ValueError(f"label {k!r} misaligned with bitmap")
+        elif self.labels is not None:
+            self.labels = np.asarray(self.labels)
+            if self.labels.shape[0] != self.nnz:
+                raise ValueError("labels misaligned with bitmap")
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzero elements in the tile."""
+        return bm.popcount(self.bitmap)
+
+    @property
+    def density(self) -> float:
+        """Fraction of the t*t slots occupied."""
+        return self.nnz / (self.t * self.t)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense t x t weight block."""
+        out = np.zeros((self.t, self.t))
+        for rank, i, j in bm.iterate_bits(self.bitmap):
+            out[i, j] = self.values[rank]
+        return out
+
+    def label_arrays(self) -> dict:
+        """Compact label arrays as a dict (any label layout)."""
+        if self.labels is None:
+            return {}
+        if isinstance(self.labels, dict):
+            return self.labels
+        return {"label": self.labels}
+
+    def labels_to_dense(self, fill: float = 0.0) -> np.ndarray:
+        """Dense t x t edge-label block (scalar labels only)."""
+        if self.labels is None:
+            raise ValueError("tile carries no labels")
+        if isinstance(self.labels, dict):
+            raise ValueError("labels_to_dense requires a single scalar label array")
+        lab = np.asarray(self.labels, dtype=np.float64)
+        if lab.ndim != 1:
+            raise ValueError("labels_to_dense requires scalar labels")
+        out = np.full((self.t, self.t), fill)
+        for rank, i, j in bm.iterate_bits(self.bitmap):
+            out[i, j] = lab[rank]
+        return out
+
+    def local_coords(self) -> np.ndarray:
+        """(nnz, 2) array of local (row, col) coordinates, bit order."""
+        coords = [(i, j) for _, i, j in bm.iterate_bits(self.bitmap)]
+        return np.array(coords, dtype=np.int64).reshape(-1, 2)
+
+    # -- storage accounting (used by the +Compact optimization) ---------
+
+    def dense_storage_bytes(self, value_bytes: int = 4, label_bytes: int = 0) -> int:
+        """Bytes to store the tile densely (all t*t slots)."""
+        per = value_bytes + (label_bytes if self.labels is not None else 0)
+        return self.t * self.t * per + 8  # 8B tile-coordinate header
+
+    def compact_storage_bytes(self, value_bytes: int = 4, label_bytes: int = 0) -> int:
+        """Bytes to store the tile compactly (bitmap + nonzeros only)."""
+        per = value_bytes + (label_bytes if self.labels is not None else 0)
+        return 8 + self.nnz * per + 8  # 8B bitmap + payload + header
+
+
+@dataclass
+class OctileMatrix:
+    """A square matrix stored as COO of non-empty octiles.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension (number of graph nodes).
+    tiles:
+        Non-empty tiles, in (ti, tj) lexicographic order.
+    t:
+        Tile edge length.
+    """
+
+    n: int
+    tiles: list[Octile]
+    t: int = bm.TILE
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls,
+        weights: np.ndarray,
+        labels: np.ndarray | dict | None = None,
+        t: int = bm.TILE,
+    ) -> "OctileMatrix":
+        """Decompose a dense n x n weight matrix (and optional labels).
+
+        ``labels`` may be an (n, n) array of scalar labels, an
+        (n, n, k) array of composite labels, or a dict of named (n, n)
+        arrays; entries are collected only where the weight is nonzero,
+        matching Definition 5 (the edge label matrix shares A's sparsity
+        pattern).
+        """
+        W = np.asarray(weights, dtype=np.float64)
+        if W.ndim != 2 or W.shape[0] != W.shape[1]:
+            raise ValueError("weights must be square")
+        n = W.shape[0]
+        nt = -(-n // t)
+        tiles: list[Octile] = []
+        for ti in range(nt):
+            i0, i1 = ti * t, min((ti + 1) * t, n)
+            for tj in range(nt):
+                j0, j1 = tj * t, min((tj + 1) * t, n)
+                block = np.zeros((t, t))
+                block[: i1 - i0, : j1 - j0] = W[i0:i1, j0:j1]
+                bitmap = bm.bitmap_from_dense(block, t)
+                if bitmap == 0:
+                    continue
+                mask = block != 0
+
+                def compact(L: np.ndarray) -> np.ndarray:
+                    L = np.asarray(L)
+                    lblock_shape = (t, t) + L.shape[2:]
+                    lblock = np.zeros(lblock_shape, dtype=L.dtype)
+                    lblock[: i1 - i0, : j1 - j0] = L[i0:i1, j0:j1]
+                    return lblock[mask]
+
+                vals = block[mask]
+                labs: np.ndarray | dict | None = None
+                if isinstance(labels, dict):
+                    labs = {k: compact(v) for k, v in labels.items()}
+                elif labels is not None:
+                    labs = compact(labels)
+                tiles.append(Octile(ti, tj, bitmap, vals, labs, t))
+        return cls(n=n, tiles=tiles, t=t)
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense weight matrix."""
+        out = np.zeros((self.n, self.n))
+        for tile in self.tiles:
+            i0, j0 = tile.ti * self.t, tile.tj * self.t
+            block = tile.to_dense()
+            i1 = min(i0 + self.t, self.n)
+            j1 = min(j0 + self.t, self.n)
+            out[i0:i1, j0:j1] = block[: i1 - i0, : j1 - j0]
+        return out
+
+    def labels_to_dense(self, fill: float = 0.0) -> np.ndarray:
+        """Reconstruct the dense scalar edge-label matrix."""
+        out = np.full((self.n, self.n), fill)
+        for tile in self.tiles:
+            if tile.labels is None:
+                raise ValueError("matrix carries no labels")
+            i0, j0 = tile.ti * self.t, tile.tj * self.t
+            block = tile.labels_to_dense(fill)
+            i1 = min(i0 + self.t, self.n)
+            j1 = min(j0 + self.t, self.n)
+            out[i0:i1, j0:j1] = block[: i1 - i0, : j1 - j0]
+        return out
+
+    # ------------------------------------------------------------------
+    # statistics (consumed by Figs. 6/7 benches and the cost model)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_tile_slots(self) -> int:
+        """Total number of tile positions (dense tile grid size)."""
+        nt = -(-self.n // self.t)
+        return nt * nt
+
+    @property
+    def num_nonempty_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def nonempty_fraction(self) -> float:
+        """Fraction of tile slots that are non-empty (Fig. 7 headline)."""
+        return self.num_nonempty_tiles / self.num_tile_slots
+
+    @property
+    def nnz(self) -> int:
+        """Total nonzero elements across tiles."""
+        return sum(tile.nnz for tile in self.tiles)
+
+    def density_histogram(self, bins: int = 16) -> np.ndarray:
+        """Histogram of per-tile densities over non-empty tiles (Fig. 7)."""
+        if not self.tiles:
+            return np.zeros(bins, dtype=int)
+        dens = np.array([tile.density for tile in self.tiles])
+        hist, _ = np.histogram(dens, bins=bins, range=(0.0, 1.0))
+        return hist
+
+    def mean_tile_density(self) -> float:
+        """Average density of non-empty tiles."""
+        if not self.tiles:
+            return 0.0
+        return float(np.mean([tile.density for tile in self.tiles]))
+
+    def tile_at(self, ti: int, tj: int) -> Octile | None:
+        """The tile at block coordinates (ti, tj), or None if empty."""
+        for tile in self.tiles:
+            if tile.ti == ti and tile.tj == tj:
+                return tile
+        return None
+
+    def storage_bytes(
+        self, compact: bool, value_bytes: int = 4, label_bytes: int = 0
+    ) -> int:
+        """Total storage footprint under dense or compact tile layout."""
+        if compact:
+            return sum(
+                t.compact_storage_bytes(value_bytes, label_bytes) for t in self.tiles
+            )
+        return sum(t.dense_storage_bytes(value_bytes, label_bytes) for t in self.tiles)
+
+    def __iter__(self):
+        return iter(self.tiles)
+
+    def __len__(self) -> int:
+        return len(self.tiles)

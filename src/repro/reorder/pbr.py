@@ -1,0 +1,430 @@
+"""Partition-based reordering (PBR) — the paper's custom algorithm.
+
+Goal (Section IV-A): find a node permutation minimizing the number of
+non-empty t x t tiles.  Observe that a perfectly balanced K-way vertex
+partition Π(G) = {V₁...V_K} with |V_k| = t induces an ordering in which
+the tile at block position (k, ℓ) is non-empty iff some edge joins V_k
+and V_ℓ.  PBR therefore minimizes objective (3):
+
+    |{(V_k, V_ℓ) : k ≠ ℓ and ∃ (v_i ∈ V_k, v_j ∈ V_ℓ) ∈ E}|
+
+i.e. the number of *connected part pairs* (off-diagonal non-empty tiles
+come in symmetric pairs; diagonal tiles are typically non-empty
+regardless).
+
+The paper derives its partitioner from a recursive hypergraph
+bipartitioning framework (Selvitopi, Acer & Aykanat 2017) with message
+nets weighting the part-pair objective, boundary-FM refinement under a
+tight balance constraint, and an extra Fiduccia-Mattheyses (FM) step to
+repair imbalance.  This implementation keeps the same structure while
+staying self-contained:
+
+1. **Recursive bisection** — split the vertex set into two halves whose
+   sizes are multiples of t (so leaves align with tile boundaries),
+   seeding each split with a BFS half-traversal from a pseudo-peripheral
+   vertex and refining it with swap-based FM on the edge cut under a
+   *strict* balance constraint (the paper's "boundary FM with tight
+   balance").
+2. **Direct objective refinement** — a swap-based FM pass over the final
+   t-sized parts that optimizes objective (3) itself: vertices are
+   exchanged between parts whenever the exchange empties more part
+   pairs than it fills.  This subsumes the paper's large message-net
+   cost (they set it to 50) by optimizing the tile count directly
+   rather than through a weighted proxy.
+
+Perfect balance is maintained throughout (all parts have exactly t
+vertices, except the last when n mod t ≠ 0), so no separate repair step
+is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .rcm import pseudo_peripheral_vertex
+
+
+def pbr_order(
+    graph: Graph,
+    t: int = 8,
+    refine_passes: int = 6,
+    seed: int = 0,
+) -> np.ndarray:
+    """PBR node permutation minimizing non-empty t x t tiles.
+
+    Returns ``order`` such that ``graph.permute(order)`` concentrates
+    nonzeros into few tiles; parts of the underlying partition appear
+    consecutively.
+    """
+    n = graph.n_nodes
+    if n <= t:
+        return np.arange(n, dtype=np.int64)
+    adj_lists = [np.nonzero(graph.adjacency[u])[0].astype(np.int64) for u in range(n)]
+
+    # Multi-start: the recursive-bisection partition plus tile-aligned
+    # chops of the natural and RCM orders (the recursive-bipartitioning
+    # framework the paper builds on is likewise seeded with multiple
+    # initial states).  Each start is refined against objective (3)
+    # directly; the best final partition wins.
+    starts: list[np.ndarray] = [
+        _recursive_bisect(adj_lists, np.arange(n, dtype=np.int64), t, seed),
+        np.arange(n, dtype=np.int64) // t,
+    ]
+    from .rcm import rcm_order  # local import to avoid cycle at module load
+
+    rcm = rcm_order(graph)
+    part_rcm = np.empty(n, dtype=np.int64)
+    part_rcm[rcm] = np.arange(n) // t
+    starts.append(part_rcm)
+
+    best_part: np.ndarray | None = None
+    best_obj = np.inf
+    K = -(-n // t)
+    # Triage: one cheap refinement pass per start, then spend the full
+    # pass budget on the most promising partition only.
+    for s, start in enumerate(starts):
+        refined = _refine_tile_objective(adj_lists, start, t, 1, seed + s)
+        obj = count_nonempty_tiles_from_parts(
+            _pair_edge_counts(adj_lists, refined, K)
+        )
+        if obj < best_obj:
+            best_obj, best_part = obj, refined
+    assert best_part is not None
+    if refine_passes > 1:
+        best_part = _refine_tile_objective(
+            adj_lists, best_part, t, refine_passes - 1, seed + len(starts)
+        )
+    # Order: parts consecutively, original index within each part.
+    order = np.argsort(best_part * (n + 1) + np.arange(n), kind="stable")
+    return order.astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# phase 1: recursive bisection with strict balance
+# ----------------------------------------------------------------------
+
+
+def _recursive_bisect(
+    adj_lists: list[np.ndarray], nodes: np.ndarray, t: int, seed: int
+) -> np.ndarray:
+    """Assign each vertex a part id; parts have exactly t vertices.
+
+    Operates recursively on index subsets; part ids are dense and follow
+    the recursion's left-to-right leaf order, which is what turns the
+    partition into an ordering.
+    """
+    n_total = len(adj_lists)
+    part = np.zeros(n_total, dtype=np.int64)
+    counter = [0]
+
+    def rec(nodes: np.ndarray) -> None:
+        if len(nodes) <= t:
+            part[nodes] = counter[0]
+            counter[0] += 1
+            return
+        k_tiles = -(-len(nodes) // t)
+        left_tiles = k_tiles // 2
+        left_size = left_tiles * t
+        left, right = _bisect_once(adj_lists, nodes, left_size, seed)
+        rec(left)
+        rec(right)
+
+    rec(np.asarray(nodes, dtype=np.int64))
+    return part
+
+
+def _bisect_once(
+    adj_lists: list[np.ndarray], nodes: np.ndarray, left_size: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``nodes`` into (left, right) with |left| = left_size exactly.
+
+    Seed split: BFS from a low-degree peripheral vertex of the induced
+    subgraph; first ``left_size`` visited go left (this is already a
+    decent locality-preserving cut).  Then swap-based FM reduces the cut
+    while preserving sizes exactly.
+    """
+    nodes = np.asarray(nodes)
+    in_set = np.zeros(len(adj_lists), dtype=bool)
+    in_set[nodes] = True
+    deg_local = np.array(
+        [np.count_nonzero(in_set[adj_lists[u]]) for u in nodes]
+    )
+    start = int(nodes[np.argmin(deg_local)])
+
+    # BFS over the induced subgraph (restart for disconnected pieces).
+    visited_order: list[int] = []
+    seen = np.zeros(len(adj_lists), dtype=bool)
+    pending = list(nodes)
+    queue = [start]
+    seen[start] = True
+    while len(visited_order) < len(nodes):
+        if not queue:
+            for u in pending:
+                if not seen[u]:
+                    queue.append(int(u))
+                    seen[u] = True
+                    break
+        u = queue.pop(0)
+        visited_order.append(u)
+        for v in adj_lists[u]:
+            if in_set[v] and not seen[v]:
+                seen[v] = True
+                queue.append(int(v))
+
+    side = np.zeros(len(adj_lists), dtype=np.int8)  # 0 = left, 1 = right
+    for k, u in enumerate(visited_order):
+        side[u] = 0 if k < left_size else 1
+
+    _fm_cut_refine(adj_lists, nodes, in_set, side, rounds=3)
+
+    left = np.array([u for u in nodes if side[u] == 0], dtype=np.int64)
+    right = np.array([u for u in nodes if side[u] == 1], dtype=np.int64)
+    assert len(left) == left_size
+    return left, right
+
+
+def _fm_cut_refine(
+    adj_lists: list[np.ndarray],
+    nodes: np.ndarray,
+    in_set: np.ndarray,
+    side: np.ndarray,
+    rounds: int,
+) -> None:
+    """Swap-based FM on the edge cut with strict balance (in place).
+
+    Gain of moving u across: (edges to other side) − (edges to own
+    side); a swap (u from left, v from right) improves the cut by
+    g_u + g_v − 2·[u ~ v].  Greedy best-swap passes with early exit.
+    """
+    for _ in range(rounds):
+        gain = {}
+        for u in nodes:
+            same = other = 0
+            for w in adj_lists[u]:
+                if not in_set[w]:
+                    continue
+                if side[w] == side[u]:
+                    same += 1
+                else:
+                    other += 1
+            gain[int(u)] = other - same
+        lefts = [u for u in nodes if side[u] == 0 and gain[int(u)] > -2]
+        rights = [u for u in nodes if side[u] == 1 and gain[int(u)] > -2]
+        lefts.sort(key=lambda u: -gain[int(u)])
+        rights.sort(key=lambda u: -gain[int(u)])
+        improved = False
+        used: set[int] = set()
+        for u in lefts[:32]:
+            best_v, best_delta = -1, 0
+            for v in rights[:32]:
+                if int(v) in used:
+                    continue
+                adj_uv = 1 if v in adj_lists[u] else 0
+                delta = gain[int(u)] + gain[int(v)] - 2 * adj_uv
+                if delta > best_delta:
+                    best_delta, best_v = delta, int(v)
+            if best_v >= 0 and int(u) not in used:
+                side[u], side[best_v] = 1, 0
+                used.add(int(u))
+                used.add(best_v)
+                improved = True
+        if not improved:
+            break
+
+
+# ----------------------------------------------------------------------
+# phase 2: FM refinement on objective (3) directly
+# ----------------------------------------------------------------------
+
+
+def _pair_edge_counts(
+    adj_lists: list[np.ndarray], part: np.ndarray, K: int
+) -> np.ndarray:
+    """Symmetric (K, K) matrix of inter-part edge counts (diag unused)."""
+    E = np.zeros((K, K), dtype=np.int64)
+    for u in range(len(adj_lists)):
+        a = part[u]
+        for v in adj_lists[u]:
+            if v > u:
+                b = part[v]
+                if a != b:
+                    E[a, b] += 1
+                    E[b, a] += 1
+                else:
+                    E[a, a] += 1  # internal edges: diagonal-tile occupancy
+    return E
+
+
+def count_connected_pairs(E: np.ndarray) -> int:
+    """Objective (3): number of connected unordered part pairs."""
+    return int(np.count_nonzero(np.triu(E, 1)))
+
+
+def count_nonempty_tiles_from_parts(E: np.ndarray) -> int:
+    """Total non-empty tiles the partition induces.
+
+    Off-diagonal connected pairs contribute two symmetric tiles each;
+    parts with internal edges contribute their diagonal tile.  This is
+    the quantity Figs. 6/7 measure, and the refinement's true objective
+    (objective (3) plus the diagonal-occupancy term, which matters for
+    tree-like molecules whose parts may have no internal edges).
+    """
+    return int(np.count_nonzero(np.diagonal(E))) + 2 * count_connected_pairs(E)
+
+
+def _refine_tile_objective(
+    adj_lists: list[np.ndarray],
+    part: np.ndarray,
+    t: int,
+    passes: int,
+    seed: int,
+) -> np.ndarray:
+    """Swap vertices between parts to reduce connected part pairs."""
+    part = part.copy()
+    n = len(adj_lists)
+    K = int(part.max()) + 1
+    E = _pair_edge_counts(adj_lists, part, K)
+    rng = np.random.default_rng(seed)
+
+    def swap_delta(u: int, v: int) -> int:
+        """Change in total non-empty tiles if u and v exchange parts."""
+        a, b = int(part[u]), int(part[v])
+        touched: dict[tuple[int, int], int] = {}
+
+        def bump(x: int, y: int, d: int) -> None:
+            key = (min(x, y), max(x, y))
+            touched[key] = touched.get(key, 0) + d
+
+        for w in adj_lists[u]:
+            if w == v:
+                continue
+            c = int(part[w])
+            bump(a, c, -1)
+            bump(b, c, +1)
+        for w in adj_lists[v]:
+            if w == u:
+                continue
+            c = int(part[w])
+            bump(b, c, -1)
+            bump(a, c, +1)
+        delta = 0
+        for (x, y), d in touched.items():
+            before = E[x, y]
+            after = before + d
+            weight = 1 if x == y else 2  # diagonal tile vs symmetric pair
+            if before > 0 and after == 0:
+                delta -= weight
+            elif before == 0 and after > 0:
+                delta += weight
+            if after < 0:  # inconsistent bookkeeping guard
+                return 10**9
+        return delta
+
+    def _move_edge(x: int, y: int, d: int) -> None:
+        E[x, y] += d
+        if x != y:
+            E[y, x] += d
+
+    def apply_swap(u: int, v: int) -> None:
+        a, b = int(part[u]), int(part[v])
+        for w in adj_lists[u]:
+            if w == v:
+                continue
+            c = int(part[w])
+            _move_edge(a, c, -1)
+            _move_edge(b, c, +1)
+        part[u] = b
+        for w in adj_lists[v]:
+            if w == u:
+                continue
+            c = int(part[w])
+            _move_edge(b, c, -1)
+            _move_edge(a, c, +1)
+        part[v] = a
+
+    members: list[list[int]] = [[] for _ in range(K)]
+    for u in range(n):
+        members[part[u]].append(u)
+
+    def do_swap(u: int, v: int) -> None:
+        a, b = int(part[u]), int(part[v])
+        apply_swap(u, v)
+        members[a].remove(u)
+        members[b].remove(v)
+        members[b].append(u)
+        members[a].append(v)
+
+    def candidates(light_threshold: int = 4, cap: int = 48) -> list[int]:
+        """Vertices incident to 'light' part pairs — the only swaps that
+        can plausibly empty a tile pair touch these.  Capped (random
+        subsample) to bound the per-step search cost."""
+        out: set[int] = set()
+        for u in range(n):
+            a = int(part[u])
+            for w in adj_lists[u]:
+                b = int(part[w])
+                if b != a and 0 < E[a, b] <= light_threshold:
+                    out.add(u)
+                    break
+        lst = sorted(out)
+        if len(lst) > cap:
+            lst = sorted(rng.choice(lst, size=cap, replace=False).tolist())
+        return lst
+
+    # Classic Fiduccia-Mattheyses pass structure: within each pass,
+    # repeatedly apply the best available swap *even when it does not
+    # immediately improve* (plateau/uphill moves up to +1), locking the
+    # swapped vertices, and finally roll back to the best prefix of the
+    # trajectory.  This lets whole vertex groups migrate and empty a
+    # part pair through a sequence of individually neutral swaps.
+    max_steps = max(3 * t, 24)
+    for _ in range(passes):
+        locked: set[int] = set()
+        trajectory: list[tuple[int, int]] = []
+        cur = 0  # objective delta relative to pass start
+        best_cur, best_len = 0, 0
+        cand = candidates()
+        for _step in range(max_steps):
+            best = (2, -1, -1)  # (delta, u, v); accept delta <= +1
+            for u in cand:
+                if u in locked:
+                    continue
+                a = int(part[u])
+                conn_parts = sorted(
+                    {int(part[w]) for w in adj_lists[u] if part[w] != a}
+                )
+                for b in conn_parts:
+                    for v in members[b]:
+                        if v in locked:
+                            continue
+                        d = swap_delta(u, v)
+                        if d < best[0]:
+                            best = (d, u, v)
+            if best[1] < 0:
+                break
+            d, u, v = best
+            do_swap(u, v)
+            locked.add(u)
+            locked.add(v)
+            trajectory.append((u, v))
+            cur += d
+            if cur < best_cur:
+                best_cur, best_len = cur, len(trajectory)
+            if _step % 4 == 3:  # periodic refresh amortizes the scan
+                cand = candidates()
+        # Roll back moves after the best prefix (swap is an involution).
+        for u, v in reversed(trajectory[best_len:]):
+            do_swap(v, u)
+        if best_cur >= 0 and not trajectory[:best_len]:
+            break
+    return part
+
+
+def pbr_partition(graph: Graph, t: int = 8, **kwargs) -> np.ndarray:
+    """The underlying balanced partition (part id per node)."""
+    order = pbr_order(graph, t=t, **kwargs)
+    n = graph.n_nodes
+    part = np.empty(n, dtype=np.int64)
+    part[order] = np.arange(n) // t
+    return part

@@ -1,0 +1,131 @@
+"""Reverse Cuthill-McKee ordering (George & Liu 1981).
+
+The classical bandwidth-reduction heuristic the paper compares PBR
+against: breadth-first traversal from a pseudo-peripheral vertex,
+visiting neighbours in order of increasing degree, then reversing the
+order.  Implemented from scratch (scipy's implementation is used in the
+test suite as an independent check of bandwidth quality, never at run
+time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+
+def _bfs_levels(adj_lists: list[np.ndarray], start: int, n: int):
+    """BFS level structure: (levels array, eccentricity, last level nodes)."""
+    level = -np.ones(n, dtype=int)
+    level[start] = 0
+    frontier = [start]
+    depth = 0
+    last = [start]
+    while frontier:
+        nxt: list[int] = []
+        for u in frontier:
+            for v in adj_lists[u]:
+                if level[v] < 0:
+                    level[v] = level[u] + 1
+                    nxt.append(int(v))
+        if nxt:
+            depth += 1
+            last = nxt
+        frontier = nxt
+    return level, depth, last
+
+
+def pseudo_peripheral_vertex(graph: Graph, start: int = 0) -> int:
+    """Find a pseudo-peripheral vertex by repeated eccentricity ascent.
+
+    The standard George-Liu procedure: BFS from a start node, move to a
+    minimum-degree node of the deepest level, repeat until the
+    eccentricity stops growing.  Good starting vertices materially
+    improve RCM's bandwidth on chain-like graphs (proteins).
+    """
+    n = graph.n_nodes
+    adj_lists = [np.nonzero(graph.adjacency[u])[0] for u in range(n)]
+    deg = (graph.adjacency != 0).sum(axis=1)
+    u = start
+    _, ecc, last = _bfs_levels(adj_lists, u, n)
+    while True:
+        v = min(last, key=lambda w: deg[w])
+        _, ecc_v, last_v = _bfs_levels(adj_lists, v, n)
+        if ecc_v <= ecc:
+            return v
+        u, ecc, last = v, ecc_v, last_v
+
+
+def rcm_order(graph: Graph, t: int = 8) -> np.ndarray:
+    """Reverse Cuthill-McKee permutation of the graph's nodes.
+
+    Handles disconnected graphs by restarting from the lowest-degree
+    unvisited vertex.  ``t`` is accepted for interface uniformity with
+    the tile-aware orderings and ignored.
+    """
+    n = graph.n_nodes
+    A = graph.adjacency
+    deg = (A != 0).sum(axis=1)
+    adj_lists = [np.nonzero(A[u])[0] for u in range(n)]
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    while len(order) < n:
+        unvisited = np.nonzero(~visited)[0]
+        # Start each component at a pseudo-peripheral, low-degree vertex.
+        comp_start = int(unvisited[np.argmin(deg[unvisited])])
+        sub = _component(adj_lists, comp_start, n)
+        start = _pseudo_peripheral_in(adj_lists, deg, comp_start, sub)
+        queue = [start]
+        visited[start] = True
+        while queue:
+            u = queue.pop(0)
+            order.append(u)
+            nbrs = [int(v) for v in adj_lists[u] if not visited[v]]
+            nbrs.sort(key=lambda v: (deg[v], v))
+            for v in nbrs:
+                visited[v] = True
+                queue.append(v)
+    return np.array(order[::-1], dtype=np.int64)
+
+
+def _component(adj_lists: list[np.ndarray], start: int, n: int) -> np.ndarray:
+    seen = np.zeros(n, dtype=bool)
+    seen[start] = True
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in adj_lists[u]:
+            if not seen[v]:
+                seen[v] = True
+                stack.append(int(v))
+    return np.nonzero(seen)[0]
+
+
+def _pseudo_peripheral_in(
+    adj_lists: list[np.ndarray], deg: np.ndarray, start: int, members: np.ndarray
+) -> int:
+    n = len(adj_lists)
+    u = start
+    _, ecc, last = _bfs_levels(adj_lists, u, n)
+    for _ in range(len(members)):
+        v = min(last, key=lambda w: deg[w])
+        _, ecc_v, last_v = _bfs_levels(adj_lists, v, n)
+        if ecc_v <= ecc:
+            return v
+        u, ecc, last = v, ecc_v, last_v
+    return u
+
+
+def bandwidth(graph: Graph, order: np.ndarray | None = None) -> int:
+    """Matrix bandwidth max |pos(i) - pos(j)| over edges, under ``order``."""
+    n = graph.n_nodes
+    pos = np.empty(n, dtype=int)
+    if order is None:
+        pos = np.arange(n)
+    else:
+        pos[np.asarray(order)] = np.arange(n)
+    edges = graph.edge_list()
+    if len(edges) == 0:
+        return 0
+    return int(np.max(np.abs(pos[edges[:, 0]] - pos[edges[:, 1]])))

@@ -1,0 +1,101 @@
+"""TSP-based reordering (Pinar & Heath 1999 style).
+
+The paper's third reordering family formulates node ordering as a
+Traveling Salesman Problem: place strongly connected vertices
+consecutively by finding a short tour under a dissimilarity metric.  We
+use the standard construction for sparse-matrix locality: the "distance"
+between vertices u and v is the number of *non-shared* neighbours
+(Hamming distance of adjacency rows), so consecutive vertices have
+similar rows and their nonzeros land in the same tile columns.
+
+Construction: nearest-neighbour tour + 2-opt improvement with a move
+budget.  The paper found TSP reduction quality between RCM and PBR but
+running time "longer than all other reordering methods by orders of
+magnitude" — the move budget here keeps the same qualitative trade-off
+visible in the Fig. 7 bench without multi-hour runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+
+def _dissimilarity(graph: Graph) -> np.ndarray:
+    """Pairwise Hamming distance between boolean adjacency rows."""
+    B = (graph.adjacency != 0).astype(np.int32)
+    n = B.shape[0]
+    # |row_u XOR row_v| = deg_u + deg_v - 2 * <row_u, row_v>
+    deg = B.sum(axis=1)
+    inner = B @ B.T
+    D = deg[:, None] + deg[None, :] - 2 * inner
+    # Encourage adjacency: connected vertices should be even closer.
+    D = D.astype(np.float64) - 0.5 * B
+    np.fill_diagonal(D, np.inf)
+    return D
+
+
+def nearest_neighbor_tour(D: np.ndarray, start: int = 0) -> np.ndarray:
+    """Greedy nearest-neighbour tour over the dissimilarity matrix."""
+    n = D.shape[0]
+    visited = np.zeros(n, dtype=bool)
+    tour = [start]
+    visited[start] = True
+    for _ in range(n - 1):
+        u = tour[-1]
+        d = np.where(visited, np.inf, D[u])
+        v = int(np.argmin(d))
+        tour.append(v)
+        visited[v] = True
+    return np.array(tour, dtype=np.int64)
+
+
+def two_opt(D: np.ndarray, tour: np.ndarray, max_rounds: int = 4) -> np.ndarray:
+    """2-opt improvement on an open path (not a closed tour).
+
+    Reverses segments whenever that shortens the path length
+    sum_k D[tour_k, tour_{k+1}].  Bounded by ``max_rounds`` full sweeps.
+    """
+    tour = tour.copy()
+    n = len(tour)
+    if n < 4:
+        return tour
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(n - 2):
+            a = tour[i]
+            b = tour[i + 1]
+            # Candidate reversals of tour[i+1 .. j]
+            for j in range(i + 2, n - 1):
+                c = tour[j]
+                d = tour[j + 1]
+                delta = (D[a, c] + D[b, d]) - (D[a, b] + D[c, d])
+                if delta < -1e-12:
+                    tour[i + 1 : j + 1] = tour[i + 1 : j + 1][::-1]
+                    b = tour[i + 1]
+                    improved = True
+        if not improved:
+            break
+    return tour
+
+
+def tsp_order(graph: Graph, t: int = 8, max_rounds: int = 4) -> np.ndarray:
+    """TSP-based node permutation (nearest neighbour + 2-opt)."""
+    n = graph.n_nodes
+    if n <= 2:
+        return np.arange(n, dtype=np.int64)
+    D = _dissimilarity(graph)
+    # Replace inf diagonal before arithmetic in two_opt deltas.
+    Dw = D.copy()
+    np.fill_diagonal(Dw, 0.0)
+    tour = nearest_neighbor_tour(D)
+    tour = two_opt(Dw, tour, max_rounds=max_rounds)
+    return tour
+
+
+def path_length(D: np.ndarray, tour: np.ndarray) -> float:
+    """Open-path length of a tour under dissimilarity matrix D."""
+    Dw = D.copy()
+    np.fill_diagonal(Dw, 0.0)
+    return float(sum(Dw[tour[k], tour[k + 1]] for k in range(len(tour) - 1)))

@@ -1,0 +1,18 @@
+"""Work scheduling across the virtual GPU (Section V).
+
+A Gram-matrix computation launches thousands of graph-pair solves in a
+single kernel.  This package models how those jobs map onto the GPU:
+
+* :mod:`repro.scheduler.jobs` — per-pair job records (cycles per
+  matvec, iteration counts, block geometry).
+* :mod:`repro.scheduler.balance` — static round-robin vs. dynamic
+  (work-queue) assignment of jobs to warp slots and the resulting
+  makespan; block-level parallelism reduces per-pair latency by
+  splitting one pair's tile-pair operations across the warps of a
+  block (Section V-A/B).
+"""
+
+from .jobs import PairJob, build_jobs
+from .balance import ScheduleResult, simulate_schedule
+
+__all__ = ["PairJob", "ScheduleResult", "build_jobs", "simulate_schedule"]

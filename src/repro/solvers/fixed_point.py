@@ -1,0 +1,91 @@
+"""Fixed-point iteration on Eq. (9) — the GraphKernels-style method.
+
+Equation (9) of the paper defines r∞ as the fixed point of
+
+    r = q× + (P× ∘ E×) V× r,      P× = D×⁻¹ A×.
+
+In terms of the solver's working variable y = V× r:
+
+    y ← V× (q× + D×⁻¹ W y),       W = A× ∘ E×,
+
+and K(G, G') = p×ᵀ y.  The iteration converges iff the spectral radius
+of V× D×⁻¹ W is below one.  As the stopping probability q shrinks, the
+radius approaches one (the walk almost never stops), so convergence
+stalls and then fails — which is why the paper had to run GraKeL and
+GraphKernels "using a relatively large stopping probability ... to
+avoid convergence failures" while PCG handles q down to 0.0005
+(Section VII-B).  The convergence bench regenerates that contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.linsys import ProductSystem
+from .result import SolveResult
+
+
+def fixed_point_solve(
+    system: ProductSystem,
+    rtol: float = 1e-9,
+    atol: float = 0.0,
+    max_iter: int = 10000,
+) -> SolveResult:
+    """Iterate Eq. (9) to its fixed point.
+
+    Stops when the update norm ||y_{k+1} − y_k||₂ falls below
+    max(rtol * ||V× q×||₂, atol); reports ``converged=False`` if the
+    update norm stagnates or grows (divergence) or the cap is hit.
+    """
+    vx = system.vx
+    dx = system.dx
+    b = vx * system.qx
+    bnorm = float(np.linalg.norm(b))
+    threshold = max(rtol * bnorm, atol)
+
+    y = b.copy()
+    history: list[float] = []
+    prev_delta = np.inf
+    grew = 0
+    for it in range(1, max_iter + 1):
+        y_new = vx * (system.qx + system.matvec_offdiag(y) / dx)
+        delta = float(np.linalg.norm(y_new - y))
+        history.append(delta)
+        y = y_new
+        if delta <= threshold:
+            return SolveResult(y, it, True, delta, history)
+        if delta > prev_delta * (1 + 1e-12):
+            grew += 1
+            if grew >= 25:  # persistent growth: spectral radius >= 1
+                return SolveResult(y, it, False, delta, history)
+        else:
+            grew = 0
+        prev_delta = delta
+    return SolveResult(y, max_iter, False, history[-1] if history else np.inf, history)
+
+
+def contraction_factor(system: ProductSystem, probes: int = 3, iters: int = 30,
+                       seed: int = 0) -> float:
+    """Estimate the spectral radius of the iteration map V× D×⁻¹ W.
+
+    Power iteration with a few random probes; > 1 predicts fixed-point
+    divergence.  Used by the convergence bench to explain *why* the
+    baseline fails at small q.
+    """
+    rng = np.random.default_rng(seed)
+    vx, dx = system.vx, system.dx
+    best = 0.0
+    for _ in range(probes):
+        v = rng.normal(size=system.size)
+        v /= np.linalg.norm(v)
+        rate = 0.0
+        for _ in range(iters):
+            w = vx * (system.matvec_offdiag(v) / dx)
+            nrm = float(np.linalg.norm(w))
+            if nrm == 0:
+                rate = 0.0
+                break
+            rate = nrm
+            v = w / nrm
+        best = max(best, rate)
+    return best

@@ -1,0 +1,32 @@
+"""Common result record for all solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one linear solve.
+
+    Attributes
+    ----------
+    x:
+        Solution vector (x = V× r∞ in the paper's notation).
+    iterations:
+        Iterations performed (0 for direct / spectral solves).
+    converged:
+        Whether the stopping criterion was met.
+    residual_norm:
+        Final ||r||₂ (absolute).
+    history:
+        ||r||₂ after each iteration, for convergence plots.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    history: list[float] = field(default_factory=list)

@@ -1,0 +1,81 @@
+"""Spectral-decomposition solver for the unlabeled kernel (Eq. 2).
+
+For unlabeled graphs Eq. (1) degenerates to
+
+    K_RW(G, G') = p×ᵀ (D× − A×)⁻¹ D× q×,
+
+whose matrix factorizes over the individual graphs: with the symmetric
+normalizations Ã = D^{-1/2} A D^{-1/2} and Ã' likewise,
+
+    D× − A× = (D ⊗ D')^{1/2} (I − Ã ⊗ Ã') (D ⊗ D')^{1/2},
+
+and I − Ã ⊗ Ã' is diagonal in the product eigenbasis
+(U ⊗ U') diag(1 − λ_a λ'_b) (U ⊗ U')ᵀ.  Two small dense
+eigendecompositions (n³ + m³ work) replace the N = nm dimensional solve
+— the method the paper notes "delivers the best performance if the
+edges are unlabeled or labeled with a small set of distinct elements"
+(Section II-C), and the reason CG is preferred for continuously labeled
+edges: with continuous labels the product no longer factorizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .result import SolveResult
+
+
+def spectral_solve_unlabeled(
+    g1: Graph, g2: Graph, q: float = 0.05, p: np.ndarray | None = None
+) -> SolveResult:
+    """Solve (D× − A×) x = D× q× via per-graph eigendecomposition.
+
+    Uses the same degree convention as the PCG path
+    (d_i = Σ_j A_ij + q), so the solution matches
+    :func:`repro.solvers.pcg.pcg_solve` on an unlabeled system exactly.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError("stopping probability must be in (0, 1]")
+    n, m = g1.n_nodes, g2.n_nodes
+    d1 = g1.degrees + q
+    d2 = g2.degrees + q
+    s1 = 1.0 / np.sqrt(d1)
+    s2 = 1.0 / np.sqrt(d2)
+    At1 = s1[:, None] * g1.adjacency * s1[None, :]
+    At2 = s2[:, None] * g2.adjacency * s2[None, :]
+    lam1, U1 = np.linalg.eigh(At1)
+    lam2, U2 = np.linalg.eigh(At2)
+
+    # rhs of the normalized system: (D×)^{-1/2} D× q×.  With the proper
+    # random-walk convention q×_{ii'} = q² / (d_i d'_i'), the rhs
+    # D× q× is the constant vector q², so the normalized rhs is
+    # q² / sqrt(d_i d'_i').
+    B = (q * q) / (np.sqrt(d1)[:, None] * np.sqrt(d2)[None, :])
+    # project, scale by 1/(1 − λ λ'), back-project
+    C = U1.T @ B @ U2
+    denom = 1.0 - lam1[:, None] * lam2[None, :]
+    if (denom <= 0).any():
+        raise ValueError(
+            "product spectrum reaches 1: system not positive definite "
+            "(is q > 0 and the graph weighting valid?)"
+        )
+    C = C / denom
+    Y = U1 @ C @ U2.T
+    # undo the left normalization: x = (D×)^{-1/2} y
+    X = Y * (s1[:, None] * s2[None, :])
+    return SolveResult(
+        x=X.ravel(), iterations=0, converged=True, residual_norm=0.0, history=[]
+    )
+
+
+def unlabeled_kernel_value(
+    g1: Graph, g2: Graph, q: float = 0.05, p: np.ndarray | None = None
+) -> float:
+    """K_RW(G, G') by the spectral method (Eq. 2), end to end."""
+    n, m = g1.n_nodes, g2.n_nodes
+    p1 = np.full(n, 1.0 / n) if p is None else np.asarray(p, dtype=np.float64)
+    p2 = np.full(m, 1.0 / m)
+    px = np.kron(p1, p2)
+    res = spectral_solve_unlabeled(g1, g2, q=q)
+    return float(px @ res.x)

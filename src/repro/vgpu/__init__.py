@@ -1,0 +1,35 @@
+"""Virtual GPU substrate.
+
+The paper evaluates its solver with hardware counters collected by
+``nvprof`` on an NVIDIA V100 and interprets them through the Roofline
+model.  This package provides the equivalent substrate for a pure-Python
+reproduction:
+
+* :mod:`repro.vgpu.device` — device specification objects carrying the
+  architectural parameters (SM count, clock, FP32 lanes, memory
+  bandwidths, shared-memory and register-file capacities) for the two
+  GPUs used in the paper, the Volta V100 and the Titan X Pascal.
+* :mod:`repro.vgpu.counters` — instruction-category counters (global /
+  shared loads and stores in bytes, floating-point operations,
+  base-kernel evaluations) incremented by the XMV primitives while they
+  compute, mirroring what ``nvprof`` measures.
+* :mod:`repro.vgpu.launch` — a record of one kernel launch: the counters
+  it accumulated plus occupancy-relevant resources.
+* :mod:`repro.vgpu.roofline` — the Roofline performance model used to
+  convert counters into attainable throughput and modeled execution
+  time (Figures 3 and 5 of the paper).
+"""
+
+from .counters import Counters
+from .device import DeviceSpec, TITAN_X_PASCAL, V100
+from .launch import KernelLaunch
+from .roofline import RooflineModel
+
+__all__ = [
+    "Counters",
+    "DeviceSpec",
+    "KernelLaunch",
+    "RooflineModel",
+    "TITAN_X_PASCAL",
+    "V100",
+]

@@ -1,0 +1,101 @@
+"""Instruction-category counters mirroring the paper's nvprof metrics.
+
+Every XMV primitive increments one :class:`Counters` instance while it
+computes.  The categories match the legend of the pseudocode tables in
+Appendix C of the paper:
+
+==========  ===================================================
+category    meaning
+==========  ===================================================
+LD.G        bytes loaded from device (global) memory
+ST.G        bytes stored to device (global) memory
+LD.S        bytes loaded from shared memory
+ST.S        bytes stored to shared memory
+OPS         floating-point operations (FMA counted as 2)
+==========  ===================================================
+
+plus bookkeeping that the analysis layer consumes (base-kernel
+evaluations, tile-pair visits, atomic accumulations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Accumulated hardware-event counts for one or more kernel launches."""
+
+    global_load_bytes: float = 0.0
+    global_store_bytes: float = 0.0
+    shared_load_bytes: float = 0.0
+    shared_store_bytes: float = 0.0
+    flops: float = 0.0
+    base_kernel_evals: float = 0.0
+    tile_pairs: float = 0.0
+    atomic_ops: float = 0.0
+
+    def __add__(self, other: "Counters") -> "Counters":
+        out = Counters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+    def __iadd__(self, other: "Counters") -> "Counters":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def __mul__(self, k: float) -> "Counters":
+        out = Counters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) * k)
+        return out
+
+    __rmul__ = __mul__
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0.0)
+
+    def copy(self) -> "Counters":
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    # -- derived quantities used throughout the analysis ----------------
+
+    @property
+    def global_bytes(self) -> float:
+        """Total device-memory traffic in bytes."""
+        return self.global_load_bytes + self.global_store_bytes
+
+    @property
+    def shared_bytes(self) -> float:
+        """Total shared-memory traffic in bytes."""
+        return self.shared_load_bytes + self.shared_store_bytes
+
+    @property
+    def arithmetic_intensity_global(self) -> float:
+        """FLOPs per byte of device-memory traffic (Roofline x-axis)."""
+        if self.global_bytes == 0:
+            return float("inf")
+        return self.flops / self.global_bytes
+
+    @property
+    def arithmetic_intensity_shared(self) -> float:
+        """FLOPs per byte of shared-memory traffic."""
+        if self.shared_bytes == 0:
+            return float("inf")
+        return self.flops / self.shared_bytes
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Counters(flops={self.flops:.3g}, "
+            f"LD.G={self.global_load_bytes:.3g}B, ST.G={self.global_store_bytes:.3g}B, "
+            f"LD.S={self.shared_load_bytes:.3g}B, ST.S={self.shared_store_bytes:.3g}B, "
+            f"AI.G={self.arithmetic_intensity_global:.3g})"
+        )

@@ -1,0 +1,84 @@
+"""Kernel-launch records for the virtual GPU.
+
+A :class:`KernelLaunch` bundles the counters accumulated by one logical
+GPU kernel invocation together with its launch geometry and the
+occupancy-limiting resources it requested, so that the Roofline model
+(:mod:`repro.vgpu.roofline`) can turn it into a modeled execution time
+and the scheduler (:mod:`repro.scheduler`) can reason about concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .counters import Counters
+from .device import DeviceSpec
+
+
+@dataclass
+class KernelLaunch:
+    """One virtual kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Human-readable primitive / pipeline identifier.
+    counters:
+        Hardware-event counts accumulated by the launch.
+    warps:
+        Number of warps the launch occupies (work concurrency).
+    registers_per_thread:
+        Register demand per thread; compared against the device's
+        no-spill budget to flag register spilling (Section III-B/D).
+    shared_bytes_per_block:
+        Shared-memory bytes requested per thread block.
+    warps_per_block:
+        Warps per thread block (block-level tile sharing, Section V-A).
+    """
+
+    name: str
+    counters: Counters = field(default_factory=Counters)
+    warps: int = 1
+    registers_per_thread: int = 32
+    shared_bytes_per_block: int = 0
+    warps_per_block: int = 1
+    #: Fraction of global loads issued per-thread (non-warp-cooperative);
+    #: penalized by :attr:`DeviceSpec.uncoalesced_factor`.
+    uncoalesced_fraction: float = 0.0
+
+    def spilled(self, device: DeviceSpec) -> bool:
+        """Whether this launch exceeds the device's register budget.
+
+        Spilled registers turn register-file traffic into local-memory
+        (i.e. global-memory) traffic; :meth:`effective_counters` applies
+        the penalty so that the Fig. 5 register-blocking r=24 data point
+        reproduces the paper's observed cliff.
+        """
+        return self.registers_per_thread > device.registers_per_thread_no_spill
+
+    def effective_counters(self, device: DeviceSpec) -> Counters:
+        """Counters after applying register-spill traffic, if any.
+
+        When spilled, every staged register re-read becomes a local
+        (global-memory) transaction.  We model the penalty as the staged
+        working set spilling once per tile-pair visit: the shared-load
+        traffic that the register file was absorbing is redirected to
+        global memory.
+        """
+        c = self.counters.copy()
+        if self.uncoalesced_fraction > 0.0:
+            penalty = (device.uncoalesced_factor - 1.0) * self.uncoalesced_fraction
+            c.global_load_bytes *= 1.0 + penalty
+        if self.spilled(device):
+            excess = self.registers_per_thread - device.registers_per_thread_no_spill
+            frac = min(1.0, excess / max(1, self.registers_per_thread))
+            # A fraction of operand re-use that registers should have
+            # served is now global traffic.
+            spill_bytes = frac * c.flops / 2.0 * 4.0  # one 4B re-read per FMA
+            c.global_load_bytes += spill_bytes
+            c.global_store_bytes += spill_bytes * 0.5
+        return c
+
+    def blocks(self) -> int:
+        """Number of thread blocks in the launch."""
+        return max(1, -(-self.warps // self.warps_per_block))

@@ -1,0 +1,160 @@
+"""Roofline performance model (Williams, Waterman & Patterson 2009).
+
+The paper uses the Roofline model twice:
+
+* Figure 3 — a preliminary analysis showing the naive precomputed-matrix
+  solver pinned against the global-memory roof at arithmetic intensity
+  2/F, while the on-the-fly solver's intensity cX/(E+F) grows with the
+  streaming chunk length c and crosses the ridge point.
+* Figure 5 — a per-primitive analysis where each primitive is placed on
+  both the global-memory roof and the shared-memory roof, revealing that
+  shared tiling is shared-bandwidth-bound while register blocking is
+  global-bandwidth-bound.
+
+:class:`RooflineModel` reproduces both: it maps counters (or raw
+arithmetic intensities) to attainable FLOP/s and converts a
+:class:`~repro.vgpu.launch.KernelLaunch` into a modeled execution time by
+taking the binding resource among compute, device memory and shared
+memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .counters import Counters
+from .device import DeviceSpec
+from .launch import KernelLaunch
+
+#: Fixed kernel-launch latency in seconds.  CUDA launches cost a few
+#: microseconds; the constant only matters for tiny workloads.
+LAUNCH_LATENCY = 5e-6
+
+
+@dataclass
+class RooflineModel:
+    """Attainable-performance model for a :class:`DeviceSpec`.
+
+    Parameters
+    ----------
+    device:
+        The GPU to model.
+    fma_fraction:
+        Fraction of floating-point work issued as fused multiply-adds.
+        The paper defines FLOPS efficiency as actual throughput over the
+        "theoretical peak after adjusting for FMA percentage"; base
+        kernels such as the square-exponential mix in non-FMA operations
+        (exponentials, subtractions), so the adjusted peak interpolates
+        between the no-FMA and full-FMA ceilings.
+    """
+
+    device: DeviceSpec
+    fma_fraction: float = 1.0
+    #: FLOP-equivalent issue cost per byte of load/store traffic.  Every
+    #: 4-byte access is one instruction competing with FMA issue slots
+    #: (half a "FLOP-pair" per access = 0.5 per byte).  This is what
+    #: separates the tiling-blocking primitive from register blocking at
+    #: (8, 8) in Fig. 5 even though both clear the bandwidth roofs: the
+    #: latter issues ~2x the shared-memory instructions per FMA.
+    issue_flops_per_byte: float = 0.5
+
+    # -- ceilings --------------------------------------------------------
+
+    @property
+    def adjusted_peak_per_sm(self) -> float:
+        """Peak FLOP/s per SM adjusted for the FMA fraction."""
+        full = self.device.peak_sp_flops_per_sm
+        none = self.device.peak_sp_flops_per_sm_no_fma
+        return none + self.fma_fraction * (full - none)
+
+    def attainable_per_sm(
+        self, ai_global: float, ai_shared: float = math.inf
+    ) -> float:
+        """Attainable FLOP/s per SM at the given arithmetic intensities.
+
+        The attainable rate is the minimum of the compute roof and the
+        two bandwidth roofs, each of which scales linearly with its
+        arithmetic intensity.
+        """
+        roofs = [self.adjusted_peak_per_sm]
+        if math.isfinite(ai_global):
+            roofs.append(ai_global * self.device.global_bandwidth_per_sm)
+        if math.isfinite(ai_shared):
+            roofs.append(ai_shared * self.device.shared_bandwidth_per_sm)
+        return min(roofs)
+
+    def attainable(self, ai_global: float, ai_shared: float = math.inf) -> float:
+        """Attainable FLOP/s for the whole device."""
+        return self.attainable_per_sm(ai_global, ai_shared) * self.device.sm_count
+
+    @property
+    def ridge_point_global(self) -> float:
+        """Arithmetic intensity where the global roof meets the compute roof."""
+        return self.adjusted_peak_per_sm / self.device.global_bandwidth_per_sm
+
+    # -- time modeling -----------------------------------------------------
+
+    def time_for_counters(
+        self, counters: Counters, warps: int | None = None
+    ) -> float:
+        """Modeled execution time for a bag of counters.
+
+        Each resource (FP pipes, device memory, shared memory) processes
+        its share of the traffic at its peak rate; the slowest resource
+        binds.  ``warps`` caps the exploitable parallelism: a workload
+        occupying fewer warps than the device can host only uses a
+        proportional slice of the device.
+        """
+        dev = self.device
+        capacity = dev.sm_count * dev.max_warps_per_sm
+        if warps is None:
+            occupancy = 1.0
+        else:
+            occupancy = min(1.0, warps / capacity)
+            # A single warp still cannot exceed one SM's resources.
+            occupancy = max(occupancy, 0.0)
+        if occupancy == 0.0:
+            return LAUNCH_LATENCY
+
+        flops_rate = self.adjusted_peak_per_sm * dev.sm_count * occupancy
+        shared_rate = dev.shared_bandwidth * occupancy
+        # Device memory is a shared resource: a few warps can saturate a
+        # large fraction of it, so its availability degrades more slowly
+        # with occupancy than compute does.
+        global_rate = dev.global_bandwidth * min(1.0, occupancy * 8.0)
+
+        issue_work = counters.flops + self.issue_flops_per_byte * (
+            counters.global_bytes + counters.shared_bytes
+        )
+        t_flops = issue_work / flops_rate
+        t_global = counters.global_bytes / global_rate
+        t_shared = counters.shared_bytes / shared_rate
+        return max(t_flops, t_global, t_shared) + LAUNCH_LATENCY
+
+    def time_for_launch(self, launch: KernelLaunch) -> float:
+        """Modeled execution time of a kernel launch (with spill penalty)."""
+        return self.time_for_counters(
+            launch.effective_counters(self.device), warps=launch.warps
+        )
+
+    # -- reporting helpers -------------------------------------------------
+
+    def flops_efficiency(self, counters: Counters, time: float) -> float:
+        """Achieved fraction of the FMA-adjusted peak, as in Fig. 5."""
+        peak = self.adjusted_peak_per_sm * self.device.sm_count
+        if time <= 0:
+            return 0.0
+        return counters.flops / time / peak
+
+    def achieved_global_bandwidth(self, counters: Counters, time: float) -> float:
+        """Device-memory bandwidth achieved over ``time`` (bytes/s)."""
+        return counters.global_bytes / time if time > 0 else 0.0
+
+    def achieved_shared_bandwidth_per_sm(
+        self, counters: Counters, time: float
+    ) -> float:
+        """Per-SM shared-memory bandwidth achieved over ``time`` (bytes/s)."""
+        if time <= 0:
+            return 0.0
+        return counters.shared_bytes / time / self.device.sm_count

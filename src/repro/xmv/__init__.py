@@ -1,0 +1,47 @@
+"""On-the-fly Kronecker-product matrix-vector multiplication (XMV).
+
+The hotspot of Algorithm 1 is a = (A ⊗ A') ∘ (E ⊗κ E') · p.  Section
+II-D shows a naive precomputed-product implementation is hopelessly
+memory-bound; the paper's fix is to *regenerate* the product matrix
+on the fly from tiles of the two source graphs, trading arithmetic for
+memory traffic.  This package implements every primitive the paper
+studies, executing on the virtual GPU (numerically exact results +
+hardware counters identical to the Appendix C pseudocode):
+
+* :mod:`repro.xmv.naive` — precomputed L× matvec (the baseline).
+* :mod:`repro.xmv.shared_tiling` — t x r tiles staged in shared memory
+  (Section III-A).
+* :mod:`repro.xmv.register_blocking` — length-r chunks staged in the
+  register file (Section III-B).
+* :mod:`repro.xmv.tiling_blocking` — registers within shared tiles, the
+  production configuration t = r = 8 ("octiles", Section III-C).
+* :mod:`repro.xmv.sparse` — octile-level sparse primitives
+  (dense x dense, dense x sparse, sparse x sparse; Section IV-B).
+* :mod:`repro.xmv.pipeline` — the production pipeline over non-empty
+  octiles with reordering, adaptive primitive dispatch, compact
+  storage, and block-level tile sharing (Sections IV-V).
+"""
+
+from .base import DensePrimitive
+from .naive import NaivePrimitive
+from .register_blocking import RegisterBlockingPrimitive
+from .shared_tiling import SharedTilingPrimitive
+from .tiling_blocking import TilingBlockingPrimitive
+from .pipeline import VgpuPipeline
+
+PRIMITIVES = {
+    "naive": NaivePrimitive,
+    "shared_tiling": SharedTilingPrimitive,
+    "register_blocking": RegisterBlockingPrimitive,
+    "tiling_blocking": TilingBlockingPrimitive,
+}
+
+__all__ = [
+    "DensePrimitive",
+    "NaivePrimitive",
+    "PRIMITIVES",
+    "RegisterBlockingPrimitive",
+    "SharedTilingPrimitive",
+    "TilingBlockingPrimitive",
+    "VgpuPipeline",
+]

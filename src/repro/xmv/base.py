@@ -1,0 +1,169 @@
+"""Shared infrastructure of the dense on-the-fly XMV primitives.
+
+Each primitive computes y = (A ⊗ A') ∘ (E ⊗κ E') · p for one graph pair
+by streaming the *source* graphs in chunks, exactly following the
+Appendix C pseudocode: the same loop structure, the same unit costs
+charged to the same counters at the same loop levels.  The numeric
+result is bit-for-bit the reference Kronecker matvec (the streaming
+order only regroups the same fused multiply-adds); the counters are the
+paper's nvprof metrics.
+
+Conventions
+-----------
+* Graphs are zero-padded to chunk multiples; zero weights contribute
+  nothing (the base kernel value is multiplied by A_ij A'_i'j' = 0), so
+  padding never changes the result.
+* ``F`` = 4 bytes (single-precision weights on the GPU), ``E`` = the
+  edge kernel's ``label_bytes`` and ``X`` = ``element_ops(edge kernel
+  flops)``, exactly as in Section II-D's abstract cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.table1 import element_ops
+from ..graphs.graph import Graph
+from ..kernels.basekernels import MicroKernel
+from ..kernels.linsys import edge_kernel_values
+from ..vgpu.counters import Counters
+from ..vgpu.device import DeviceSpec, V100
+from ..vgpu.launch import KernelLaunch
+
+#: Byte size of an edge weight / float in the abstract cost model.
+F_BYTES = 4
+
+
+def _pad_to(x: np.ndarray, size: int) -> np.ndarray:
+    """Zero-pad a square matrix (or label matrix) to ``size`` x ``size``."""
+    n = x.shape[0]
+    if n == size:
+        return np.ascontiguousarray(x, dtype=np.float64)
+    out = np.zeros((size, size) + x.shape[2:], dtype=np.float64)
+    out[:n, :n] = x
+    return out
+
+
+class DensePrimitive:
+    """Base class of the dense streaming primitives (Section III).
+
+    Subclasses set ``t`` / ``r`` semantics and implement
+    :meth:`matvec`.  The constructor prepares padded weight and label
+    matrices for one graph pair and captures the cost-model parameters.
+    """
+
+    name = "dense"
+
+    def __init__(
+        self,
+        g1: Graph,
+        g2: Graph,
+        edge_kernel: MicroKernel,
+        t: int = 8,
+        r: int = 8,
+        device: DeviceSpec = V100,
+    ) -> None:
+        if t < 1 or r < 1:
+            raise ValueError("t and r must be positive")
+        self.t = t
+        self.r = r
+        self.device = device
+        self.edge_kernel = edge_kernel
+        self.n = g1.n_nodes
+        self.m = g2.n_nodes
+        # Pad to a common multiple of t and r so every loop tiles evenly.
+        step = int(np.lcm(t, r))
+        self.np_ = -(-self.n // step) * step
+        self.mp_ = -(-self.m // step) * step
+        self.A1 = _pad_to(g1.adjacency, self.np_)
+        self.A2 = _pad_to(g2.adjacency, self.mp_)
+        self.L1 = {k: _pad_to(v.astype(np.float64), self.np_)
+                   for k, v in g1.edge_labels.items()}
+        self.L2 = {k: _pad_to(v.astype(np.float64), self.mp_)
+                   for k, v in g2.edge_labels.items()}
+        self.E_bytes = edge_kernel.label_bytes
+        self.F_bytes = F_BYTES
+        self.X = element_ops(edge_kernel.flops_per_eval)
+        self.counters = Counters()
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def padded_shape(self) -> tuple[int, int]:
+        return self.np_, self.mp_
+
+    def _ke4(
+        self, I: int, J: int, Ip: int, Jp: int, h1: int, w1: int, h2: int, w2: int
+    ) -> np.ndarray:
+        """Edge base-kernel tensor κe over chunk (I:I+h1, J:J+w1) x
+        (Ip:Ip+h2, Jp:Jp+w2), shaped (h1, w1, h2, w2)."""
+        lab1 = {k: v[I : I + h1, J : J + w1].ravel() for k, v in self.L1.items()}
+        lab2 = {k: v[Ip : Ip + h2, Jp : Jp + w2].ravel() for k, v in self.L2.items()}
+        Ke = edge_kernel_values(
+            self.edge_kernel, lab1, lab2, h1 * w1, h2 * w2
+        )
+        return Ke.reshape(h1, w1, h2, w2)
+
+    def _chunk_product(
+        self, I: int, J: int, Ip: int, Jp: int, h: int, w: int, P: np.ndarray
+    ) -> np.ndarray:
+        """One (h x w) x (h x w) chunk-pair contribution to the output.
+
+        Returns the (h, h) block sum_{j, j'} A1[i,j] A2[i',j'] κe(...)
+        P[j, j'] — the inner double loop of Algorithm 2.
+        """
+        A1c = self.A1[I : I + h, J : J + w]
+        A2c = self.A2[Ip : Ip + h, Jp : Jp + w]
+        Ke4 = self._ke4(I, J, Ip, Jp, h, w, h, w)
+        return np.einsum("ij,xy,ijxy,jy->ix", A1c, A2c, Ke4, P, optimize=True)
+
+    # -- interface --------------------------------------------------------
+
+    def matvec(self, p: np.ndarray) -> np.ndarray:
+        """Compute y = W p, charging counters per the pseudocode."""
+        raise NotImplementedError
+
+    def analytic_counters(self) -> Counters:
+        """Exact Appendix C counters for one matvec (padded sizes)."""
+        raise NotImplementedError
+
+    def registers_per_thread(self) -> int:
+        """Modeled per-thread register demand (occupancy / spill input)."""
+        return 24
+
+    def shared_bytes_per_block(self) -> int:
+        """Modeled shared-memory footprint per block."""
+        t, r = self.t, self.r
+        return int(2 * t * r * (self.E_bytes + self.F_bytes))
+
+    def uncoalesced_fraction(self) -> float:
+        """Fraction of global loads issued per-thread (not warp-wide).
+
+        Warp-cooperative staging (shared tiling, tiling-blocking) keeps
+        every transaction coalesced; primitives that stream chunks into
+        each thread's registers individually override this.
+        """
+        return 0.0
+
+    def launch(self, matvecs: int = 1, warps: int = 1) -> KernelLaunch:
+        """A launch record covering ``matvecs`` applications."""
+        c = self.analytic_counters() * matvecs
+        return KernelLaunch(
+            name=self.name,
+            counters=c,
+            warps=warps,
+            registers_per_thread=self.registers_per_thread(),
+            shared_bytes_per_block=self.shared_bytes_per_block(),
+            uncoalesced_fraction=self.uncoalesced_fraction(),
+        )
+
+    # -- reference --------------------------------------------------------
+
+    def reference_matvec(self, p: np.ndarray) -> np.ndarray:
+        """Straightforward dense reference (no counters), for testing."""
+        P = np.asarray(p, dtype=np.float64).reshape(self.n, self.m)
+        Pp = np.zeros((self.np_, self.mp_))
+        Pp[: self.n, : self.m] = P
+        Ke4 = self._ke4(0, 0, 0, 0, self.np_, self.np_, self.mp_, self.mp_)
+        Y = np.einsum("ij,xy,ijxy,jy->ix", self.A1, self.A2, Ke4, Pp, optimize=True)
+        return Y[: self.n, : self.m].ravel()

@@ -1,0 +1,73 @@
+"""The naive precomputed-product-matrix primitive (Section II-D baseline).
+
+L× = (A ⊗ A') ∘ (E ⊗κ E') is materialized once; every CG iteration then
+streams the full nm x nm matrix from device memory.  Arithmetic
+intensity 2/F (= 1/2 in single precision): pinned against the
+global-memory roof at ~3% of peak on a V100 (Fig. 3), and the product
+matrix occupies O(n²m²) bytes — the storage blow-up that motivates the
+whole paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vgpu.counters import Counters
+from .base import DensePrimitive
+
+
+class NaivePrimitive(DensePrimitive):
+    """Precomputed L× matvec with Appendix C (naive) cost accounting."""
+
+    name = "naive"
+
+    def __init__(self, g1, g2, edge_kernel, t: int = 8, r: int = 8, device=None):
+        kwargs = {} if device is None else {"device": device}
+        super().__init__(g1, g2, edge_kernel, t=t, r=r, **kwargs)
+        # One-time product-matrix formation (not charged to the matvec
+        # counters, matching the paper's per-iteration accounting; its
+        # storage footprint is what Section II-D criticizes).
+        Ke4 = self._ke4(0, 0, 0, 0, self.np_, self.np_, self.mp_, self.mp_)
+        W4 = np.einsum("ij,xy,ijxy->ixjy", self.A1, self.A2, Ke4, optimize=True)
+        N = self.np_ * self.mp_
+        self.W = np.ascontiguousarray(W4.reshape(N, N))
+
+    @property
+    def storage_bytes(self) -> int:
+        """Device-memory footprint of the precomputed product matrix."""
+        return self.W.shape[0] * self.W.shape[1] * self.F_bytes
+
+    def matvec(self, p: np.ndarray) -> np.ndarray:
+        nm = self.n * self.m
+        Npad = self.np_ * self.mp_
+        pp = np.zeros(Npad)
+        P = np.asarray(p, dtype=np.float64).reshape(self.n, self.m)
+        P2 = np.zeros((self.np_, self.mp_))
+        P2[: self.n, : self.m] = P
+        pp = P2.ravel()
+        y = self.W @ pp
+
+        # Appendix C (naive) accounting, padded sizes:
+        # line 4: one coalesced rhs load per WARPSIZE columns per row;
+        # line 6: every matrix element; line 9: the output store.
+        c = self.counters
+        c.global_load_bytes += Npad * Npad * self.F_bytes / self.device.warp_size
+        c.global_load_bytes += Npad * Npad * self.F_bytes
+        c.global_store_bytes += Npad * self.F_bytes
+        c.flops += 2.0 * Npad * Npad
+        return y.reshape(self.np_, self.mp_)[: self.n, : self.m].ravel()
+
+    def analytic_counters(self) -> Counters:
+        Npad = float(self.np_ * self.mp_)
+        return Counters(
+            global_load_bytes=Npad * Npad * self.F_bytes / self.device.warp_size
+            + Npad * Npad * self.F_bytes,
+            global_store_bytes=Npad * self.F_bytes,
+            flops=2.0 * Npad * Npad,
+        )
+
+    def registers_per_thread(self) -> int:
+        return 16
+
+    def shared_bytes_per_block(self) -> int:
+        return 0

@@ -1,0 +1,309 @@
+"""The production virtual-GPU pipeline (Sections IV-V).
+
+:class:`VgpuPipeline` is the paper's full solver path for one graph
+pair:
+
+1. optional **graph reordering** (PBR by default in production) to
+   concentrate nonzeros into few octiles;
+2. **octile decomposition** of both graphs' weight and label matrices
+   into COO-of-tiles with bitmap-compact storage;
+3. per tile-pair **adaptive primitive dispatch** between dense x dense,
+   dense x sparse and sparse x sparse product kernels;
+4. **block-level tile sharing**: N warps per block each load one octile
+   and share it, amortizing global traffic (Section V-A);
+5. exact numeric matvec for the PCG solver, plus hardware counters and
+   modeled GPU cycles for every optimization stage of Fig. 9.
+
+The object plugs into :class:`repro.kernels.marginalized
+.MarginalizedGraphKernel` as the ``vgpu`` engine: ``matvec`` operates in
+the *original* node indexing (the reordering permutation is applied and
+inverted internally), so kernel values are bit-identical to the fused
+and dense engines no matter which ordering is active — a property the
+test suite leans on heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.perfmodel import TileCostModel, cycles_to_seconds
+from ..analysis.table1 import element_ops
+from ..graphs.graph import Graph
+from ..kernels.basekernels import MicroKernel
+from ..octile.tiles import OctileMatrix
+from ..vgpu.counters import Counters
+from ..vgpu.device import DeviceSpec, V100
+from .sparse import tile_pair_product
+
+#: Weight bytes in the abstract cost model (single precision).
+F_BYTES = 4
+
+
+def _resolve_order(reorder, graph: Graph, t: int) -> np.ndarray:
+    if reorder in (None, "natural"):
+        return np.arange(graph.n_nodes, dtype=np.int64)
+    if callable(reorder):
+        return np.asarray(reorder(graph, t), dtype=np.int64)
+    from ..reorder import ORDERINGS
+
+    if reorder not in ORDERINGS:
+        raise ValueError(f"unknown reordering {reorder!r}")
+    return np.asarray(ORDERINGS[reorder](graph, t), dtype=np.int64)
+
+
+class VgpuPipeline:
+    """Tile-streaming XMV pipeline for one graph pair on the virtual GPU.
+
+    Parameters
+    ----------
+    g1, g2:
+        The graph pair.
+    edge_kernel:
+        Edge base kernel κe (drives both numerics and the cost model's
+        E and X parameters).
+    t:
+        Tile edge (8 = the paper's octiles).
+    reorder:
+        None / "natural", an ordering name from
+        :data:`repro.reorder.ORDERINGS`, or a callable
+        ``(graph, t) -> permutation``.
+    prune_empty:
+        If False, every tile slot is processed as a dense tile — the
+        "Dense" baseline at the bottom of the Fig. 9 waterfall.
+    adaptive:
+        Per tile-pair primitive selection (Fig. 8 dispatch rule); if
+        False all pairs run dense x dense.
+    compact:
+        Bitmap+nonzeros tile storage instead of dense t x t tiles.
+    block_warps:
+        Warps per thread block sharing staged octiles (Section V-A);
+        1 disables sharing.
+    device:
+        Virtual GPU model (V100 by default).
+    """
+
+    def __init__(
+        self,
+        g1: Graph,
+        g2: Graph,
+        edge_kernel: MicroKernel,
+        t: int = 8,
+        reorder: str | Callable | None = None,
+        prune_empty: bool = True,
+        adaptive: bool = True,
+        compact: bool = True,
+        block_warps: int = 1,
+        device: DeviceSpec = V100,
+    ) -> None:
+        if block_warps < 1:
+            raise ValueError("block_warps must be >= 1")
+        self.t = t
+        self.edge_kernel = edge_kernel
+        self.prune_empty = prune_empty
+        self.adaptive = adaptive
+        self.compact = compact
+        self.block_warps = block_warps
+        self.device = device
+        self.n, self.m = g1.n_nodes, g2.n_nodes
+
+        self.order1 = _resolve_order(reorder, g1, t)
+        self.order2 = _resolve_order(reorder, g2, t)
+        g1p = g1.permute(self.order1) if reorder not in (None, "natural") else g1
+        g2p = g2.permute(self.order2) if reorder not in (None, "natural") else g2
+
+        self.om1 = OctileMatrix.from_dense(g1p.adjacency, dict(g1p.edge_labels), t=t)
+        self.om2 = OctileMatrix.from_dense(g2p.adjacency, dict(g2p.edge_labels), t=t)
+        self.nt1 = -(-self.n // t)
+        self.nt2 = -(-self.m // t)
+
+        self.E_bytes = edge_kernel.label_bytes
+        self.F_bytes = F_BYTES
+        self.X = element_ops(edge_kernel.flops_per_eval)
+        self.model = TileCostModel(t=t, x_ops=self.X)
+
+        self.counters = Counters()
+        self.cycles = 0.0
+        self.launch_count = 0
+        self._per_matvec = self._aggregate_cost()
+
+    # ------------------------------------------------------------------
+    # cost aggregation (vectorized over all tile pairs)
+    # ------------------------------------------------------------------
+
+    def _aggregate_cost(self) -> tuple[Counters, float, dict]:
+        """Per-matvec counters, cycles, and mode census (one pass)."""
+        t = self.t
+        E, F, X = self.E_bytes, self.F_bytes, self.X
+        share = 1.0 / self.block_warps
+        model = self.model
+        c = Counters()
+
+        if not self.prune_empty:
+            # Dense baseline: every tile slot of both grids, dense x dense,
+            # dense tile storage, no bitmap machinery.
+            slots1 = self.nt1 * self.nt1
+            slots2 = self.nt2 * self.nt2
+            pairs = float(slots1) * slots2
+            per_tile = t * t * (E + F)
+            c.tile_pairs = pairs
+            c.global_load_bytes = (
+                share * pairs * 2 * per_tile + pairs * t * t * F
+            )
+            c.shared_store_bytes = share * pairs * 2 * per_tile
+            c.shared_load_bytes = pairs * 2 * t**3 * (E + F)
+            c.flops = pairs * t**4 * X
+            c.base_kernel_evals = pairs * t**4
+            c.global_store_bytes = pairs * t * t * F
+            c.atomic_ops = pairs * t * t
+            cycles = pairs * model.dense_dense()
+            census = {"dense_dense": int(pairs), "dense_sparse": 0,
+                      "sparse_sparse": 0}
+            return c, cycles, census
+
+        nnz1 = np.array([tt.nnz for tt in self.om1.tiles], dtype=np.float64)
+        nnz2 = np.array([tt.nnz for tt in self.om2.tiles], dtype=np.float64)
+        a, b = len(nnz1), len(nnz2)
+        if a == 0 or b == 0:
+            return c, 0.0, {m: 0 for m in
+                            ("dense_dense", "dense_sparse", "sparse_sparse")}
+        N1 = nnz1[:, None]
+        N2 = nnz2[None, :]
+        mn = np.minimum(N1, N2)
+
+        from ..analysis.perfmodel import (
+            DECODE,
+            LANES_DENSE,
+            LANES_MIXED,
+            LANES_SPARSE,
+        )
+
+        cyc_dd = np.full((a, b), t**4 * X / LANES_DENSE)
+        cyc_ds = t * t * mn * X / LANES_MIXED + DECODE * mn
+        cyc_ss = N1 * N2 * X / LANES_SPARSE + DECODE * (N1 + N2)
+        stack = np.stack([cyc_dd, cyc_ds, cyc_ss])
+        if self.adaptive:
+            mode_idx = np.argmin(stack, axis=0)
+            cycles = float(np.take_along_axis(stack, mode_idx[None], 0).sum())
+        else:
+            mode_idx = np.zeros((a, b), dtype=np.int64)
+            cycles = float(cyc_dd.sum())
+
+        prod_dd = np.full((a, b), float(t**4))
+        prod_ds = t * t * mn
+        prod_ss = N1 * N2
+        products = np.choose(mode_idx, [prod_dd, prod_ds, prod_ss])
+
+        pairs = float(a) * b
+        per_nnz = E + F
+        if self.compact:
+            bytes1 = 8.0 + nnz1 * per_nnz
+            bytes2 = 8.0 + nnz2 * per_nnz
+        else:
+            bytes1 = np.full(a, float(t * t * per_nnz))
+            bytes2 = np.full(b, float(t * t * per_nnz))
+        c.tile_pairs = pairs
+        c.global_load_bytes = share * (b * bytes1.sum() + a * bytes2.sum())
+        c.global_load_bytes += pairs * t * t * F  # rhs windows
+        c.shared_store_bytes = share * pairs * 2 * t * t * per_nnz
+        sl_dd = np.full((a, b), 2.0 * t**3 * per_nnz)
+        sl_ds = (t * t + mn) * per_nnz
+        sl_ss = (N1 + N2) * per_nnz
+        c.shared_load_bytes = float(
+            np.choose(mode_idx, [sl_dd, sl_ds, sl_ss]).sum()
+        )
+        c.flops = float(products.sum()) * X
+        c.base_kernel_evals = float(products.sum())
+        c.global_store_bytes = pairs * t * t * F
+        c.atomic_ops = pairs * t * t
+
+        census = {
+            "dense_dense": int((mode_idx == 0).sum()),
+            "dense_sparse": int((mode_idx == 1).sum()),
+            "sparse_sparse": int((mode_idx == 2).sum()),
+        }
+        return c, cycles, census
+
+    # ------------------------------------------------------------------
+    # numeric matvec (original node indexing)
+    # ------------------------------------------------------------------
+
+    def matvec(self, p: np.ndarray) -> np.ndarray:
+        """y = (A× ∘ E×) p, numerically exact, with cost accounting."""
+        t = self.t
+        P = np.asarray(p, dtype=np.float64).reshape(self.n, self.m)
+        Pp = P[np.ix_(self.order1, self.order2)]
+        P2 = np.zeros((self.nt1 * t, self.nt2 * t))
+        P2[: self.n, : self.m] = Pp
+        Y2 = np.zeros_like(P2)
+        for t1 in self.om1.tiles:
+            r0 = t1.ti * t
+            c0 = t1.tj * t
+            for t2 in self.om2.tiles:
+                Pb = P2[c0 : c0 + t, t2.tj * t : t2.tj * t + t]
+                C = tile_pair_product(t1, t2, self.edge_kernel, Pb)
+                Y2[r0 : r0 + t, t2.ti * t : t2.ti * t + t] += C
+        per_counters, per_cycles, _ = self._per_matvec
+        self.counters += per_counters
+        self.cycles += per_cycles
+        self.launch_count += 1
+        Y = np.zeros((self.n, self.m))
+        Y[np.ix_(self.order1, self.order2)] = Y2[: self.n, : self.m]
+        return Y.ravel()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def per_matvec_counters(self) -> Counters:
+        return self._per_matvec[0].copy()
+
+    @property
+    def per_matvec_cycles(self) -> float:
+        return self._per_matvec[1]
+
+    @property
+    def per_matvec_effective_cycles(self) -> float:
+        """Compute/memory-bound warp-cycles per matvec.
+
+        The binding resource per matvec is either the product compute
+        (the tile cost model) or the device-memory traffic; compact
+        storage and block-level sharing pay off through the latter.
+        """
+        from ..analysis.perfmodel import GLOBAL_LOAD_CYCLES_PER_BYTE
+
+        mem = self._per_matvec[0].global_load_bytes * GLOBAL_LOAD_CYCLES_PER_BYTE
+        return max(self._per_matvec[1], mem)
+
+    def modeled_time(self, matvecs: int = 1, resident_warps: float | None = None) -> float:
+        """Modeled GPU seconds for ``matvecs`` applications."""
+        return cycles_to_seconds(
+            self.per_matvec_cycles * matvecs, self.device, resident_warps
+        )
+
+    def tile_stats(self) -> dict:
+        """Tile census and storage footprint for reporting and benches."""
+        counters, cycles, census = self._per_matvec
+        return {
+            "ntiles1": self.om1.num_nonempty_tiles,
+            "ntiles2": self.om2.num_nonempty_tiles,
+            "slots1": self.om1.num_tile_slots,
+            "slots2": self.om2.num_tile_slots,
+            "nonempty_fraction1": self.om1.nonempty_fraction,
+            "nonempty_fraction2": self.om2.nonempty_fraction,
+            "mean_density1": self.om1.mean_tile_density(),
+            "mean_density2": self.om2.mean_tile_density(),
+            "mode_census": dict(census),
+            "per_matvec_cycles": cycles,
+            "per_matvec_flops": counters.flops,
+            "storage_bytes_compact": self.om1.storage_bytes(
+                True, self.F_bytes, self.E_bytes
+            )
+            + self.om2.storage_bytes(True, self.F_bytes, self.E_bytes),
+            "storage_bytes_dense": self.om1.storage_bytes(
+                False, self.F_bytes, self.E_bytes
+            )
+            + self.om2.storage_bytes(False, self.F_bytes, self.E_bytes),
+        }

@@ -1,0 +1,93 @@
+"""Register-blocking primitive (Section III-B, Appendix C table 3).
+
+Each thread independently streams length-r chunks of the rows it owns
+straight from device memory into registers and computes r² product
+elements; only the right-hand side goes through shared memory (the
+lock-stepped column march lets the warp share it).  Simpler than shared
+tiling but global-bandwidth-bound at small r, and register pressure
+grows with r until spilling — the paper observes the spill cliff at
+r = 24 on Volta, right before the primitive would have reached the top
+of the Roofline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vgpu.counters import Counters
+from .base import DensePrimitive
+
+
+class RegisterBlockingPrimitive(DensePrimitive):
+    """t x r register blocking with exact pseudocode accounting."""
+
+    name = "register_blocking"
+
+    def matvec(self, p: np.ndarray) -> np.ndarray:
+        t, r = self.t, self.r
+        E, F = self.E_bytes, self.F_bytes
+        n, m = self.np_, self.mp_
+        P2 = np.zeros((n, m))
+        P2[: self.n, : self.m] = np.asarray(p, dtype=np.float64).reshape(
+            self.n, self.m
+        )
+        Y = np.zeros((n, m))
+        c = self.counters
+        for I in range(0, n, t):
+            for Ip in range(0, m, t):
+                acc = np.zeros((t, t))
+                for J in range(0, n, r):
+                    # lines 4-5: stream the outer chunk into registers
+                    c.global_load_bytes += r * t * (F + E)
+                    for Jp in range(0, m, r):
+                        # lines 7-10: inner chunk into registers, rhs via shared
+                        c.global_load_bytes += r * t * (F + E) + r * r * F
+                        c.shared_store_bytes += r * r * F
+                        # lines 11-15: compute; only the rhs reads shared
+                        c.shared_load_bytes += t * t * r * r * F  # line 13
+                        c.flops += t * t * r * r * self.X
+                        acc += self._chunk_product(
+                            I, J, Ip, Jp, t, r, P2[J : J + r, Jp : Jp + r]
+                        )
+                # line 16
+                c.global_store_bytes += t * t * F
+                Y[I : I + t, Ip : Ip + t] = acc
+        return Y[: self.n, : self.m].ravel()
+
+    def analytic_counters(self) -> Counters:
+        t, r = self.t, self.r
+        E, F = float(self.E_bytes), float(self.F_bytes)
+        n, m = float(self.np_), float(self.mp_)
+        n2m2 = n * n * m * m
+        n2m = n * n * m
+        return Counters(
+            global_load_bytes=n2m * (E + F) / t
+            + n2m2 * (E + F) / (r * t)
+            + n2m2 * F / t**2,
+            global_store_bytes=n * m * F,
+            shared_load_bytes=n2m2 * F,
+            shared_store_bytes=n2m2 * F / t**2,
+            flops=n2m2 * self.X,
+        )
+
+    def registers_per_thread(self) -> int:
+        # Each thread stages an r-chunk of weights and labels from both
+        # graphs plus accumulators: pressure grows linearly in r.  With
+        # the Volta budget modeled at 40, r = 24 spills and r <= 16 does
+        # not, matching Section III-B/D.
+        label_words = max(1, self.E_bytes // 4)
+        return 12 + int(np.ceil(r_pressure(self.r, label_words)))
+
+    def shared_bytes_per_block(self) -> int:
+        return int(self.r * self.r * self.F_bytes)
+
+    def uncoalesced_fraction(self) -> float:
+        # Each thread independently streams the length-r chunks of the
+        # rows it owns (lines 4-8 of the pseudocode): the matrix loads —
+        # the dominant share of global traffic — are per-thread strided.
+        return 0.6
+
+
+def r_pressure(r: int, label_words: int) -> float:
+    """Modeled register words consumed by an r-chunk working set."""
+    return 1.25 * r * (1 + 0.25 * (label_words - 1))

@@ -1,0 +1,80 @@
+"""Shared-tiling primitive (Section III-A, Appendix C table 2).
+
+Streams t x r chunks of both graphs' weight and label matrices through
+shared memory; a warp cooperatively loads each chunk (coalesced) and
+parallelizes the t x t product-tile rows round-robin while serializing
+columns within each thread.  High data reuse, but every inner product
+element re-reads its operands from shared memory — the primitive is
+bound by shared-memory bandwidth (Fig. 5's middle group).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vgpu.counters import Counters
+from .base import DensePrimitive
+
+
+class SharedTilingPrimitive(DensePrimitive):
+    """t x r shared-memory tiling with exact pseudocode accounting."""
+
+    name = "shared_tiling"
+
+    def matvec(self, p: np.ndarray) -> np.ndarray:
+        t, r = self.t, self.r
+        E, F = self.E_bytes, self.F_bytes
+        n, m = self.np_, self.mp_
+        P2 = np.zeros((n, m))
+        P2[: self.n, : self.m] = np.asarray(p, dtype=np.float64).reshape(
+            self.n, self.m
+        )
+        Y = np.zeros((n, m))
+        c = self.counters
+        for I in range(0, n, t):
+            for Ip in range(0, m, t):
+                acc = np.zeros((t, t))
+                for J in range(0, n, r):
+                    # lines 5-8: stage the outer graph's chunk
+                    c.global_load_bytes += r * t * (F + E)
+                    c.shared_store_bytes += r * t * (F + E)
+                    for Jp in range(0, m, r):
+                        # lines 10-15: stage the inner graph's chunk + rhs
+                        c.global_load_bytes += r * t * (F + E) + r * r * F
+                        c.shared_store_bytes += r * t * (F + E) + r * r * F
+                        # lines 16-24: the compute micro-loop
+                        c.shared_load_bytes += t * t * r * (E + F)  # line 18
+                        c.shared_load_bytes += t * t * r * r * (F + E + F)  # 20-22
+                        c.flops += t * t * r * r * self.X
+                        acc += self._chunk_product(
+                            I, J, Ip, Jp, t, r, P2[J : J + r, Jp : Jp + r]
+                        )
+                # line 25: write the product tile
+                c.global_store_bytes += t * t * F
+                Y[I : I + t, Ip : Ip + t] = acc
+        return Y[: self.n, : self.m].ravel()
+
+    def analytic_counters(self) -> Counters:
+        t, r = self.t, self.r
+        E, F = float(self.E_bytes), float(self.F_bytes)
+        n, m = float(self.np_), float(self.mp_)
+        n2m2 = n * n * m * m
+        n2m = n * n * m
+        chunk = n2m * (E + F) / t + n2m2 * (E + F) / (r * t) + n2m2 * F / t**2
+        return Counters(
+            global_load_bytes=chunk,
+            global_store_bytes=n * m * F,
+            shared_load_bytes=n2m2 * ((E + F) / r + E + 2 * F),
+            shared_store_bytes=chunk,
+            flops=n2m2 * self.X,
+        )
+
+    def registers_per_thread(self) -> int:
+        # Accumulators for the unrolled row pair plus loop state; the
+        # operands live in shared memory, so pressure stays low.
+        return 24
+
+    def shared_bytes_per_block(self) -> int:
+        t, r = self.t, self.r
+        # Two staged chunks (outer + inner graph) plus the rhs window.
+        return int(2 * t * r * (self.E_bytes + self.F_bytes) + r * r * self.F_bytes)

@@ -1,0 +1,138 @@
+"""Octile-level sparse product kernels (Section IV-B).
+
+Given two non-empty octiles T (from G) and T' (from G'), the tile-pair
+XMV operation adds
+
+    C[i, i'] = Σ_{j, j'}  T[i, j] · T'[i', j'] · κe(L[i, j], L'[i', j'])
+               · P[j, j']
+
+into the (T.ti, T'.ti) block of the output.  Three execution strategies
+exist, profitable in different density regimes (Fig. 8):
+
+* ``dense_dense``   — both tiles expanded; fully vectorized t⁴ products;
+* ``dense_sparse``  — the sparser tile bit-walked against a dense tile;
+* ``sparse_sparse`` — both tiles bit-walked: nnz·nnz' products plus
+  bitmap-decode overhead.
+
+All three compute *identical* numbers (they regroup the same fused
+multiply-adds); they differ in the modeled cycles and memory traffic,
+which come from :class:`repro.analysis.perfmodel.TileCostModel` and the
+compact/dense storage accounting of :class:`repro.octile.tiles.Octile`.
+The numeric path below exploits the compact representation directly
+(products only over nonzero pairs), which is also how the
+sparse x sparse GPU kernel iterates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.perfmodel import TileCostModel
+from ..kernels.basekernels import MicroKernel
+from ..kernels.linsys import edge_kernel_values
+from ..octile.tiles import Octile
+from ..vgpu.counters import Counters
+
+MODES = ("dense_dense", "dense_sparse", "sparse_sparse")
+
+
+def tile_pair_product(
+    t1: Octile,
+    t2: Octile,
+    edge_kernel: MicroKernel,
+    P_block: np.ndarray,
+) -> np.ndarray:
+    """Numeric tile-pair contribution C (t x t), mode-independent.
+
+    ``P_block`` is the (t, t) window of the right-hand side indexed by
+    (T.tj, T'.tj).  The base kernel is evaluated only over nonzero
+    pairs — evaluating it elsewhere would be wasted work since the
+    weight product vanishes (and labels are undefined off the support).
+    """
+    t = t1.t
+    c1 = t1.local_coords()  # (nnz1, 2): (i, j)
+    c2 = t2.local_coords()  # (nnz2, 2): (i', j')
+    Ke = edge_kernel_values(
+        edge_kernel, t1.label_arrays(), t2.label_arrays(), t1.nnz, t2.nnz
+    )
+    contrib = (t1.values[:, None] * t2.values[None, :]) * Ke
+    contrib = contrib * P_block[c1[:, 1][:, None], c2[:, 1][None, :]]
+    flat = (c1[:, 0][:, None] * t + c2[:, 0][None, :]).ravel()
+    C = np.bincount(flat, weights=contrib.ravel(), minlength=t * t)
+    return C.reshape(t, t)
+
+
+def choose_mode(
+    t1: Octile, t2: Octile, model: TileCostModel, adaptive: bool = True
+) -> str:
+    """Production dispatch rule: cheapest primitive for this tile pair.
+
+    With ``adaptive=False`` everything runs dense x dense (the
+    configuration the Fig. 9 waterfall starts from before "+Adaptive").
+    The production kernel of the paper selects between sparse x sparse
+    and dense x dense only ("we dynamically select either the
+    sparse x sparse or the dense x dense kernel"), with dense x sparse
+    arising when exactly one operand crosses the density threshold; the
+    three-way cost minimum reproduces that behaviour.
+    """
+    if not adaptive:
+        return "dense_dense"
+    return model.best(t1.nnz, t2.nnz)[0]
+
+
+def tile_pair_counters(
+    t1: Octile,
+    t2: Octile,
+    mode: str,
+    E: int,
+    F: int,
+    X: int,
+    compact: bool,
+    share_factor: float = 1.0,
+) -> Counters:
+    """Memory-traffic and FLOP accounting for one tile-pair operation.
+
+    ``share_factor`` < 1 models block-level tile sharing (Section V-A):
+    N warps in a block each load one octile and share it, so per-pair
+    tile loads are amortized by 1/N.  ``compact`` selects the
+    bitmap+nonzeros layout (Section IV-B) over dense t x t tile storage.
+
+    Stores to the output use atomic accumulation (the COO tile layout
+    makes conflict-free scheduling impractical, Section V-A).
+    """
+    t = t1.t
+    c = Counters(tile_pairs=1.0)
+    per_nnz = E + F
+    if compact:
+        bytes1 = 8 + t1.nnz * per_nnz
+        bytes2 = 8 + t2.nnz * per_nnz
+    else:
+        bytes1 = bytes2 = t * t * per_nnz
+    c.global_load_bytes += share_factor * (bytes1 + bytes2)
+    c.global_load_bytes += t * t * F  # rhs window
+    # Tiles are expanded into shared memory after the global load.
+    c.shared_store_bytes += share_factor * 2 * t * t * per_nnz
+    if mode == "dense_dense":
+        products = t**4
+        c.shared_load_bytes += 2 * t**3 * per_nnz  # register staging sweeps
+    elif mode == "dense_sparse":
+        ns = min(t1.nnz, t2.nnz)
+        products = t * t * ns
+        c.shared_load_bytes += (t * t + ns) * per_nnz
+    elif mode == "sparse_sparse":
+        products = t1.nnz * t2.nnz
+        c.shared_load_bytes += (t1.nnz + t2.nnz) * per_nnz
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    c.flops += products * X
+    c.base_kernel_evals += products
+    c.global_store_bytes += t * t * F  # atomic accumulation into y
+    c.atomic_ops += t * t
+    return c
+
+
+def tile_pair_cycles(
+    t1: Octile, t2: Octile, mode: str, model: TileCostModel
+) -> float:
+    """Modeled warp-cycles for one tile-pair operation."""
+    return model.cost(mode, t1.nnz, t2.nnz)

@@ -1,0 +1,71 @@
+"""Shared fixtures: small deterministic graphs and kernel configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_labeled_graph
+from repro.graphs.pdb import protein_like_structure, structure_to_graph
+from repro.graphs.smiles import graph_from_smiles
+from repro.kernels.basekernels import (
+    Constant,
+    KroneckerDelta,
+    SquareExponential,
+    TensorProduct,
+    molecule_kernels,
+    synthetic_kernels,
+)
+
+
+@pytest.fixture
+def g_small():
+    """9-node labeled graph with weights, labels, connectivity."""
+    return random_labeled_graph(9, density=0.35, weighted=True, seed=11)
+
+
+@pytest.fixture
+def g_small2():
+    """7-node labeled graph, different seed (asymmetric pair tests)."""
+    return random_labeled_graph(7, density=0.4, weighted=True, seed=12)
+
+
+@pytest.fixture
+def g_tiny():
+    """4-node graph for brute-force walk enumeration."""
+    return random_labeled_graph(4, density=0.6, seed=13)
+
+
+@pytest.fixture
+def g_tiny2():
+    """3-node graph for brute-force walk enumeration."""
+    return random_labeled_graph(3, density=0.7, seed=14)
+
+
+@pytest.fixture
+def g_protein():
+    """~64-node protein-like contact graph with coords."""
+    s = protein_like_structure(64, seed=21)
+    return structure_to_graph(s, name="prot-test")
+
+
+@pytest.fixture
+def g_mol():
+    """Molecular graph from SMILES (aspirin)."""
+    return graph_from_smiles("CC(=O)Oc1ccccc1C(=O)O", name="aspirin")
+
+
+@pytest.fixture
+def kernels_labeled():
+    """(node kernel, edge kernel) for the synthetic label scheme."""
+    return synthetic_kernels()
+
+
+@pytest.fixture
+def kernels_unlabeled():
+    return Constant(1.0), Constant(1.0)
+
+
+@pytest.fixture
+def kernels_molecule():
+    return molecule_kernels()

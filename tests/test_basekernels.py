@@ -1,0 +1,189 @@
+"""Tests for the base kernels: ranges, symmetry, positive definiteness."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.basekernels import (
+    CompactPolynomial,
+    Constant,
+    KroneckerDelta,
+    Product,
+    RConvolution,
+    SquareExponential,
+    TensorProduct,
+    molecule_kernels,
+    protein_kernels,
+    synthetic_kernels,
+    unlabeled_kernels,
+)
+
+
+def _psd_check(kernel, X, tol=-1e-9):
+    K = kernel.matrix(X, X)
+    assert np.allclose(K, K.T)
+    w = np.linalg.eigvalsh(K)
+    assert w.min() >= tol, f"min eig {w.min()}"
+
+
+class TestConstant:
+    def test_value(self):
+        k = Constant(0.7)
+        assert k(1, 2) == 0.7
+        assert k.matrix(np.arange(3), np.arange(4)).shape == (3, 4)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            Constant(0.0)
+        with pytest.raises(ValueError):
+            Constant(1.5)
+
+    def test_cost_metadata(self):
+        assert Constant(1.0).flops_per_eval == 0
+        assert Constant(1.0).label_bytes == 0
+
+
+class TestKroneckerDelta:
+    def test_values(self):
+        k = KroneckerDelta(0.25)
+        assert k(3, 3) == 1.0
+        assert k(3, 4) == 0.25
+
+    def test_psd(self):
+        _psd_check(KroneckerDelta(0.3), np.array([0, 1, 2, 0, 1, 2, 2]))
+
+    def test_range_validation(self):
+        for h in (0.0, 1.0, -0.2):
+            with pytest.raises(ValueError):
+                KroneckerDelta(h)
+
+
+class TestSquareExponential:
+    def test_unit_diagonal(self):
+        k = SquareExponential(1.3)
+        x = np.linspace(-2, 2, 7)
+        assert np.allclose(np.diagonal(k.matrix(x, x)), 1.0)
+
+    def test_range(self):
+        k = SquareExponential(0.5)
+        K = k.matrix(np.linspace(-3, 3, 11), np.linspace(-3, 3, 11))
+        assert (K > 0).all() and (K <= 1).all()
+
+    def test_psd(self):
+        _psd_check(SquareExponential(0.8), np.random.default_rng(0).normal(size=12))
+
+    def test_length_scale_effect(self):
+        wide = SquareExponential(10.0)(0.0, 1.0)
+        narrow = SquareExponential(0.1)(0.0, 1.0)
+        assert wide > narrow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquareExponential(0.0)
+
+    def test_paper_cost(self):
+        # Appendix B: "3 multiplication and 1 exponentiation" -> X = 4
+        assert SquareExponential(1.0).flops_per_eval == 4
+        assert SquareExponential(1.0).label_bytes == 4
+
+
+class TestCompactPolynomial:
+    def test_compact_support(self):
+        k = CompactPolynomial(2.0)
+        assert k(0.0, 2.5) == 0.0
+        assert k(0.0, 0.0) == 1.0
+
+    def test_smooth_decay(self):
+        k = CompactPolynomial(1.0)
+        vals = [k(0.0, d) for d in np.linspace(0, 1, 9)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_psd_sampled(self):
+        # Wendland C2 is PD on R^d, d<=3; sample points on a line.
+        _psd_check(
+            CompactPolynomial(2.0),
+            np.random.default_rng(1).uniform(0, 3, size=10),
+            tol=-1e-8,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompactPolynomial(-1.0)
+
+
+class TestProduct:
+    def test_operator(self):
+        k = KroneckerDelta(0.5) * KroneckerDelta(0.5)
+        assert isinstance(k, Product)
+        assert k(1, 2) == 0.25
+        assert k(1, 1) == 1.0
+
+    def test_cost_composition(self):
+        a, b = SquareExponential(1.0), KroneckerDelta(0.5)
+        k = a * b
+        assert k.flops_per_eval == a.flops_per_eval + b.flops_per_eval + 1
+
+
+class TestTensorProduct:
+    def test_dict_dispatch(self):
+        k = TensorProduct(a=KroneckerDelta(0.5), b=Constant(0.5))
+        X = {"a": np.array([0, 1]), "b": np.array([9, 9])}
+        Y = {"a": np.array([0]), "b": np.array([9])}
+        K = k.matrix(X, Y)
+        assert K.shape == (2, 1)
+        assert K[0, 0] == pytest.approx(0.5)
+        assert K[1, 0] == pytest.approx(0.25)
+
+    def test_missing_component(self):
+        k = TensorProduct(a=Constant(1.0))
+        with pytest.raises(KeyError):
+            k.matrix({}, {"a": np.zeros(1)})
+
+    def test_scalar_call(self):
+        k = TensorProduct(a=KroneckerDelta(0.5))
+        assert k({"a": 1}, {"a": 1}) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TensorProduct()
+
+    def test_cost_sums(self):
+        k = TensorProduct(a=SquareExponential(1.0), b=KroneckerDelta(0.5))
+        assert k.flops_per_eval == 4 + 2 + 1
+        assert k.label_bytes == 8
+
+    def test_diag(self):
+        k = TensorProduct(a=KroneckerDelta(0.5))
+        d = k.diag({"a": np.array([1, 2, 3])})
+        assert np.allclose(d, 1.0)
+
+
+class TestRConvolution:
+    def test_mean_semantics(self):
+        k = RConvolution(KroneckerDelta(0.0 + 1e-9))
+        # identical singleton sets -> 1; disjoint -> ~0
+        assert k([1], [1]) == pytest.approx(1.0)
+        assert k([1], [2]) == pytest.approx(1e-9, abs=1e-8)
+
+    def test_range_bounded(self):
+        k = RConvolution(SquareExponential(1.0))
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            x = rng.normal(size=rng.integers(1, 5))
+            y = rng.normal(size=rng.integers(1, 5))
+            v = k(x, y)
+            assert 0.0 < v <= 1.0
+
+    def test_empty_set(self):
+        k = RConvolution(SquareExponential(1.0))
+        assert k.matrix([np.array([])], [np.array([1.0])])[0, 0] == 0.0
+
+
+class TestReadyMadeConfigs:
+    @pytest.mark.parametrize(
+        "factory", [unlabeled_kernels, synthetic_kernels, protein_kernels,
+                    molecule_kernels]
+    )
+    def test_factories_return_valid_ranges(self, factory):
+        nk, ek = factory()
+        assert nk.flops_per_eval >= 0
+        assert ek.flops_per_eval >= 0

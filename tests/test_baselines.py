@@ -1,0 +1,73 @@
+"""Tests for the GraKeL-like and GraphKernels-like CPU baselines."""
+
+import numpy as np
+import pytest
+
+from repro import MarginalizedGraphKernel
+from repro.baselines import GrakelLikeKernel, GraphKernelsLikeKernel
+from repro.baselines.graphkernels_like import ConvergenceFailure
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import Constant
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [random_labeled_graph(7 + k, density=0.4, seed=80 + k) for k in range(3)]
+
+
+class TestAgreement:
+    def test_grakel_like_matches_solver(self, graphs, kernels_labeled):
+        nk, ek = kernels_labeled
+        base = GrakelLikeKernel(nk, ek, q=0.1)
+        ours = MarginalizedGraphKernel(nk, ek, q=0.1)
+        for g in graphs[1:]:
+            a = base.pair(graphs[0], g)
+            b = ours.pair(graphs[0], g).value
+            assert a == pytest.approx(b, rel=1e-8)
+
+    def test_graphkernels_like_matches_at_large_q(self, graphs, kernels_labeled):
+        nk, ek = kernels_labeled
+        base = GraphKernelsLikeKernel(nk, ek, q=0.4)
+        ours = MarginalizedGraphKernel(nk, ek, q=0.4)
+        a = base.pair(graphs[0], graphs[1])
+        b = ours.pair(graphs[0], graphs[1]).value
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_gram_matrices_agree(self, graphs, kernels_labeled):
+        nk, ek = kernels_labeled
+        Kb = GrakelLikeKernel(nk, ek, q=0.2).gram(graphs)
+        Ko = MarginalizedGraphKernel(nk, ek, q=0.2)(graphs).matrix
+        assert np.allclose(Kb, Ko, rtol=1e-7)
+
+
+class TestConvergenceContrast:
+    """Section VII-B: baselines need a large stopping probability; the
+    presented solver does not."""
+
+    def test_fixed_point_baseline_fails_at_tiny_q(self, graphs):
+        nk = ek = Constant(1.0)
+        base = GraphKernelsLikeKernel(nk, ek, q=0.0005, max_iter=200)
+        with pytest.raises(ConvergenceFailure):
+            base.pair(graphs[0], graphs[1])
+
+    def test_our_solver_succeeds_at_tiny_q(self, graphs):
+        nk = ek = Constant(1.0)
+        ours = MarginalizedGraphKernel(nk, ek, q=0.0005)
+        r = ours.pair(graphs[0], graphs[1])
+        assert r.converged
+        assert r.value > 0
+
+    def test_non_strict_mode_returns_anyway(self, graphs):
+        nk = ek = Constant(1.0)
+        base = GraphKernelsLikeKernel(
+            nk, ek, q=0.0005, max_iter=50, strict=False
+        )
+        assert np.isfinite(base.pair(graphs[0], graphs[1]))
+
+
+class TestTiming:
+    def test_timed_gram_returns_seconds(self, graphs, kernels_labeled):
+        nk, ek = kernels_labeled
+        K, secs = GrakelLikeKernel(nk, ek, q=0.3).timed_gram(graphs[:2])
+        assert K.shape == (2, 2)
+        assert secs > 0

@@ -1,0 +1,117 @@
+"""Tests for 64-bit octile bitmaps, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octile import bitmap as bm
+
+bitmaps = st.integers(min_value=0, max_value=bm.FULL_MASK)
+nonzero_bitmaps = st.integers(min_value=1, max_value=bm.FULL_MASK)
+
+
+class TestBasics:
+    def test_bit_index(self):
+        assert bm.bit_index(0, 0) == 0
+        assert bm.bit_index(0, 7) == 7
+        assert bm.bit_index(7, 7) == 63
+        assert bm.bit_index(1, 0) == 8
+
+    def test_bit_index_bounds(self):
+        for i, j in [(-1, 0), (8, 0), (0, 8)]:
+            with pytest.raises(IndexError):
+                bm.bit_index(i, j)
+
+    def test_popcount_known(self):
+        assert bm.popcount(0) == 0
+        assert bm.popcount(bm.FULL_MASK) == 64
+        assert bm.popcount(0b1011) == 3
+
+    def test_ctz_known(self):
+        assert bm.ctz(1) == 0
+        assert bm.ctz(0b1000) == 3
+        assert bm.ctz(1 << 63) == 63
+
+    def test_ctz_zero_raises(self):
+        with pytest.raises(ValueError):
+            bm.ctz(0)
+
+    def test_iterate_bits_order_and_ranks(self):
+        bits = list(bm.iterate_bits(0b101 | (1 << 63)))
+        assert bits == [(0, 0, 0), (1, 0, 2), (2, 7, 7)]
+
+    def test_compact_rank(self):
+        b = 0b10110
+        assert bm.compact_rank(b, 1) == 0
+        assert bm.compact_rank(b, 2) == 1
+        assert bm.compact_rank(b, 4) == 2
+        assert bm.compact_rank(b, 63) == 3
+
+    def test_masks(self):
+        b = bm.bit_index(2, 3)
+        bmp = (1 << b) | (1 << bm.bit_index(5, 3))
+        assert bm.rows_mask(bmp) == (1 << 2) | (1 << 5)
+        assert bm.cols_mask(bmp) == (1 << 3)
+
+
+class TestDenseConversion:
+    def test_roundtrip_known(self):
+        block = np.zeros((8, 8))
+        block[0, 0] = 1.0
+        block[3, 5] = 2.0
+        b = bm.bitmap_from_dense(block)
+        mask = bm.bitmap_to_dense(b)
+        assert mask[0, 0] and mask[3, 5]
+        assert mask.sum() == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            bm.bitmap_from_dense(np.zeros((4, 8)))
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            bm.bitmap_to_dense(1 << 64)
+
+
+class TestHypothesis:
+    @given(bitmaps)
+    def test_popcount_matches_iteration(self, b):
+        assert bm.popcount(b) == len(list(bm.iterate_bits(b)))
+
+    @given(bitmaps)
+    def test_dense_roundtrip(self, b):
+        assert bm.bitmap_from_dense(bm.bitmap_to_dense(b).astype(float)) == b
+
+    @given(nonzero_bitmaps)
+    def test_ctz_is_lowest_bit(self, b):
+        pos = bm.ctz(b)
+        assert b & (1 << pos)
+        assert b & ((1 << pos) - 1) == 0
+
+    @given(bitmaps)
+    def test_transpose_involution(self, b):
+        assert bm.transpose_bitmap(bm.transpose_bitmap(b)) == b
+
+    @given(bitmaps)
+    def test_transpose_preserves_popcount(self, b):
+        assert bm.popcount(bm.transpose_bitmap(b)) == bm.popcount(b)
+
+    @given(bitmaps, st.integers(min_value=0, max_value=63))
+    def test_compact_rank_counts_below(self, b, pos):
+        expected = sum(1 for k in range(pos) if b & (1 << k))
+        assert bm.compact_rank(b, pos) == expected
+
+    @given(bitmaps)
+    def test_iterate_ranks_sequential(self, b):
+        ranks = [r for r, _, _ in bm.iterate_bits(b)]
+        assert ranks == list(range(len(ranks)))
+
+    @given(bitmaps)
+    def test_rows_cols_mask_consistency(self, b):
+        mask = bm.bitmap_to_dense(b)
+        rows = bm.rows_mask(b)
+        cols = bm.cols_mask(b)
+        for i in range(8):
+            assert bool(rows & (1 << i)) == mask[i].any()
+            assert bool(cols & (1 << i)) == mask[:, i].any()

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def dataset_path(tmp_path):
+    path = tmp_path / "ds.jsonl"
+    assert main(["generate", "small-world", str(path), "--count", "4"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_all_kinds(self, tmp_path, capsys):
+        for kind in ("small-world", "scale-free", "protein", "drugbank"):
+            path = tmp_path / f"{kind}.jsonl"
+            rc = main(["generate", kind, str(path), "--count", "3"])
+            assert rc == 0
+            assert path.exists()
+            out = capsys.readouterr().out
+            assert "wrote 3 graphs" in out or "wrote" in out
+
+    def test_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "citations", str(tmp_path / "x.jsonl")])
+
+
+class TestGram:
+    def test_gram_roundtrip(self, dataset_path, tmp_path, capsys):
+        out = tmp_path / "K.npy"
+        rc = main(["gram", str(dataset_path), str(out), "--normalize",
+                   "--q", "0.1"])
+        assert rc == 0
+        K = np.load(out)
+        assert K.shape == (4, 4)
+        assert np.allclose(np.diagonal(K), 1.0)
+        assert "converged" in capsys.readouterr().out
+
+    def test_vgpu_engine(self, dataset_path, tmp_path):
+        out = tmp_path / "Kv.npy"
+        rc = main(["gram", str(dataset_path), str(out), "--engine", "vgpu"])
+        assert rc == 0
+        assert np.load(out).shape == (4, 4)
+
+    def test_unknown_kernels(self, dataset_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["gram", str(dataset_path), str(tmp_path / "K.npy"),
+                  "--kernels", "quantum"])
+
+
+class TestReorder:
+    def test_report(self, dataset_path, capsys):
+        rc = main(["reorder", str(dataset_path), "--orderings", "natural,pbr"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "natural" in out and "pbr" in out
+
+    def test_unknown_ordering(self, dataset_path):
+        with pytest.raises(SystemExit):
+            main(["reorder", str(dataset_path), "--orderings", "alphabetical"])
+
+
+class TestProfile:
+    def test_counter_report(self, dataset_path, capsys):
+        rc = main(["profile", str(dataset_path), "--pair", "0", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PCG iterations" in out
+        assert "mode census" in out
+
+    def test_pair_out_of_range(self, dataset_path):
+        with pytest.raises(SystemExit):
+            main(["profile", str(dataset_path), "--pair", "0", "99"])

@@ -1,0 +1,69 @@
+"""Tests for the benchmark dataset builders (Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import (
+    BA_PARAMS,
+    NWS_PARAMS,
+    benchmark_suite,
+    drugbank_dataset,
+    protein_dataset,
+    scale_free_dataset,
+    small_world_dataset,
+)
+
+
+class TestSynthetic:
+    def test_paper_parameters_recorded(self):
+        assert NWS_PARAMS == {"k": 3, "p": 0.1}
+        assert BA_PARAMS == {"m": 6}
+
+    def test_small_world_sizes(self):
+        gs = small_world_dataset(n_graphs=5)
+        assert len(gs) == 5
+        assert all(g.n_nodes == 96 for g in gs)
+
+    def test_scale_free_sizes(self):
+        gs = scale_free_dataset(n_graphs=5)
+        assert all(g.n_nodes == 96 for g in gs)
+
+    def test_determinism(self):
+        a = small_world_dataset(n_graphs=3, seed=5)
+        b = small_world_dataset(n_graphs=3, seed=5)
+        for x, y in zip(a, b):
+            assert np.allclose(x.adjacency, y.adjacency)
+
+    def test_graphs_differ_within_dataset(self):
+        gs = small_world_dataset(n_graphs=3, seed=5)
+        assert not np.allclose(gs[0].adjacency, gs[1].adjacency)
+
+
+class TestProtein:
+    def test_size_range(self):
+        gs = protein_dataset(n_graphs=4, size_range=(30, 60))
+        assert all(30 <= g.n_nodes <= 60 for g in gs)
+        assert all("distance" in g.edge_labels for g in gs)
+        assert all(g.coords is not None for g in gs)
+
+
+class TestDrugbank:
+    def test_size_extremes_pinned(self):
+        gs = drugbank_dataset(n_graphs=10, max_atoms=100)
+        sizes = [g.n_nodes for g in gs]
+        assert 1 in sizes
+        assert 100 in sizes
+
+    def test_schema(self):
+        gs = drugbank_dataset(n_graphs=6)
+        for g in gs:
+            assert "element" in g.node_labels
+            assert "order" in g.edge_labels
+
+
+class TestSuite:
+    def test_all_four_datasets(self):
+        suite = benchmark_suite(scale=0.25)
+        assert set(suite) == {"small-world", "scale-free", "protein", "drugbank"}
+        for name, gs in suite.items():
+            assert len(gs) >= 2, name

@@ -1,0 +1,135 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    _MAX_DEGREE,
+    barabasi_albert,
+    drugbank_like_molecule,
+    newman_watts_strogatz,
+    random_labeled_graph,
+)
+
+
+class TestNWS:
+    def test_ring_lattice_backbone(self):
+        g = newman_watts_strogatz(20, 2, 0.0, seed=0)
+        # p=0: pure ring lattice, degree exactly 2k everywhere
+        assert ((g.adjacency != 0).sum(axis=1) == 4).all()
+
+    def test_shortcuts_only_add(self):
+        g0 = newman_watts_strogatz(30, 3, 0.0, seed=1)
+        g1 = newman_watts_strogatz(30, 3, 0.5, seed=1)
+        # Newman-Watts adds, never removes: lattice edges all present
+        assert ((g1.adjacency != 0) | ~(g0.adjacency != 0)).all()
+        assert g1.n_edges >= g0.n_edges
+
+    def test_paper_parameters(self):
+        g = newman_watts_strogatz(96, 3, 0.1, seed=2)
+        assert g.n_nodes == 96
+        assert g.is_connected()
+        assert "label" in g.node_labels
+        assert "length" in g.edge_labels
+
+    def test_edge_labels_on_support_only(self):
+        g = newman_watts_strogatz(24, 2, 0.2, seed=3)
+        off = g.edge_labels["length"][g.adjacency == 0]
+        assert (off == 0).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            newman_watts_strogatz(5, 3, 0.1)
+        with pytest.raises(ValueError):
+            newman_watts_strogatz(20, 2, 1.5)
+
+    def test_determinism(self):
+        a = newman_watts_strogatz(30, 3, 0.1, seed=7)
+        b = newman_watts_strogatz(30, 3, 0.1, seed=7)
+        assert np.allclose(a.adjacency, b.adjacency)
+
+
+class TestBA:
+    def test_sizes(self):
+        g = barabasi_albert(50, 4, seed=0)
+        assert g.n_nodes == 50
+        # m edges per new node + seed clique
+        expected = 4 * (50 - 5) + 5 * 4 // 2
+        assert g.n_edges == expected
+
+    def test_connected(self):
+        assert barabasi_albert(96, 6, seed=1).is_connected()
+
+    def test_scale_free_hubs(self):
+        g = barabasi_albert(200, 3, seed=2)
+        deg = (g.adjacency != 0).sum(axis=1)
+        # preferential attachment concentrates degree: max much larger
+        # than median
+        assert deg.max() > 4 * np.median(deg)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+
+
+class TestDrugbankLike:
+    def test_fixed_size(self):
+        g = drugbank_like_molecule(40, seed=0)
+        assert g.n_nodes == 40
+        assert g.is_connected()
+
+    def test_valence_caps_respected(self):
+        g = drugbank_like_molecule(80, seed=1)
+        deg = (g.adjacency != 0).sum(axis=1)
+        # molecular graphs: bonded degree bounded (paper: rarely exceeds 8)
+        assert deg.max() <= 8
+
+    def test_attribute_schema_matches_smiles(self):
+        g = drugbank_like_molecule(30, seed=2)
+        assert set(g.node_labels) == {
+            "element",
+            "charge",
+            "aromatic",
+            "hybridization",
+            "hcount",
+        }
+        assert set(g.edge_labels) == {"order", "conjugated"}
+
+    def test_bond_orders_valid(self):
+        g = drugbank_like_molecule(60, seed=3)
+        orders = g.edge_labels["order"][g.adjacency != 0]
+        assert set(np.unique(orders)) <= {1.0, 2.0}
+
+    def test_size_distribution_heavy_tailed(self):
+        rng = np.random.default_rng(4)
+        sizes = [drugbank_like_molecule(seed=rng).n_nodes for _ in range(60)]
+        assert min(sizes) >= 1
+        assert max(sizes) <= 551
+        assert max(sizes) > 3 * np.median(sizes)
+
+    def test_single_atom(self):
+        g = drugbank_like_molecule(1, seed=5)
+        assert g.n_nodes == 1
+        assert g.n_edges == 0
+
+    def test_elements_from_catalogue(self):
+        g = drugbank_like_molecule(50, seed=6)
+        assert set(np.unique(g.node_labels["element"])) <= set(_MAX_DEGREE)
+
+
+class TestRandomLabeled:
+    def test_connected_guarantee(self):
+        for s in range(5):
+            assert random_labeled_graph(12, density=0.05, seed=s).is_connected()
+
+    def test_weighted_mode(self):
+        g = random_labeled_graph(10, weighted=True, seed=1)
+        w = g.adjacency[g.adjacency != 0]
+        assert (w > 0).all() and (w <= 1).all()
+        assert len(np.unique(w)) > 1
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            random_labeled_graph(0)

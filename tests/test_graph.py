@@ -1,0 +1,161 @@
+"""Tests for the labeled weighted graph type."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+def _triangle(**kw):
+    A = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float)
+    return Graph(A, **kw)
+
+
+class TestValidation:
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            Graph(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            Graph(np.zeros((0, 0)))
+
+    def test_rejects_asymmetric(self):
+        A = np.array([[0.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            Graph(A)
+
+    def test_rejects_negative_weights(self):
+        A = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError, match="non-negative"):
+            Graph(A)
+
+    def test_rejects_self_loops(self):
+        A = np.array([[1.0, 0.0], [0.0, 0.0]])
+        with pytest.raises(ValueError, match="loops"):
+            Graph(A)
+
+    def test_rejects_bad_node_label_length(self):
+        with pytest.raises(ValueError, match="node label"):
+            _triangle(node_labels={"x": np.zeros(2)})
+
+    def test_rejects_bad_edge_label_shape(self):
+        with pytest.raises(ValueError, match="edge label"):
+            _triangle(edge_labels={"x": np.zeros((2, 2))})
+
+    def test_rejects_bad_coords(self):
+        with pytest.raises(ValueError, match="coords"):
+            _triangle(coords=np.zeros((5, 3)))
+
+    def test_single_node_graph_ok(self):
+        g = Graph(np.zeros((1, 1)))
+        assert g.n_nodes == 1
+        assert g.n_edges == 0
+
+
+class TestQueries:
+    def test_counts(self):
+        g = _triangle()
+        assert g.n_nodes == 3
+        assert g.n_edges == 3
+
+    def test_degrees_weighted(self):
+        A = np.array([[0, 0.5, 0], [0.5, 0, 2.0], [0, 2.0, 0]])
+        g = Graph(A)
+        assert np.allclose(g.degrees, [0.5, 2.5, 2.0])
+
+    def test_edge_list_upper_triangle(self):
+        g = _triangle()
+        e = g.edge_list()
+        assert e.shape == (3, 2)
+        assert (e[:, 0] < e[:, 1]).all()
+
+    def test_connectivity(self):
+        g = _triangle()
+        assert g.is_connected()
+        A = np.zeros((4, 4))
+        A[0, 1] = A[1, 0] = 1
+        A[2, 3] = A[3, 2] = 1
+        assert not Graph(A).is_connected()
+
+
+class TestPermute:
+    def test_permute_roundtrip(self, g_small):
+        rng = np.random.default_rng(0)
+        order = rng.permutation(g_small.n_nodes)
+        gp = g_small.permute(order)
+        inv = np.empty_like(order)
+        inv[np.arange(len(order))] = order
+        # permuting back with argsort of positions restores the original
+        back = np.argsort(np.argsort(order))
+        # simpler: applying the inverse permutation restores adjacency
+        pos = np.empty_like(order)
+        pos[order] = np.arange(len(order))
+        g2 = gp.permute(pos)
+        assert np.allclose(g2.adjacency, g_small.adjacency)
+        for k in g_small.node_labels:
+            assert np.array_equal(g2.node_labels[k], g_small.node_labels[k])
+        for k in g_small.edge_labels:
+            assert np.allclose(g2.edge_labels[k], g_small.edge_labels[k])
+
+    def test_permute_preserves_degree_multiset(self, g_small):
+        order = np.random.default_rng(1).permutation(g_small.n_nodes)
+        gp = g_small.permute(order)
+        assert np.allclose(sorted(gp.degrees), sorted(g_small.degrees))
+
+    def test_permute_rejects_non_permutation(self, g_small):
+        with pytest.raises(ValueError, match="permutation"):
+            g_small.permute(np.zeros(g_small.n_nodes, dtype=int))
+
+    def test_identity_permutation(self, g_small):
+        gp = g_small.permute(np.arange(g_small.n_nodes))
+        assert np.allclose(gp.adjacency, g_small.adjacency)
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)], weights=2.0)
+        assert g.n_edges == 3
+        assert g.adjacency[0, 1] == 2.0
+        assert g.adjacency[1, 0] == 2.0
+
+    def test_from_edges_with_labels(self):
+        g = Graph.from_edges(
+            3,
+            [(0, 1), (1, 2)],
+            node_labels={"z": np.array([1, 2, 3])},
+            edge_label_values={"d": np.array([0.5, 1.5])},
+        )
+        assert g.edge_labels["d"][0, 1] == 0.5
+        assert g.edge_labels["d"][1, 0] == 0.5
+        assert g.edge_labels["d"][2, 1] == 1.5
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="loops"):
+            Graph.from_edges(3, [(1, 1)])
+
+    def test_with_uniform_weights(self, g_small):
+        gu = g_small.with_uniform_weights()
+        assert set(np.unique(gu.adjacency)) <= {0.0, 1.0}
+        assert (gu.adjacency != 0).sum() == (g_small.adjacency != 0).sum()
+
+
+class TestNetworkx:
+    def test_roundtrip(self, g_small):
+        nxg = g_small.to_networkx()
+        g2 = type(g_small).from_networkx(
+            nxg,
+            node_label_keys=tuple(g_small.node_labels),
+            edge_label_keys=tuple(g_small.edge_labels),
+        )
+        assert np.allclose(g2.adjacency, g_small.adjacency)
+        for k in g_small.edge_labels:
+            assert np.allclose(g2.edge_labels[k], g_small.edge_labels[k])
+
+    def test_from_networkx_default_weight(self):
+        import networkx as nx
+
+        g = nx.path_graph(4)
+        gg = Graph.from_networkx(g)
+        assert gg.n_edges == 3
+        assert gg.adjacency[0, 1] == 1.0

@@ -1,0 +1,139 @@
+"""Cross-module integration tests: end-to-end pipelines and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import MarginalizedGraphKernel
+from repro.graphs.generators import drugbank_like_molecule, random_labeled_graph
+from repro.graphs.pdb import protein_like_structure, structure_to_graph
+from repro.graphs.smiles import graph_from_smiles
+from repro.kernels.basekernels import molecule_kernels, protein_kernels
+from repro.ml import GaussianProcessRegressor
+
+
+class TestEndToEndGram:
+    def test_vgpu_gram_equals_fused_gram(self):
+        graphs = [random_labeled_graph(7 + k, seed=60 + k) for k in range(4)]
+        from repro.kernels.basekernels import synthetic_kernels
+
+        nk, ek = synthetic_kernels()
+        Kf = MarginalizedGraphKernel(nk, ek, q=0.15)(graphs).matrix
+        Kv = MarginalizedGraphKernel(
+            nk, ek, q=0.15, engine="vgpu",
+            vgpu_options={"reorder": "pbr", "block_warps": 2},
+        )(graphs).matrix
+        assert np.allclose(Kf, Kv, rtol=1e-7)
+
+    def test_smiles_to_gpr_pipeline(self):
+        """SMILES strings -> graphs -> Gram -> GP fit: the full user
+        journey of the motivating application."""
+        smiles = ["CCO", "CCCO", "CCCCO", "CCN", "CCCN", "CCC", "CCCC"]
+        graphs = [graph_from_smiles(s) for s in smiles]
+        y = np.array([float(g.n_nodes) for g in graphs])
+        nk, ek = molecule_kernels()
+        K = MarginalizedGraphKernel(nk, ek, q=0.1)(graphs, normalize=True).matrix
+        gpr = GaussianProcessRegressor(alpha=1e-5).fit(K, y)
+        pred = gpr.predict(K)
+        assert np.abs(pred - y).mean() < 1.0
+
+    def test_pdb_file_to_kernel_pipeline(self, tmp_path):
+        """PDB file on disk -> structure -> contact graph -> kernel."""
+        from repro.graphs.io import read_pdb, write_pdb
+
+        s1 = protein_like_structure(36, seed=70)
+        s2 = protein_like_structure(30, seed=71)
+        p1, p2 = tmp_path / "a.pdb", tmp_path / "b.pdb"
+        write_pdb(s1, p1)
+        write_pdb(s2, p2)
+        g1 = structure_to_graph(read_pdb(p1))
+        g2 = structure_to_graph(read_pdb(p2))
+        nk, ek = protein_kernels()
+        r = MarginalizedGraphKernel(nk, ek, q=0.1).pair(g1, g2)
+        assert r.converged
+        assert r.value > 0
+
+
+class TestDegenerateInputs:
+    """The DrugBank dataset contains 1-atom molecules; every engine must
+    handle edgeless graphs (W = 0: the solve is purely diagonal)."""
+
+    @pytest.fixture
+    def single_atom(self):
+        return drugbank_like_molecule(1, seed=0)
+
+    @pytest.fixture
+    def small_mol(self):
+        return drugbank_like_molecule(6, seed=1)
+
+    @pytest.mark.parametrize("engine", ["fused", "dense", "vgpu"])
+    def test_single_atom_pair(self, single_atom, small_mol, engine):
+        nk, ek = molecule_kernels()
+        mgk = MarginalizedGraphKernel(nk, ek, q=0.2, engine=engine)
+        r = mgk.pair(single_atom, small_mol)
+        assert r.converged
+        assert r.value > 0
+
+    def test_single_atom_self_pair_analytic(self, single_atom):
+        """For two 1-node graphs: x = V q×/(D V⁻¹)... the closed form is
+        K = κv(v, v) · q² / d² with d = q, i.e. K = κv."""
+        nk, ek = molecule_kernels()
+        mgk = MarginalizedGraphKernel(nk, ek, q=0.3)
+        r = mgk.pair(single_atom, single_atom)
+        from repro.kernels.linsys import node_kernel_matrix
+
+        kv = node_kernel_matrix(nk, single_atom, single_atom)[0, 0]
+        assert r.value == pytest.approx(kv, rel=1e-10)
+
+    def test_two_node_pair_all_engines(self):
+        from repro.graphs.graph import Graph
+        from repro.kernels.basekernels import Constant
+
+        g = Graph(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        vals = []
+        for engine in ("fused", "dense", "vgpu"):
+            mgk = MarginalizedGraphKernel(
+                Constant(1.0), Constant(1.0), q=0.2, engine=engine
+            )
+            vals.append(mgk.pair(g, g).value)
+        assert np.allclose(vals, vals[0])
+
+    def test_size_extremes_in_one_gram(self):
+        """1-atom and 60-atom molecules in the same Gram matrix."""
+        graphs = [
+            drugbank_like_molecule(n, seed=n) for n in (1, 3, 20, 60)
+        ]
+        nk, ek = molecule_kernels()
+        res = MarginalizedGraphKernel(nk, ek, q=0.1)(graphs, normalize=True)
+        assert res.converged
+        K = res.matrix
+        assert np.allclose(np.diagonal(K), 1.0)
+        assert np.linalg.eigvalsh(K).min() > -1e-10
+
+
+class TestDeterminism:
+    def test_pair_fully_deterministic(self):
+        from repro.kernels.basekernels import synthetic_kernels
+
+        g1 = random_labeled_graph(10, seed=80)
+        g2 = random_labeled_graph(9, seed=81)
+        nk, ek = synthetic_kernels()
+        vals = {
+            MarginalizedGraphKernel(nk, ek, q=0.1).pair(g1, g2).value
+            for _ in range(3)
+        }
+        assert len(vals) == 1
+
+    def test_vgpu_counters_deterministic(self):
+        from repro.kernels.basekernels import synthetic_kernels
+
+        g1 = random_labeled_graph(10, seed=82)
+        g2 = random_labeled_graph(9, seed=83)
+        nk, ek = synthetic_kernels()
+        opts = {"reorder": "pbr"}
+        runs = []
+        for _ in range(2):
+            r = MarginalizedGraphKernel(
+                nk, ek, q=0.1, engine="vgpu", vgpu_options=opts
+            ).pair(g1, g2)
+            runs.append(r.info["counters"].flops)
+        assert runs[0] == runs[1]

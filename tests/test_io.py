@@ -1,0 +1,145 @@
+"""Tests for graph and structure I/O (PDB, JSON, edge list)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import drugbank_like_molecule, random_labeled_graph
+from repro.graphs.io import (
+    graph_from_json,
+    graph_to_json,
+    load_dataset,
+    read_edgelist,
+    read_pdb,
+    save_dataset,
+    write_edgelist,
+    write_pdb,
+)
+from repro.graphs.pdb import protein_like_structure, structure_to_graph
+
+
+class TestPDB:
+    def test_roundtrip(self, tmp_path):
+        s = protein_like_structure(40, seed=1, name="test")
+        path = tmp_path / "test.pdb"
+        write_pdb(s, path)
+        s2 = read_pdb(path)
+        assert s2.n_atoms == s.n_atoms
+        assert np.allclose(s2.coords, s.coords, atol=1e-3)  # fixed columns
+        assert np.array_equal(s2.elements, s.elements)
+
+    def test_roundtrip_preserves_graph(self, tmp_path):
+        s = protein_like_structure(48, seed=2)
+        path = tmp_path / "g.pdb"
+        write_pdb(s, path)
+        g1 = structure_to_graph(s)
+        g2 = structure_to_graph(read_pdb(path))
+        # PDB fixed columns quantize coordinates to 1e-3: edges exactly
+        # at the cutoff may flip, everything else must match closely.
+        assert abs(g1.n_edges - g2.n_edges) <= 2
+        both = (g1.adjacency != 0) & (g2.adjacency != 0)
+        assert np.allclose(g1.adjacency[both], g2.adjacency[both], atol=1e-2)
+
+    def test_skips_hydrogens(self, tmp_path):
+        path = tmp_path / "h.pdb"
+        path.write_text(
+            "ATOM      1  C   ALA A   1       0.000   0.000   0.000"
+            "  1.00  0.00           C\n"
+            "ATOM      2  H   ALA A   1       1.000   0.000   0.000"
+            "  1.00  0.00           H\n"
+            "END\n"
+        )
+        s = read_pdb(path)
+        assert s.n_atoms == 1
+        s_all = read_pdb(path, heavy_only=False)
+        assert s_all.n_atoms == 2
+
+    def test_element_from_atom_name_fallback(self, tmp_path):
+        path = tmp_path / "old.pdb"
+        # legacy record without element columns
+        path.write_text(
+            "ATOM      1  N   ALA A   1       1.000   2.000   3.000\n"
+        )
+        s = read_pdb(path)
+        assert s.elements[0] == 7
+
+    def test_errors(self, tmp_path):
+        empty = tmp_path / "empty.pdb"
+        empty.write_text("END\n")
+        with pytest.raises(ValueError, match="no ATOM"):
+            read_pdb(empty)
+        bad = tmp_path / "bad.pdb"
+        bad.write_text("ATOM      1  C\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_pdb(bad)
+
+
+class TestJSON:
+    def test_roundtrip(self):
+        g = random_labeled_graph(11, weighted=True, seed=5)
+        g2 = graph_from_json(graph_to_json(g))
+        assert np.allclose(g2.adjacency, g.adjacency)
+        for k in g.node_labels:
+            assert np.array_equal(g2.node_labels[k], g.node_labels[k])
+        for k in g.edge_labels:
+            assert np.allclose(g2.edge_labels[k], g.edge_labels[k])
+
+    def test_roundtrip_molecule(self):
+        g = drugbank_like_molecule(25, seed=6)
+        g2 = graph_from_json(graph_to_json(g))
+        assert np.allclose(g2.adjacency, g.adjacency)
+        assert np.array_equal(
+            g2.node_labels["element"], g.node_labels["element"]
+        )
+
+    def test_roundtrip_preserves_kernel_value(self):
+        from repro import MarginalizedGraphKernel
+        from repro.kernels.basekernels import synthetic_kernels
+
+        g1 = random_labeled_graph(8, seed=7)
+        g2 = random_labeled_graph(7, seed=8)
+        mgk = MarginalizedGraphKernel(*synthetic_kernels(), q=0.2)
+        ref = mgk.pair(g1, g2).value
+        r1 = graph_from_json(graph_to_json(g1))
+        r2 = graph_from_json(graph_to_json(g2))
+        assert mgk.pair(r1, r2).value == pytest.approx(ref, rel=1e-12)
+
+    def test_dataset_roundtrip(self, tmp_path):
+        graphs = [random_labeled_graph(5 + k, seed=k) for k in range(4)]
+        path = tmp_path / "ds.jsonl"
+        save_dataset(graphs, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == 4
+        for a, b in zip(graphs, loaded):
+            assert np.allclose(a.adjacency, b.adjacency)
+
+    def test_coords_preserved(self):
+        s = protein_like_structure(12, seed=9)
+        g = structure_to_graph(s)
+        g2 = graph_from_json(graph_to_json(g))
+        assert np.allclose(g2.coords, g.coords)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = random_labeled_graph(9, weighted=True, seed=10)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        g2 = read_edgelist(path)
+        assert np.allclose(g2.adjacency, g.adjacency)
+
+    def test_header_preserves_isolated_nodes(self, tmp_path):
+        from repro.graphs.graph import Graph
+
+        A = np.zeros((4, 4))
+        A[0, 1] = A[1, 0] = 2.0
+        path = tmp_path / "iso.txt"
+        write_edgelist(Graph(A), path)
+        g2 = read_edgelist(path)
+        assert g2.n_nodes == 4
+
+    def test_missing_header_infers_n(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("0 1 1.0\n1 2 0.5\n")
+        g = read_edgelist(path)
+        assert g.n_nodes == 3
+        assert g.adjacency[1, 2] == 0.5

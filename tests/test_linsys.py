@@ -1,0 +1,136 @@
+"""Tests for product-system assembly (Eq. 1 factors)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.basekernels import Constant
+from repro.kernels.linsys import (
+    assemble_dense_offdiag,
+    assemble_sparse_offdiag,
+    build_product_system,
+    node_kernel_matrix,
+)
+
+
+class TestAssembly:
+    def test_dense_vs_sparse_offdiag(self, g_small, g_small2, kernels_labeled):
+        _, ek = kernels_labeled
+        Wd = assemble_dense_offdiag(g_small, g_small2, ek)
+        Ws = assemble_sparse_offdiag(g_small, g_small2, ek).toarray()
+        assert np.allclose(Wd, Ws)
+
+    def test_offdiag_symmetric(self, g_small, g_small2, kernels_labeled):
+        _, ek = kernels_labeled
+        W = assemble_dense_offdiag(g_small, g_small2, ek)
+        assert np.allclose(W, W.T)
+
+    def test_offdiag_nonnegative(self, g_small, g_small2, kernels_labeled):
+        _, ek = kernels_labeled
+        W = assemble_dense_offdiag(g_small, g_small2, ek)
+        assert (W >= 0).all()
+
+    def test_unlabeled_reduces_to_kron(self, g_small, g_small2):
+        W = assemble_dense_offdiag(g_small, g_small2, Constant(1.0))
+        assert np.allclose(W, np.kron(g_small.adjacency, g_small2.adjacency))
+
+    def test_edgeless_pair(self, kernels_molecule):
+        from repro.graphs.generators import drugbank_like_molecule
+
+        nk, ek = kernels_molecule
+        g1 = drugbank_like_molecule(1, seed=0)
+        g2 = drugbank_like_molecule(5, seed=1)
+        W = assemble_sparse_offdiag(g1, g2, ek)
+        assert W.nnz == 0
+
+
+class TestProductSystem:
+    def test_dimensions(self, g_small, g_small2, kernels_labeled):
+        nk, ek = kernels_labeled
+        s = build_product_system(g_small, g_small2, nk, ek, q=0.1)
+        N = g_small.n_nodes * g_small2.n_nodes
+        assert s.size == N
+        for v in (s.vx, s.dx, s.px, s.qx):
+            assert v.shape == (N,)
+
+    def test_system_spd(self, g_small, g_small2, kernels_labeled):
+        nk, ek = kernels_labeled
+        s = build_product_system(
+            g_small, g_small2, nk, ek, q=0.05, engine="dense"
+        )
+        S = np.diag(s.sys_diag) - s.info["W_dense"]
+        assert np.allclose(S, S.T)
+        assert np.linalg.eigvalsh(S).min() > 0
+
+    def test_spd_at_tiny_q(self, g_small, g_small2, kernels_labeled):
+        nk, ek = kernels_labeled
+        s = build_product_system(
+            g_small, g_small2, nk, ek, q=0.0005, engine="dense"
+        )
+        S = np.diag(s.sys_diag) - s.info["W_dense"]
+        assert np.linalg.eigvalsh(S).min() > 0
+
+    def test_rhs_is_q_squared(self, g_small, g_small2, kernels_labeled):
+        # With the normalized random-walk convention, D× q× == q² 1.
+        nk, ek = kernels_labeled
+        s = build_product_system(g_small, g_small2, nk, ek, q=0.2)
+        assert np.allclose(s.rhs, 0.04)
+
+    def test_px_sums_to_one(self, g_small, g_small2, kernels_labeled):
+        nk, ek = kernels_labeled
+        s = build_product_system(g_small, g_small2, nk, ek, q=0.1)
+        assert s.px.sum() == pytest.approx(1.0)
+
+    def test_degree_convention(self, g_small, g_small2, kernels_labeled):
+        nk, ek = kernels_labeled
+        q = 0.07
+        s = build_product_system(g_small, g_small2, nk, ek, q=q)
+        d1 = g_small.degrees + q
+        d2 = g_small2.degrees + q
+        assert np.allclose(s.dx, np.kron(d1, d2))
+
+    def test_transition_probabilities_normalized(self, g_small):
+        # pt(.|i) + pq(i) must sum to 1 under the chosen convention.
+        q = 0.1
+        d = g_small.degrees + q
+        pt_sum = (g_small.adjacency / d[:, None]).sum(axis=1)
+        assert np.allclose(pt_sum + q / d, 1.0)
+
+    def test_invalid_q(self, g_small, g_small2, kernels_labeled):
+        nk, ek = kernels_labeled
+        for q in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                build_product_system(g_small, g_small2, nk, ek, q=q)
+
+    def test_invalid_engine(self, g_small, g_small2, kernels_labeled):
+        nk, ek = kernels_labeled
+        with pytest.raises(ValueError, match="engine"):
+            build_product_system(g_small, g_small2, nk, ek, engine="wat")
+
+    def test_vertex_kernel_range_enforced(self, g_small, g_small2):
+        class Bad(Constant):
+            def matrix(self, X, Y):
+                return np.full((len(X), len(Y)), 2.0)
+
+        bad = Bad(1.0)
+        with pytest.raises(ValueError, match="range"):
+            build_product_system(g_small, g_small2, bad, Constant(1.0))
+
+    def test_matvec_matches_assembled(self, g_small, g_small2, kernels_labeled):
+        nk, ek = kernels_labeled
+        s = build_product_system(g_small, g_small2, nk, ek, q=0.1)
+        sd = build_product_system(
+            g_small, g_small2, nk, ek, q=0.1, engine="dense"
+        )
+        rng = np.random.default_rng(0)
+        p = rng.normal(size=s.size)
+        S = np.diag(sd.sys_diag) - sd.info["W_dense"]
+        assert np.allclose(s.matvec(p), S @ p)
+
+    def test_non_tensorproduct_kernel_needs_single_label(self, g_small, g_small2):
+        from repro.kernels.basekernels import SquareExponential
+
+        # g_small has exactly one node label, so this should work
+        k = node_kernel_matrix(
+            SquareExponential(1.0), g_small, g_small2
+        )
+        assert k.shape == (g_small.n_nodes, g_small2.n_nodes)

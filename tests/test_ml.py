@@ -1,0 +1,123 @@
+"""Tests for the kernel-method consumers (GPR, KPCA, kernel kNN)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianProcessRegressor, kernel_knn_predict, kernel_pca
+from repro.ml.knn import kernel_distance_sq
+
+
+def _rbf_gram(X, ls=1.0):
+    d = X[:, None] - X[None, :]
+    return np.exp(-(d**2) / (2 * ls**2))
+
+
+class TestGPR:
+    def test_interpolates_noiselessly(self):
+        X = np.linspace(0, 4, 9)
+        y = np.sin(X)
+        K = _rbf_gram(X)
+        gpr = GaussianProcessRegressor(alpha=1e-10).fit(K, y)
+        pred = gpr.predict(K)
+        assert np.allclose(pred, y, atol=1e-5)
+
+    def test_predict_at_new_points(self):
+        X = np.linspace(0, 4, 15)
+        Xs = np.array([1.05, 2.55])
+        y = np.sin(X)
+        K = _rbf_gram(X)
+        Ks = np.exp(-((Xs[:, None] - X[None, :]) ** 2) / 2)
+        gpr = GaussianProcessRegressor(alpha=1e-8).fit(K, y)
+        pred = gpr.predict(Ks)
+        assert np.allclose(pred, np.sin(Xs), atol=1e-2)
+
+    def test_std_shrinks_near_data(self):
+        X = np.linspace(0, 4, 9)
+        y = np.cos(X)
+        K = _rbf_gram(X)
+        gpr = GaussianProcessRegressor(alpha=1e-8).fit(K, y)
+        # at a training point vs far away
+        k_near = np.exp(-((X[4] - X) ** 2) / 2)[None, :]
+        k_far = np.exp(-((10.0 - X) ** 2) / 2)[None, :]
+        _, s_near = gpr.predict(k_near, return_std=True)
+        _, s_far = gpr.predict(k_far, return_std=True)
+        assert s_near[0] < s_far[0]
+
+    def test_loocv_closed_form(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=12)
+        y = X**2
+        K = _rbf_gram(X)
+        alpha = 1e-4
+        gpr = GaussianProcessRegressor(alpha=alpha, normalize_y=False).fit(K, y)
+        loo = gpr.loocv_predictions(y)
+        # brute force leave-one-out
+        for i in range(3):
+            mask = np.arange(12) != i
+            sub = GaussianProcessRegressor(alpha=alpha, normalize_y=False).fit(
+                K[np.ix_(mask, mask)], y[mask]
+            )
+            pred = sub.predict(K[i, mask][None, :])[0]
+            assert loo[i] == pytest.approx(pred, rel=1e-6, abs=1e-8)
+
+    def test_log_marginal_likelihood_finite(self):
+        X = np.linspace(0, 2, 6)
+        K = _rbf_gram(X)
+        gpr = GaussianProcessRegressor(alpha=1e-6).fit(K, np.sin(X))
+        assert np.isfinite(gpr.log_marginal_likelihood(np.sin(X)))
+
+    def test_validation(self):
+        gpr = GaussianProcessRegressor()
+        with pytest.raises(ValueError):
+            gpr.fit(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            gpr.fit(np.eye(3), np.zeros(2))
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.zeros((1, 3)))
+
+
+class TestKPCA:
+    def test_embeds_clusters(self):
+        # two tight clusters -> first component separates them
+        X = np.concatenate([np.zeros(5), np.ones(5) * 6])
+        K = _rbf_gram(X)
+        Z = kernel_pca(K, 1).ravel()
+        assert (Z[:5] > 0).all() != (Z[5:] > 0).all()
+
+    def test_shape_and_ordering(self):
+        rng = np.random.default_rng(1)
+        K = _rbf_gram(rng.normal(size=10))
+        Z = kernel_pca(K, 3)
+        assert Z.shape == (10, 3)
+        assert Z[:, 0].var() >= Z[:, 1].var() >= Z[:, 2].var()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kernel_pca(np.eye(3), 0)
+        with pytest.raises(ValueError):
+            kernel_pca(np.zeros((2, 3)), 1)
+
+
+class TestKernelKNN:
+    def test_distance_formula(self):
+        K = np.array([[0.5]])
+        d2 = kernel_distance_sq(K, np.ones(1), np.ones(1))
+        assert d2[0, 0] == pytest.approx(1.0)
+
+    def test_classifies_clusters(self):
+        X = np.concatenate([np.zeros(4), np.ones(4) * 5])
+        labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        Xt = np.array([0.2, 4.8])
+        Kc = np.exp(-((Xt[:, None] - X[None, :]) ** 2) / 2)
+        pred = kernel_knn_predict(Kc, labels, k=3)
+        assert list(pred) == [0, 1]
+
+    def test_k1_returns_nearest(self):
+        Kc = np.array([[0.1, 0.9, 0.2]])
+        assert kernel_knn_predict(Kc, np.array([5, 7, 9]), k=1)[0] == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kernel_knn_predict(np.ones((1, 3)), np.zeros(2), k=1)
+        with pytest.raises(ValueError):
+            kernel_knn_predict(np.ones((1, 3)), np.zeros(3), k=9)

@@ -1,0 +1,103 @@
+"""Tests for label transfer and hyperparameter tuning."""
+
+import numpy as np
+import pytest
+
+from repro import MarginalizedGraphKernel
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import (
+    KroneckerDelta,
+    SquareExponential,
+    TensorProduct,
+    synthetic_kernels,
+)
+from repro.ml.label_transfer import soft_assignment, transfer_node_labels
+from repro.ml.tuning import grid_search
+
+
+@pytest.fixture(scope="module")
+def mgk():
+    return MarginalizedGraphKernel(*synthetic_kernels(), q=0.2)
+
+
+class TestLabelTransfer:
+    def test_self_transfer_recovers_labels(self, mgk):
+        """Transferring a graph's own node labels onto itself must be
+        nearly perfect: matched nodes dominate the nodal similarity."""
+        g = random_labeled_graph(14, density=0.3, seed=40)
+        labels = g.node_labels["label"]
+        pred = transfer_node_labels(mgk, g, g, labels, k=3)
+        assert (pred == labels).mean() >= 0.7
+
+    def test_shapes_and_dtype(self, mgk):
+        g1 = random_labeled_graph(10, seed=41)
+        g2 = random_labeled_graph(8, seed=42)
+        labels = np.array(["a", "b"] * 5)
+        pred = transfer_node_labels(mgk, g1, g2, labels)
+        assert pred.shape == (8,)
+        assert set(pred) <= {"a", "b"}
+
+    def test_length_validation(self, mgk):
+        g1 = random_labeled_graph(6, seed=43)
+        g2 = random_labeled_graph(5, seed=44)
+        with pytest.raises(ValueError):
+            transfer_node_labels(mgk, g1, g2, np.zeros(3))
+
+    def test_soft_assignment_row_stochastic(self, mgk):
+        g1 = random_labeled_graph(9, seed=45)
+        g2 = random_labeled_graph(7, seed=46)
+        P = soft_assignment(mgk, g1, g2)
+        assert P.shape == (9, 7)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert (P >= 0).all()
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def data(self):
+        graphs = [
+            random_labeled_graph(8 + (k % 3), density=0.35, seed=50 + k)
+            for k in range(8)
+        ]
+        # target correlated with mean edge length — learnable via the SE
+        # edge kernel at the right length scale
+        y = np.array(
+            [g.edge_labels["length"][g.adjacency != 0].mean() for g in graphs]
+        )
+        return graphs, y
+
+    @staticmethod
+    def _factory(q, ls):
+        return MarginalizedGraphKernel(
+            TensorProduct(label=KroneckerDelta(0.5)),
+            TensorProduct(length=SquareExponential(ls)),
+            q=q,
+        )
+
+    def test_search_returns_best_of_history(self, data):
+        graphs, y = data
+        res = grid_search(
+            graphs, y, self._factory,
+            grid={"q": [0.1, 0.4], "ls": [0.3, 1.0]},
+        )
+        assert len(res.history) == 4
+        assert res.score == max(s for _, s in res.history)
+        assert set(res.params) == {"q", "ls"}
+        assert res.gram.shape == (8, 8)
+
+    def test_loocv_scoring(self, data):
+        graphs, y = data
+        res = grid_search(
+            graphs, y, self._factory,
+            grid={"q": [0.2], "ls": [0.3, 3.0]},
+            scoring="loocv",
+        )
+        assert len(res.history) == 2
+        # score is negative MAE
+        assert res.score <= 0
+
+    def test_invalid_scoring(self, data):
+        graphs, y = data
+        with pytest.raises(ValueError):
+            grid_search(graphs, y, self._factory, {"q": [0.2], "ls": [1.0]},
+                        scoring="r2")

@@ -1,0 +1,144 @@
+"""Tests for the octile decomposition and compact storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.octile.tiles import Octile, OctileMatrix
+
+
+def _random_sparse(n, density, seed):
+    rng = np.random.default_rng(seed)
+    M = rng.random((n, n)) * (rng.random((n, n)) < density)
+    M = np.triu(M, 1)
+    return M + M.T
+
+
+class TestOctile:
+    def test_nnz_density(self):
+        vals = np.array([1.0, 2.0])
+        o = Octile(0, 0, 0b11, vals)
+        assert o.nnz == 2
+        assert o.density == pytest.approx(2 / 64)
+
+    def test_misaligned_values_rejected(self):
+        with pytest.raises(ValueError):
+            Octile(0, 0, 0b111, np.array([1.0]))
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Octile(0, 0, 0b11, np.array([1.0, 2.0]), labels=np.array([1.0]))
+        with pytest.raises(ValueError):
+            Octile(0, 0, 0b11, np.ones(2), labels={"x": np.ones(3)})
+
+    def test_to_dense_placement(self):
+        b = (1 << 0) | (1 << (3 * 8 + 5))
+        o = Octile(0, 0, b, np.array([7.0, 9.0]))
+        D = o.to_dense()
+        assert D[0, 0] == 7.0
+        assert D[3, 5] == 9.0
+        assert D.sum() == 16.0
+
+    def test_local_coords(self):
+        b = (1 << 2) | (1 << 62)
+        o = Octile(0, 0, b, np.array([1.0, 1.0]))
+        assert o.local_coords().tolist() == [[0, 2], [7, 6]]
+
+    def test_storage_accounting(self):
+        o = Octile(0, 0, 0b1111, np.ones(4), labels=np.ones(4))
+        dense = o.dense_storage_bytes(4, 4)
+        compact = o.compact_storage_bytes(4, 4)
+        assert compact < dense
+        assert compact == 8 + 4 * 8 + 8
+
+    def test_label_arrays_variants(self):
+        o1 = Octile(0, 0, 0b1, np.ones(1), labels=np.ones(1))
+        assert set(o1.label_arrays()) == {"label"}
+        o2 = Octile(0, 0, 0b1, np.ones(1), labels={"a": np.ones(1)})
+        assert set(o2.label_arrays()) == {"a"}
+        o3 = Octile(0, 0, 0b1, np.ones(1))
+        assert o3.label_arrays() == {}
+
+
+class TestOctileMatrix:
+    def test_roundtrip(self):
+        M = _random_sparse(20, 0.2, 0)
+        om = OctileMatrix.from_dense(M)
+        assert np.allclose(om.to_dense(), M)
+
+    def test_roundtrip_with_scalar_labels(self):
+        M = _random_sparse(17, 0.3, 1)
+        L = np.where(M != 0, M * 3, 0.0)
+        om = OctileMatrix.from_dense(M, L)
+        assert np.allclose(om.labels_to_dense(), L)
+
+    def test_roundtrip_with_dict_labels(self):
+        M = _random_sparse(17, 0.3, 2)
+        labs = {"a": np.where(M != 0, 1.0, 0.0), "b": np.where(M != 0, 2.0, 0.0)}
+        om = OctileMatrix.from_dense(M, labs)
+        tile = om.tiles[0]
+        assert set(tile.label_arrays()) == {"a", "b"}
+        assert (tile.label_arrays()["b"] == 2.0).all()
+
+    def test_nnz_preserved(self):
+        M = _random_sparse(30, 0.15, 3)
+        om = OctileMatrix.from_dense(M)
+        assert om.nnz == np.count_nonzero(M)
+
+    def test_empty_tiles_pruned(self):
+        M = np.zeros((24, 24))
+        M[0, 1] = M[1, 0] = 1.0  # one tile pair of nonzeros (tile 0,0)
+        om = OctileMatrix.from_dense(M)
+        assert om.num_nonempty_tiles == 1
+        assert om.num_tile_slots == 9
+        assert om.nonempty_fraction == pytest.approx(1 / 9)
+
+    def test_non_multiple_of_t_padding(self):
+        M = _random_sparse(13, 0.4, 4)
+        om = OctileMatrix.from_dense(M)
+        assert om.num_tile_slots == 4
+        assert np.allclose(om.to_dense(), M)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            OctileMatrix.from_dense(np.zeros((4, 6)))
+
+    def test_density_histogram_sums_to_tiles(self):
+        M = _random_sparse(40, 0.2, 5)
+        om = OctileMatrix.from_dense(M)
+        assert om.density_histogram().sum() == om.num_nonempty_tiles
+
+    def test_tile_at(self):
+        M = np.zeros((16, 16))
+        M[0, 9] = M[9, 0] = 1.0
+        om = OctileMatrix.from_dense(M)
+        assert om.tile_at(0, 1) is not None
+        assert om.tile_at(0, 0) is None
+
+    def test_storage_compact_beats_dense_on_sparse(self):
+        M = _random_sparse(48, 0.05, 6)
+        om = OctileMatrix.from_dense(M)
+        assert om.storage_bytes(True, 4, 4) < om.storage_bytes(False, 4, 4)
+
+    def test_iteration_protocol(self):
+        M = _random_sparse(16, 0.5, 7)
+        om = OctileMatrix.from_dense(M)
+        assert len(om) == om.num_nonempty_tiles
+        assert len(list(om)) == len(om)
+
+    @given(
+        hnp.arrays(
+            float,
+            st.integers(min_value=1, max_value=20).map(lambda n: (n, n)),
+            elements=st.floats(0, 1).map(lambda x: x if x > 0.7 else 0.0),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, M):
+        M = np.triu(M, 1)
+        M = M + M.T
+        om = OctileMatrix.from_dense(M)
+        assert np.allclose(om.to_dense(), M)
+        assert om.nnz == np.count_nonzero(M)

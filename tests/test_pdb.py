@@ -1,0 +1,97 @@
+"""Tests for the protein-like structure generator and spatial adjacency."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.pdb import protein_like_structure, structure_to_graph
+
+
+class TestStructureGenerator:
+    def test_shape(self):
+        s = protein_like_structure(50, seed=0)
+        assert s.coords.shape == (50, 3)
+        assert s.elements.shape == (50,)
+        assert s.n_atoms == 50
+
+    def test_chain_spacing(self):
+        s = protein_like_structure(60, jitter=0.0, seed=1)
+        d = np.linalg.norm(np.diff(s.coords, axis=0), axis=1)
+        # consecutive atoms stay within bonding distance (strand steps of
+        # bond_length, turns of strand_gap / layer_gap)
+        assert d.max() < 4.0
+        assert d.min() > 0.5
+
+    def test_folding_produces_long_range_contacts(self):
+        s = protein_like_structure(100, seed=2)
+        g = structure_to_graph(s, cutoff=4.0)
+        e = g.edge_list()
+        sep = np.abs(e[:, 0] - e[:, 1])
+        # serpentine layout: many contacts between sequence-distant atoms
+        assert (sep > 8).sum() > 20
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            protein_like_structure(1)
+
+    def test_determinism(self):
+        a = protein_like_structure(40, seed=9)
+        b = protein_like_structure(40, seed=9)
+        assert np.allclose(a.coords, b.coords)
+
+
+class TestSpatialAdjacency:
+    def test_weight_profile(self):
+        # two atoms at controlled distances
+        from repro.graphs.pdb import Structure
+
+        for dist, expect in [(0.5, 1.0), (4.5, 0.0)]:
+            s = Structure(
+                coords=np.array([[0.0, 0, 0], [dist, 0, 0]]),
+                elements=np.array([6, 6]),
+            )
+            g = structure_to_graph(s, cutoff=4.0, overlap=0.8)
+            assert g.adjacency[0, 1] == pytest.approx(expect)
+
+    def test_weight_monotone_decay(self):
+        from repro.graphs.pdb import Structure
+
+        ws = []
+        for dist in [1.0, 2.0, 3.0, 3.9]:
+            s = Structure(
+                coords=np.array([[0.0, 0, 0], [dist, 0, 0]]),
+                elements=np.array([6, 6]),
+            )
+            ws.append(structure_to_graph(s, cutoff=4.0).adjacency[0, 1])
+        assert all(a > b for a, b in zip(ws, ws[1:]))
+        assert all(0 <= w <= 1 for w in ws)
+
+    def test_edge_distance_labels(self):
+        s = protein_like_structure(30, seed=3)
+        g = structure_to_graph(s, cutoff=4.0)
+        e = g.edge_list()
+        for i, j in e[:10]:
+            d = np.linalg.norm(s.coords[i] - s.coords[j])
+            assert g.edge_labels["distance"][i, j] == pytest.approx(d)
+
+    def test_element_labels_carried(self):
+        s = protein_like_structure(30, seed=4)
+        g = structure_to_graph(s)
+        assert np.array_equal(g.node_labels["element"], s.elements)
+
+    def test_coords_attached(self):
+        s = protein_like_structure(30, seed=5)
+        g = structure_to_graph(s)
+        assert np.allclose(g.coords, s.coords)
+
+    def test_cutoff_validation(self):
+        s = protein_like_structure(10, seed=6)
+        with pytest.raises(ValueError, match="cutoff"):
+            structure_to_graph(s, cutoff=0.5, overlap=0.8)
+
+    def test_sparsity_reasonable(self):
+        # Contact graphs are sparse: average degree well below n.
+        s = protein_like_structure(120, seed=7)
+        g = structure_to_graph(s, cutoff=4.0)
+        deg = (g.adjacency != 0).sum(axis=1)
+        assert deg.mean() < 20
+        assert g.is_connected()

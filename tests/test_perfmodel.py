@@ -1,0 +1,92 @@
+"""Tests for the calibrated tile cost model (Fig. 8 reproduction targets)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.perfmodel import TileCostModel, cycles_to_seconds
+from repro.analysis.table1 import element_ops
+from repro.vgpu.device import TITAN_X_PASCAL, V100
+
+
+class TestCrossovers:
+    def test_unlabeled_boundary_8_to_10(self):
+        """Paper: 's x s performs the best when each of the octiles
+        contains up to 8-10 nonzeros for the unlabeled graphs'."""
+        m = TileCostModel(x_ops=element_ops(0))
+        assert 8 <= m.sparse_sparse_boundary() <= 10
+
+    def test_labeled_boundary_near_16(self):
+        """'... and up to 16 nonzeros for the labeled graphs' (square
+        exponential, X = 7)."""
+        m = TileCostModel(x_ops=element_ops(4))
+        assert 14 <= m.sparse_sparse_boundary() <= 18
+
+    def test_labeled_region_extends_further(self):
+        unl = TileCostModel(x_ops=element_ops(0))
+        lab = TileCostModel(x_ops=element_ops(4))
+        assert lab.sparse_sparse_boundary() > unl.sparse_sparse_boundary()
+
+
+class TestRegionStructure:
+    def test_three_regions_present(self):
+        R = TileCostModel(x_ops=3).profitable_region(64)
+        names = set(R.ravel().tolist())
+        assert names == {"sparse_sparse", "dense_sparse", "dense_dense"}
+
+    def test_corners(self):
+        m = TileCostModel(x_ops=3)
+        assert m.best(1, 1)[0] == "sparse_sparse"
+        assert m.best(64, 64)[0] == "dense_dense"
+        assert m.best(64, 3)[0] == "dense_sparse"
+
+    def test_region_symmetric(self):
+        R = TileCostModel(x_ops=3).profitable_region(32)
+        assert (R == R.T).all()
+
+    def test_dense_dense_upper_right_contiguous(self):
+        # once dense_dense wins on the diagonal it keeps winning
+        m = TileCostModel(x_ops=3)
+        seen_dd = False
+        for nu in range(1, 65):
+            is_dd = m.best(nu, nu)[0] == "dense_dense"
+            if seen_dd:
+                assert is_dd
+            seen_dd = seen_dd or is_dd
+        assert seen_dd
+
+
+class TestCostProperties:
+    def test_costs_positive_and_monotone(self):
+        m = TileCostModel(x_ops=7)
+        assert m.dense_dense() > 0
+        ss = [m.sparse_sparse(k, k) for k in (1, 8, 32, 64)]
+        assert all(b > a for a, b in zip(ss, ss[1:]))
+        ds = [m.dense_sparse(k) for k in (1, 8, 32, 64)]
+        assert all(b > a for a, b in zip(ds, ds[1:]))
+
+    def test_best_is_minimum(self):
+        m = TileCostModel(x_ops=3)
+        for pair in [(3, 3), (10, 50), (64, 64)]:
+            name, cost = m.best(*pair)
+            assert cost == min(m.cost(mode, *pair) for mode in
+                               ("dense_dense", "dense_sparse", "sparse_sparse"))
+
+    def test_unknown_primitive(self):
+        with pytest.raises(ValueError):
+            TileCostModel().cost("magic", 1, 1)
+
+
+class TestCyclesToSeconds:
+    def test_scaling(self):
+        assert cycles_to_seconds(2e9) == pytest.approx(2 * cycles_to_seconds(1e9))
+
+    def test_device_dependence(self):
+        # V100 has more SMs than Titan X: same cycles finish faster
+        tv = cycles_to_seconds(1e9, V100)
+        tt = cycles_to_seconds(1e9, TITAN_X_PASCAL)
+        assert tv < tt
+
+    def test_occupancy_dependence(self):
+        fast = cycles_to_seconds(1e9, V100, resident_warps=2560)
+        slow = cycles_to_seconds(1e9, V100, resident_warps=256)
+        assert fast < slow

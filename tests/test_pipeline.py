@@ -1,0 +1,149 @@
+"""Tests for the production vgpu pipeline (reorder/adaptive/compact/block)."""
+
+import numpy as np
+import pytest
+
+from repro import MarginalizedGraphKernel
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.kernels.linsys import assemble_dense_offdiag
+from repro.xmv.pipeline import VgpuPipeline
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return (
+        random_labeled_graph(14, density=0.25, seed=3),
+        random_labeled_graph(11, density=0.3, seed=4),
+    )
+
+
+@pytest.fixture(scope="module")
+def ek():
+    return synthetic_kernels()[1]
+
+
+class TestNumerics:
+    def test_matvec_matches_reference(self, pair, ek):
+        W = assemble_dense_offdiag(pair[0], pair[1], ek)
+        p = np.random.default_rng(0).normal(size=W.shape[0])
+        pipe = VgpuPipeline(pair[0], pair[1], ek)
+        assert np.allclose(pipe.matvec(p), W @ p, atol=1e-10)
+
+    @pytest.mark.parametrize("reorder", [None, "pbr", "rcm", "morton"])
+    def test_matvec_invariant_under_reordering(self, pair, ek, reorder):
+        W = assemble_dense_offdiag(pair[0], pair[1], ek)
+        p = np.random.default_rng(1).normal(size=W.shape[0])
+        pipe = VgpuPipeline(pair[0], pair[1], ek, reorder=reorder)
+        assert np.allclose(pipe.matvec(p), W @ p, atol=1e-10)
+
+    def test_dense_mode_matches(self, pair, ek):
+        W = assemble_dense_offdiag(pair[0], pair[1], ek)
+        p = np.random.default_rng(2).normal(size=W.shape[0])
+        pipe = VgpuPipeline(pair[0], pair[1], ek, prune_empty=False)
+        assert np.allclose(pipe.matvec(p), W @ p, atol=1e-10)
+
+    def test_custom_callable_reorder(self, pair, ek):
+        W = assemble_dense_offdiag(pair[0], pair[1], ek)
+        p = np.random.default_rng(3).normal(size=W.shape[0])
+        reverse = lambda g, t: np.arange(g.n_nodes)[::-1]
+        pipe = VgpuPipeline(pair[0], pair[1], ek, reorder=reverse)
+        assert np.allclose(pipe.matvec(p), W @ p, atol=1e-10)
+
+
+class TestCostModel:
+    def test_pruning_reduces_cycles(self, pair, ek):
+        dense = VgpuPipeline(pair[0], pair[1], ek, prune_empty=False,
+                             adaptive=False, compact=False)
+        sparse = VgpuPipeline(pair[0], pair[1], ek, prune_empty=True,
+                              adaptive=False, compact=False)
+        assert sparse.per_matvec_cycles < dense.per_matvec_cycles
+
+    def test_reordering_reduces_or_ties_cycles(self, pair, ek):
+        nat = VgpuPipeline(pair[0], pair[1], ek, adaptive=False)
+        pbr = VgpuPipeline(pair[0], pair[1], ek, reorder="pbr", adaptive=False)
+        assert pbr.per_matvec_cycles <= nat.per_matvec_cycles * 1.001
+
+    def test_adaptive_never_worse_than_fixed(self, pair, ek):
+        fixed = VgpuPipeline(pair[0], pair[1], ek, adaptive=False)
+        adap = VgpuPipeline(pair[0], pair[1], ek, adaptive=True)
+        assert adap.per_matvec_cycles <= fixed.per_matvec_cycles
+
+    def test_compact_reduces_global_traffic(self, pair, ek):
+        dense_store = VgpuPipeline(pair[0], pair[1], ek, compact=False)
+        compact = VgpuPipeline(pair[0], pair[1], ek, compact=True)
+        assert (
+            compact.per_matvec_counters.global_load_bytes
+            < dense_store.per_matvec_counters.global_load_bytes
+        )
+
+    def test_block_sharing_amortizes_loads(self, pair, ek):
+        solo = VgpuPipeline(pair[0], pair[1], ek, block_warps=1)
+        shared = VgpuPipeline(pair[0], pair[1], ek, block_warps=4)
+        assert (
+            shared.per_matvec_counters.global_load_bytes
+            < solo.per_matvec_counters.global_load_bytes
+        )
+        # compute volume is unchanged
+        assert shared.per_matvec_counters.flops == pytest.approx(
+            solo.per_matvec_counters.flops
+        )
+
+    def test_mode_census_covers_all_pairs(self, pair, ek):
+        pipe = VgpuPipeline(pair[0], pair[1], ek)
+        stats = pipe.tile_stats()
+        census = stats["mode_census"]
+        assert sum(census.values()) == stats["ntiles1"] * stats["ntiles2"]
+
+    def test_counters_accumulate_per_matvec(self, pair, ek):
+        pipe = VgpuPipeline(pair[0], pair[1], ek)
+        p = np.random.default_rng(4).normal(size=pair[0].n_nodes * pair[1].n_nodes)
+        pipe.matvec(p)
+        c1 = pipe.counters.flops
+        pipe.matvec(p)
+        assert pipe.counters.flops == pytest.approx(2 * c1)
+        assert pipe.launch_count == 2
+
+    def test_modeled_time_positive_and_scales(self, pair, ek):
+        pipe = VgpuPipeline(pair[0], pair[1], ek)
+        t1 = pipe.modeled_time(1)
+        t10 = pipe.modeled_time(10)
+        assert 0 < t1 < t10
+        assert t10 == pytest.approx(10 * t1)
+
+    def test_storage_stats(self, pair, ek):
+        stats = VgpuPipeline(pair[0], pair[1], ek).tile_stats()
+        assert stats["storage_bytes_compact"] < stats["storage_bytes_dense"]
+
+    def test_validation(self, pair, ek):
+        with pytest.raises(ValueError):
+            VgpuPipeline(pair[0], pair[1], ek, block_warps=0)
+        with pytest.raises(ValueError):
+            VgpuPipeline(pair[0], pair[1], ek, reorder="zorro")
+
+
+class TestEndToEnd:
+    def test_vgpu_engine_option_grid(self, pair):
+        """Kernel values identical across the whole option grid."""
+        nk, ek = synthetic_kernels()
+        ref = MarginalizedGraphKernel(nk, ek, q=0.15).pair(*pair).value
+        for opts in (
+            {},
+            {"reorder": "pbr"},
+            {"adaptive": False, "compact": False},
+            {"block_warps": 8},
+            {"prune_empty": False},
+            {"reorder": "rcm", "block_warps": 2, "compact": False},
+        ):
+            got = MarginalizedGraphKernel(
+                nk, ek, q=0.15, engine="vgpu", vgpu_options=opts
+            ).pair(*pair)
+            assert got.value == pytest.approx(ref, rel=1e-8), opts
+            assert got.converged
+
+    def test_pair_result_carries_gpu_info(self, pair):
+        nk, ek = synthetic_kernels()
+        r = MarginalizedGraphKernel(nk, ek, q=0.15, engine="vgpu").pair(*pair)
+        assert r.info["counters"].flops > 0
+        assert r.info["launches"] == r.iterations
+        assert "mode_census" in r.info["tile_stats"]

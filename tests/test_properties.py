@@ -1,0 +1,110 @@
+"""Hypothesis property tests for the kernel's mathematical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MarginalizedGraphKernel
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+
+NK, EK = synthetic_kernels()
+
+graph_seeds = st.integers(min_value=0, max_value=10**6)
+graph_sizes = st.integers(min_value=2, max_value=9)
+qs = st.floats(min_value=0.01, max_value=0.9)
+
+
+def _graph(n, seed, weighted=True):
+    return random_labeled_graph(n, density=0.4, weighted=weighted, seed=seed)
+
+
+class TestKernelInvariants:
+    @given(graph_sizes, graph_sizes, graph_seeds, qs)
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry(self, n, m, seed, q):
+        g1, g2 = _graph(n, seed), _graph(m, seed + 1)
+        mgk = MarginalizedGraphKernel(NK, EK, q=q)
+        assert mgk.pair(g1, g2).value == pytest.approx(
+            mgk.pair(g2, g1).value, rel=1e-8
+        )
+
+    @given(graph_sizes, graph_seeds, qs)
+    @settings(max_examples=25, deadline=None)
+    def test_positivity(self, n, seed, q):
+        g1, g2 = _graph(n, seed), _graph(n, seed + 1)
+        mgk = MarginalizedGraphKernel(NK, EK, q=q)
+        assert mgk.pair(g1, g2).value > 0
+        assert mgk.pair(g1, g1).value > 0
+
+    @given(graph_sizes, graph_sizes, graph_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_permutation_invariance(self, n, m, seed):
+        g1, g2 = _graph(n, seed), _graph(m, seed + 1)
+        mgk = MarginalizedGraphKernel(NK, EK, q=0.2)
+        ref = mgk.pair(g1, g2).value
+        rng = np.random.default_rng(seed)
+        gp = g1.permute(rng.permutation(n))
+        assert mgk.pair(gp, g2).value == pytest.approx(ref, rel=1e-8)
+
+    @given(graph_sizes, graph_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_cauchy_schwarz(self, n, seed):
+        """K(a,b)² <= K(a,a) K(b,b) — an RKHS inner product must obey it."""
+        g1, g2 = _graph(n, seed), _graph(n, seed + 1)
+        mgk = MarginalizedGraphKernel(NK, EK, q=0.2)
+        kab = mgk.pair(g1, g2).value
+        kaa = mgk.pair(g1, g1).value
+        kbb = mgk.pair(g2, g2).value
+        assert kab * kab <= kaa * kbb * (1 + 1e-8)
+
+    @given(graph_seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_gram_psd(self, seed):
+        graphs = [_graph(4 + k % 3, seed + k) for k in range(4)]
+        mgk = MarginalizedGraphKernel(NK, EK, q=0.2)
+        K = mgk(graphs).matrix
+        assert np.linalg.eigvalsh(K).min() >= -1e-10
+
+    @given(graph_sizes, graph_seeds, qs)
+    @settings(max_examples=15, deadline=None)
+    def test_engines_agree_property(self, n, seed, q):
+        g1, g2 = _graph(n, seed), _graph(max(2, n - 1), seed + 1)
+        kf = MarginalizedGraphKernel(NK, EK, q=q).pair(g1, g2).value
+        kv = MarginalizedGraphKernel(
+            NK, EK, q=q, engine="vgpu", vgpu_options={"reorder": "pbr"}
+        ).pair(g1, g2).value
+        assert kv == pytest.approx(kf, rel=1e-7)
+
+    @given(graph_sizes, graph_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_q_monotonicity_of_self_similarity_scale(self, n, seed):
+        """Larger stopping probability -> walks end sooner -> kernel mass
+        concentrates; the raw kernel value grows with q (the q² rhs
+        dominates the longer-walk terms it removes)."""
+        g1, g2 = _graph(n, seed), _graph(n, seed + 1)
+        k_small = MarginalizedGraphKernel(NK, EK, q=0.05).pair(g1, g2).value
+        k_large = MarginalizedGraphKernel(NK, EK, q=0.6).pair(g1, g2).value
+        assert k_large > k_small
+
+
+class TestOrderingProperties:
+    @given(graph_seeds, st.integers(min_value=10, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_pbr_never_worse_than_natural(self, seed, n):
+        from repro.reorder import pbr_order
+        from repro.reorder.metrics import nonempty_tiles
+
+        g = _graph(n, seed, weighted=False)
+        assert nonempty_tiles(g, pbr_order(g)) <= nonempty_tiles(g, None)
+
+    @given(graph_seeds, st.integers(min_value=5, max_value=25))
+    @settings(max_examples=15, deadline=None)
+    def test_orderings_always_permutations(self, seed, n):
+        from repro.reorder import ORDERINGS
+
+        g = _graph(n, seed)
+        for name, fn in ORDERINGS.items():
+            order = np.asarray(fn(g, 8))
+            assert sorted(order.tolist()) == list(range(n)), name

@@ -1,0 +1,218 @@
+"""Tests for the reordering algorithms (RCM, SFC, TSP, PBR) and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    barabasi_albert,
+    drugbank_like_molecule,
+    newman_watts_strogatz,
+    random_labeled_graph,
+)
+from repro.graphs.pdb import protein_like_structure, structure_to_graph
+from repro.reorder import ORDERINGS, pbr_order, rcm_order, tsp_order
+from repro.reorder.metrics import (
+    nonempty_fraction,
+    nonempty_tiles,
+    ordering_report,
+    tile_density_profile,
+)
+from repro.reorder.rcm import bandwidth
+from repro.reorder.sfc import hilbert_order, morton_order, morton_key, _hilbert_index
+from repro.reorder.tsp import nearest_neighbor_tour, path_length, two_opt, _dissimilarity
+from repro.reorder.pbr import (
+    count_connected_pairs,
+    count_nonempty_tiles_from_parts,
+    pbr_partition,
+    _pair_edge_counts,
+)
+
+
+def _is_permutation(order, n):
+    return sorted(np.asarray(order).tolist()) == list(range(n))
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "nws": newman_watts_strogatz(48, 3, 0.1, seed=0),
+        "ba": barabasi_albert(48, 4, seed=1),
+        "protein": structure_to_graph(protein_like_structure(64, seed=2)),
+        "drug": drugbank_like_molecule(40, seed=3),
+    }
+
+
+class TestPermutationValidity:
+    @pytest.mark.parametrize("name", ["rcm", "pbr", "tsp", "morton", "hilbert"])
+    def test_all_orderings_are_permutations(self, graphs, name):
+        for g in graphs.values():
+            order = ORDERINGS[name](g, 8)
+            assert _is_permutation(order, g.n_nodes), name
+
+    def test_small_graph_identity(self):
+        g = random_labeled_graph(3, seed=0)
+        assert _is_permutation(pbr_order(g), 3)
+        assert _is_permutation(rcm_order(g), 3)
+
+
+class TestRCM:
+    def test_reduces_bandwidth_on_shuffled_band(self):
+        # A band matrix shuffled at random: RCM must recover low bandwidth.
+        rng = np.random.default_rng(5)
+        n = 40
+        A = np.zeros((n, n))
+        for i in range(n - 1):
+            A[i, i + 1] = A[i + 1, i] = 1.0
+            if i + 2 < n:
+                A[i, i + 2] = A[i + 2, i] = 1.0
+        from repro.graphs.graph import Graph
+
+        g = Graph(A).permute(rng.permutation(n))
+        bw_before = bandwidth(g)
+        bw_after = bandwidth(g, rcm_order(g))
+        assert bw_after < bw_before
+        assert bw_after <= 4
+
+    def test_comparable_to_scipy(self, graphs):
+        import scipy.sparse as sp
+        from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+        g = graphs["protein"]
+        ours = bandwidth(g, rcm_order(g))
+        order_sp = reverse_cuthill_mckee(
+            sp.csr_matrix((g.adjacency != 0).astype(np.int8)), symmetric_mode=True
+        )
+        theirs = bandwidth(g, np.asarray(order_sp, dtype=np.int64))
+        assert ours <= 1.5 * theirs + 2
+
+    def test_disconnected(self):
+        from repro.graphs.graph import Graph
+
+        A = np.zeros((6, 6))
+        A[0, 1] = A[1, 0] = 1
+        A[3, 4] = A[4, 3] = 1
+        order = rcm_order(Graph(A))
+        assert _is_permutation(order, 6)
+
+
+class TestSFC:
+    def test_morton_key_interleaving(self):
+        assert morton_key(np.array([0b1, 0b0]), bits=2) == 0b01
+        assert morton_key(np.array([0b0, 0b1]), bits=2) == 0b10
+        assert morton_key(np.array([0b11, 0b11]), bits=2) == 0b1111
+
+    def test_hilbert_index_distinct(self):
+        # all 16 cells of a 4x4 grid must get distinct indices
+        idx = {
+            _hilbert_index(np.array([x, y]), bits=2)
+            for x in range(4)
+            for y in range(4)
+        }
+        assert len(idx) == 16
+        assert idx == set(range(16))
+
+    def test_hilbert_locality(self):
+        # consecutive Hilbert indices are adjacent cells (the defining
+        # property; Morton does not satisfy it)
+        cells = {}
+        for x in range(8):
+            for y in range(8):
+                cells[_hilbert_index(np.array([x, y]), bits=3)] = (x, y)
+        for k in range(63):
+            (x0, y0), (x1, y1) = cells[k], cells[k + 1]
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+    def test_uses_coords_when_available(self, graphs):
+        g = graphs["protein"]
+        order = morton_order(g)
+        assert _is_permutation(order, g.n_nodes)
+
+    def test_spectral_fallback_without_coords(self, graphs):
+        g = graphs["nws"]
+        assert g.coords is None
+        for fn in (morton_order, hilbert_order):
+            assert _is_permutation(fn(g), g.n_nodes)
+
+
+class TestTSP:
+    def test_two_opt_never_worsens(self, graphs):
+        g = graphs["drug"]
+        D = _dissimilarity(g)
+        Dw = D.copy()
+        np.fill_diagonal(Dw, 0.0)
+        t0 = nearest_neighbor_tour(D)
+        t1 = two_opt(Dw, t0)
+        assert path_length(D, t1) <= path_length(D, t0) + 1e-9
+
+    def test_tiny_graphs(self):
+        g = random_labeled_graph(2, seed=1)
+        assert _is_permutation(tsp_order(g), 2)
+
+
+class TestPBR:
+    def test_partition_balanced(self, graphs):
+        for g in graphs.values():
+            part = pbr_partition(g, t=8)
+            sizes = np.bincount(part)
+            assert (sizes[:-1] == 8).all()
+            assert sizes[-1] <= 8
+
+    def test_beats_or_ties_natural_everywhere(self, graphs):
+        for name, g in graphs.items():
+            nat = nonempty_tiles(g, None)
+            pbr = nonempty_tiles(g, pbr_order(g))
+            assert pbr <= nat, name
+
+    def test_beats_or_ties_rcm_everywhere(self, graphs):
+        # The paper's headline: PBR delivers the most reduction.
+        for name, g in graphs.items():
+            rcm = nonempty_tiles(g, rcm_order(g))
+            pbr = nonempty_tiles(g, pbr_order(g))
+            assert pbr <= rcm, name
+
+    def test_strictly_improves_small_world(self, graphs):
+        g = graphs["nws"]
+        assert nonempty_tiles(g, pbr_order(g)) < nonempty_tiles(g, None)
+
+    def test_pair_edge_counts_bookkeeping(self, graphs):
+        # The refinement's incremental E matrix must match a recount.
+        g = graphs["drug"]
+        part = pbr_partition(g, t=8)
+        adj = [np.nonzero(g.adjacency[u])[0] for u in range(g.n_nodes)]
+        K = int(part.max()) + 1
+        E = _pair_edge_counts(adj, part, K)
+        # objective equals measured tile count of the induced ordering
+        order = np.argsort(part * (g.n_nodes + 1) + np.arange(g.n_nodes))
+        measured = nonempty_tiles(g, order)
+        assert count_nonempty_tiles_from_parts(E) == measured
+
+    def test_objective_counts(self):
+        E = np.array([[2, 1, 0], [1, 0, 0], [0, 0, 3]])
+        assert count_connected_pairs(E) == 1
+        assert count_nonempty_tiles_from_parts(E) == 2 + 2 * 1
+
+    def test_deterministic(self, graphs):
+        g = graphs["nws"]
+        a = pbr_order(g, seed=4)
+        b = pbr_order(g, seed=4)
+        assert np.array_equal(a, b)
+
+
+class TestMetrics:
+    def test_fraction_in_unit_interval(self, graphs):
+        for g in graphs.values():
+            f = nonempty_fraction(g)
+            assert 0 < f <= 1
+
+    def test_density_profile_bins(self, graphs):
+        h = tile_density_profile(graphs["ba"], bins=10)
+        assert h.shape == (10,)
+        assert h.sum() > 0
+
+    def test_ordering_report_aggregates(self, graphs):
+        gs = [graphs["nws"], graphs["ba"]]
+        rep = ordering_report(gs, lambda g, t: np.arange(g.n_nodes), "natural")
+        assert rep.name == "natural"
+        assert 0 < rep.mean_nonempty_fraction <= 1
+        assert 0 < rep.mean_tile_density <= 1
+        assert rep.total_tiles > 0

@@ -1,0 +1,119 @@
+"""Tests for job building and schedule simulation (Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import drugbank_like_molecule, random_labeled_graph
+from repro.kernels.basekernels import molecule_kernels, synthetic_kernels
+from repro.scheduler import PairJob, build_jobs, simulate_schedule
+from repro.scheduler.balance import concurrent_block_slots, makespan_comparison
+from repro.scheduler.jobs import estimate_iterations
+from repro.vgpu.device import V100
+
+
+def _jobs(sizes, warps=1):
+    return [PairJob(i=k, j=k, cycles=float(s), warps=warps) for k, s in enumerate(sizes)]
+
+
+class TestSimulation:
+    def test_single_slot_is_sum(self):
+        jobs = _jobs([3, 5, 7])
+        r = simulate_schedule(jobs, slots=1, policy="dynamic")
+        assert r.makespan_cycles == 15
+
+    def test_many_slots_is_max(self):
+        jobs = _jobs([3, 5, 7])
+        r = simulate_schedule(jobs, slots=10, policy="dynamic")
+        assert r.makespan_cycles == 7
+
+    def test_dynamic_beats_static_on_skew(self):
+        # adversarial static binding: big jobs land on the same slot
+        jobs = _jobs([100, 1, 100, 1])
+        static = simulate_schedule(jobs, slots=2, policy="static")
+        dynamic = simulate_schedule(jobs, slots=2, policy="dynamic")
+        assert static.makespan_cycles == 200
+        assert dynamic.makespan_cycles <= 102
+
+    def test_lpt_at_least_as_good_as_fifo_here(self):
+        jobs = _jobs([9, 9, 1, 1, 1, 1, 8, 8])
+        fifo = simulate_schedule(jobs, slots=2, policy="dynamic")
+        lpt = simulate_schedule(jobs, slots=2, policy="sorted-dynamic")
+        assert lpt.makespan_cycles <= fifo.makespan_cycles
+
+    def test_makespan_lower_bounds(self):
+        jobs = _jobs([4, 4, 4, 10])
+        for policy in ("static", "dynamic", "sorted-dynamic"):
+            r = simulate_schedule(jobs, slots=3, policy=policy)
+            assert r.makespan_cycles >= 10  # longest job
+            assert r.makespan_cycles >= 22 / 3  # total work / slots
+
+    def test_utilization_bounded(self):
+        jobs = _jobs([5, 6, 7, 8])
+        r = simulate_schedule(jobs, slots=2)
+        assert 0 < r.utilization <= 1
+
+    def test_block_parallelism_shortens_span(self):
+        j1 = PairJob(0, 0, cycles=100.0, warps=1)
+        j4 = PairJob(0, 0, cycles=100.0, warps=4)
+        assert j4.span == 25
+        assert j1.span == 100
+
+    def test_empty_jobs(self):
+        r = simulate_schedule([], slots=4)
+        assert r.makespan_cycles == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(_jobs([1]), slots=0)
+        with pytest.raises(ValueError):
+            simulate_schedule(_jobs([1]), slots=1, policy="chaos")
+
+    def test_seconds_conversion(self):
+        r = simulate_schedule(_jobs([V100.clock_hz]), slots=1)
+        assert r.seconds(V100) == pytest.approx(1.0)
+
+
+class TestSlots:
+    def test_block_size_reduces_slots(self):
+        s1 = concurrent_block_slots(V100, warps_per_block=1)
+        s4 = concurrent_block_slots(V100, warps_per_block=4)
+        assert s4 == s1 // 4
+
+
+class TestJobBuilding:
+    def test_build_jobs_symmetric_count(self):
+        graphs = [random_labeled_graph(10 + k, seed=k) for k in range(4)]
+        _, ek = synthetic_kernels()
+        jobs = build_jobs(graphs, ek)
+        assert len(jobs) == 4 * 5 // 2
+
+    def test_job_cycles_scale_with_graph_size(self):
+        _, ek = molecule_kernels()
+        small = drugbank_like_molecule(8, seed=0)
+        big = drugbank_like_molecule(120, seed=1)
+        jobs = build_jobs([small, big], ek)
+        by_pair = {(j.i, j.j): j.cycles for j in jobs}
+        assert by_pair[(1, 1)] > 20 * by_pair[(0, 0)]
+
+    def test_iteration_estimate_monotone(self):
+        assert estimate_iterations(100, 100) > estimate_iterations(10, 10)
+        assert estimate_iterations(50, 50, q=0.001) > estimate_iterations(
+            50, 50, q=0.5
+        )
+
+    def test_size_skew_makes_dynamic_matter(self):
+        """The DrugBank effect (Fig. 9): size-skewed datasets benefit
+        from dynamic scheduling once slots are contended."""
+        rng = np.random.default_rng(0)
+        # many small jobs + a few huge ones, more jobs than slots
+        sizes = [10.0] * 60 + [2000.0, 1500.0, 1800.0, 2200.0]
+        rng.shuffle(sizes)
+        jobs = _jobs(sizes)
+        static = simulate_schedule(jobs, slots=8, policy="static")
+        dynamic = simulate_schedule(jobs, slots=8, policy="dynamic")
+        assert dynamic.makespan_cycles <= static.makespan_cycles
+
+    def test_makespan_comparison_keys(self):
+        jobs = _jobs([1.0, 2.0])
+        cmp = makespan_comparison(jobs)
+        assert set(cmp) == {"static", "dynamic", "sorted-dynamic"}

@@ -1,0 +1,158 @@
+"""Tests for the octile-level sparse product kernels and dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.perfmodel import TileCostModel
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.octile.tiles import Octile, OctileMatrix
+from repro.xmv.sparse import (
+    MODES,
+    choose_mode,
+    tile_pair_counters,
+    tile_pair_cycles,
+    tile_pair_product,
+)
+
+
+def _tiles_from_graph(g):
+    return OctileMatrix.from_dense(g.adjacency, dict(g.edge_labels)).tiles
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g1 = random_labeled_graph(8, density=0.4, seed=10)
+    g2 = random_labeled_graph(8, density=0.4, seed=11)
+    _, ek = synthetic_kernels()
+    t1 = _tiles_from_graph(g1)[0]
+    t2 = _tiles_from_graph(g2)[0]
+    return g1, g2, ek, t1, t2
+
+
+class TestTilePairProduct:
+    def test_matches_dense_einsum(self, setup):
+        g1, g2, ek, t1, t2 = setup
+        rng = np.random.default_rng(0)
+        P = rng.normal(size=(8, 8))
+        C = tile_pair_product(t1, t2, ek, P)
+        # brute force over the dense forms
+        D1, D2 = t1.to_dense(), t2.to_dense()
+        from repro.kernels.linsys import edge_kernel_values
+
+        ref = np.zeros((8, 8))
+        for i in range(8):
+            for j in range(8):
+                if D1[i, j] == 0:
+                    continue
+                for x in range(8):
+                    for y in range(8):
+                        if D2[x, y] == 0:
+                            continue
+                        l1 = {k: np.array([v[t1.local_coords().tolist().index([i, j])]])
+                              for k, v in t1.label_arrays().items()}
+                        l2 = {k: np.array([v[t2.local_coords().tolist().index([x, y])]])
+                              for k, v in t2.label_arrays().items()}
+                        ke = edge_kernel_values(ek, l1, l2, 1, 1)[0, 0]
+                        ref[i, x] += D1[i, j] * D2[x, y] * ke * P[j, y]
+        assert np.allclose(C, ref, atol=1e-10)
+
+    def test_zero_rhs_gives_zero(self, setup):
+        _, _, ek, t1, t2 = setup
+        assert np.allclose(tile_pair_product(t1, t2, ek, np.zeros((8, 8))), 0.0)
+
+    def test_linearity(self, setup):
+        _, _, ek, t1, t2 = setup
+        rng = np.random.default_rng(1)
+        Pa, Pb = rng.normal(size=(8, 8)), rng.normal(size=(8, 8))
+        Ca = tile_pair_product(t1, t2, ek, Pa)
+        Cb = tile_pair_product(t1, t2, ek, Pb)
+        Cab = tile_pair_product(t1, t2, ek, Pa + 2 * Pb)
+        assert np.allclose(Cab, Ca + 2 * Cb, atol=1e-9)
+
+
+def _mk_tile(nnz, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.choice(64, size=nnz, replace=False)
+    bitmap = 0
+    for p in pos:
+        bitmap |= 1 << int(p)
+    vals = rng.uniform(0.5, 1.0, size=nnz)
+    order = np.argsort(pos)
+    return Octile(0, 0, bitmap, vals[order], labels={"length": vals[order]})
+
+
+class TestDispatch:
+    def test_sparse_corner(self):
+        model = TileCostModel(x_ops=3)
+        assert choose_mode(_mk_tile(2), _mk_tile(2), model) == "sparse_sparse"
+
+    def test_dense_corner(self):
+        model = TileCostModel(x_ops=3)
+        assert choose_mode(_mk_tile(60), _mk_tile(60), model) == "dense_dense"
+
+    def test_mixed_band(self):
+        model = TileCostModel(x_ops=3)
+        assert choose_mode(_mk_tile(60), _mk_tile(4), model) == "dense_sparse"
+
+    def test_non_adaptive_forces_dense(self):
+        model = TileCostModel(x_ops=3)
+        assert choose_mode(_mk_tile(1), _mk_tile(1), model, adaptive=False) == (
+            "dense_dense"
+        )
+
+
+class TestCounters:
+    def test_compact_loads_scale_with_nnz(self):
+        small = tile_pair_counters(
+            _mk_tile(2), _mk_tile(2), "sparse_sparse", E=4, F=4, X=7, compact=True
+        )
+        big = tile_pair_counters(
+            _mk_tile(40), _mk_tile(40), "sparse_sparse", E=4, F=4, X=7, compact=True
+        )
+        assert small.global_load_bytes < big.global_load_bytes
+
+    def test_dense_storage_loads_fixed(self):
+        a = tile_pair_counters(
+            _mk_tile(2), _mk_tile(2), "dense_dense", E=4, F=4, X=7, compact=False
+        )
+        b = tile_pair_counters(
+            _mk_tile(40), _mk_tile(40), "dense_dense", E=4, F=4, X=7, compact=False
+        )
+        assert a.global_load_bytes == b.global_load_bytes
+
+    def test_share_factor_scales_tile_loads_only(self):
+        t1, t2 = _mk_tile(10), _mk_tile(10)
+        full = tile_pair_counters(t1, t2, "dense_dense", 4, 4, 7, True, 1.0)
+        quarter = tile_pair_counters(t1, t2, "dense_dense", 4, 4, 7, True, 0.25)
+        assert quarter.global_load_bytes < full.global_load_bytes
+        assert quarter.flops == full.flops
+        assert quarter.global_store_bytes == full.global_store_bytes
+
+    def test_flops_by_mode(self):
+        t1, t2 = _mk_tile(5, 1), _mk_tile(7, 2)
+        X = 7
+        cs = {
+            m: tile_pair_counters(t1, t2, m, 4, 4, X, True) for m in MODES
+        }
+        assert cs["dense_dense"].flops == 8**4 * X
+        assert cs["dense_sparse"].flops == 64 * 5 * X
+        assert cs["sparse_sparse"].flops == 5 * 7 * X
+
+    def test_atomics_counted(self):
+        c = tile_pair_counters(_mk_tile(3), _mk_tile(3), "sparse_sparse", 4, 4, 7, True)
+        assert c.atomic_ops == 64
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            tile_pair_counters(_mk_tile(1), _mk_tile(1), "quantum", 4, 4, 7, True)
+
+
+class TestCycles:
+    def test_cycles_match_model(self):
+        model = TileCostModel(x_ops=3)
+        t1, t2 = _mk_tile(6, 3), _mk_tile(9, 4)
+        for mode in MODES:
+            assert tile_pair_cycles(t1, t2, mode, model) == model.cost(
+                mode, t1.nnz, t2.nnz
+            )

@@ -1,0 +1,152 @@
+"""Table I / Appendix C verification: measured counters == formulas.
+
+The most direct reproduction check for the paper's cost analysis: each
+executing primitive's counters must match the exact Appendix C sums, and
+the asymptotic Table I entries must be approached as n, m grow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.table1 import (
+    BASE_OPS_PER_ELEMENT,
+    appendix_c_costs,
+    element_ops,
+    table1_costs,
+)
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import Constant, synthetic_kernels
+from repro.xmv import PRIMITIVES
+
+PARAMS = [
+    ("naive", 8, 8),
+    ("shared_tiling", 8, 2),
+    ("shared_tiling", 8, 4),
+    ("shared_tiling", 8, 8),
+    ("register_blocking", 8, 4),
+    ("register_blocking", 8, 8),
+    ("tiling_blocking", 8, 2),
+    ("tiling_blocking", 8, 4),
+    ("tiling_blocking", 8, 8),
+]
+
+
+def _measure(name, t, r, kernels, n1=16, n2=16):
+    g1 = random_labeled_graph(n1, density=0.5, seed=1)
+    g2 = random_labeled_graph(n2, density=0.5, seed=2)
+    nk, ek = kernels
+    prim = PRIMITIVES[name](g1, g2, ek, t=t, r=r)
+    p = np.random.default_rng(0).normal(size=g1.n_nodes * g2.n_nodes)
+    prim.matvec(p)
+    return prim
+
+
+class TestExactCounts:
+    @pytest.mark.parametrize("name,t,r", PARAMS)
+    def test_measured_equals_appendix_c(self, name, t, r):
+        kernels = synthetic_kernels()
+        prim = _measure(name, t, r, kernels)
+        ana = appendix_c_costs(
+            name, prim.np_, prim.mp_, t=t, r=r,
+            E=prim.E_bytes, F=prim.F_bytes, X=prim.X,
+        )
+        meas = prim.counters
+        assert meas.global_load_bytes == pytest.approx(ana.global_load)
+        assert meas.global_store_bytes == pytest.approx(ana.global_store)
+        assert meas.shared_load_bytes == pytest.approx(ana.shared_load)
+        assert meas.shared_store_bytes == pytest.approx(ana.shared_store)
+        assert meas.flops == pytest.approx(ana.ops)
+
+    @pytest.mark.parametrize("name,t,r", PARAMS)
+    def test_measured_equals_analytic_method(self, name, t, r):
+        kernels = synthetic_kernels()
+        prim = _measure(name, t, r, kernels)
+        ana = prim.analytic_counters()
+        meas = prim.counters
+        for attr in (
+            "global_load_bytes",
+            "global_store_bytes",
+            "shared_load_bytes",
+            "shared_store_bytes",
+            "flops",
+        ):
+            assert getattr(meas, attr) == pytest.approx(getattr(ana, attr)), attr
+
+    def test_unlabeled_has_zero_label_traffic(self):
+        prim = _measure("tiling_blocking", 8, 8, (Constant(1.0), Constant(1.0)))
+        # E = 0: global loads are weights + rhs only
+        n, m = prim.np_, prim.mp_
+        expected = n * n * m * F(4) / 8 + n * n * m * m * (4 + 4) / 64
+        assert prim.counters.global_load_bytes == pytest.approx(expected)
+
+
+def F(x):
+    return x
+
+
+class TestAsymptotics:
+    @pytest.mark.parametrize(
+        "name", ["shared_tiling", "register_blocking", "tiling_blocking"]
+    )
+    def test_exact_converges_to_table1(self, name):
+        # ratio exact/asymptotic -> 1 as n grows
+        ratios = []
+        for n in (16, 64, 256):
+            exact = appendix_c_costs(name, n, n, t=8, r=8, E=4, F=4, X=7)
+            asym = table1_costs(name, n, n, t=8, r=8, E=4, F=4, X=7)
+            ratios.append(exact.global_load / asym.global_load)
+        assert abs(ratios[-1] - 1) < abs(ratios[0] - 1)
+        assert ratios[-1] == pytest.approx(1.0, rel=0.05)
+
+
+class TestArithmeticIntensity:
+    def test_naive_ai_is_2_over_F(self):
+        c = table1_costs("naive", 64, 64, F=4)
+        # Section II-D: AI -> 2/F = 1/2 in single precision
+        assert c.ops / c.global_load == pytest.approx(0.5, rel=0.01)
+
+    def test_tiling_blocking_ai_formula(self):
+        t, E, Fb, X = 8, 4, 4, 7
+        c = table1_costs("tiling_blocking", 512, 512, t=t, r=8, E=E, F=Fb, X=X)
+        assert c.ai_global == pytest.approx(t * t * X / (E + 2 * Fb), rel=0.01)
+
+    def test_unlabeled_on_the_fly_ai(self):
+        # Fig. 3: AI = cX/(E+F) = 3c/4 for E=0, F=4, X=3
+        for c_len in (4, 16, 64):
+            ai = c_len * BASE_OPS_PER_ELEMENT / (0 + 4)
+            assert ai == pytest.approx(0.75 * c_len)
+
+    def test_ai_grows_with_tile_size(self):
+        ais = [
+            table1_costs("tiling_blocking", 256, 256, t=t, r=t, E=0, F=4, X=3).ai_global
+            for t in (2, 4, 8, 16)
+        ]
+        assert all(b > a for a, b in zip(ais, ais[1:]))
+
+    def test_element_ops(self):
+        assert element_ops(0) == 3  # unlabeled: X = 3 (Fig. 3 caption)
+        assert element_ops(4) == 7  # square exponential
+
+
+class TestRegisterPressure:
+    def test_spill_at_r24_not_r16(self):
+        """Section III-B/D: register blocking spills right before the
+        top of the Roofline (r = 24 on Volta), r <= 16 does not."""
+        from repro.vgpu.device import V100
+
+        g1 = random_labeled_graph(8, seed=1)
+        g2 = random_labeled_graph(8, seed=2)
+        nk, ek = synthetic_kernels()
+        r16 = PRIMITIVES["register_blocking"](g1, g2, ek, t=8, r=16)
+        r24 = PRIMITIVES["register_blocking"](g1, g2, ek, t=8, r=24)
+        assert r16.launch().spilled(V100) is False
+        assert r24.launch().spilled(V100) is True
+
+    def test_tiling_blocking_stays_under_budget(self):
+        from repro.vgpu.device import V100
+
+        g1 = random_labeled_graph(8, seed=1)
+        g2 = random_labeled_graph(8, seed=2)
+        nk, ek = synthetic_kernels()
+        tb = PRIMITIVES["tiling_blocking"](g1, g2, ek, t=8, r=8)
+        assert not tb.launch().spilled(V100)

@@ -1,0 +1,147 @@
+"""Tests for the GraphBLAS-style tensor-product operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.kernels.linsys import assemble_dense_offdiag, build_product_system
+from repro.tensorops import (
+    GeneralizedKroneckerOperator,
+    KroneckerOperator,
+    kron_matvec,
+    kron_solve_spd,
+)
+
+
+class TestKroneckerOperator:
+    def test_matvec_matches_kron(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(4, 3))
+        B = rng.normal(size=(5, 2))
+        v = rng.normal(size=6)
+        op = KroneckerOperator(A, B)
+        assert op.shape == (20, 6)
+        assert np.allclose(op @ v, np.kron(A, B) @ v)
+
+    def test_rmatvec(self):
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(4, 3))
+        B = rng.normal(size=(5, 2))
+        v = rng.normal(size=20)
+        op = KroneckerOperator(A, B)
+        assert np.allclose(op.rmatvec(v), np.kron(A, B).T @ v)
+
+    def test_trace(self):
+        rng = np.random.default_rng(2)
+        A = rng.normal(size=(3, 3))
+        B = rng.normal(size=(4, 4))
+        assert KroneckerOperator(A, B).trace() == pytest.approx(
+            np.trace(np.kron(A, B))
+        )
+
+    def test_quadratic_form(self):
+        rng = np.random.default_rng(3)
+        A = rng.normal(size=(3, 3))
+        B = rng.normal(size=(2, 2))
+        x = rng.normal(size=6)
+        y = rng.normal(size=6)
+        op = KroneckerOperator(A, B)
+        assert op.quadratic_form(x, y) == pytest.approx(x @ np.kron(A, B) @ y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KroneckerOperator(np.zeros(3), np.eye(2))
+
+    @given(st.integers(2, 5), st.integers(2, 5), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_matvec_property(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(n, n))
+        B = rng.normal(size=(m, m))
+        v = rng.normal(size=n * m)
+        assert np.allclose(kron_matvec(A, B, v), np.kron(A, B) @ v)
+
+
+class TestGeneralizedKronecker:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g1 = random_labeled_graph(7, seed=20)
+        g2 = random_labeled_graph(6, seed=21)
+        _, ek = synthetic_kernels()
+        op = GeneralizedKroneckerOperator(
+            g1.adjacency, g2.adjacency, g1.edge_labels, g2.edge_labels, ek
+        )
+        W = assemble_dense_offdiag(g1, g2, ek)
+        return op, W
+
+    def test_matvec_matches_dense(self, setup):
+        op, W = setup
+        v = np.random.default_rng(5).normal(size=W.shape[0])
+        assert np.allclose(op @ v, W @ v)
+
+    def test_dense_materialization(self, setup):
+        op, W = setup
+        assert np.allclose(op.dense(), W)
+
+    def test_cached_and_uncached_agree(self):
+        g1 = random_labeled_graph(5, seed=22)
+        g2 = random_labeled_graph(5, seed=23)
+        _, ek = synthetic_kernels()
+        v = np.random.default_rng(6).normal(size=25)
+        a = GeneralizedKroneckerOperator(
+            g1.adjacency, g2.adjacency, g1.edge_labels, g2.edge_labels,
+            ek, cache=True,
+        )
+        b = GeneralizedKroneckerOperator(
+            g1.adjacency, g2.adjacency, g1.edge_labels, g2.edge_labels,
+            ek, cache=False,
+        )
+        assert np.allclose(a @ v, b @ v)
+
+    def test_quadratic_form(self, setup):
+        op, W = setup
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=W.shape[0])
+        assert op.quadratic_form(x) == pytest.approx(x @ W @ x)
+
+    def test_empty_support(self):
+        _, ek = synthetic_kernels()
+        op = GeneralizedKroneckerOperator(
+            np.zeros((3, 3)), np.zeros((2, 2)), {}, {}, ek
+        )
+        assert np.allclose(op @ np.ones(6), 0.0)
+
+
+class TestKronSolve:
+    def test_solves_product_system(self):
+        g1 = random_labeled_graph(6, seed=30)
+        g2 = random_labeled_graph(5, seed=31)
+        nk, ek = synthetic_kernels()
+        s = build_product_system(g1, g2, nk, ek, q=0.1, engine="dense")
+        x = kron_solve_spd(s.sys_diag, s.matvec_offdiag, s.rhs, rtol=1e-12)
+        W = s.info["W_dense"]
+        ref = np.linalg.solve(np.diag(s.sys_diag) - W, s.rhs)
+        assert np.allclose(x, ref, rtol=1e-7)
+
+    def test_pure_kronecker_system(self):
+        # (diag - A ⊗ B) x = b with a lazy Kronecker matvec
+        rng = np.random.default_rng(8)
+        A = np.abs(rng.normal(size=(4, 4)))
+        A = (A + A.T) / 2
+        np.fill_diagonal(A, 0)
+        B = np.abs(rng.normal(size=(3, 3)))
+        B = (B + B.T) / 2
+        np.fill_diagonal(B, 0)
+        op = KroneckerOperator(A, B)
+        diag = np.full(12, np.kron(A, B).sum(axis=1).max() * 2 + 1.0)
+        b = rng.normal(size=12)
+        x = kron_solve_spd(diag, op.matvec, b, rtol=1e-12)
+        ref = np.linalg.solve(np.diag(diag) - np.kron(A, B), b)
+        assert np.allclose(x, ref, rtol=1e-7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            kron_solve_spd(np.array([-1.0]), lambda v: v * 0, np.ones(1))

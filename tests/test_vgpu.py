@@ -1,0 +1,135 @@
+"""Tests for the virtual GPU substrate: devices, counters, Roofline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.vgpu import Counters, KernelLaunch, RooflineModel, TITAN_X_PASCAL, V100
+
+
+class TestDeviceSpec:
+    def test_v100_peak(self):
+        # 80 SMs x 64 FP32 x 2 (FMA) x 1.53 GHz ~= 15.7 TFLOP/s
+        assert V100.peak_sp_flops == pytest.approx(15.7e12, rel=0.01)
+
+    def test_v100_shared_bandwidth_exceeds_1e13(self):
+        # paper: "more than 10^4 GB/s"
+        assert V100.shared_bandwidth > 1e13
+
+    def test_no_fma_is_half(self):
+        assert V100.peak_sp_flops_per_sm_no_fma == V100.peak_sp_flops_per_sm / 2
+
+    def test_titan_is_gddr(self):
+        assert TITAN_X_PASCAL.memory_kind == "GDDR"
+        assert V100.memory_kind == "HBM"
+
+    def test_per_sm_global_bandwidth(self):
+        assert V100.global_bandwidth_per_sm == pytest.approx(900e9 / 80)
+
+
+class TestCounters:
+    def test_addition(self):
+        a = Counters(flops=10, global_load_bytes=4)
+        b = Counters(flops=5, shared_load_bytes=2)
+        c = a + b
+        assert c.flops == 15
+        assert c.global_load_bytes == 4
+        assert c.shared_load_bytes == 2
+
+    def test_inplace_and_scale(self):
+        a = Counters(flops=10)
+        a += Counters(flops=2)
+        assert a.flops == 12
+        assert (3 * a).flops == 36
+        assert (a * 3).flops == 36
+
+    def test_reset_and_copy(self):
+        a = Counters(flops=7)
+        b = a.copy()
+        a.reset()
+        assert a.flops == 0
+        assert b.flops == 7
+
+    def test_arithmetic_intensity(self):
+        c = Counters(flops=8, global_load_bytes=3, global_store_bytes=1)
+        assert c.arithmetic_intensity_global == 2.0
+        assert math.isinf(Counters(flops=1).arithmetic_intensity_global)
+
+    def test_as_dict(self):
+        d = Counters(flops=1).as_dict()
+        assert d["flops"] == 1
+        assert "global_load_bytes" in d
+
+
+class TestRoofline:
+    def test_memory_bound_region(self):
+        rl = RooflineModel(V100)
+        # naive solver: AI = 1/2 -> bound by global bandwidth
+        perf = rl.attainable_per_sm(0.5)
+        assert perf == pytest.approx(0.5 * V100.global_bandwidth_per_sm)
+        # paper: ~3% of peak
+        assert perf / rl.adjusted_peak_per_sm < 0.04
+
+    def test_compute_bound_region(self):
+        rl = RooflineModel(V100)
+        assert rl.attainable_per_sm(1e9) == rl.adjusted_peak_per_sm
+
+    def test_ridge_point(self):
+        rl = RooflineModel(V100)
+        rp = rl.ridge_point_global
+        assert rl.attainable_per_sm(rp) == pytest.approx(rl.adjusted_peak_per_sm)
+        assert rl.attainable_per_sm(rp / 2) < rl.adjusted_peak_per_sm
+
+    def test_shared_roof_binds(self):
+        rl = RooflineModel(V100)
+        perf = rl.attainable_per_sm(1e9, ai_shared=0.1)
+        assert perf == pytest.approx(0.1 * V100.shared_bandwidth_per_sm)
+
+    def test_fma_fraction_interpolates(self):
+        full = RooflineModel(V100, fma_fraction=1.0).adjusted_peak_per_sm
+        none = RooflineModel(V100, fma_fraction=0.0).adjusted_peak_per_sm
+        half = RooflineModel(V100, fma_fraction=0.5).adjusted_peak_per_sm
+        assert none == pytest.approx(full / 2)
+        assert half == pytest.approx(0.75 * full)
+
+    def test_time_monotone_in_work(self):
+        rl = RooflineModel(V100)
+        small = rl.time_for_counters(Counters(flops=1e9, global_load_bytes=1e6))
+        big = rl.time_for_counters(Counters(flops=1e10, global_load_bytes=1e7))
+        assert big > small
+
+    def test_low_occupancy_slower(self):
+        rl = RooflineModel(V100)
+        c = Counters(flops=1e10, global_load_bytes=1e7)
+        t1 = rl.time_for_counters(c, warps=1)
+        tfull = rl.time_for_counters(c, warps=V100.sm_count * V100.max_warps_per_sm)
+        assert t1 > tfull
+
+    def test_efficiency_and_bandwidth_report(self):
+        rl = RooflineModel(V100)
+        c = Counters(flops=1e9, global_load_bytes=1e8, shared_load_bytes=1e9)
+        t = rl.time_for_counters(c)
+        assert 0 < rl.flops_efficiency(c, t) <= 1
+        assert rl.achieved_global_bandwidth(c, t) <= V100.global_bandwidth * 1.001
+        assert rl.achieved_shared_bandwidth_per_sm(c, t) > 0
+
+
+class TestKernelLaunch:
+    def test_spill_detection(self):
+        l_ok = KernelLaunch("x", registers_per_thread=32)
+        l_sp = KernelLaunch("x", registers_per_thread=48)
+        assert not l_ok.spilled(V100)
+        assert l_sp.spilled(V100)
+
+    def test_spill_adds_global_traffic(self):
+        c = Counters(flops=1e6, global_load_bytes=1e3)
+        l_ok = KernelLaunch("x", counters=c.copy(), registers_per_thread=32)
+        l_sp = KernelLaunch("x", counters=c.copy(), registers_per_thread=60)
+        eff_ok = l_ok.effective_counters(V100)
+        eff_sp = l_sp.effective_counters(V100)
+        assert eff_ok.global_load_bytes == pytest.approx(1e3)
+        assert eff_sp.global_load_bytes > 10 * eff_ok.global_load_bytes
+
+    def test_blocks(self):
+        assert KernelLaunch("x", warps=9, warps_per_block=4).blocks() == 3

@@ -1,0 +1,127 @@
+"""Numeric correctness of the dense XMV primitives vs. the reference."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import Constant, synthetic_kernels
+from repro.kernels.linsys import assemble_dense_offdiag
+from repro.xmv import PRIMITIVES
+from repro.xmv.naive import NaivePrimitive
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return (
+        random_labeled_graph(13, density=0.4, weighted=True, seed=1),
+        random_labeled_graph(10, density=0.5, weighted=True, seed=2),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(pair):
+    nk, ek = synthetic_kernels()
+    W = assemble_dense_offdiag(pair[0], pair[1], ek)
+    rng = np.random.default_rng(7)
+    p = rng.normal(size=pair[0].n_nodes * pair[1].n_nodes)
+    return ek, p, W @ p
+
+
+ALL_CONFIGS = [
+    ("naive", 8, 8),
+    ("shared_tiling", 8, 2),
+    ("shared_tiling", 8, 8),
+    ("shared_tiling", 4, 4),
+    ("register_blocking", 8, 4),
+    ("register_blocking", 8, 8),
+    ("register_blocking", 8, 16),
+    ("tiling_blocking", 8, 2),
+    ("tiling_blocking", 8, 4),
+    ("tiling_blocking", 8, 8),
+    ("tiling_blocking", 4, 2),
+]
+
+
+class TestNumericEquality:
+    @pytest.mark.parametrize("name,t,r", ALL_CONFIGS)
+    def test_matches_reference(self, pair, reference, name, t, r):
+        ek, p, y_ref = reference
+        prim = PRIMITIVES[name](pair[0], pair[1], ek, t=t, r=r)
+        assert np.allclose(prim.matvec(p), y_ref, atol=1e-10)
+
+    @pytest.mark.parametrize("name,t,r", ALL_CONFIGS)
+    def test_unlabeled(self, pair, name, t, r):
+        prim = PRIMITIVES[name](pair[0], pair[1], Constant(1.0), t=t, r=r)
+        p = np.random.default_rng(8).normal(size=pair[0].n_nodes * pair[1].n_nodes)
+        y_ref = np.kron(pair[0].adjacency, pair[1].adjacency) @ p
+        assert np.allclose(prim.matvec(p), y_ref, atol=1e-10)
+
+    def test_reference_matvec_helper(self, pair, reference):
+        ek, p, y_ref = reference
+        prim = PRIMITIVES["tiling_blocking"](pair[0], pair[1], ek)
+        assert np.allclose(prim.reference_matvec(p), y_ref, atol=1e-10)
+
+    def test_repeated_matvecs_accumulate_counters(self, pair, reference):
+        ek, p, _ = reference
+        prim = PRIMITIVES["tiling_blocking"](pair[0], pair[1], ek)
+        prim.matvec(p)
+        one = prim.counters.flops
+        prim.matvec(p)
+        assert prim.counters.flops == pytest.approx(2 * one)
+
+
+class TestValidation:
+    def test_tiling_blocking_requires_divisibility(self, pair):
+        nk, ek = synthetic_kernels()
+        with pytest.raises(ValueError, match="divid"):
+            PRIMITIVES["tiling_blocking"](pair[0], pair[1], ek, t=8, r=3)
+
+    def test_positive_params(self, pair):
+        nk, ek = synthetic_kernels()
+        with pytest.raises(ValueError):
+            PRIMITIVES["shared_tiling"](pair[0], pair[1], ek, t=0, r=4)
+
+
+class TestNaiveStorage:
+    def test_product_matrix_footprint(self, pair):
+        """Section II-D: the naive approach stores O(n²m²) bytes."""
+        nk, ek = synthetic_kernels()
+        prim = NaivePrimitive(pair[0], pair[1], ek)
+        assert prim.storage_bytes == prim.W.size * 4
+        # a tiled primitive stores only the graphs: orders of magnitude less
+        graphs_bytes = (
+            pair[0].n_nodes ** 2 + pair[1].n_nodes ** 2
+        ) * (prim.E_bytes + prim.F_bytes)
+        assert prim.storage_bytes > 10 * graphs_bytes
+
+
+class TestCostHierarchy:
+    """Fig. 5's qualitative ordering, from the analytic counters."""
+
+    def test_tiling_blocking_lowest_global_traffic(self, pair):
+        nk, ek = synthetic_kernels()
+        prims = {
+            name: PRIMITIVES[name](pair[0], pair[1], ek, t=8, r=8)
+            for name in PRIMITIVES
+        }
+        glob = {n: p.analytic_counters().global_bytes for n, p in prims.items()}
+        assert glob["tiling_blocking"] <= glob["shared_tiling"]
+        assert glob["tiling_blocking"] <= glob["register_blocking"]
+        assert glob["tiling_blocking"] < glob["naive"] / 10
+
+    def test_register_blocking_lowest_shared_traffic(self, pair):
+        nk, ek = synthetic_kernels()
+        st = PRIMITIVES["shared_tiling"](pair[0], pair[1], ek, t=8, r=8)
+        rb = PRIMITIVES["register_blocking"](pair[0], pair[1], ek, t=8, r=8)
+        assert (
+            rb.analytic_counters().shared_bytes
+            < st.analytic_counters().shared_bytes
+        )
+
+    def test_shared_bytes_fit_in_sm(self, pair):
+        from repro.vgpu.device import V100
+
+        nk, ek = synthetic_kernels()
+        for name in PRIMITIVES:
+            prim = PRIMITIVES[name](pair[0], pair[1], ek, t=8, r=8)
+            assert prim.shared_bytes_per_block() <= V100.shared_bytes_per_sm
