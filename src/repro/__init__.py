@@ -26,11 +26,13 @@ Package layout
 - :mod:`repro.vgpu`     — virtual GPU: devices, counters, Roofline
 - :mod:`repro.xmv`      — on-the-fly Kronecker matvec primitives
 - :mod:`repro.scheduler`— block sharing and load balancing
+- :mod:`repro.engine`   — parallel, cached, incremental Gram engine
 - :mod:`repro.analysis` — Table I formulas and the performance model
 - :mod:`repro.baselines`— GraKeL-like / GraphKernels-like CPU packages
 - :mod:`repro.ml`       — Gaussian-process regression on Gram matrices
 """
 
+from .engine import GramEngine
 from .graphs import Graph, graph_from_smiles
 from .kernels import MarginalizedGraphKernel
 from .kernels.basekernels import (
@@ -46,6 +48,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CompactPolynomial",
     "Constant",
+    "GramEngine",
     "Graph",
     "KroneckerDelta",
     "MarginalizedGraphKernel",

@@ -4,8 +4,11 @@ Batch entry points for the common workflows:
 
 * ``generate`` — produce one of the four benchmark datasets as a
   JSON-lines file;
-* ``gram`` — compute the (normalized) Gram matrix of a dataset and save
-  it as ``.npy``, printing solver statistics;
+* ``gram`` — compute the (normalized) Gram matrix of a dataset through
+  the :mod:`repro.engine` subsystem and save it as ``.npy``, printing
+  solver statistics; supports parallel executors (``--executor``), a
+  persistent kernel cache (``--cache-dir``), and incremental extension
+  of a previously saved matrix (``--extend``);
 * ``reorder`` — report non-empty-octile counts of a dataset under the
   available orderings (a Fig. 7 row for your own data);
 * ``profile`` — run one graph pair through the virtual-GPU engine and
@@ -65,20 +68,115 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gram_meta_path(npy_path: str) -> str:
+    if not npy_path.endswith(".npy"):
+        npy_path += ".npy"  # np.save appends the suffix
+    return npy_path + ".meta.json"
+
+
 def cmd_gram(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import GramEngine, graph_fingerprint, kernel_fingerprint
     from .graphs.io import load_dataset
     from .kernels import MarginalizedGraphKernel
 
     graphs = load_dataset(args.dataset)
     nk, ek = _kernels_for(args.kernels)
     mgk = MarginalizedGraphKernel(nk, ek, q=args.q, engine=args.engine)
-    res = mgk(graphs, normalize=args.normalize)
+
+    progress = None
+    if args.progress:
+        def progress(ev):
+            print(f"  [{ev.phase}] tiles {ev.tiles_done}/{ev.tiles_total} "
+                  f"pairs {ev.pairs_done}/{ev.pairs_total} "
+                  f"(solved {ev.solves}, cached {ev.cache_hits}, "
+                  f"{ev.elapsed:.2f} s)")
+
+    eng = GramEngine(
+        mgk,
+        executor=args.executor,
+        max_workers=args.workers,
+        tile_pairs=args.tile_pairs,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+
+    if args.extend:
+        K_old = np.load(args.extend)
+        n_old = K_old.shape[0]
+        if not (0 < n_old < len(graphs)):
+            raise SystemExit(
+                f"--extend matrix covers {n_old} graphs but the dataset "
+                f"has {len(graphs)}; it must cover a strict prefix"
+            )
+        meta_file = _gram_meta_path(args.extend)
+        try:
+            with open(meta_file) as fh:
+                meta = json.load(fh)
+        except OSError:
+            meta = None
+        if meta is not None:
+            # Full provenance check from the sidecar written at save
+            # time: normalization, hyperparameters, and every graph.
+            if meta.get("normalized"):
+                raise SystemExit(
+                    f"{args.extend} was saved with --normalize; --extend "
+                    "needs the raw (unnormalized) matrix"
+                )
+            if meta.get("kernel_fingerprint") != kernel_fingerprint(mgk):
+                raise SystemExit(
+                    f"{args.extend} was computed with different kernel "
+                    "hyperparameters (--kernels/--q/--engine); recompute "
+                    "instead of extending"
+                )
+            prefix_fps = [graph_fingerprint(g) for g in graphs[:n_old]]
+            if meta.get("graph_fingerprints") != prefix_fps:
+                raise SystemExit(
+                    f"the first {n_old} dataset graphs do not match the "
+                    f"graphs {args.extend} was computed from; --extend "
+                    "requires the old dataset as an unchanged prefix"
+                )
+        else:
+            # No sidecar (hand-made .npy): one self-similarity
+            # recompute as a spot check against normalized or
+            # mismatched matrices.
+            check = eng.diag(graphs[:1])[0]
+            if not np.isclose(check, K_old[0, 0], rtol=1e-6):
+                raise SystemExit(
+                    f"--extend matrix does not match this dataset/kernel: "
+                    f"K[0, 0] is {K_old[0, 0]:.6g} but recomputes to "
+                    f"{check:.6g} (was it saved with --normalize, or with "
+                    f"different kernels/q, or did the dataset prefix "
+                    f"change?)"
+                )
+        res = eng.extend(
+            K_old, graphs[:n_old], graphs[n_old:], normalize=args.normalize
+        )
+        tri = res.iterations[np.triu_indices(len(graphs))]
+        tri = tri[tri > 0]
+        print(f"extended {n_old} -> {len(graphs)} graphs: "
+              f"{res.info['new_pairs']} new pairs, "
+              f"{res.info['reused_pairs']} reused")
+    else:
+        res = eng.gram(graphs, normalize=args.normalize)
+        tri = res.iterations[np.triu_indices(len(graphs))]
     np.save(args.output, res.matrix)
-    tri = res.iterations[np.triu_indices(len(graphs))]
+    with open(_gram_meta_path(args.output), "w") as fh:
+        json.dump(
+            {
+                "kernel_fingerprint": kernel_fingerprint(mgk),
+                "graph_fingerprints": [graph_fingerprint(g) for g in graphs],
+                "normalized": bool(args.normalize),
+            },
+            fh,
+        )
     print(f"{len(graphs)} graphs, {len(tri)} pairs in {res.wall_time:.2f} s "
           f"({'converged' if res.converged else 'NOT CONVERGED'})")
-    print(f"CG iterations: min {tri.min()}, mean {tri.mean():.1f}, "
-          f"max {tri.max()}")
+    if len(tri):
+        print(f"CG iterations: min {tri.min()}, mean {tri.mean():.1f}, "
+              f"max {tri.max()}")
+    print(res.info["diagnostics"].summary())
     print(f"Gram matrix saved to {args.output}")
     return 0 if res.converged else 1
 
@@ -144,7 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--seed", type=int, default=0)
     g.set_defaults(func=cmd_generate)
 
-    m = sub.add_parser("gram", help="compute a Gram matrix")
+    m = sub.add_parser(
+        "gram",
+        help="compute, cache, or incrementally extend a Gram matrix",
+    )
     m.add_argument("dataset", help="input .jsonl path")
     m.add_argument("output", help="output .npy path")
     m.add_argument("--kernels", default="synthetic",
@@ -153,6 +254,22 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--engine", default="fused",
                    choices=["fused", "dense", "vgpu"])
     m.add_argument("--normalize", action="store_true")
+    m.add_argument("--executor", default="serial",
+                   choices=["serial", "threads", "process"],
+                   help="tile execution backend")
+    m.add_argument("--workers", type=int, default=None,
+                   help="pool size for threads/process executors")
+    m.add_argument("--tile-pairs", type=int, default=None,
+                   help="pairs per tile (default: cost-balanced)")
+    m.add_argument("--cache-dir", default=None,
+                   help="persist kernel values here; reruns and extends "
+                        "hit this cache")
+    m.add_argument("--extend", default=None, metavar="OLD_NPY",
+                   help="previously saved unnormalized Gram over the "
+                        "first N dataset graphs; only new rows/columns "
+                        "are solved")
+    m.add_argument("--progress", action="store_true",
+                   help="print per-tile progress lines")
     m.set_defaults(func=cmd_gram)
 
     r = sub.add_parser("reorder", help="tile-sparsity report per ordering")

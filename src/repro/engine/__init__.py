@@ -1,0 +1,46 @@
+"""Dataset-scale Gram-matrix computation engine (the paper's workload).
+
+The motivating workload — "to obtain a pairwise similarity matrix for a
+dataset of 2000 graphs ... we need to solve a million 10⁴ x 10⁴ linear
+systems" — is a scheduling, caching, and batching problem as much as a
+numerical one.  This package is the single entry point for it:
+
+* :mod:`repro.engine.core`        — :class:`GramEngine` driver
+  (``gram`` / ``diag`` / ``extend``);
+* :mod:`repro.engine.tiles`       — cost-balanced decomposition of the
+  pair space, priced by the scheduler's cycle model;
+* :mod:`repro.engine.executors`   — serial / threads / process backends;
+* :mod:`repro.engine.cache`       — in-memory LRU, on-disk, and tiered
+  kernel-value caches;
+* :mod:`repro.engine.fingerprint` — content-addressed identities for
+  graphs and kernel hyperparameters;
+* :mod:`repro.engine.progress`    — streaming progress events and
+  aggregate diagnostics.
+
+:class:`~repro.kernels.marginalized.MarginalizedGraphKernel` delegates
+its ``__call__`` and ``diag`` here; construct an explicit engine to
+choose an executor, share a disk cache, or extend Grams incrementally.
+"""
+
+from .cache import CachedPair, CacheStats, DiskCache, LRUCache, TieredCache
+from .core import GramEngine
+from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
+from .progress import Diagnostics, ProgressEvent
+from .tiles import Tile, build_pair_jobs, plan_tiles
+
+__all__ = [
+    "CachedPair",
+    "CacheStats",
+    "Diagnostics",
+    "DiskCache",
+    "GramEngine",
+    "LRUCache",
+    "ProgressEvent",
+    "TieredCache",
+    "Tile",
+    "build_pair_jobs",
+    "graph_fingerprint",
+    "kernel_fingerprint",
+    "pair_key",
+    "plan_tiles",
+]

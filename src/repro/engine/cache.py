@@ -1,0 +1,193 @@
+"""Kernel-value caches: in-memory LRU, on-disk store, and a tiered stack.
+
+A cache maps a content-addressed pair key (:func:`repro.engine.
+fingerprint.pair_key`) to one :class:`CachedPair` — the kernel value
+plus the solver diagnostics the Gram drivers report.  All caches share
+a small interface (``get`` / ``put`` / ``__len__`` / ``clear``) plus a
+:class:`CacheStats` counter block, and are safe to share between the
+threads executor's workers.
+
+The disk store writes one small JSON file per entry under a two-level
+fan-out directory (``ab/abcdef....json``), with atomic renames so that
+concurrent writers — including separate CLI invocations sharing a cache
+directory — never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from threading import Lock
+
+
+@dataclass(frozen=True)
+class CachedPair:
+    """One cached kernel evaluation with its solver diagnostics."""
+
+    value: float
+    iterations: int
+    converged: bool
+    residual_norm: float
+
+    def to_json(self) -> dict:
+        return {
+            "value": self.value,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "residual_norm": self.residual_norm,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "CachedPair":
+        return cls(
+            value=float(d["value"]),
+            iterations=int(d["iterations"]),
+            converged=bool(d["converged"]),
+            residual_norm=float(d["residual_norm"]),
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters, cumulative over the cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Bounded in-memory least-recently-used cache (thread-safe)."""
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._data: OrderedDict[str, CachedPair] = OrderedDict()
+        self._lock = Lock()
+
+    def get(self, key: str) -> CachedPair | None:
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: str, entry: CachedPair) -> None:
+        with self._lock:
+            self._data[key] = entry
+            self._data.move_to_end(key)
+            self.stats.puts += 1
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class DiskCache:
+    """Persistent per-entry JSON store under a fan-out directory."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        os.makedirs(self.path, exist_ok=True)
+        self.stats = CacheStats()
+        self._lock = Lock()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.path, key[:2], key + ".json")
+
+    def get(self, key: str) -> CachedPair | None:
+        try:
+            with open(self._entry_path(key)) as fh:
+                entry = CachedPair.from_json(json.load(fh))
+        except (OSError, ValueError, KeyError):
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CachedPair) -> None:
+        target = self._entry_path(key)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry.to_json(), fh)
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.stats.puts += 1
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.path):
+            count += sum(1 for f in files if f.endswith(".json"))
+        return count
+
+    def clear(self) -> None:
+        for root, _, files in os.walk(self.path):
+            for f in files:
+                if f.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(root, f))
+                    except OSError:
+                        pass
+
+
+@dataclass
+class TieredCache:
+    """Memory-in-front-of-disk stack: reads promote, writes go to both."""
+
+    memory: LRUCache = field(default_factory=LRUCache)
+    disk: DiskCache | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def get(self, key: str) -> CachedPair | None:
+        entry = self.memory.get(key)
+        if entry is None and self.disk is not None:
+            entry = self.disk.get(key)
+            if entry is not None:
+                self.memory.put(key, entry)
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CachedPair) -> None:
+        self.memory.put(key, entry)
+        if self.disk is not None:
+            self.disk.put(key, entry)
+        self.stats.puts += 1
+
+    def __len__(self) -> int:
+        return max(len(self.memory), len(self.disk) if self.disk else 0)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()

@@ -1,0 +1,378 @@
+"""The Gram-matrix computation engine (dataset-scale entry point).
+
+:class:`GramEngine` turns "a million linear systems" into a managed
+workload: it decomposes the pair space into cost-balanced tiles
+(:mod:`~repro.engine.tiles`), executes them on a pluggable backend
+(:mod:`~repro.engine.executors`), serves repeated and overlapping
+requests from a content-addressed cache (:mod:`~repro.engine.cache` /
+:mod:`~repro.engine.fingerprint`), and streams progress events
+(:mod:`~repro.engine.progress`).
+
+Beyond full Gram matrices it offers the two operations the learning
+loop actually needs:
+
+* :meth:`GramEngine.diag` — self-similarities that reuse entries a
+  symmetric Gram call already solved;
+* :meth:`GramEngine.extend` — grow an existing Gram matrix by new
+  graphs, solving only the new rows/columns (the incremental workload
+  of the Fig. 9 benchmark, as a real API).
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Sequence
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..kernels.marginalized import GramResult, normalized
+from .cache import CachedPair, DiskCache, LRUCache, TieredCache
+from .executors import EXECUTORS, default_workers, run_tiles
+from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
+from .progress import Diagnostics, ProgressCallback, ProgressEvent, iteration_histogram
+from .tiles import build_pair_jobs, plan_tiles
+
+
+class GramEngine:
+    """Parallel, cached, incremental Gram-matrix driver for one kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The configured :class:`~repro.kernels.marginalized.
+        MarginalizedGraphKernel`.  Hyperparameters are fingerprinted at
+        every call, so mutating the kernel transparently invalidates
+        prior cache entries.
+    executor:
+        ``"serial"`` (default), ``"threads"``, or ``"process"``.
+    max_workers:
+        Pool size for the parallel executors (default: CPU count).
+    tile_pairs / n_tiles:
+        Workload parameterization: fix the pair count per tile, or the
+        tile count (default: cost-balanced packing into 4 tiles per
+        worker).
+    cache:
+        A cache object (:class:`~repro.engine.cache.LRUCache`,
+        :class:`~repro.engine.cache.DiskCache`, or
+        :class:`~repro.engine.cache.TieredCache`), ``None`` for a
+        default in-memory LRU, or ``False`` to disable caching.
+    cache_dir:
+        Convenience: wrap the in-memory cache with an on-disk store at
+        this path (ignored when an explicit ``cache`` is given).
+    cost_model:
+        ``"edges"`` (O(1) per pair, default) or ``"vgpu"`` (full
+        tile-pipeline cost pass) — see :mod:`repro.engine.tiles`.
+    progress:
+        Optional callback receiving :class:`~repro.engine.progress.
+        ProgressEvent` after every completed tile.
+
+    Counters ``solves`` and ``cache_hits`` accumulate across calls
+    (reset with :meth:`reset_counters`); tests and the incremental
+    benchmark use them to assert how much work was actually done.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        executor: str = "serial",
+        max_workers: int | None = None,
+        tile_pairs: int | None = None,
+        n_tiles: int | None = None,
+        cache=None,
+        cache_dir: str | None = None,
+        cost_model: str = "edges",
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; pick from {EXECUTORS}"
+            )
+        self.kernel = kernel
+        self.executor = executor
+        self.max_workers = max_workers
+        self.tile_pairs = tile_pairs
+        self.n_tiles = n_tiles
+        if cache is False:
+            self.cache = None
+        elif cache is not None:
+            self.cache = cache
+        elif cache_dir is not None:
+            self.cache = TieredCache(memory=LRUCache(), disk=DiskCache(cache_dir))
+        else:
+            self.cache = LRUCache()
+        self.cost_model = cost_model
+        self.progress = progress
+        self.solves = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        self.solves = 0
+        self.cache_hits = 0
+
+    def clear_cache(self) -> None:
+        if self.cache is not None:
+            self.cache.clear()
+
+    @property
+    def workers(self) -> int:
+        if self.executor == "serial":
+            return 1
+        return self.max_workers or default_workers()
+
+    # ------------------------------------------------------------------
+    # the shared pair-solving pipeline
+    # ------------------------------------------------------------------
+
+    def _compute_pairs(
+        self,
+        X: Sequence[Graph],
+        Y: Sequence[Graph],
+        positions: list[tuple[int, int]],
+    ) -> tuple[dict[tuple[int, int], CachedPair], Diagnostics]:
+        """Resolve every requested (i, j) via cache or tiled solves.
+
+        Positions whose content-addressed keys coincide (duplicate
+        graphs, symmetric repeats) are deduplicated: one solve fills
+        them all.
+        """
+        t0 = time.perf_counter()
+        kfp = kernel_fingerprint(self.kernel)
+        fx = [graph_fingerprint(g) for g in X]
+        fy = fx if Y is X else [graph_fingerprint(g) for g in Y]
+
+        by_key: dict[str, list[tuple[int, int]]] = {}
+        for pos in positions:
+            by_key.setdefault(pair_key(kfp, fx[pos[0]], fy[pos[1]]), []).append(pos)
+
+        resolved: dict[str, CachedPair] = {}
+        missing: list[tuple[str, tuple[int, int]]] = []
+        for key, posns in by_key.items():
+            entry = self.cache.get(key) if self.cache is not None else None
+            if entry is not None:
+                resolved[key] = entry
+            else:
+                missing.append((key, posns[0]))
+
+        key_of = {rep: key for key, rep in missing}
+        jobs = build_pair_jobs(
+            X,
+            Y,
+            [rep for _, rep in missing],
+            q=self.kernel.q,
+            cost_model=self.cost_model,
+            edge_kernel=self.kernel.edge_kernel,
+        )
+        tiles = plan_tiles(
+            jobs,
+            n_tiles=self.n_tiles,
+            tile_pairs=self.tile_pairs,
+            workers=self.workers,
+        )
+
+        n_total = len(positions)
+        n_hit_positions = n_total - sum(
+            len(by_key[key]) for key, _ in missing
+        )
+        pairs_done = n_hit_positions
+        tiles_done = 0
+        solves = 0
+        for tile, outcomes in run_tiles(
+            self.executor, self.kernel, X, Y, tiles, self.max_workers
+        ):
+            for i, j, value, iters, converged, resnorm in outcomes:
+                entry = CachedPair(value, iters, converged, resnorm)
+                key = key_of[(i, j)]
+                resolved[key] = entry
+                if self.cache is not None:
+                    self.cache.put(key, entry)
+                solves += 1
+                pairs_done += len(by_key[key])
+            tiles_done += 1
+            if self.progress is not None:
+                self.progress(
+                    ProgressEvent(
+                        phase="tile",
+                        tiles_done=tiles_done,
+                        tiles_total=len(tiles),
+                        pairs_done=pairs_done,
+                        pairs_total=n_total,
+                        solves=solves,
+                        # same definition as the final event/Diagnostics:
+                        # every resolved position that was not a solve
+                        # (cache hits and content-duplicate fills)
+                        cache_hits=pairs_done - solves,
+                        elapsed=time.perf_counter() - t0,
+                    )
+                )
+
+        out = {
+            pos: resolved[key] for key, posns in by_key.items() for pos in posns
+        }
+        hits = n_total - solves
+        self.solves += solves
+        self.cache_hits += hits
+        diag = Diagnostics(
+            executor=self.executor,
+            workers=self.workers,
+            tiles=len(tiles),
+            pairs=n_total,
+            solves=solves,
+            cache_hits=hits,
+            wall_time=time.perf_counter() - t0,
+            iteration_histogram=iteration_histogram(
+                np.array([e.iterations for e in out.values()], dtype=int)
+            ),
+            nonconverged_pairs=sorted(
+                pos for pos, e in out.items() if not e.converged
+            ),
+        )
+        if self.progress is not None:
+            self.progress(
+                ProgressEvent(
+                    phase="done",
+                    tiles_done=len(tiles),
+                    tiles_total=len(tiles),
+                    pairs_done=n_total,
+                    pairs_total=n_total,
+                    solves=solves,
+                    cache_hits=hits,
+                    elapsed=diag.wall_time,
+                )
+            )
+        return out, diag
+
+    @staticmethod
+    def _warn_nonconverged(diag: Diagnostics) -> None:
+        if diag.nonconverged_pairs:
+            sample = diag.nonconverged_pairs[:5]
+            warnings.warn(
+                f"{len(diag.nonconverged_pairs)} of {diag.pairs} graph-pair "
+                f"solves did not converge (e.g. {sample}); consider raising "
+                "max_iter or rtol",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    @staticmethod
+    def _result_info(diag: Diagnostics) -> dict:
+        return {
+            "diagnostics": diag,
+            "nonconverged_pairs": diag.nonconverged_pairs,
+            "solves": diag.solves,
+            "cache_hits": diag.cache_hits,
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def gram(
+        self,
+        X: Sequence[Graph],
+        Y: Sequence[Graph] | None = None,
+        normalize: bool = False,
+    ) -> GramResult:
+        """Pairwise similarity matrix K[i, j] = K(X_i, Y_j).
+
+        With ``Y=None`` the symmetric Gram over X is computed from the
+        upper triangle only; ``normalize=True`` rescales to cosine
+        similarities (requires ``Y=None``).
+        """
+        t0 = time.perf_counter()
+        X = list(X)
+        if Y is None:
+            positions = [
+                (i, j) for i in range(len(X)) for j in range(i, len(X))
+            ]
+            entries, diag = self._compute_pairs(X, X, positions)
+            K = np.zeros((len(X), len(X)))
+            iters = np.zeros((len(X), len(X)), dtype=int)
+            for (i, j), e in entries.items():
+                K[i, j] = K[j, i] = e.value
+                iters[i, j] = iters[j, i] = e.iterations
+            if normalize:
+                K = normalized(K)
+        else:
+            if normalize:
+                raise ValueError("normalize requires a symmetric Gram (Y=None)")
+            Y = list(Y)
+            positions = [
+                (i, j) for i in range(len(X)) for j in range(len(Y))
+            ]
+            entries, diag = self._compute_pairs(X, Y, positions)
+            K = np.zeros((len(X), len(Y)))
+            iters = np.zeros((len(X), len(Y)), dtype=int)
+            for (i, j), e in entries.items():
+                K[i, j] = e.value
+                iters[i, j] = e.iterations
+        self._warn_nonconverged(diag)
+        return GramResult(
+            matrix=K,
+            iterations=iters,
+            converged=not diag.nonconverged_pairs,
+            wall_time=time.perf_counter() - t0,
+            info=self._result_info(diag),
+        )
+
+    def diag(self, graphs: Sequence[Graph]) -> np.ndarray:
+        """Self-similarities K(G, G), reusing any cached Gram entries."""
+        graphs = list(graphs)
+        positions = [(i, i) for i in range(len(graphs))]
+        entries, diag = self._compute_pairs(graphs, graphs, positions)
+        self._warn_nonconverged(diag)
+        return np.array([entries[(i, i)].value for i in range(len(graphs))])
+
+    def extend(
+        self,
+        K_old: np.ndarray,
+        old_graphs: Sequence[Graph],
+        new_graphs: Sequence[Graph],
+        normalize: bool = False,
+    ) -> GramResult:
+        """Grow a symmetric Gram matrix by ``new_graphs``.
+
+        Returns the full (N+M) x (N+M) result over ``old_graphs +
+        new_graphs``; only the new cross block and the new-new upper
+        triangle are computed (minus whatever the cache already holds).
+        ``K_old`` must be the *unnormalized* symmetric Gram over
+        ``old_graphs``; pass ``normalize=True`` to cosine-normalize the
+        extended matrix.
+        """
+        t0 = time.perf_counter()
+        old_graphs = list(old_graphs)
+        new_graphs = list(new_graphs)
+        N, M = len(old_graphs), len(new_graphs)
+        K_old = np.asarray(K_old, dtype=np.float64)
+        if K_old.shape != (N, N):
+            raise ValueError(
+                f"K_old shape {K_old.shape} does not match "
+                f"{N} old graphs"
+            )
+        X = old_graphs + new_graphs
+        positions = [
+            (i, j) for j in range(N, N + M) for i in range(j + 1)
+        ]
+        entries, diag = self._compute_pairs(X, X, positions)
+        K = np.zeros((N + M, N + M))
+        K[:N, :N] = K_old
+        iters = np.zeros((N + M, N + M), dtype=int)
+        for (i, j), e in entries.items():
+            K[i, j] = K[j, i] = e.value
+            iters[i, j] = iters[j, i] = e.iterations
+        if normalize:
+            K = normalized(K)
+        self._warn_nonconverged(diag)
+        info = self._result_info(diag)
+        info["reused_pairs"] = N * (N + 1) // 2
+        info["new_pairs"] = len(positions)
+        return GramResult(
+            matrix=K,
+            iterations=iters,
+            converged=not diag.nonconverged_pairs,
+            wall_time=time.perf_counter() - t0,
+            info=info,
+        )

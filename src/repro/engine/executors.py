@@ -1,0 +1,98 @@
+"""Tile executors: serial, thread-pool, and process-pool backends.
+
+All three backends run the same per-pair task — build the product
+system, solve it, return ``(i, j, value, iterations, converged,
+residual_norm)`` — and stream completed tiles back to the engine in
+completion order (the dynamic-work-queue behavior whose makespan the
+scheduler subsystem models).
+
+The process backend ships the dataset once per worker via the pool
+initializer (not once per tile): graphs, base kernels, and the
+configured :class:`~repro.kernels.marginalized.MarginalizedGraphKernel`
+are all plain picklable objects, and each task closure carries only the
+tile's pair-index list.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Iterator, Sequence
+
+from .tiles import Tile
+
+EXECUTORS = ("serial", "threads", "process")
+
+#: One solved pair: (i, j, value, iterations, converged, residual_norm).
+PairOutcome = tuple[int, int, float, int, bool, float]
+
+# Per-process worker state, installed by _init_worker in each pool child.
+_WORKER_STATE: dict = {}
+
+
+def default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def solve_pairs(kernel, X, Y, pairs: Sequence[tuple[int, int]]) -> list[PairOutcome]:
+    """Solve every (i, j) in ``pairs``; the task body all backends share."""
+    out: list[PairOutcome] = []
+    for i, j in pairs:
+        r = kernel.pair(X[i], Y[j])
+        out.append((i, j, r.value, r.iterations, r.converged, r.residual_norm))
+    return out
+
+
+def _init_worker(kernel, X, Y) -> None:
+    _WORKER_STATE["kernel"] = kernel
+    _WORKER_STATE["X"] = X
+    _WORKER_STATE["Y"] = Y
+
+
+def _worker_solve_tile(pairs: Sequence[tuple[int, int]]) -> list[PairOutcome]:
+    return solve_pairs(
+        _WORKER_STATE["kernel"], _WORKER_STATE["X"], _WORKER_STATE["Y"], pairs
+    )
+
+
+def run_tiles(
+    executor: str,
+    kernel,
+    X,
+    Y,
+    tiles: Sequence[Tile],
+    max_workers: int | None = None,
+) -> Iterator[tuple[Tile, list[PairOutcome]]]:
+    """Execute tiles on the chosen backend, yielding in completion order.
+
+    ``executor`` is ``"serial"``, ``"threads"``, or ``"process"``.
+    Tiles should arrive largest-first (see :func:`~repro.engine.tiles.
+    plan_tiles`); with a pool backend that ordering makes the natural
+    work-queue dispatch approximate LPT scheduling.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; pick from {EXECUTORS}")
+    if executor == "serial" or len(tiles) <= 1 or (max_workers or 2) == 1:
+        for tile in tiles:
+            yield tile, solve_pairs(kernel, X, Y, tile.pairs)
+        return
+
+    workers = max_workers or default_workers()
+    if executor == "threads":
+        pool = ThreadPoolExecutor(max_workers=workers)
+        submit = lambda tile: pool.submit(solve_pairs, kernel, X, Y, tile.pairs)
+    else:
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(kernel, list(X), list(Y)),
+        )
+        submit = lambda tile: pool.submit(_worker_solve_tile, tile.pairs)
+
+    with pool:
+        futures = {submit(tile): tile for tile in tiles}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                yield futures[fut], fut.result()

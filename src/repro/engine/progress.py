@@ -1,0 +1,88 @@
+"""Streaming progress events and end-of-run diagnostics for the engine.
+
+The engine emits one :class:`ProgressEvent` per completed tile (plus a
+final ``"done"`` event) to an optional callback, so long Gram runs can
+drive progress bars, log lines, or schedulers without polling.  The
+aggregate :class:`Diagnostics` block — solve/cache counters, a solver
+iteration histogram, the non-converged pair list, wall time — travels
+on ``GramResult.info["diagnostics"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+ProgressCallback = Callable[["ProgressEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Snapshot of a running Gram computation after one tile."""
+
+    phase: str  # "tile" while streaming, "done" at completion
+    tiles_done: int
+    tiles_total: int
+    pairs_done: int
+    pairs_total: int
+    solves: int
+    cache_hits: int
+    elapsed: float
+
+    @property
+    def fraction(self) -> float:
+        return self.pairs_done / self.pairs_total if self.pairs_total else 1.0
+
+
+def iteration_histogram(iterations: np.ndarray) -> dict[str, int]:
+    """Power-of-two-bucket histogram of solver iteration counts.
+
+    Buckets are half-open ``[2^k, 2^(k+1))`` labeled ``"1"``, ``"2-3"``,
+    ``"4-7"``, ...; zero-iteration entries (cache hits recorded as-is,
+    direct solves) land in ``"0"``.
+    """
+    it = np.asarray(iterations).ravel()
+    out: dict[str, int] = {}
+    zeros = int((it == 0).sum())
+    if zeros:
+        out["0"] = zeros
+    pos = it[it > 0]
+    if pos.size:
+        exp = np.floor(np.log2(pos)).astype(int)
+        for e in np.unique(exp):
+            lo, hi = 2**int(e), 2 ** (int(e) + 1) - 1
+            label = str(lo) if lo == hi else f"{lo}-{hi}"
+            out[label] = int((exp == e).sum())
+    return out
+
+
+@dataclass
+class Diagnostics:
+    """Aggregate statistics of one engine call."""
+
+    executor: str
+    workers: int
+    tiles: int
+    pairs: int
+    solves: int
+    cache_hits: int
+    wall_time: float
+    iteration_histogram: dict[str, int] = field(default_factory=dict)
+    nonconverged_pairs: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.solves + self.cache_hits
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable report (used by the CLI)."""
+        return (
+            f"{self.pairs} pairs via {self.executor} x{self.workers} "
+            f"({self.tiles} tiles): {self.solves} solved, "
+            f"{self.cache_hits} cached ({100 * self.cache_hit_rate:.0f}% "
+            f"hit rate), {len(self.nonconverged_pairs)} non-converged, "
+            f"{self.wall_time:.2f} s"
+        )

@@ -1,0 +1,131 @@
+"""Decomposition of the pair space into cost-balanced tiles.
+
+A dataset-scale Gram computation is a bag of independent jobs — one per
+graph pair (i, j) — with a heavy-tailed size distribution (DrugBank
+spans 1-551 atoms, so pair costs span five orders of magnitude).  The
+engine therefore does GNNAdvisor-style workload parameterization:
+estimate each job's cost with the scheduler's :class:`~repro.scheduler.
+jobs.PairJob` cycle model, then pack jobs into tiles of roughly equal
+*cycles* (not equal pair counts), and dispatch tiles largest-first so
+the executor's dynamic work queue approximates LPT list scheduling.
+
+Two cost models are available:
+
+* ``"edges"`` (default) — cycles ∝ nnz(A× ∘ E×) x estimated CG
+  iterations, computed from edge counts alone; O(1) per pair.
+* ``"vgpu"`` — a full :class:`~repro.xmv.pipeline.VgpuPipeline` cost
+  pass per pair (no numeric solve), the same model
+  :func:`repro.scheduler.jobs.build_jobs` uses; much more faithful on
+  tile-structured workloads, but itself O(tiles) per pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..graphs.graph import Graph
+from ..scheduler.jobs import PairJob, estimate_iterations
+
+
+@dataclass
+class Tile:
+    """A batch of pair jobs executed as one schedulable unit."""
+
+    index: int
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    cycles: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def edge_cost_cycles(gx: Graph, gy: Graph, q: float) -> float:
+    """O(1) pair-cost estimate: off-diagonal nnz x estimated iterations.
+
+    The fused operator W = A× ∘ E× has 4 m1 m2 stored entries (both
+    directions of both undirected edge lists), and each CG iteration
+    touches every entry once.
+    """
+    nnz = 4.0 * max(1, gx.n_edges) * max(1, gy.n_edges)
+    return nnz * estimate_iterations(gx.n_nodes, gy.n_nodes, q)
+
+
+def build_pair_jobs(
+    X: Sequence[Graph],
+    Y: Sequence[Graph],
+    pairs: Sequence[tuple[int, int]],
+    q: float = 0.05,
+    cost_model: str = "edges",
+    edge_kernel=None,
+) -> list[PairJob]:
+    """Cost-annotated :class:`PairJob` records for an explicit pair list.
+
+    ``pairs`` indexes rows into X and columns into Y (for symmetric
+    Grams, pass the same sequence twice).
+    """
+    if cost_model == "edges":
+        return [
+            PairJob(i=i, j=j, cycles=edge_cost_cycles(X[i], Y[j], q))
+            for i, j in pairs
+        ]
+    if cost_model == "vgpu":
+        from ..xmv.pipeline import VgpuPipeline
+
+        if edge_kernel is None:
+            raise ValueError("cost_model='vgpu' needs the edge kernel")
+        jobs = []
+        for i, j in pairs:
+            pipe = VgpuPipeline(X[i], Y[j], edge_kernel)
+            iters = estimate_iterations(X[i].n_nodes, Y[j].n_nodes, q)
+            jobs.append(
+                PairJob(i=i, j=j, cycles=pipe.per_matvec_effective_cycles * iters)
+            )
+        return jobs
+    raise ValueError(f"unknown cost model {cost_model!r}")
+
+
+def plan_tiles(
+    jobs: Sequence[PairJob],
+    n_tiles: int | None = None,
+    tile_pairs: int | None = None,
+    workers: int = 1,
+) -> list[Tile]:
+    """Pack jobs into cost-balanced tiles, returned largest-first.
+
+    ``tile_pairs`` fixes the pair count per tile (simple chunking after
+    an LPT sort); otherwise ``n_tiles`` tiles are packed greedily by
+    cycles (LPT onto bins).  The default ``n_tiles`` is 4 tiles per
+    worker — enough slack for the dynamic queue to rebalance, few
+    enough to amortize task dispatch.
+    """
+    if not jobs:
+        return []
+    ordered = sorted(jobs, key=lambda j: -j.cycles)
+    if tile_pairs is not None:
+        if tile_pairs < 1:
+            raise ValueError("tile_pairs must be positive")
+        tiles = []
+        for k in range(0, len(ordered), tile_pairs):
+            chunk = ordered[k : k + tile_pairs]
+            tiles.append(
+                Tile(
+                    index=len(tiles),
+                    pairs=[(j.i, j.j) for j in chunk],
+                    cycles=sum(j.cycles for j in chunk),
+                )
+            )
+    else:
+        if n_tiles is None:
+            n_tiles = max(1, 4 * workers)
+        n_tiles = min(n_tiles, len(ordered))
+        tiles = [Tile(index=k) for k in range(n_tiles)]
+        # Greedy LPT: biggest remaining job to the currently lightest tile.
+        for job in ordered:
+            tile = min(tiles, key=lambda t: t.cycles)
+            tile.pairs.append((job.i, job.j))
+            tile.cycles += job.cycles
+    tiles.sort(key=lambda t: -t.cycles)
+    for k, t in enumerate(tiles):
+        t.index = k
+    return tiles

@@ -21,11 +21,15 @@ Engines
 
 Solvers: ``pcg`` (Algorithm 1, default), ``cg``, ``fixed_point``,
 ``direct``.
+
+Dataset-scale calls (``__call__``, :meth:`MarginalizedGraphKernel.diag`)
+delegate to :class:`repro.engine.GramEngine`, which tiles the pair
+space, runs pluggable serial/thread/process executors, and serves
+repeats from a content-addressed kernel cache.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -62,7 +66,13 @@ class PairResult:
 
 @dataclass
 class GramResult:
-    """A full pairwise similarity matrix with aggregate diagnostics."""
+    """A full pairwise similarity matrix with aggregate diagnostics.
+
+    ``info`` carries the engine's bookkeeping: ``"diagnostics"`` (a
+    :class:`repro.engine.progress.Diagnostics`), ``"nonconverged_pairs"``
+    (the (i, j) list of solves that hit the iteration cap), and the
+    ``"solves"`` / ``"cache_hits"`` counters for this call.
+    """
 
     matrix: np.ndarray
     iterations: np.ndarray
@@ -132,8 +142,37 @@ class MarginalizedGraphKernel:
         self.rtol = rtol
         self.max_iter = max_iter
         self.vgpu_options = dict(vgpu_options or {})
+        self._gram_engine = None
 
     # ------------------------------------------------------------------
+
+    @property
+    def gram_engine(self):
+        """The :class:`~repro.engine.GramEngine` behind dataset calls.
+
+        Lazily constructed with the defaults (serial executor, in-memory
+        LRU cache); assign a configured engine to opt into parallel
+        executors, disk caching, or progress streaming.  The cache keys
+        include a hyperparameter fingerprint, so mutating this kernel's
+        parameters invalidates prior entries automatically.
+        """
+        if self._gram_engine is None:
+            from ..engine import GramEngine
+
+            self._gram_engine = GramEngine(self)
+        return self._gram_engine
+
+    @gram_engine.setter
+    def gram_engine(self, value) -> None:
+        self._gram_engine = value
+
+    def __getstate__(self) -> dict:
+        # Engines hold caches (locks) and progress callbacks that must
+        # not travel to process-pool workers; each process rebuilds a
+        # default engine lazily if it needs one.
+        state = self.__dict__.copy()
+        state["_gram_engine"] = None
+        return state
 
     def build_system(self, g1: Graph, g2: Graph) -> ProductSystem:
         """Assemble the product system for one pair under this engine."""
@@ -188,8 +227,13 @@ class MarginalizedGraphKernel:
         return self.pair(g1, g2, nodal=True).nodal
 
     def diag(self, graphs: Sequence[Graph]) -> np.ndarray:
-        """Self-similarities K(G, G) for each graph."""
-        return np.array([self.pair(g, g).value for g in graphs])
+        """Self-similarities K(G, G) for each graph.
+
+        Served by the engine's content-addressed cache: self-pairs
+        already solved by a symmetric Gram call (or a prior ``diag``)
+        are not re-solved.
+        """
+        return self.gram_engine.diag(graphs)
 
     def __call__(
         self,
@@ -202,39 +246,13 @@ class MarginalizedGraphKernel:
         With ``Y=None`` the symmetric Gram matrix over X is computed,
         evaluating only the upper triangle.  ``normalize=True`` rescales
         to cosine similarities K_ij / sqrt(K_ii K_jj) (requires Y=None).
+
+        Delegates to :attr:`gram_engine`; configure that engine (or
+        build a :class:`repro.engine.GramEngine` directly) for parallel
+        executors, disk caching, incremental extension, and progress
+        streaming.
         """
-        t0 = time.perf_counter()
-        if Y is None:
-            nX = len(X)
-            K = np.zeros((nX, nX))
-            iters = np.zeros((nX, nX), dtype=int)
-            ok = True
-            for i in range(nX):
-                for j in range(i, nX):
-                    r = self.pair(X[i], X[j])
-                    K[i, j] = K[j, i] = r.value
-                    iters[i, j] = iters[j, i] = r.iterations
-                    ok = ok and r.converged
-            if normalize:
-                K = normalized(K)
-        else:
-            if normalize:
-                raise ValueError("normalize requires a symmetric Gram (Y=None)")
-            K = np.zeros((len(X), len(Y)))
-            iters = np.zeros((len(X), len(Y)), dtype=int)
-            ok = True
-            for i, gx in enumerate(X):
-                for j, gy in enumerate(Y):
-                    r = self.pair(gx, gy)
-                    K[i, j] = r.value
-                    iters[i, j] = r.iterations
-                    ok = ok and r.converged
-        return GramResult(
-            matrix=K,
-            iterations=iters,
-            converged=ok,
-            wall_time=time.perf_counter() - t0,
-        )
+        return self.gram_engine.gram(X, Y, normalize=normalize)
 
 
 def normalized(K: np.ndarray) -> np.ndarray:

@@ -14,6 +14,11 @@ provides the downstream consumers the examples use:
 
 from .gpr import GaussianProcessRegressor
 from .kpca import kernel_pca
-from .knn import kernel_knn_predict
+from .knn import kernel_knn_graphs, kernel_knn_predict
 
-__all__ = ["GaussianProcessRegressor", "kernel_knn_predict", "kernel_pca"]
+__all__ = [
+    "GaussianProcessRegressor",
+    "kernel_knn_graphs",
+    "kernel_knn_predict",
+    "kernel_pca",
+]

@@ -5,11 +5,18 @@ matrix: fit on K(train, train), predict from K(test, train).  Positive
 definiteness of the kernel (guaranteed by the base-kernel range
 conditions of Section II-B) is what makes the Cholesky factorization
 below succeed — the test suite uses that as an end-to-end SPD check.
+
+With an ``engine`` (:class:`repro.engine.GramEngine`) attached, the
+regressor also works directly on graphs: :meth:`GaussianProcessRegressor.
+fit_graphs` / :meth:`~GaussianProcessRegressor.predict_graphs` compute
+the required Gram blocks through the engine — sharing its cache, so a
+fit followed by predictions never re-solves a pair.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 import scipy.linalg
@@ -26,14 +33,21 @@ class GaussianProcessRegressor:
         numerical jitter).
     normalize_y:
         Center/scale the targets before fitting.
+    engine:
+        Optional :class:`repro.engine.GramEngine` enabling the
+        graph-level API (:meth:`fit_graphs` / :meth:`predict_graphs`).
     """
 
     alpha: float = 1e-8
     normalize_y: bool = True
+    engine: Any | None = None
     _L: np.ndarray | None = field(default=None, repr=False)
     _dual: np.ndarray | None = field(default=None, repr=False)
     _y_mean: float = 0.0
     _y_std: float = 1.0
+    _train_graphs: list | None = field(default=None, repr=False)
+    _train_diag: np.ndarray | None = field(default=None, repr=False)
+    _normalize_kernel: bool = False
 
     def fit(self, K: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
         """Fit from the training Gram matrix K (n x n) and targets y."""
@@ -60,12 +74,17 @@ class GaussianProcessRegressor:
         return self
 
     def predict(
-        self, K_star: np.ndarray, return_std: bool = False
+        self,
+        K_star: np.ndarray,
+        return_std: bool = False,
+        K_test_diag: np.ndarray | None = None,
     ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         """Predict from K(test, train); optionally with posterior stddev.
 
-        ``return_std`` additionally needs the test self-similarities; for
-        normalized kernels those are 1, which is what we assume.
+        ``return_std`` additionally needs the test self-similarities
+        ``K_test_diag``; when omitted they default to 1, which is exact
+        for cosine-normalized kernels only.  Pass the true diagonal
+        (e.g. from ``engine.diag(test_graphs)``) for raw kernels.
         """
         if self._dual is None or self._L is None:
             raise RuntimeError("fit() first")
@@ -73,9 +92,68 @@ class GaussianProcessRegressor:
         mu = K_star @ self._dual * self._y_std + self._y_mean
         if not return_std:
             return mu
+        if K_test_diag is None:
+            prior = np.ones(K_star.shape[0])
+        else:
+            prior = np.asarray(K_test_diag, dtype=np.float64)
+            if prior.shape != (K_star.shape[0],):
+                raise ValueError("K_test_diag length must match test rows")
         v = scipy.linalg.solve_triangular(self._L, K_star.T, lower=True)
-        var = np.maximum(1.0 - np.einsum("ij,ij->j", v, v), 0.0)
+        var = np.maximum(prior - np.einsum("ij,ij->j", v, v), 0.0)
         return mu, np.sqrt(var) * self._y_std
+
+    # ------------------------------------------------------------------
+    # graph-level API through the engine
+    # ------------------------------------------------------------------
+
+    def _require_engine(self):
+        if self.engine is None:
+            raise RuntimeError(
+                "attach an engine (GaussianProcessRegressor(engine=...)) "
+                "to use the graph-level API"
+            )
+        return self.engine
+
+    def fit_graphs(
+        self, graphs: Sequence, y: np.ndarray, normalize: bool = False
+    ) -> "GaussianProcessRegressor":
+        """Fit directly on graphs: the engine computes K(train, train)."""
+        from ..kernels.marginalized import normalized
+
+        engine = self._require_engine()
+        res = engine.gram(graphs)
+        K = res.matrix
+        self._train_diag = np.diagonal(K).copy()
+        self._normalize_kernel = normalize
+        if normalize:
+            K = normalized(K)
+        self._train_graphs = list(graphs)
+        return self.fit(K, y)
+
+    def predict_graphs(
+        self, graphs: Sequence, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Predict for new graphs: the engine computes K(test, train).
+
+        The test self-similarities come from ``engine.diag`` (cached),
+        so ``return_std`` is exact for raw and normalized kernels alike.
+        """
+        engine = self._require_engine()
+        if self._train_graphs is None:
+            raise RuntimeError("fit_graphs() first")
+        K_star = engine.gram(graphs, self._train_graphs).matrix
+        if not (self._normalize_kernel or return_std):
+            return self.predict(K_star)  # self-similarities not needed
+        test_diag = engine.diag(graphs)
+        if self._normalize_kernel:
+            assert self._train_diag is not None
+            K_star = K_star / np.sqrt(
+                np.outer(test_diag, self._train_diag)
+            )
+            test_diag = np.ones(len(K_star))
+        if not return_std:
+            return self.predict(K_star)
+        return self.predict(K_star, return_std=True, K_test_diag=test_diag)
 
     def log_marginal_likelihood(self, y: np.ndarray) -> float:
         """Log p(y | K) of the fitted model (up to the constant term)."""

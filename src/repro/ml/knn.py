@@ -3,9 +3,15 @@
 The kernel defines a feature-space distance
 d(x, y)² = K(x,x) + K(y,y) − 2 K(x,y); with a normalized kernel this is
 2 (1 − K(x,y)), so nearest neighbours are simply the most similar items.
+
+:func:`kernel_knn_graphs` runs the whole pipeline directly on graphs
+through a :class:`repro.engine.GramEngine` — cross block and both
+diagonals come from the engine (and therefore from its cache).
 """
 
 from __future__ import annotations
+
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -58,3 +64,27 @@ def kernel_knn_predict(
             sims = {c: K_test_train[i, nn][labels[nn] == c].sum() for c in best}
             out[i] = max(sims, key=sims.get)
     return out
+
+
+def kernel_knn_graphs(
+    train_graphs: Sequence,
+    train_labels: np.ndarray,
+    test_graphs: Sequence,
+    engine: Any,
+    k: int = 3,
+) -> np.ndarray:
+    """k-NN classification of graphs through a Gram engine.
+
+    Computes K(test, train) and both self-similarity diagonals via
+    ``engine`` (:class:`repro.engine.GramEngine`), then votes with
+    :func:`kernel_knn_predict` using the exact kernel-induced distance
+    (no unit-diagonal assumption).
+    """
+    K_cross = engine.gram(test_graphs, train_graphs).matrix
+    return kernel_knn_predict(
+        K_cross,
+        train_labels,
+        k=k,
+        K_test_diag=engine.diag(test_graphs),
+        K_train_diag=engine.diag(train_graphs),
+    )

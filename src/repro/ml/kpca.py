@@ -2,17 +2,42 @@
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 import numpy as np
 
 
-def kernel_pca(K: np.ndarray, n_components: int = 2) -> np.ndarray:
+def kernel_pca(
+    K: np.ndarray | None = None,
+    n_components: int = 2,
+    *,
+    graphs: Sequence | None = None,
+    engine: Any | None = None,
+    normalize: bool = False,
+) -> np.ndarray:
     """Embed items into the top principal directions of feature space.
 
     Standard KPCA: double-center the Gram matrix, eigendecompose, and
     scale eigenvectors by the root eigenvalues.  Returns an
     (n, n_components) coordinate array.  Components beyond the numeric
     rank come out as zeros.
+
+    Either pass a precomputed ``K``, or pass ``graphs`` plus an
+    ``engine`` (:class:`repro.engine.GramEngine`) and the Gram matrix is
+    computed — and cached — through the engine; ``normalize`` then
+    requests cosine normalization first.
     """
+    if K is None:
+        if graphs is None or engine is None:
+            raise ValueError("pass K, or graphs together with engine")
+        K = engine.gram(graphs, normalize=normalize).matrix
+    elif graphs is not None or engine is not None:
+        raise ValueError("pass either K or graphs/engine, not both")
+    elif normalize:
+        raise ValueError(
+            "normalize applies only to the graphs/engine path; "
+            "pass an already-normalized K instead"
+        )
     K = np.asarray(K, dtype=np.float64)
     if K.ndim != 2 or K.shape[0] != K.shape[1]:
         raise ValueError("K must be square")

@@ -38,6 +38,7 @@ def grid_search(
     grid: Mapping[str, Sequence],
     alpha: float = 1e-6,
     scoring: str = "lml",
+    engine_options: Mapping | None = None,
 ) -> TuningResult:
     """Exhaustive search over kernel hyperparameters.
 
@@ -51,6 +52,13 @@ def grid_search(
     scoring:
         "lml" (maximize GP log marginal likelihood) or "loocv"
         (minimize leave-one-out MAE).
+    engine_options:
+        When given, each candidate's Gram matrix is computed through a
+        :class:`repro.engine.GramEngine` built with these keyword
+        arguments (executor, workers, cache, ...).  Pass a shared
+        ``cache`` object to reuse kernel evaluations across candidates
+        that revisit a hyperparameter point — content-addressed keys
+        keep distinct candidates from colliding.
     """
     y = np.asarray(y, dtype=np.float64)
     if scoring not in ("lml", "loocv"):
@@ -61,6 +69,10 @@ def grid_search(
     for values in product(*(grid[n] for n in names)):
         params = dict(zip(names, values))
         mgk = kernel_factory(**params)
+        if engine_options is not None:
+            from ..engine import GramEngine
+
+            mgk.gram_engine = GramEngine(mgk, **engine_options)
         K = normalized(mgk(graphs).matrix)
         gpr = GaussianProcessRegressor(alpha=alpha).fit(K, y)
         if scoring == "lml":

@@ -1,0 +1,410 @@
+"""Engine subsystem tests: executor equivalence, caching, incremental
+extension, tiling, fingerprints, diagnostics, and the ml engine paths.
+
+The load-bearing properties (ISSUE 1 acceptance criteria):
+
+* every executor — and cached vs. cold, and extend vs. recompute — is
+  ``allclose``-equal to the naive serial pair loop;
+* ``extend`` after adding graphs performs only the new pair solves
+  (asserted via the engine's solve/cache counters);
+* changing any kernel hyperparameter invalidates the cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GramEngine, MarginalizedGraphKernel
+from repro.engine import (
+    CachedPair,
+    DiskCache,
+    LRUCache,
+    TieredCache,
+    build_pair_jobs,
+    graph_fingerprint,
+    kernel_fingerprint,
+    plan_tiles,
+)
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.ml import (
+    GaussianProcessRegressor,
+    kernel_knn_graphs,
+    kernel_knn_predict,
+    kernel_pca,
+)
+from repro.ml.tuning import grid_search
+
+NK, EK = synthetic_kernels()
+
+
+def make_graphs(n, size=6, seed0=100):
+    return [
+        random_labeled_graph(size, density=0.5, weighted=True, seed=seed0 + k)
+        for k in range(n)
+    ]
+
+
+def make_kernel(q=0.2, **kw):
+    return MarginalizedGraphKernel(NK, EK, q=q, **kw)
+
+
+def naive_gram(mgk, X, Y=None):
+    """The pre-engine serial double loop, as the oracle."""
+    ys = X if Y is None else Y
+    return np.array([[mgk.pair(a, b).value for b in ys] for a in X])
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return make_graphs(8)
+
+
+@pytest.fixture(scope="module")
+def K_naive(graphs):
+    return naive_gram(make_kernel(), graphs)
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("executor", ["serial", "threads", "process"])
+    def test_symmetric_matches_naive(self, graphs, K_naive, executor):
+        eng = GramEngine(make_kernel(), executor=executor, max_workers=2)
+        res = eng.gram(graphs)
+        assert np.allclose(res.matrix, K_naive, rtol=1e-12)
+        assert res.converged
+        assert np.allclose(res.matrix, res.matrix.T)
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "process"])
+    def test_rectangular_matches_naive(self, graphs, executor):
+        mgk = make_kernel()
+        eng = GramEngine(mgk, executor=executor, max_workers=2)
+        K = eng.gram(graphs[:3], graphs[3:]).matrix
+        assert np.allclose(K, naive_gram(mgk, graphs[:3], graphs[3:]),
+                           rtol=1e-12)
+
+    def test_acceptance_process_20_graphs(self):
+        """ISSUE 1 acceptance: process executor == serial loop, 20 graphs."""
+        gs = make_graphs(20, seed0=300)
+        eng = GramEngine(make_kernel(), executor="process", max_workers=2)
+        K = eng.gram(gs).matrix
+        assert np.allclose(K, naive_gram(make_kernel(), gs), rtol=1e-12)
+
+
+class TestCache:
+    def test_warm_call_solves_nothing(self, graphs, K_naive):
+        eng = GramEngine(make_kernel())
+        cold = eng.gram(graphs)
+        assert cold.info["solves"] == 8 * 9 // 2
+        warm = eng.gram(graphs)
+        assert warm.info["solves"] == 0
+        assert warm.info["cache_hits"] == 8 * 9 // 2
+        assert np.array_equal(cold.matrix, warm.matrix)
+        assert np.array_equal(cold.iterations, warm.iterations)
+        assert np.allclose(warm.matrix, K_naive, rtol=1e-12)
+
+    def test_diag_reuses_symmetric_gram_entries(self, graphs):
+        eng = GramEngine(make_kernel())
+        K = eng.gram(graphs).matrix
+        before = eng.solves
+        d = eng.diag(graphs)
+        assert eng.solves == before  # all self-pairs already cached
+        assert np.array_equal(d, np.diagonal(K))
+
+    def test_kernel_diag_method_is_cache_aware(self, graphs):
+        mgk = make_kernel()
+        K = mgk(graphs).matrix
+        before = mgk.gram_engine.solves
+        d = mgk.diag(graphs)
+        assert mgk.gram_engine.solves == before
+        assert np.array_equal(d, np.diagonal(K))
+
+    def test_hyperparameter_change_invalidates(self, graphs):
+        mgk = make_kernel()
+        eng = GramEngine(mgk)
+        eng.gram(graphs)
+        mgk.q = 0.3  # mutate in place: fingerprints must change
+        res = eng.gram(graphs)
+        assert res.info["solves"] == 8 * 9 // 2
+        assert res.info["cache_hits"] == 0
+        mgk.q = 0.2  # original entries are still addressable
+        assert eng.gram(graphs).info["solves"] == 0
+
+    def test_duplicate_graphs_deduplicated(self):
+        g = make_graphs(1)[0]
+        eng = GramEngine(make_kernel())
+        res = eng.gram([g, g, g])
+        # 6 requested pairs, all content-identical -> one solve
+        assert res.info["solves"] == 1
+        assert res.info["cache_hits"] == 5
+        assert np.allclose(res.matrix, res.matrix[0, 0])
+
+    def test_cache_disabled(self, graphs):
+        eng = GramEngine(make_kernel(), cache=False)
+        eng.gram(graphs[:3])
+        res = eng.gram(graphs[:3])
+        assert res.info["solves"] == 6
+
+    def test_lru_eviction(self):
+        c = LRUCache(maxsize=2)
+        for k in "abc":
+            c.put(k, CachedPair(1.0, 1, True, 0.0))
+        assert len(c) == 2
+        assert c.get("a") is None
+        assert c.get("c") is not None
+
+
+class TestDiskCache:
+    def test_roundtrip_across_engines(self, tmp_path, graphs, K_naive):
+        eng1 = GramEngine(make_kernel(), cache_dir=str(tmp_path / "kv"))
+        eng1.gram(graphs)
+        # A fresh engine (fresh process in real life) hits the disk store.
+        eng2 = GramEngine(make_kernel(), cache_dir=str(tmp_path / "kv"))
+        res = eng2.gram(graphs)
+        assert res.info["solves"] == 0
+        assert np.allclose(res.matrix, K_naive, rtol=1e-12)
+
+    def test_entry_roundtrip(self, tmp_path):
+        dc = DiskCache(tmp_path / "store")
+        entry = CachedPair(0.125, 17, True, 3.5e-10)
+        dc.put("ab" + "0" * 38, entry)
+        assert dc.get("ab" + "0" * 38) == entry
+        assert dc.get("cd" + "0" * 38) is None
+        assert len(dc) == 1
+        dc.clear()
+        assert len(dc) == 0
+
+    def test_tiered_promotes_to_memory(self, tmp_path):
+        tc = TieredCache(memory=LRUCache(8), disk=DiskCache(tmp_path / "s"))
+        tc.put("k" * 40, CachedPair(1.0, 2, True, 0.0))
+        tc.memory.clear()
+        assert tc.get("k" * 40) is not None
+        assert tc.memory.get("k" * 40) is not None
+
+
+class TestExtend:
+    def test_extend_matches_full_recompute(self):
+        """ISSUE 1 acceptance: extend solves only the new pairs."""
+        old, new = make_graphs(20, seed0=400), make_graphs(5, seed0=900)
+        eng = GramEngine(make_kernel())
+        K_old = eng.gram(old).matrix
+        before = eng.solves
+        ext = eng.extend(K_old, old, new)
+        # 5 new graphs against 25 total: 5*20 cross + 15 new-new pairs.
+        assert eng.solves - before == 5 * 20 + 5 * 6 // 2
+        assert ext.info["reused_pairs"] == 20 * 21 // 2
+        full = GramEngine(make_kernel(), cache=False).gram(old + new)
+        assert np.allclose(ext.matrix, full.matrix, rtol=1e-12)
+
+    def test_extend_normalize(self, graphs):
+        eng = GramEngine(make_kernel())
+        K_old = eng.gram(graphs[:5]).matrix
+        ext = eng.extend(K_old, graphs[:5], graphs[5:], normalize=True)
+        assert np.allclose(np.diagonal(ext.matrix), 1.0)
+
+    def test_extend_shape_validation(self, graphs):
+        eng = GramEngine(make_kernel())
+        with pytest.raises(ValueError):
+            eng.extend(np.eye(3), graphs[:4], graphs[4:])
+
+
+class TestTiling:
+    def test_tiles_cover_pairs_exactly_once(self, graphs):
+        pairs = [(i, j) for i in range(8) for j in range(i, 8)]
+        jobs = build_pair_jobs(graphs, graphs, pairs, q=0.2)
+        tiles = plan_tiles(jobs, workers=3)
+        seen = [p for t in tiles for p in t.pairs]
+        assert sorted(seen) == sorted(pairs)
+        # largest-first dispatch order (LPT under a dynamic queue)
+        cycles = [t.cycles for t in tiles]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_tile_pairs_chunking(self, graphs):
+        pairs = [(i, j) for i in range(8) for j in range(i, 8)]
+        jobs = build_pair_jobs(graphs, graphs, pairs, q=0.2)
+        tiles = plan_tiles(jobs, tile_pairs=10)
+        assert sorted(len(t) for t in tiles) == [6, 10, 10, 10]
+
+    def test_vgpu_cost_model(self, graphs):
+        jobs = build_pair_jobs(
+            graphs, graphs, [(0, 1), (2, 3)], q=0.2,
+            cost_model="vgpu", edge_kernel=EK,
+        )
+        assert all(j.cycles > 0 for j in jobs)
+
+
+class TestFingerprints:
+    def test_graph_fingerprint_ignores_name(self, graphs):
+        g = graphs[0]
+        import dataclasses
+
+        g2 = dataclasses.replace(g, name="renamed")
+        assert graph_fingerprint(g) == graph_fingerprint(g2)
+
+    def test_graph_fingerprint_sees_content(self, graphs):
+        g = graphs[0]
+        g2 = g.with_uniform_weights()
+        assert graph_fingerprint(g) != graph_fingerprint(g2)
+
+    def test_kernel_fingerprint_sees_hyperparameters(self):
+        assert kernel_fingerprint(make_kernel(q=0.2)) != kernel_fingerprint(
+            make_kernel(q=0.25)
+        )
+        assert kernel_fingerprint(make_kernel(solver="cg")) != (
+            kernel_fingerprint(make_kernel(solver="pcg"))
+        )
+        assert kernel_fingerprint(make_kernel()) == kernel_fingerprint(
+            make_kernel()
+        )
+
+
+class TestDiagnostics:
+    def test_progress_events_stream(self, graphs):
+        events = []
+        eng = GramEngine(make_kernel(), progress=events.append, n_tiles=4)
+        eng.gram(graphs)
+        assert events[-1].phase == "done"
+        assert events[-1].pairs_done == events[-1].pairs_total == 36
+        tiles = [e for e in events if e.phase == "tile"]
+        assert len(tiles) == 4
+        assert [e.tiles_done for e in tiles] == [1, 2, 3, 4]
+
+    def test_nonconvergence_warns_and_records(self, graphs):
+        mgk = make_kernel(max_iter=1, rtol=1e-12)
+        eng = GramEngine(mgk)
+        with pytest.warns(RuntimeWarning, match="did not converge"):
+            res = eng.gram(graphs[:3])
+        assert not res.converged
+        assert res.info["nonconverged_pairs"]
+        for i, j in res.info["nonconverged_pairs"]:
+            assert 0 <= i <= j < 3
+
+    def test_progress_cache_hits_consistent(self):
+        # cache_hits must mean "resolved without a solve" in every
+        # event, including content-duplicate fills with caching off
+        g = make_graphs(1)[0]
+        events = []
+        eng = GramEngine(make_kernel(), cache=False, progress=events.append)
+        eng.gram([g, g, g])
+        for ev in events:
+            assert ev.cache_hits == ev.pairs_done - ev.solves
+        assert events[-1].cache_hits == 5
+
+    def test_kernel_pickles_without_attached_engine(self, graphs):
+        # spawn-based process pools pickle the kernel; the attached
+        # engine (locks, callbacks) must be dropped in transit
+        import pickle
+
+        mgk = make_kernel()
+        mgk.gram_engine = GramEngine(
+            mgk, executor="process", progress=lambda ev: None
+        )
+        mgk.gram_engine.gram(graphs[:2])
+        clone = pickle.loads(pickle.dumps(mgk))
+        assert clone._gram_engine is None
+        assert clone.pair(graphs[0], graphs[1]).value == pytest.approx(
+            mgk.pair(graphs[0], graphs[1]).value
+        )
+
+    def test_iteration_histogram_present(self, graphs):
+        eng = GramEngine(make_kernel())
+        res = eng.gram(graphs[:3])
+        hist = res.info["diagnostics"].iteration_histogram
+        assert sum(hist.values()) == 6
+
+
+class TestMlEnginePaths:
+    def test_gpr_predict_with_explicit_test_diag(self, graphs, K_naive):
+        y = np.linspace(0.0, 1.0, 8)
+        gpr = GaussianProcessRegressor(alpha=1e-6).fit(K_naive[:6, :6], y[:6])
+        K_star = K_naive[6:, :6]
+        diag = np.diagonal(K_naive)[6:]
+        mu0, s_unit = gpr.predict(K_star, return_std=True)
+        mu1, s_diag = gpr.predict(K_star, return_std=True, K_test_diag=diag)
+        assert np.allclose(mu0, mu1)
+        # the honest posterior variance uses K(x*, x*), not 1
+        import scipy.linalg
+
+        v = scipy.linalg.solve_triangular(gpr._L, K_star.T, lower=True)
+        var = np.maximum(diag - np.einsum("ij,ij->j", v, v), 0.0)
+        assert np.allclose(s_diag, np.sqrt(var) * gpr._y_std)
+        assert not np.allclose(s_diag, s_unit)
+
+    def test_gpr_graph_api_matches_matrix_api(self, graphs, K_naive):
+        y = np.linspace(-1.0, 1.0, 6)
+        eng = GramEngine(make_kernel())
+        gpr = GaussianProcessRegressor(alpha=1e-6, engine=eng)
+        gpr.fit_graphs(graphs[:6], y)
+        mu, std = gpr.predict_graphs(graphs[6:], return_std=True)
+        ref = GaussianProcessRegressor(alpha=1e-6).fit(K_naive[:6, :6], y)
+        mu_ref, std_ref = ref.predict(
+            K_naive[6:, :6], return_std=True,
+            K_test_diag=np.diagonal(K_naive)[6:],
+        )
+        assert np.allclose(mu, mu_ref, rtol=1e-9)
+        assert np.allclose(std, std_ref, rtol=1e-9)
+
+    def test_knn_graph_api_matches_matrix_api(self, graphs, K_naive):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        eng = GramEngine(make_kernel())
+        got = kernel_knn_graphs(graphs[:6], labels, graphs[6:], eng, k=3)
+        ref = kernel_knn_predict(
+            K_naive[6:, :6], labels, k=3,
+            K_test_diag=np.diagonal(K_naive)[6:],
+            K_train_diag=np.diagonal(K_naive)[:6],
+        )
+        assert np.array_equal(got, ref)
+
+    def test_kpca_graph_api_matches_matrix_api(self, graphs, K_naive):
+        eng = GramEngine(make_kernel())
+        a = kernel_pca(graphs=graphs, engine=eng, n_components=2)
+        b = kernel_pca(K_naive, n_components=2)
+        assert np.allclose(np.abs(a), np.abs(b), atol=1e-8)
+        with pytest.raises(ValueError):
+            kernel_pca(K_naive, graphs=graphs, engine=eng)
+        with pytest.raises(ValueError):
+            kernel_pca(K_naive, normalize=True)  # would be silently ignored
+
+    def test_gpr_predict_graphs_skips_diag_when_unneeded(self, graphs):
+        y = np.linspace(-1.0, 1.0, 6)
+        eng = GramEngine(make_kernel())
+        gpr = GaussianProcessRegressor(alpha=1e-6, engine=eng)
+        gpr.fit_graphs(graphs[:6], y)
+        before = eng.solves
+        gpr.predict_graphs(graphs[6:])  # raw kernel, mean only
+        # only the 2x6 cross block is solved; no test self-similarities
+        assert eng.solves - before == 12
+
+    def test_grid_search_engine_options_shared_cache(self, graphs):
+        y = np.linspace(0.0, 1.0, 8)
+        cache = LRUCache()
+        res = grid_search(
+            graphs, y, make_kernel, {"q": [0.2, 0.4]},
+            engine_options={"cache": cache},
+        )
+        ref = grid_search(graphs, y, make_kernel, {"q": [0.2, 0.4]})
+        assert res.params == ref.params
+        assert np.allclose(res.gram, ref.gram)
+        assert len(cache) == 2 * (8 * 9 // 2)
+
+
+class TestEngineProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10**5),
+        st.floats(min_value=0.05, max_value=0.8),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_engine_equals_naive_loop(self, n, seed, q):
+        gs = [
+            random_labeled_graph(4, density=0.6, weighted=True, seed=seed + k)
+            for k in range(n)
+        ]
+        mgk = MarginalizedGraphKernel(NK, EK, q=q)
+        eng = GramEngine(mgk)
+        cold = eng.gram(gs).matrix
+        warm = eng.gram(gs).matrix
+        assert np.allclose(cold, naive_gram(mgk, gs), rtol=1e-10)
+        assert np.array_equal(cold, warm)
