@@ -15,7 +15,7 @@ of magnitude faster; ``extend`` performs exactly the new-pair solves.
 
 import numpy as np
 
-from conftest import SCALE, banner
+from conftest import SCALE, banner, write_bench_json
 from repro import GramEngine, MarginalizedGraphKernel
 from repro.graphs.datasets import drugbank_dataset
 from repro.kernels.basekernels import molecule_kernels
@@ -38,6 +38,7 @@ def run_engine_workload():
     ext_solves, ext_t = eng.solves - before, ext.wall_time
     full_pairs = (n_old + n_new) * (n_old + n_new + 1) // 2
     return {
+        "cache_stats": eng.cache_stats(),
         "n_old": n_old,
         "n_new": n_new,
         "cold": (cold_solves, cold_t),
@@ -48,7 +49,7 @@ def run_engine_workload():
     }
 
 
-def test_engine_workload(benchmark):
+def test_engine_workload(benchmark, request):
     r = benchmark.pedantic(run_engine_workload, rounds=1, iterations=1)
     banner("Engine — cold vs. cached vs. incremental Gram computation")
     print(f"{'stage':>8s} {'solves':>8s} {'seconds':>9s}")
@@ -57,6 +58,28 @@ def test_engine_workload(benchmark):
         print(f"{stage:>8s} {solves:8d} {secs:9.3f}")
     print(f"(extend grew {r['n_old']} -> {r['n_old'] + r['n_new']} graphs; "
           f"a from-scratch recompute would be {r['full_pairs']} solves)")
+
+    old_pairs = r["n_old"] * (r["n_old"] + 1) // 2
+    stage_pairs = {
+        "cold": old_pairs,
+        "warm": old_pairs,
+        "extend": r["full_pairs"] - old_pairs,
+    }
+    write_bench_json(request, "engine", {
+        "n_old": r["n_old"],
+        "n_new": r["n_new"],
+        "stages": {
+            stage: {
+                "pairs": stage_pairs[stage],
+                "solves": r[stage][0],
+                "seconds": r[stage][1],
+                "pairs_per_sec": stage_pairs[stage] / r[stage][1]
+                if r[stage][1] > 0 else None,
+            }
+            for stage in ("cold", "warm", "extend")
+        },
+        "cache": r["cache_stats"],
+    })
 
     n_old, n_new = r["n_old"], r["n_new"]
     assert r["cold"][0] == n_old * (n_old + 1) // 2

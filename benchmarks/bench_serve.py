@@ -1,0 +1,88 @@
+"""Serving bench: request coalescing vs. one-at-a-time inference.
+
+The microbatcher plays tile batching's role online: concurrent predict
+requests landing within the batching window share one engine call and
+one content-addressed cache.  This bench fits a small graph GPR, puts
+it behind an in-process :class:`repro.serve.server.KernelServer`, and
+fires one wave of concurrent single-graph requests from a thread pool.
+
+Shape criteria: every response matches the offline prediction to
+1e-10, and at least one dispatched batch coalesced more than one
+request (the histogram shows the batcher doing its job, not just
+surviving).
+"""
+
+import concurrent.futures as cf
+
+import numpy as np
+
+from conftest import SCALE, banner, write_bench_json
+from repro import GramEngine, MarginalizedGraphKernel
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.ml import GaussianProcessRegressor
+from repro.serve import KernelServer, ServeClient, ServerThread
+
+
+def run_serve_workload():
+    k = max(1.0, SCALE)
+    n_train, n_requests = int(8 * k), int(16 * k)
+    graphs = [
+        random_labeled_graph(6, density=0.5, weighted=True, seed=300 + i)
+        for i in range(n_train + 4)
+    ]
+    train, test = graphs[:n_train], graphs[n_train:]
+    y = np.array([float(g.degrees.mean()) for g in train])
+    nk, ek = synthetic_kernels()
+    mgk = MarginalizedGraphKernel(nk, ek, q=0.2)
+    gpr = GaussianProcessRegressor(alpha=1e-6, engine=GramEngine(mgk))
+    gpr.fit_graphs(train, y)
+    offline = gpr.predict_graphs(test)
+
+    server = KernelServer(gpr, window_s=0.05, max_batch_graphs=256)
+    with ServerThread(server) as handle:
+        client = ServeClient(port=handle.port)
+        client.wait_ready()
+        requests = [test[i % len(test)] for i in range(n_requests)]
+        with cf.ThreadPoolExecutor(max_workers=n_requests) as pool:
+            futs = [pool.submit(client.predict_info, [g]) for g in requests]
+            responses = [f.result() for f in futs]
+        metrics = client.metrics()
+
+    served = np.array([r["mean"][0] for r in responses])
+    want = np.array([offline[i % len(test)] for i in range(n_requests)])
+    return {
+        "n_requests": n_requests,
+        "max_err": float(np.abs(served - want).max()),
+        "batches": metrics["batches_total"],
+        "max_batch": metrics["max_batch_size"],
+        "batch_hist": metrics["batch_size_histogram"],
+        "latency_ms": metrics["latency_ms"],
+        "engine": metrics["engine"],
+        "wall_time": metrics["uptime_s"],
+    }
+
+
+def test_serve_microbatching(benchmark, request):
+    r = benchmark.pedantic(run_serve_workload, rounds=1, iterations=1)
+    banner("Serving — microbatched inference over one engine")
+    print(f"{r['n_requests']} concurrent requests -> {r['batches']} "
+          f"engine dispatches (largest coalesced batch: {r['max_batch']})")
+    print(f"batch-size histogram: {r['batch_hist']}")
+    print(f"latency p50 {r['latency_ms']['p50']:.1f} ms, "
+          f"p99 {r['latency_ms']['p99']:.1f} ms")
+    print(f"engine cache hit rate: {r['engine']['hit_rate']:.2f}")
+
+    write_bench_json(request, "serve", {
+        "n_requests": r["n_requests"],
+        "batches": r["batches"],
+        "max_batch": r["max_batch"],
+        "batch_size_histogram": r["batch_hist"],
+        "latency_ms": r["latency_ms"],
+        "cache": r["engine"],
+    })
+
+    assert r["max_err"] < 1e-10
+    # coalescing happened: fewer dispatches than requests, some batch > 1
+    assert r["batches"] < r["n_requests"]
+    assert r["max_batch"] > 1

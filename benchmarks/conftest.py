@@ -8,6 +8,11 @@ from the paper's Summit/V100 testbed by construction.
 
 Run with:  pytest benchmarks/ --benchmark-only
 Scale up:  REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+
+Machine-readable results: pass ``--json DIR`` (or set
+``REPRO_BENCH_JSON=DIR``) and each participating bench writes a
+``BENCH_<name>.json`` file there — pairs/sec, cache-hit stats, stage
+timings — so the perf trajectory can be tracked PR-over-PR.
 """
 
 from __future__ import annotations
@@ -16,14 +21,45 @@ import os
 
 import pytest
 
+from repro.engine.cache import atomic_write_json
+
 #: Global workload multiplier (1.0 = CI-friendly sizes).
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=os.environ.get("REPRO_BENCH_JSON"),
+        metavar="DIR",
+        help="write machine-readable BENCH_<name>.json result files "
+             "into this directory",
+    )
 
 
 def banner(title: str) -> None:
     print("\n" + "=" * 72)
     print(title)
     print("=" * 72)
+
+
+def write_bench_json(request, name: str, payload: dict) -> str | None:
+    """Persist one bench's results as ``<dir>/BENCH_<name>.json``.
+
+    No-op (returns None) when ``--json``/``REPRO_BENCH_JSON`` is unset.
+    Files are written atomically so an interrupted run never leaves a
+    truncated result for the trajectory tooling to trip on.
+    """
+    out_dir = request.config.getoption("--json")
+    if not out_dir:
+        return None
+    os.makedirs(out_dir, exist_ok=True)
+    target = os.path.join(out_dir, f"BENCH_{name}.json")
+    atomic_write_json(target, {"bench": name, "scale": SCALE, **payload},
+                      indent=1)
+    print(f"[bench-json] wrote {target}")
+    return target
 
 
 @pytest.fixture(scope="session")

@@ -30,6 +30,7 @@ Package layout
 - :mod:`repro.analysis` — Table I formulas and the performance model
 - :mod:`repro.baselines`— GraKeL-like / GraphKernels-like CPU packages
 - :mod:`repro.ml`       — Gaussian-process regression on Gram matrices
+- :mod:`repro.serve`    — model registry + asyncio microbatching server
 """
 
 from .engine import GramEngine

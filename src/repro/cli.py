@@ -12,7 +12,13 @@ Batch entry points for the common workflows:
 * ``reorder`` — report non-empty-octile counts of a dataset under the
   available orderings (a Fig. 7 row for your own data);
 * ``profile`` — run one graph pair through the virtual-GPU engine and
-  print the nvprof-style counter report.
+  print the nvprof-style counter report;
+* ``fit`` — train a graph GPR on a dataset and save it to a versioned
+  model registry (:mod:`repro.serve.registry`);
+* ``serve`` — put a registry model online behind the asyncio
+  microbatching inference server (:mod:`repro.serve.server`);
+* ``predict`` — score a dataset against a running server
+  (``--server``) or straight from a registry model (offline).
 """
 
 from __future__ import annotations
@@ -24,18 +30,12 @@ import numpy as np
 
 
 def _kernels_for(scheme: str):
-    from .kernels import basekernels as bk
+    from .kernels.basekernels import KERNEL_SCHEMES
 
-    table = {
-        "unlabeled": bk.unlabeled_kernels,
-        "synthetic": bk.synthetic_kernels,
-        "protein": bk.protein_kernels,
-        "molecule": bk.molecule_kernels,
-    }
-    if scheme not in table:
+    if scheme not in KERNEL_SCHEMES:
         raise SystemExit(f"unknown kernel scheme {scheme!r}; pick from "
-                         f"{sorted(table)}")
-    return table[scheme]()
+                         f"{sorted(KERNEL_SCHEMES)}")
+    return KERNEL_SCHEMES[scheme]()
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -229,6 +229,165 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_targets(args: argparse.Namespace, graphs) -> np.ndarray:
+    import json
+
+    if args.targets:
+        if args.targets.endswith(".npy"):
+            y = np.load(args.targets)
+        else:
+            with open(args.targets) as fh:
+                y = np.asarray(json.load(fh), dtype=np.float64)
+        if y.shape != (len(graphs),):
+            raise SystemExit(
+                f"targets {args.targets} has shape {y.shape} but the "
+                f"dataset holds {len(graphs)} graphs"
+            )
+        return np.asarray(y, dtype=np.float64)
+    # Demo target: mean weighted degree (documented in the README
+    # walkthrough; real workflows pass --targets).
+    return np.array([float(g.degrees.mean()) for g in graphs])
+
+
+def _build_serving_engine(args: argparse.Namespace, kernel):
+    from .engine import GramEngine
+
+    return GramEngine(
+        kernel,
+        executor=args.executor,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    from .graphs.io import load_dataset
+    from .kernels import MarginalizedGraphKernel
+    from .ml import GaussianProcessRegressor
+    from .serve import ModelRegistry
+
+    graphs = load_dataset(args.dataset)
+    y = _load_targets(args, graphs)
+    nk, ek = _kernels_for(args.kernels)
+    mgk = MarginalizedGraphKernel(nk, ek, q=args.q)
+    engine = _build_serving_engine(args, mgk)
+    gpr = GaussianProcessRegressor(alpha=args.alpha, engine=engine)
+    gpr.fit_graphs(graphs, y, normalize=args.normalize)
+    loo = gpr.loocv_predictions(y)
+    rmse = float(np.sqrt(np.mean((loo - y) ** 2)))
+    record = ModelRegistry(args.registry).save(
+        args.name,
+        gpr,
+        mgk,
+        graphs,
+        scheme=args.kernels,
+        metadata={"dataset": args.dataset, "loocv_rmse": rmse},
+    )
+    print(f"fitted on {len(graphs)} graphs "
+          f"(engine: {engine.solves} solves, {engine.cache_hits} cache hits)")
+    print(f"LOOCV RMSE: {rmse:.6g}")
+    print(f"saved {record.name} v{record.version} -> {record.path}")
+    print(f"kernel fingerprint {record.kernel_fingerprint[:12]}…")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import KernelServer, ModelRegistry
+
+    model = ModelRegistry(args.registry).load(args.name, version=args.version)
+    model.gpr.engine = _build_serving_engine(args, model.kernel)
+    server = KernelServer(
+        model.gpr,
+        model_info={
+            "name": model.record.name,
+            "version": model.record.version,
+            "n_train": len(model.train_graphs),
+            "kernel_fingerprint": model.record.kernel_fingerprint,
+        },
+        host=args.host,
+        port=args.port,
+        max_batch_graphs=args.max_batch,
+        window_s=args.window_ms / 1e3,
+        max_queue=args.max_queue,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving {model.record.name} v{model.record.version} "
+              f"({len(model.train_graphs)} train graphs) on "
+              f"http://{server.host}:{server.port}  "
+              f"[/predict /similarity /healthz /metrics]",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    import json
+
+    from .graphs.io import load_dataset
+
+    graphs = load_dataset(args.dataset)
+    if args.server:
+        from .serve import ServeClient, ServeClientError
+
+        host, _, port = args.server.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(
+                f"--server expects HOST:PORT, got {args.server!r}"
+            )
+        client = ServeClient(host, int(port))
+        # Chunk to the request size cap; the server coalesces anyway.
+        mus, stds = [], []
+        try:
+            for lo in range(0, len(graphs), args.batch):
+                chunk = graphs[lo:lo + args.batch]
+                if args.std:
+                    m, s = client.predict(chunk, return_std=True)
+                    stds.append(s)
+                else:
+                    m = client.predict(chunk)
+                mus.append(m)
+        except ServeClientError as exc:
+            raise SystemExit(f"server refused the request: {exc}")
+        except OSError as exc:
+            raise SystemExit(f"cannot reach {args.server}: {exc}")
+        mu = np.concatenate(mus)
+        std = np.concatenate(stds) if args.std else None
+    else:
+        if not args.registry or not args.name:
+            raise SystemExit("predict needs --server HOST:PORT, or "
+                             "--registry and --name for offline scoring")
+        from .serve import ModelRegistry
+
+        model = ModelRegistry(args.registry).load(
+            args.name, version=args.version
+        )
+        model.gpr.engine = _build_serving_engine(args, model.kernel)
+        if args.std:
+            mu, std = model.gpr.predict_graphs(graphs, return_std=True)
+        else:
+            mu, std = model.gpr.predict_graphs(graphs), None
+    payload = {"mean": np.asarray(mu).tolist()}
+    if std is not None:
+        payload["std"] = np.asarray(std).tolist()
+    text = json.dumps(payload, indent=1)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {len(graphs)} predictions to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description=__doc__.splitlines()[0]
@@ -284,6 +443,73 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--q", type=float, default=0.05)
     f.add_argument("--reorder", default="pbr")
     f.set_defaults(func=cmd_profile)
+
+    def add_engine_opts(sp):
+        sp.add_argument("--executor", default="serial",
+                        choices=["serial", "threads", "process"])
+        sp.add_argument("--workers", type=int, default=None)
+        sp.add_argument("--cache-dir", default=None,
+                        help="persistent kernel cache shared across runs")
+
+    t = sub.add_parser(
+        "fit", help="train a graph GPR and save it to a model registry"
+    )
+    t.add_argument("dataset", help="input .jsonl path")
+    t.add_argument("--registry", required=True,
+                   help="registry root directory")
+    t.add_argument("--name", required=True, help="model name")
+    t.add_argument("--targets", default=None,
+                   help=".npy or JSON list of per-graph targets "
+                        "(default: mean weighted degree, a demo target)")
+    t.add_argument("--kernels", default="synthetic",
+                   help="unlabeled|synthetic|protein|molecule")
+    t.add_argument("--q", type=float, default=0.05)
+    t.add_argument("--alpha", type=float, default=1e-6,
+                   help="observation-noise variance / jitter")
+    t.add_argument("--normalize", action="store_true",
+                   help="fit on the cosine-normalized kernel")
+    add_engine_opts(t)
+    t.set_defaults(func=cmd_fit)
+
+    s = sub.add_parser(
+        "serve", help="serve a registry model over HTTP (asyncio)"
+    )
+    s.add_argument("--registry", required=True)
+    s.add_argument("--name", required=True)
+    s.add_argument("--version", type=int, default=None,
+                   help="model version (default: latest)")
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8077,
+                   help="bind port (0 picks a free one)")
+    s.add_argument("--max-batch", type=int, default=64,
+                   help="graphs per coalesced microbatch")
+    s.add_argument("--window-ms", type=float, default=10.0,
+                   help="microbatching window")
+    s.add_argument("--max-queue", type=int, default=256,
+                   help="queued requests before 503 backpressure")
+    add_engine_opts(s)
+    s.set_defaults(func=cmd_serve)
+
+    q = sub.add_parser(
+        "predict",
+        help="score a dataset via a running server or a registry model",
+    )
+    q.add_argument("dataset", help="input .jsonl path of graphs to score")
+    q.add_argument("--server", default=None, metavar="HOST:PORT",
+                   help="send requests to this inference server")
+    q.add_argument("--batch", type=int, default=32,
+                   help="graphs per request when using --server (keep at "
+                        "or below the server's per-request cap)")
+    q.add_argument("--registry", default=None,
+                   help="offline mode: registry root")
+    q.add_argument("--name", default=None, help="offline mode: model name")
+    q.add_argument("--version", type=int, default=None)
+    q.add_argument("--std", action="store_true",
+                   help="also report posterior standard deviations")
+    q.add_argument("--output", default=None,
+                   help="write predictions JSON here instead of stdout")
+    add_engine_opts(q)
+    q.set_defaults(func=cmd_predict)
     return p
 
 

@@ -8,9 +8,12 @@ a small interface (``get`` / ``put`` / ``__len__`` / ``clear``) plus a
 threads executor's workers.
 
 The disk store writes one small JSON file per entry under a two-level
-fan-out directory (``ab/abcdef....json``), with atomic renames so that
-concurrent writers — including separate CLI invocations sharing a cache
-directory — never observe torn entries.
+fan-out directory (``ab/abcdef....json``) via temp-file + atomic
+rename, so that concurrent writers — including separate CLI
+invocations and a killed server process sharing a cache directory —
+never observe torn entries; an entry either exists complete or not at
+all.  Unreadable entries (truncated by external interference, partial
+copies) degrade to cache misses and are repaired by the next ``put``.
 """
 
 from __future__ import annotations
@@ -21,6 +24,33 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from threading import Lock
+
+
+def atomic_write_json(path: str | os.PathLike, obj, fsync: bool = True,
+                      **dump_kwargs) -> None:
+    """Write ``obj`` as JSON such that ``path`` is never seen torn.
+
+    Temp file in the target directory, optional fsync for crash
+    durability, then ``os.replace``; the temp file is removed on any
+    failure.  Shared by the disk cache, the model registry's
+    manifests, and the benchmark result writer.
+    """
+    path = os.fspath(path)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(obj, fh, **dump_kwargs)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass(frozen=True)
@@ -126,19 +156,12 @@ class DiskCache:
         return entry
 
     def put(self, key: str, entry: CachedPair) -> None:
+        # fsync=False: the rename alone guarantees no torn entry on a
+        # process kill, and a cache entry lost to power failure is just
+        # a future miss — not worth an fsync per solved pair.
         target = self._entry_path(key)
         os.makedirs(os.path.dirname(target), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(entry.to_json(), fh)
-            os.replace(tmp, target)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(target, entry.to_json(), fsync=False)
         with self._lock:
             self.stats.puts += 1
 
@@ -165,6 +188,7 @@ class TieredCache:
     memory: LRUCache = field(default_factory=LRUCache)
     disk: DiskCache | None = None
     stats: CacheStats = field(default_factory=CacheStats)
+    _lock: Lock = field(default_factory=Lock, repr=False, compare=False)
 
     def get(self, key: str) -> CachedPair | None:
         entry = self.memory.get(key)
@@ -172,17 +196,19 @@ class TieredCache:
             entry = self.disk.get(key)
             if entry is not None:
                 self.memory.put(key, entry)
-        if entry is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
+        with self._lock:
+            if entry is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
         return entry
 
     def put(self, key: str, entry: CachedPair) -> None:
         self.memory.put(key, entry)
         if self.disk is not None:
             self.disk.put(key, entry)
-        self.stats.puts += 1
+        with self._lock:
+            self.stats.puts += 1
 
     def __len__(self) -> int:
         return max(len(self.memory), len(self.disk) if self.disk else 0)

@@ -15,13 +15,17 @@ loop actually needs:
   symmetric Gram call already solved;
 * :meth:`GramEngine.extend` — grow an existing Gram matrix by new
   graphs, solving only the new rows/columns (the incremental workload
-  of the Fig. 9 benchmark, as a real API).
+  of the Fig. 9 benchmark, as a real API);
+* :meth:`GramEngine.pairs` — arbitrary (G, G') evaluations submitted
+  as one tiled batch, the coalescing primitive the serving layer
+  (:mod:`repro.serve`) builds microbatches on.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
+from threading import Lock
 from typing import Sequence
 
 import numpy as np
@@ -106,12 +110,17 @@ class GramEngine:
         self.progress = progress
         self.solves = 0
         self.cache_hits = 0
+        # Guards the lifetime counters: the serving layer drives one
+        # engine from several executor threads (/predict batches and
+        # /similarity calls) concurrently.
+        self._counter_lock = Lock()
 
     # ------------------------------------------------------------------
 
     def reset_counters(self) -> None:
-        self.solves = 0
-        self.cache_hits = 0
+        with self._counter_lock:
+            self.solves = 0
+            self.cache_hits = 0
 
     def clear_cache(self) -> None:
         if self.cache is not None:
@@ -213,8 +222,9 @@ class GramEngine:
             pos: resolved[key] for key, posns in by_key.items() for pos in posns
         }
         hits = n_total - solves
-        self.solves += solves
-        self.cache_hits += hits
+        with self._counter_lock:
+            self.solves += solves
+            self.cache_hits += hits
         diag = Diagnostics(
             executor=self.executor,
             workers=self.workers,
@@ -317,6 +327,59 @@ class GramEngine:
             wall_time=time.perf_counter() - t0,
             info=self._result_info(diag),
         )
+
+    def pairs(self, pair_list: Sequence[tuple[Graph, Graph]]) -> np.ndarray:
+        """Evaluate arbitrary graph pairs as one tiled, cached batch.
+
+        This is the batch-submission hook for callers that do not want
+        a full Gram block — e.g. the inference server coalescing
+        concurrent similarity requests: all pairs share one tile plan,
+        one executor dispatch, and the engine's content-addressed
+        cache, so duplicates across requests are solved once.
+        """
+        pair_list = list(pair_list)
+        if not pair_list:
+            return np.zeros(0)
+        X = [a for a, _ in pair_list]
+        Y = [b for _, b in pair_list]
+        positions = [(i, i) for i in range(len(pair_list))]
+        entries, diag = self._compute_pairs(X, Y, positions)
+        self._warn_nonconverged(diag)
+        return np.array(
+            [entries[(i, i)].value for i in range(len(pair_list))]
+        )
+
+    def cache_stats(self) -> dict:
+        """Work/caching counters in a JSON-friendly dict.
+
+        Combines the engine's lifetime ``solves`` / ``cache_hits``
+        counters with the underlying cache's own hit/miss/put stats
+        (when it keeps them) — the payload the serving layer exposes at
+        ``/metrics``.  ``cache_entries`` counts the in-memory tier of a
+        tiered cache: this runs on every metrics scrape and must not
+        walk an on-disk store of unbounded size.
+        """
+        with self._counter_lock:
+            solves, cache_hits = self.solves, self.cache_hits
+        # In-memory front of a TieredCache, else the cache itself
+        # (LRUCache: O(1); None: empty).
+        counted = getattr(self.cache, "memory", self.cache)
+        total = solves + cache_hits
+        out = {
+            "solves": solves,
+            "cache_hits": cache_hits,
+            "hit_rate": cache_hits / total if total else 0.0,
+            "cache_entries": len(counted) if counted is not None else 0,
+        }
+        stats = getattr(self.cache, "stats", None)
+        if stats is not None:
+            out["cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "puts": stats.puts,
+                "hit_rate": stats.hit_rate,
+            }
+        return out
 
     def diag(self, graphs: Sequence[Graph]) -> np.ndarray:
         """Self-similarities K(G, G), reusing any cached Gram entries."""

@@ -99,10 +99,12 @@ def read_pdb(path: str | Path, heavy_only: bool = True) -> Structure:
 # ----------------------------------------------------------------------
 
 
-def graph_to_json(graph: Graph) -> str:
-    """Serialize a graph (losslessly for numeric labels) to JSON."""
+def graph_to_dict(graph: Graph) -> dict:
+    """The JSON-able dict form of a graph (losslessly for numeric
+    labels) — one dataset line, and the wire format of
+    :mod:`repro.serve.protocol`."""
     edges = graph.edge_list()
-    payload = {
+    return {
         "n": graph.n_nodes,
         "name": graph.name,
         "edges": edges.tolist(),
@@ -116,12 +118,10 @@ def graph_to_json(graph: Graph) -> str:
         },
         "coords": graph.coords.tolist() if graph.coords is not None else None,
     }
-    return json.dumps(payload)
 
 
-def graph_from_json(text: str) -> Graph:
-    """Inverse of :func:`graph_to_json`."""
-    d = json.loads(text)
+def graph_from_dict(d: dict) -> Graph:
+    """Inverse of :func:`graph_to_dict`."""
     g = Graph.from_edges(
         d["n"],
         d["edges"],
@@ -137,6 +137,16 @@ def graph_from_json(text: str) -> Graph:
     if d.get("coords") is not None:
         g.coords = np.asarray(d["coords"], dtype=np.float64)
     return g
+
+
+def graph_to_json(graph: Graph) -> str:
+    """Serialize a graph (losslessly for numeric labels) to JSON."""
+    return json.dumps(graph_to_dict(graph))
+
+
+def graph_from_json(text: str) -> Graph:
+    """Inverse of :func:`graph_to_json`."""
+    return graph_from_dict(json.loads(text))
 
 
 def save_dataset(graphs: list[Graph], path: str | Path) -> None:

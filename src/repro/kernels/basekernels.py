@@ -314,3 +314,13 @@ def molecule_kernels() -> tuple[MicroKernel, MicroKernel]:
         ),
         TensorProduct(order=KroneckerDelta(0.4), conjugated=KroneckerDelta(0.7)),
     )
+
+
+#: Named base-kernel recipes — the single table behind the CLI's
+#: ``--kernels`` option and the model registry's kernel specs.
+KERNEL_SCHEMES = {
+    "unlabeled": unlabeled_kernels,
+    "synthetic": synthetic_kernels,
+    "protein": protein_kernels,
+    "molecule": molecule_kernels,
+}

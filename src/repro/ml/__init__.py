@@ -12,12 +12,13 @@ provides the downstream consumers the examples use:
   kernel-induced distance.
 """
 
-from .gpr import GaussianProcessRegressor
+from .gpr import GaussianProcessRegressor, NotFittedError
 from .kpca import kernel_pca
 from .knn import kernel_knn_graphs, kernel_knn_predict
 
 __all__ = [
     "GaussianProcessRegressor",
+    "NotFittedError",
     "kernel_knn_graphs",
     "kernel_knn_predict",
     "kernel_pca",

@@ -22,6 +22,10 @@ import numpy as np
 import scipy.linalg
 
 
+class NotFittedError(RuntimeError):
+    """Prediction was requested from a regressor that is not fitted."""
+
+
 @dataclass
 class GaussianProcessRegressor:
     """GP regression with a precomputed kernel.
@@ -86,8 +90,7 @@ class GaussianProcessRegressor:
         for cosine-normalized kernels only.  Pass the true diagonal
         (e.g. from ``engine.diag(test_graphs)``) for raw kernels.
         """
-        if self._dual is None or self._L is None:
-            raise RuntimeError("fit() first")
+        self._require_fitted()
         K_star = np.atleast_2d(np.asarray(K_star, dtype=np.float64))
         mu = K_star @ self._dual * self._y_std + self._y_mean
         if not return_std:
@@ -106,11 +109,19 @@ class GaussianProcessRegressor:
     # graph-level API through the engine
     # ------------------------------------------------------------------
 
+    def _require_fitted(self) -> None:
+        if self._dual is None or self._L is None:
+            raise NotFittedError(
+                "GaussianProcessRegressor is not fitted; call fit() or "
+                "fit_graphs() first"
+            )
+
     def _require_engine(self):
         if self.engine is None:
             raise RuntimeError(
-                "attach an engine (GaussianProcessRegressor(engine=...)) "
-                "to use the graph-level API"
+                "no engine attached: the graph-level API needs "
+                "GaussianProcessRegressor(engine=GramEngine(kernel)) "
+                "or gpr.engine = ..."
             )
         return self.engine
 
@@ -139,8 +150,13 @@ class GaussianProcessRegressor:
         so ``return_std`` is exact for raw and normalized kernels alike.
         """
         engine = self._require_engine()
+        self._require_fitted()
         if self._train_graphs is None:
-            raise RuntimeError("fit_graphs() first")
+            raise NotFittedError(
+                "GaussianProcessRegressor is not fitted on graphs; call "
+                "fit_graphs() first (or restore train graphs from a "
+                "registry artifact)"
+            )
         K_star = engine.gram(graphs, self._train_graphs).matrix
         if not (self._normalize_kernel or return_std):
             return self.predict(K_star)  # self-similarities not needed
@@ -155,10 +171,84 @@ class GaussianProcessRegressor:
             return self.predict(K_star)
         return self.predict(K_star, return_std=True, K_test_diag=test_diag)
 
+    # ------------------------------------------------------------------
+    # persistence (the model-registry payload)
+    # ------------------------------------------------------------------
+
+    #: Bumped whenever the artifact layout changes incompatibly.
+    ARTIFACT_VERSION = 1
+
+    def export_artifact(self) -> dict:
+        """Everything a fitted model needs to predict after a restart.
+
+        Returns a dict of scalars plus the dual vector, the Cholesky
+        factor, and (for graph-level models) the training
+        self-similarities.  Train graphs are *not* included — the
+        registry stores them alongside as a dataset file so they stay
+        human-inspectable.  Inverse of :meth:`from_artifact`.
+        """
+        self._require_fitted()
+        art = {
+            "artifact_version": self.ARTIFACT_VERSION,
+            "alpha": float(self.alpha),
+            "normalize_y": bool(self.normalize_y),
+            "y_mean": float(self._y_mean),
+            "y_std": float(self._y_std),
+            "normalize_kernel": bool(self._normalize_kernel),
+            "dual": np.asarray(self._dual, dtype=np.float64),
+            "cholesky": np.asarray(self._L, dtype=np.float64),
+        }
+        if self._train_diag is not None:
+            art["train_diag"] = np.asarray(self._train_diag, dtype=np.float64)
+        return art
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: dict,
+        train_graphs: Sequence | None = None,
+        engine: Any | None = None,
+    ) -> "GaussianProcessRegressor":
+        """Rebuild a fitted regressor from :meth:`export_artifact` output.
+
+        Pass ``train_graphs`` and an ``engine`` to re-enable the
+        graph-level API (:meth:`predict_graphs`); without them the
+        restored model still predicts from explicit ``K(test, train)``
+        matrices.
+        """
+        version = int(artifact.get("artifact_version", -1))
+        if version != cls.ARTIFACT_VERSION:
+            raise ValueError(
+                f"unsupported GPR artifact version {version} "
+                f"(this build reads version {cls.ARTIFACT_VERSION})"
+            )
+        gpr = cls(
+            alpha=float(artifact["alpha"]),
+            normalize_y=bool(artifact["normalize_y"]),
+            engine=engine,
+        )
+        gpr._dual = np.asarray(artifact["dual"], dtype=np.float64)
+        gpr._L = np.asarray(artifact["cholesky"], dtype=np.float64)
+        gpr._y_mean = float(artifact["y_mean"])
+        gpr._y_std = float(artifact["y_std"])
+        gpr._normalize_kernel = bool(artifact["normalize_kernel"])
+        if artifact.get("train_diag") is not None:
+            gpr._train_diag = np.asarray(
+                artifact["train_diag"], dtype=np.float64
+            )
+        if train_graphs is not None:
+            train_graphs = list(train_graphs)
+            if len(train_graphs) != gpr._dual.shape[0]:
+                raise ValueError(
+                    f"artifact was fitted on {gpr._dual.shape[0]} graphs "
+                    f"but {len(train_graphs)} were supplied"
+                )
+            gpr._train_graphs = train_graphs
+        return gpr
+
     def log_marginal_likelihood(self, y: np.ndarray) -> float:
         """Log p(y | K) of the fitted model (up to the constant term)."""
-        if self._dual is None or self._L is None:
-            raise RuntimeError("fit() first")
+        self._require_fitted()
         yn = (np.asarray(y, dtype=np.float64) - self._y_mean) / self._y_std
         n = len(yn)
         return float(
@@ -170,8 +260,7 @@ class GaussianProcessRegressor:
     def loocv_predictions(self, y: np.ndarray) -> np.ndarray:
         """Leave-one-out predictions in closed form (Rasmussen & Williams
         §5.4.2): ŷ_i = y_i − dual_i / (A⁻¹)_ii."""
-        if self._dual is None or self._L is None:
-            raise RuntimeError("fit() first")
+        self._require_fitted()
         Ainv = scipy.linalg.cho_solve((self._L, True), np.eye(self._L.shape[0]))
         yn = (np.asarray(y, dtype=np.float64) - self._y_mean) / self._y_std
         loo = yn - self._dual / np.diagonal(Ainv)

@@ -1,0 +1,57 @@
+"""Kernel-as-a-service: persistence and online serving for fitted models.
+
+PR 1 made the Gram computation a managed workload
+(:class:`repro.engine.GramEngine`); this package makes the *fitted
+model* a managed artifact and puts it online:
+
+* :mod:`repro.serve.registry`  — versioned on-disk model store
+  (:class:`ModelRegistry`): GPR dual vector + Cholesky factor, train
+  graphs, kernel hyperparameters, and the engine fingerprint, all
+  checksummed so a fit survives process restarts intact;
+* :mod:`repro.serve.server`    — :class:`KernelServer`, an asyncio
+  HTTP/1.1 server (hand-rolled on ``asyncio.start_server``; stdlib
+  only) exposing ``/predict``, ``/similarity``, ``/healthz`` and
+  ``/metrics``;
+* :mod:`repro.serve.batcher`   — :class:`MicroBatcher`, which coalesces
+  concurrent predict requests into single engine calls — the online
+  counterpart of the engine's tile batching — with a bounded queue for
+  backpressure;
+* :mod:`repro.serve.metrics`   — request/batch/latency counters behind
+  ``/metrics``;
+* :mod:`repro.serve.protocol`  — the JSON request/response schema and
+  its validation errors;
+* :mod:`repro.serve.client`    — :class:`ServeClient`, the blocking
+  client the CLI's ``repro predict --server`` uses.
+
+CLI entry points: ``repro fit`` (train + save), ``repro serve``,
+``repro predict --server``.
+"""
+
+from .batcher import MicroBatcher, QueueFullError
+from .client import ServeClient, ServeClientError
+from .metrics import ServerMetrics
+from .protocol import ProtocolError
+from .registry import (
+    LoadedModel,
+    ModelRecord,
+    ModelRegistry,
+    RegistryError,
+    kernel_from_spec,
+)
+from .server import KernelServer, ServerThread
+
+__all__ = [
+    "KernelServer",
+    "LoadedModel",
+    "MicroBatcher",
+    "ModelRecord",
+    "ModelRegistry",
+    "ProtocolError",
+    "QueueFullError",
+    "RegistryError",
+    "ServeClient",
+    "ServeClientError",
+    "ServerMetrics",
+    "ServerThread",
+    "kernel_from_spec",
+]

@@ -1,0 +1,181 @@
+"""Request coalescing: many small predicts, one engine call.
+
+Online serving recreates the paper's offline problem in miniature —
+lots of tiny independent solves whose fixed costs dominate unless they
+are batched.  :class:`MicroBatcher` plays the role tile packing plays
+in :mod:`repro.engine.tiles`: concurrent requests landing within a
+short window are merged into one batch, executed through a single
+engine call (one tile plan, one executor dispatch, shared
+content-addressed cache), and the results are split back per request.
+
+Mechanics:
+
+* a bounded queue provides **backpressure** — when it is full,
+  :meth:`MicroBatcher.submit` raises :class:`QueueFullError`
+  immediately (the server answers 503) instead of letting latency grow
+  without bound;
+* the drain task takes the first waiting item, then keeps absorbing
+  arrivals until either ``window_s`` elapses or the batch reaches
+  ``max_batch_graphs``;
+* the batch runs in a worker thread so the event loop keeps accepting
+  (and queueing) requests *during* compute — which is exactly what
+  makes the next batch larger under load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..graphs.graph import Graph
+
+
+class QueueFullError(RuntimeError):
+    """The batcher's bounded queue is full; shed load (HTTP 503)."""
+
+
+@dataclass
+class PredictItem:
+    """One request's share of a microbatch."""
+
+    graphs: list[Graph]
+    return_std: bool
+    future: asyncio.Future = field(repr=False)
+
+
+class MicroBatcher:
+    """Coalesce concurrent predict requests into engine-sized batches.
+
+    Parameters
+    ----------
+    run_batch:
+        ``callable(items) -> list`` executed in a worker thread; must
+        return one result per item, in order.
+    max_batch_graphs:
+        Dispatch a batch once it holds this many graphs (requests are
+        never split, so a batch can end slightly under the cap).
+    window_s:
+        How long the drain task waits for more arrivals after the
+        first item of a batch.
+    max_queue:
+        Bound on requests waiting to enter a batch (backpressure).
+    metrics:
+        Optional :class:`repro.serve.metrics.ServerMetrics` receiving
+        the per-dispatch batch sizes.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[list[PredictItem]], list],
+        max_batch_graphs: int = 64,
+        window_s: float = 0.01,
+        max_queue: int = 256,
+        metrics=None,
+    ) -> None:
+        if max_batch_graphs < 1 or max_queue < 1:
+            raise ValueError("max_batch_graphs and max_queue must be >= 1")
+        self.run_batch = run_batch
+        self.max_batch_graphs = max_batch_graphs
+        self.window_s = window_s
+        self.max_queue = max_queue
+        self.metrics = metrics
+        self._queue: asyncio.Queue[PredictItem] = asyncio.Queue()
+        self._carry: PredictItem | None = None
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        # Fail anything still waiting to enter a batch — their
+        # submit() awaiters must not hang past shutdown.
+        leftovers: list[PredictItem] = []
+        if self._carry is not None:
+            leftovers.append(self._carry)
+            self._carry = None
+        while not self._queue.empty():
+            leftovers.append(self._queue.get_nowait())
+        for item in leftovers:
+            if not item.future.done():
+                item.future.cancel()
+
+    async def submit(self, graphs: Sequence[Graph], return_std: bool):
+        """Queue one request and await its slice of the batch result."""
+        if self._queue.qsize() >= self.max_queue:
+            if self.metrics is not None:
+                self.metrics.observe_queue_rejection()
+            raise QueueFullError(
+                f"{self._queue.qsize()} requests already queued "
+                f"(max_queue={self.max_queue}); retry later"
+            )
+        item = PredictItem(
+            graphs=list(graphs),
+            return_std=return_std,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._queue.put_nowait(item)
+        return await item.future
+
+    # ------------------------------------------------------------------
+
+    async def _next_item(self, timeout: float | None) -> PredictItem | None:
+        if self._carry is not None:
+            item, self._carry = self._carry, None
+            return item
+        try:
+            if timeout is None:
+                return await self._queue.get()
+            return await asyncio.wait_for(self._queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._next_item(None)
+            batch = [first]
+            n_graphs = len(first.graphs)
+            deadline = loop.time() + self.window_s
+            while n_graphs < self.max_batch_graphs:
+                nxt = await self._next_item(max(0.0, deadline - loop.time()))
+                if nxt is None:
+                    break
+                if n_graphs + len(nxt.graphs) > self.max_batch_graphs:
+                    self._carry = nxt  # requests are never split
+                    break
+                batch.append(nxt)
+                n_graphs += len(nxt.graphs)
+            if self.metrics is not None:
+                self.metrics.observe_batch(len(batch))
+            try:
+                results = await loop.run_in_executor(
+                    None, self.run_batch, batch
+                )
+                if len(results) != len(batch):  # pragma: no cover - guard
+                    raise RuntimeError(
+                        f"run_batch returned {len(results)} results for "
+                        f"{len(batch)} requests"
+                    )
+                for item, result in zip(batch, results):
+                    if not item.future.done():
+                        item.future.set_result(result)
+            except asyncio.CancelledError:
+                for item in batch:
+                    if not item.future.done():
+                        item.future.cancel()
+                raise
+            except Exception as exc:  # noqa: BLE001 - fan failure out
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)

@@ -1,0 +1,145 @@
+"""Blocking client for :class:`repro.serve.server.KernelServer`.
+
+A thin stdlib (``http.client``) wrapper that speaks the protocol of
+:mod:`repro.serve.protocol` and hands back numpy arrays.  Each call
+opens its own connection, so one :class:`ServeClient` instance may be
+shared freely across threads — the concurrency tests hammer a single
+client from a pool, which is exactly how the server's microbatcher
+gets fed coalescible traffic.
+
+>>> client = ServeClient("127.0.0.1", 8077)
+>>> client.wait_ready()
+>>> mu = client.predict(test_graphs)
+>>> mu, std = client.predict(test_graphs, return_std=True)
+>>> client.metrics()["batch_size_histogram"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .protocol import graph_to_wire
+
+
+class ServeClientError(RuntimeError):
+    """The server answered with an error; carries status and code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """Talk to one inference server (see module doc)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8077, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        finally:
+            conn.close()
+        try:
+            obj = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError as exc:
+            raise ServeClientError(
+                resp.status, "bad_response", f"non-JSON body: {exc}"
+            )
+        if resp.status != 200:
+            err = obj.get("error", {}) if isinstance(obj, dict) else {}
+            raise ServeClientError(
+                resp.status,
+                err.get("code", "error"),
+                err.get("message", raw.decode("utf-8", "replace")),
+            )
+        return obj
+
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the server answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (OSError, socket.timeout, ServeClientError) as exc:
+                last = exc
+                time.sleep(interval)
+        raise TimeoutError(
+            f"server at {self.host}:{self.port} not ready after {timeout}s "
+            f"(last error: {last})"
+        )
+
+    def predict(
+        self, graphs: Sequence[Graph], return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Remote counterpart of ``gpr.predict_graphs``.
+
+        The response also reports how many concurrent requests shared
+        the server-side batch; read it from :meth:`predict_info` when
+        you care.
+        """
+        obj = self.predict_info(graphs, return_std)
+        mu = np.asarray(obj["mean"], dtype=np.float64)
+        if return_std:
+            return mu, np.asarray(obj["std"], dtype=np.float64)
+        return mu
+
+    def predict_info(
+        self, graphs: Sequence[Graph], return_std: bool = False
+    ) -> dict:
+        """Like :meth:`predict` but returns the raw response dict
+        (``mean``, optional ``std``, ``batched_with``)."""
+        return self._request(
+            "POST",
+            "/predict",
+            {
+                "graphs": [graph_to_wire(g) for g in graphs],
+                "return_std": bool(return_std),
+            },
+        )
+
+    def similarity(
+        self, pairs: Sequence[tuple[Graph, Graph]]
+    ) -> np.ndarray:
+        """Raw kernel values K(a, b) for arbitrary graph pairs."""
+        obj = self._request(
+            "POST",
+            "/similarity",
+            {
+                "pairs": [
+                    [graph_to_wire(a), graph_to_wire(b)] for a, b in pairs
+                ]
+            },
+        )
+        return np.asarray(obj["values"], dtype=np.float64)

@@ -1,0 +1,90 @@
+"""Counters behind the server's ``/metrics`` endpoint.
+
+Tracks what an operator needs to see the microbatcher working: request
+counts per route and status, the coalesced-batch-size histogram (a
+healthy loaded server shows mass above 1), request-latency quantiles
+from a bounded reservoir, and the engine's cache economics
+(:meth:`repro.engine.GramEngine.cache_stats`).
+
+All mutation happens on the server's event loop, but a lock keeps the
+snapshot safe to read from the thread-based test/CLI helpers too.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from threading import Lock
+import time
+
+
+class ServerMetrics:
+    """Aggregates and snapshots serving counters (see module doc)."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self._lock = Lock()
+        self.started_unix = time.time()
+        self.requests_total = 0
+        self.by_route: Counter[str] = Counter()
+        self.by_status: Counter[int] = Counter()
+        self.batch_sizes: Counter[int] = Counter()
+        self.queue_rejections = 0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    def observe_request(
+        self, route: str, status: int, latency: float | None
+    ) -> None:
+        """Count one request; ``latency=None`` (framing rejects answered
+        without real handling) is excluded from the quantile reservoir
+        so floods of malformed requests can't drag p50/p99 to zero."""
+        with self._lock:
+            self.requests_total += 1
+            self.by_route[route] += 1
+            self.by_status[status] += 1
+            if latency is not None:
+                self._latencies.append(latency)
+
+    def observe_batch(self, n_requests: int) -> None:
+        """Record one dispatched microbatch of ``n_requests`` requests."""
+        with self._lock:
+            self.batch_sizes[n_requests] += 1
+
+    def observe_queue_rejection(self) -> None:
+        with self._lock:
+            self.queue_rejections += 1
+
+    @staticmethod
+    def _percentile(values: list[float], p: float) -> float:
+        if not values:
+            return 0.0
+        values = sorted(values)
+        k = min(len(values) - 1, max(0, round(p / 100 * (len(values) - 1))))
+        return values[k]
+
+    def snapshot(self, engine=None, model: dict | None = None) -> dict:
+        """The ``/metrics`` JSON payload."""
+        with self._lock:
+            lat = list(self._latencies)
+            out = {
+                "uptime_s": time.time() - self.started_unix,
+                "requests_total": self.requests_total,
+                "requests_by_route": dict(self.by_route),
+                "requests_by_status": {
+                    str(k): v for k, v in self.by_status.items()
+                },
+                "queue_rejections": self.queue_rejections,
+                "batch_size_histogram": {
+                    str(k): v for k, v in sorted(self.batch_sizes.items())
+                },
+                "batches_total": sum(self.batch_sizes.values()),
+                "max_batch_size": max(self.batch_sizes, default=0),
+                "latency_ms": {
+                    "p50": 1e3 * self._percentile(lat, 50),
+                    "p99": 1e3 * self._percentile(lat, 99),
+                    "max": 1e3 * max(lat, default=0.0),
+                },
+            }
+        if engine is not None:
+            out["engine"] = engine.cache_stats()
+        if model is not None:
+            out["model"] = model
+        return out

@@ -1,0 +1,125 @@
+"""Request/response schema shared by the server and client.
+
+Everything on the wire is JSON over HTTP/1.1.  Graphs travel in the
+same JSON dict format :func:`repro.graphs.io.graph_to_json` uses for
+datasets, so a ``.jsonl`` line and a request entry are literally
+interchangeable.
+
+Requests
+--------
+``POST /predict``
+    ``{"graphs": [<graph>, ...], "return_std": false}`` →
+    ``{"mean": [...], "std": [...]?, "batched_with": <int>}``
+``POST /similarity``
+    ``{"pairs": [[<graph>, <graph>], ...]}`` → ``{"values": [...]}``
+``GET /healthz`` / ``GET /metrics``
+    Liveness and counters (see :mod:`repro.serve.metrics`).
+
+Validation failures raise :class:`ProtocolError`, which carries the
+HTTP status the server answers with: 400 for malformed payloads, 413
+for oversized bodies/batches, 503 for backpressure.  Error bodies are
+``{"error": {"code": ..., "message": ...}}``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..graphs.graph import Graph
+from ..graphs.io import graph_from_dict, graph_to_dict
+
+#: Default cap on one HTTP body (engine inputs are small graphs, not blobs).
+MAX_BODY_BYTES = 8 << 20
+
+#: Default cap on graphs (or pairs) per single request.
+MAX_REQUEST_GRAPHS = 64
+
+
+class ProtocolError(ValueError):
+    """A request failed validation; ``status`` is the HTTP answer."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def body(self) -> bytes:
+        return json.dumps(
+            {"error": {"code": self.code, "message": self.message}}
+        ).encode()
+
+
+def graph_to_wire(graph: Graph) -> dict:
+    """A graph as the JSON dict the protocol ships."""
+    return graph_to_dict(graph)
+
+
+def graph_from_wire(obj) -> Graph:
+    """Parse one wire graph, mapping failures to 400s."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            400, "bad_graph", f"graph entries must be objects, got "
+            f"{type(obj).__name__}"
+        )
+    try:
+        return graph_from_dict(obj)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(400, "bad_graph", f"unparseable graph: {exc}")
+
+
+def parse_json_body(body: bytes) -> dict:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(400, "bad_json", f"request body is not JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise ProtocolError(400, "bad_json", "request body must be an object")
+    return obj
+
+
+def parse_predict_request(
+    body: bytes, max_graphs: int = MAX_REQUEST_GRAPHS
+) -> tuple[list[Graph], bool]:
+    """Validate a ``/predict`` body into (graphs, return_std)."""
+    obj = parse_json_body(body)
+    raw = obj.get("graphs")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(
+            400, "bad_request", 'predict needs a non-empty "graphs" list'
+        )
+    if len(raw) > max_graphs:
+        raise ProtocolError(
+            413,
+            "batch_too_large",
+            f"request carries {len(raw)} graphs; this server accepts at "
+            f"most {max_graphs} per request — split the batch",
+        )
+    return [graph_from_wire(g) for g in raw], bool(obj.get("return_std"))
+
+
+def parse_similarity_request(
+    body: bytes, max_pairs: int = MAX_REQUEST_GRAPHS
+) -> list[tuple[Graph, Graph]]:
+    """Validate a ``/similarity`` body into graph pairs."""
+    obj = parse_json_body(body)
+    raw = obj.get("pairs")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(
+            400, "bad_request", 'similarity needs a non-empty "pairs" list'
+        )
+    if len(raw) > max_pairs:
+        raise ProtocolError(
+            413,
+            "batch_too_large",
+            f"request carries {len(raw)} pairs; this server accepts at "
+            f"most {max_pairs} per request — split the batch",
+        )
+    pairs = []
+    for entry in raw:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise ProtocolError(
+                400, "bad_request", "each pair must be a [graph, graph] array"
+            )
+        pairs.append((graph_from_wire(entry[0]), graph_from_wire(entry[1])))
+    return pairs

@@ -1,0 +1,415 @@
+"""The asyncio inference server (stdlib-only, hand-rolled HTTP/1.1).
+
+:class:`KernelServer` puts a fitted model online.  One process owns
+one :class:`~repro.ml.gpr.GaussianProcessRegressor` with an attached
+:class:`~repro.engine.GramEngine`; every request flows through that
+single engine, so the content-addressed kernel cache is shared across
+requests and across time — a test graph seen twice is never re-solved.
+
+HTTP is parsed directly off ``asyncio`` streams (request line, headers,
+``Content-Length``-framed bodies, keep-alive) — no ``http.server``.
+Routes:
+
+* ``POST /predict``    — GPR prediction; coalesced by the
+  :class:`~repro.serve.batcher.MicroBatcher` into single engine calls;
+* ``POST /similarity`` — raw kernel values for arbitrary graph pairs
+  via the engine's :meth:`~repro.engine.GramEngine.pairs` batch hook;
+* ``GET /healthz``     — liveness + model identity;
+* ``GET /metrics``     — counters (see :mod:`repro.serve.metrics`).
+
+:class:`ServerThread` runs a server on a background event loop for
+tests, the CI smoke check, and notebook use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import numpy as np
+
+from .batcher import MicroBatcher, PredictItem, QueueFullError
+from .metrics import ServerMetrics
+from .protocol import (
+    MAX_BODY_BYTES,
+    MAX_REQUEST_GRAPHS,
+    ProtocolError,
+    parse_predict_request,
+    parse_similarity_request,
+)
+
+#: The served routes; anything else is counted under one sentinel key
+#: so scanners can't grow the metrics Counter without bound.
+KNOWN_ROUTES = frozenset({"/predict", "/similarity", "/healthz", "/metrics"})
+
+#: Cap on header lines per request (each line is already length-capped
+#: by the stream limit; this bounds their number too).
+MAX_HEADERS = 100
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class KernelServer:
+    """Serve one fitted graph-level GPR over HTTP (see module doc).
+
+    Parameters
+    ----------
+    gpr:
+        A fitted :class:`~repro.ml.gpr.GaussianProcessRegressor` with
+        an engine attached and train graphs available (e.g. restored
+        via :meth:`repro.serve.registry.ModelRegistry.load` plus
+        ``gpr.engine = GramEngine(model.kernel, ...)``).
+    model_info:
+        Identity dict echoed by ``/healthz`` and ``/metrics``
+        (typically name/version/fingerprint from the registry record).
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    max_batch_graphs / window_s / max_queue:
+        Microbatching bounds, passed to the
+        :class:`~repro.serve.batcher.MicroBatcher`.
+    max_request_graphs / max_body_bytes:
+        Per-request admission limits (HTTP 413 beyond them).
+    """
+
+    def __init__(
+        self,
+        gpr,
+        model_info: dict | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch_graphs: int = 64,
+        window_s: float = 0.01,
+        max_queue: int = 256,
+        max_request_graphs: int | None = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        if gpr.engine is None:
+            raise ValueError("the server needs a gpr with an engine attached")
+        self.gpr = gpr
+        self.engine = gpr.engine
+        self.model_info = dict(model_info or {})
+        self.host = host
+        self.port = port
+        self.max_request_graphs = min(
+            max_request_graphs or MAX_REQUEST_GRAPHS, max_batch_graphs
+        )
+        self.max_body_bytes = max_body_bytes
+        self.metrics = ServerMetrics()
+        self.batcher = MicroBatcher(
+            self._run_predict_batch,
+            max_batch_graphs=max_batch_graphs,
+            window_s=window_s,
+            max_queue=max_queue,
+            metrics=self.metrics,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        # Open keep-alive connections; stop() must close these or (on
+        # Python >= 3.12) Server.wait_closed() waits on their handlers
+        # blocked in readline() forever.
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        await self.batcher.stop()
+        if self._server is not None:
+            self._server.close()
+            for writer in list(self._connections):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # the coalesced predict path
+    # ------------------------------------------------------------------
+
+    def _run_predict_batch(self, items: list[PredictItem]) -> list[dict]:
+        """Worker-thread body: one engine call for the whole batch.
+
+        Means come from a single ``predict_graphs`` over the
+        concatenated batch.  Posterior stddevs cost extra per-graph
+        self-similarity solves, so they are computed in a second call
+        restricted to the graphs of std-requesting items — their
+        K(test, train) block is already in the engine cache from the
+        mean pass, so no pair is solved twice.
+        """
+        graphs = [g for item in items for g in item.graphs]
+        mu = self.gpr.predict_graphs(graphs)
+        std_graphs = [
+            g for item in items if item.return_std for g in item.graphs
+        ]
+        std = None
+        if std_graphs:
+            _, std = self.gpr.predict_graphs(std_graphs, return_std=True)
+        results, offset, std_offset = [], 0, 0
+        for item in items:
+            n = len(item.graphs)
+            payload = {
+                "mean": np.asarray(mu[offset:offset + n]).tolist(),
+                "batched_with": len(items),
+            }
+            if item.return_std and std is not None:
+                payload["std"] = np.asarray(
+                    std[std_offset:std_offset + n]
+                ).tolist()
+                std_offset += n
+            results.append(payload)
+            offset += n
+        return results
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _reject(
+        self,
+        writer: asyncio.StreamWriter,
+        route: str,
+        exc: ProtocolError,
+    ) -> None:
+        """Answer a framing-level error, counting it like any request."""
+        if route not in KNOWN_ROUTES and route != "<framing>":
+            route = "<other>"
+        self.metrics.observe_request(route, exc.status, None)
+        await self._respond(writer, exc.status, exc.body(), keep_alive=False)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request_line = await reader.readline()
+                except ValueError:  # line over the stream limit
+                    await self._reject(writer, "<framing>", ProtocolError(
+                        400, "bad_request", "request line too long"))
+                    break
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").split()
+                if len(parts) != 3:
+                    await self._reject(writer, "<framing>", ProtocolError(
+                        400, "bad_request", "malformed request line"))
+                    break
+                method, path, _version = parts
+                headers: dict[str, str] = {}
+                try:
+                    n_header_lines = 0
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b"\n", b""):
+                            break
+                        n_header_lines += 1
+                        if n_header_lines > MAX_HEADERS:
+                            raise ValueError("too many headers")
+                        name, _, value = line.decode("latin-1").partition(":")
+                        headers[name.strip().lower()] = value.strip()
+                except ValueError:  # header line too long, or too many
+                    await self._reject(writer, path, ProtocolError(
+                        400, "bad_request", "headers too long or too many"))
+                    break
+
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    await self._reject(writer, path, ProtocolError(
+                        400, "bad_request", "bad Content-Length"))
+                    break
+                if length > self.max_body_bytes:
+                    await self._reject(writer, path, ProtocolError(
+                        413, "body_too_large",
+                        f"body of {length} bytes exceeds the "
+                        f"{self.max_body_bytes}-byte limit"))
+                    # Drain a bounded amount of the in-flight body so a
+                    # client mid-send reads the 413 instead of getting
+                    # its connection reset; beyond the cap, just close.
+                    remaining = min(length, 4 * self.max_body_bytes)
+                    try:
+                        while remaining > 0:
+                            chunk = await reader.read(min(remaining, 1 << 16))
+                            if not chunk:
+                                break
+                            remaining -= len(chunk)
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+                    break
+                body = await reader.readexactly(length) if length else b""
+
+                t0 = time.perf_counter()
+                status, payload = await self._route(method, path, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                self.metrics.observe_request(
+                    path if path in KNOWN_ROUTES else "<other>",
+                    status,
+                    time.perf_counter() - t0,
+                )
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        keep_alive: bool,
+    ) -> None:
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes]:
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    raise ProtocolError(405, "bad_method", "use GET /healthz")
+                return 200, json.dumps(
+                    {"status": "ok", "model": self.model_info}
+                ).encode()
+            if path == "/metrics":
+                if method != "GET":
+                    raise ProtocolError(405, "bad_method", "use GET /metrics")
+                return 200, json.dumps(
+                    self.metrics.snapshot(self.engine, model=self.model_info)
+                ).encode()
+            if path == "/predict":
+                if method != "POST":
+                    raise ProtocolError(405, "bad_method", "use POST /predict")
+                graphs, return_std = parse_predict_request(
+                    body, self.max_request_graphs
+                )
+                result = await self.batcher.submit(graphs, return_std)
+                return 200, json.dumps(result).encode()
+            if path == "/similarity":
+                if method != "POST":
+                    raise ProtocolError(
+                        405, "bad_method", "use POST /similarity"
+                    )
+                pairs = parse_similarity_request(
+                    body, self.max_request_graphs
+                )
+                values = await asyncio.get_running_loop().run_in_executor(
+                    None, self.engine.pairs, pairs
+                )
+                return 200, json.dumps(
+                    {"values": np.asarray(values).tolist()}
+                ).encode()
+            raise ProtocolError(404, "not_found", f"no route {path!r}")
+        except ProtocolError as exc:
+            return exc.status, exc.body()
+        except QueueFullError as exc:
+            return 503, ProtocolError(503, "overloaded", str(exc)).body()
+        except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
+            return 500, ProtocolError(
+                500, "internal", f"{type(exc).__name__}: {exc}"
+            ).body()
+
+
+class ServerThread:
+    """Run a :class:`KernelServer` on a background event loop.
+
+    ``with ServerThread(server) as handle:`` yields a started server
+    whose :attr:`port` is resolved; used by the test suite, the CI
+    smoke step, and anything else that wants a live server without
+    owning the main thread.
+    """
+
+    def __init__(self, server: KernelServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._error is not None:
+            raise self._error
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # propagate bind failures to start()
+            self._error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -74,3 +74,100 @@ class TestProfile:
     def test_pair_out_of_range(self, dataset_path):
         with pytest.raises(SystemExit):
             main(["profile", str(dataset_path), "--pair", "0", "99"])
+
+
+class TestServing:
+    """fit / serve / predict — the kernel-as-a-service entry points."""
+
+    @pytest.fixture
+    def small_dataset(self, tmp_path):
+        from repro.graphs.generators import random_labeled_graph
+        from repro.graphs.io import save_dataset
+
+        graphs = [
+            random_labeled_graph(5, density=0.6, weighted=True, seed=40 + k)
+            for k in range(6)
+        ]
+        path = tmp_path / "small.jsonl"
+        save_dataset(graphs, path)
+        return path
+
+    def test_fit_saves_versioned_model(self, small_dataset, tmp_path, capsys):
+        reg = tmp_path / "registry"
+        argv = ["fit", str(small_dataset), "--registry", str(reg),
+                "--name", "m", "--q", "0.2"]
+        assert main(argv) == 0
+        assert main(argv) == 0  # refit -> next version
+        out = capsys.readouterr().out
+        assert "saved m v1" in out and "saved m v2" in out
+        assert "LOOCV RMSE" in out
+        assert (reg / "m" / "v0002" / "manifest.json").exists()
+
+    def test_fit_with_explicit_targets(self, small_dataset, tmp_path):
+        y = np.linspace(0.0, 1.0, 6)
+        tpath = tmp_path / "y.npy"
+        np.save(tpath, y)
+        rc = main(["fit", str(small_dataset), "--registry",
+                   str(tmp_path / "reg"), "--name", "m", "--q", "0.2",
+                   "--targets", str(tpath)])
+        assert rc == 0
+
+    def test_fit_target_length_mismatch(self, small_dataset, tmp_path):
+        tpath = tmp_path / "y.npy"
+        np.save(tpath, np.zeros(3))
+        with pytest.raises(SystemExit, match="shape"):
+            main(["fit", str(small_dataset), "--registry",
+                  str(tmp_path / "reg"), "--name", "m",
+                  "--targets", str(tpath)])
+
+    def test_offline_predict_roundtrip(self, small_dataset, tmp_path, capsys):
+        reg = tmp_path / "registry"
+        assert main(["fit", str(small_dataset), "--registry", str(reg),
+                     "--name", "m", "--q", "0.2"]) == 0
+        out_json = tmp_path / "pred.json"
+        rc = main(["predict", str(small_dataset), "--registry", str(reg),
+                   "--name", "m", "--std", "--output", str(out_json)])
+        assert rc == 0
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert len(payload["mean"]) == 6
+        assert len(payload["std"]) == 6
+        # scoring the training set: the GP must interpolate closely
+        graphs_y = [float(g) for g in payload["mean"]]
+        assert all(np.isfinite(graphs_y))
+
+    def test_predict_needs_a_source(self, small_dataset):
+        with pytest.raises(SystemExit, match="--server"):
+            main(["predict", str(small_dataset)])
+
+    def test_predict_bad_server_spec(self, small_dataset):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["predict", str(small_dataset), "--server", "nonsense"])
+
+    def test_predict_against_live_server(self, small_dataset, tmp_path,
+                                         capsys):
+        from repro.engine import GramEngine
+        from repro.serve import KernelServer, ModelRegistry, ServerThread
+
+        reg = tmp_path / "registry"
+        assert main(["fit", str(small_dataset), "--registry", str(reg),
+                     "--name", "m", "--q", "0.2"]) == 0
+        model = ModelRegistry(reg).load("m")
+        model.gpr.engine = GramEngine(model.kernel)
+        server = KernelServer(model.gpr, model_info={"name": "m"})
+        with ServerThread(server) as handle:
+            # --batch 2 chunks the 6 graphs into 3 requests
+            rc = main(["predict", str(small_dataset), "--server",
+                       f"127.0.0.1:{handle.port}", "--batch", "2"])
+        assert rc == 0
+        import json
+
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert len(payload["mean"]) == 6
+
+    def test_predict_server_unreachable(self, small_dataset):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["predict", str(small_dataset),
+                  "--server", "127.0.0.1:1"])

@@ -1,0 +1,554 @@
+"""Serving subsystem tests: registry, protocol, batcher, server, client.
+
+The load-bearing properties (ISSUE 2 acceptance criteria):
+
+* a fit survives the registry roundtrip bit-exactly, and every
+  integrity rung (checksums, kernel fingerprint, schema, graph
+  fingerprints) fails loudly instead of serving stale weights;
+* concurrent predict requests are coalesced into engine batches and
+  the answers match offline ``predict_graphs`` to 1e-10;
+* failure paths answer with the right HTTP statuses: 400 malformed,
+  404/405 routing, 413 oversized, 503 backpressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures as cf
+import http.client
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import GramEngine, MarginalizedGraphKernel
+from repro.engine import DiskCache, CachedPair
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.ml import GaussianProcessRegressor, NotFittedError
+from repro.serve import (
+    KernelServer,
+    MicroBatcher,
+    ModelRegistry,
+    QueueFullError,
+    RegistryError,
+    ServeClient,
+    ServeClientError,
+    ServerThread,
+)
+from repro.serve.protocol import ProtocolError, parse_predict_request
+
+NK, EK = synthetic_kernels()
+
+
+def make_graphs(n, size=6, seed0=700):
+    return [
+        random_labeled_graph(size, density=0.5, weighted=True, seed=seed0 + k)
+        for k in range(n)
+    ]
+
+
+def make_kernel(q=0.2):
+    return MarginalizedGraphKernel(NK, EK, q=q)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """A fitted graph GPR plus its kernel and train/test graphs."""
+    graphs = make_graphs(10)
+    train, test = graphs[:8], graphs[8:]
+    y = np.array([float(g.degrees.mean()) for g in train])
+    mgk = make_kernel()
+    gpr = GaussianProcessRegressor(alpha=1e-6, engine=GramEngine(mgk))
+    gpr.fit_graphs(train, y, normalize=True)
+    return {"gpr": gpr, "kernel": mgk, "train": train, "test": test, "y": y}
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_roundtrip_is_exact(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        rec = reg.save("m", fitted["gpr"], fitted["kernel"],
+                       fitted["train"], scheme="synthetic")
+        assert rec.version == 1
+        model = reg.load("m")
+        model.gpr.engine = GramEngine(model.kernel)
+        want = fitted["gpr"].predict_graphs(fitted["test"])
+        have = model.gpr.predict_graphs(fitted["test"])
+        np.testing.assert_allclose(have, want, rtol=0, atol=1e-10)
+
+    def test_roundtrip_with_std(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.save("m", fitted["gpr"], fitted["kernel"],
+                 fitted["train"], scheme="synthetic")
+        model = reg.load("m")
+        model.gpr.engine = GramEngine(model.kernel)
+        want_mu, want_std = fitted["gpr"].predict_graphs(
+            fitted["test"], return_std=True
+        )
+        mu, std = model.gpr.predict_graphs(fitted["test"], return_std=True)
+        np.testing.assert_allclose(mu, want_mu, atol=1e-10)
+        np.testing.assert_allclose(std, want_std, atol=1e-10)
+
+    def test_versions_increment_and_latest_wins(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        r1 = reg.save("m", fitted["gpr"], fitted["kernel"],
+                      fitted["train"], scheme="synthetic")
+        r2 = reg.save("m", fitted["gpr"], fitted["kernel"],
+                      fitted["train"], scheme="synthetic")
+        assert (r1.version, r2.version) == (1, 2)
+        assert reg.versions("m") == [1, 2]
+        assert reg.load("m").record.version == 2
+        assert reg.load("m", version=1).record.version == 1
+        assert reg.models() == ["m"]
+
+    def test_missing_model_and_version(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        with pytest.raises(RegistryError, match="no model named"):
+            reg.load("ghost")
+        reg.save("m", fitted["gpr"], fitted["kernel"],
+                 fitted["train"], scheme="synthetic")
+        with pytest.raises(RegistryError, match="no version 9"):
+            reg.load("m", version=9)
+
+    def test_corrupted_payload_fails_integrity(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        rec = reg.save("m", fitted["gpr"], fitted["kernel"],
+                       fitted["train"], scheme="synthetic")
+        arrays = Path(rec.path) / "arrays.npz"
+        arrays.write_bytes(arrays.read_bytes()[:-7])  # truncate
+        with pytest.raises(RegistryError, match="integrity"):
+            reg.load("m")
+
+    def test_kernel_fingerprint_mismatch_refuses(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        rec = reg.save("m", fitted["gpr"], fitted["kernel"],
+                       fitted["train"], scheme="synthetic")
+        mpath = Path(rec.path) / "manifest.json"
+        manifest = json.loads(mpath.read_text())
+        manifest["kernel_spec"]["q"] = 0.5  # drift: spec no longer matches
+        mpath.write_text(json.dumps(manifest))
+        with pytest.raises(RegistryError, match="fingerprint mismatch"):
+            reg.load("m")
+
+    def test_schema_version_mismatch(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        rec = reg.save("m", fitted["gpr"], fitted["kernel"],
+                       fitted["train"], scheme="synthetic")
+        mpath = Path(rec.path) / "manifest.json"
+        manifest = json.loads(mpath.read_text())
+        manifest["schema_version"] = 99
+        mpath.write_text(json.dumps(manifest))
+        with pytest.raises(RegistryError, match="schema"):
+            reg.load("m")
+
+    def test_unfitted_model_rejected_at_save(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        with pytest.raises(NotFittedError):
+            reg.save("m", GaussianProcessRegressor(), fitted["kernel"],
+                     fitted["train"], scheme="synthetic")
+
+    def test_non_roundtrippable_kernel_rejected_at_save(self, fitted,
+                                                        tmp_path):
+        # base kernels differ from what the named scheme constructs:
+        # saving would record a fingerprint load() can never rebuild
+        from repro.kernels.basekernels import protein_kernels
+
+        nk, ek = protein_kernels()
+        wrong = MarginalizedGraphKernel(nk, ek, q=0.2)
+        with pytest.raises(RegistryError, match="round-trip"):
+            ModelRegistry(tmp_path).save(
+                "m", fitted["gpr"], wrong, fitted["train"],
+                scheme="synthetic",
+            )
+
+    def test_orphan_version_dir_does_not_brick_save(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.save("m", fitted["gpr"], fitted["kernel"],
+                 fitted["train"], scheme="synthetic")
+        # simulate a crash mid-save: a version dir without a manifest
+        (tmp_path / "m" / "v0002").mkdir()
+        rec = reg.save("m", fitted["gpr"], fitted["kernel"],
+                       fitted["train"], scheme="synthetic")
+        assert rec.version == 3  # skipped the orphan
+        assert reg.versions("m") == [1, 3]
+        assert reg.load("m").record.version == 3
+
+
+# ----------------------------------------------------------------------
+# gpr fitted-state errors and artifact versioning
+# ----------------------------------------------------------------------
+
+
+class TestGprStates:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError, match="not fitted"):
+            GaussianProcessRegressor().predict(np.eye(3))
+
+    def test_predict_graphs_without_engine(self, fitted):
+        gpr = GaussianProcessRegressor()
+        with pytest.raises(RuntimeError, match="engine"):
+            gpr.predict_graphs(fitted["test"])
+
+    def test_predict_graphs_without_fit(self, fitted):
+        gpr = GaussianProcessRegressor(engine=fitted["gpr"].engine)
+        with pytest.raises(NotFittedError, match="not fitted"):
+            gpr.predict_graphs(fitted["test"])
+
+    def test_export_before_fit(self):
+        with pytest.raises(NotFittedError):
+            GaussianProcessRegressor().export_artifact()
+
+    def test_artifact_version_gate(self, fitted):
+        art = fitted["gpr"].export_artifact()
+        art["artifact_version"] = 99
+        with pytest.raises(ValueError, match="artifact version"):
+            GaussianProcessRegressor.from_artifact(art)
+
+    def test_artifact_train_graph_count_checked(self, fitted):
+        art = fitted["gpr"].export_artifact()
+        with pytest.raises(ValueError, match="graphs"):
+            GaussianProcessRegressor.from_artifact(
+                art, train_graphs=fitted["train"][:3]
+            )
+
+
+# ----------------------------------------------------------------------
+# engine batch hook + disk-cache durability
+# ----------------------------------------------------------------------
+
+
+class TestEngineServingHooks:
+    def test_pairs_matches_pair_loop(self, fitted):
+        eng = GramEngine(make_kernel())
+        pairs = [(a, b) for a in fitted["test"] for b in fitted["train"][:3]]
+        values = eng.pairs(pairs)
+        want = [make_kernel().pair(a, b).value for a, b in pairs]
+        np.testing.assert_allclose(values, want, atol=1e-12)
+        assert eng.pairs([]).shape == (0,)
+
+    def test_pairs_shares_cache(self, fitted):
+        eng = GramEngine(make_kernel())
+        pairs = [(fitted["test"][0], fitted["train"][0])] * 4
+        eng.pairs(pairs)
+        assert eng.solves == 1  # duplicates deduplicated
+        eng.pairs(pairs)
+        assert eng.solves == 1  # second call fully cached
+
+    def test_cache_stats_shape(self, fitted):
+        eng = GramEngine(make_kernel())
+        eng.gram(fitted["train"][:3])
+        stats = eng.cache_stats()
+        assert stats["solves"] == 6
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+        assert stats["cache_entries"] == 6
+        assert stats["cache"]["puts"] == 6
+
+    def test_truncated_disk_entry_is_a_miss_and_repaired(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        entry = CachedPair(1.5, 3, True, 1e-12)
+        cache.put("ab" + "0" * 38, entry)
+        target = tmp_path / "ab" / ("ab" + "0" * 38 + ".json")
+        target.write_text(target.read_text()[:5])  # simulate a torn write
+        assert cache.get("ab" + "0" * 38) is None
+        cache.put("ab" + "0" * 38, entry)
+        assert cache.get("ab" + "0" * 38) == entry
+
+
+# ----------------------------------------------------------------------
+# protocol + batcher units
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError) as ei:
+            parse_predict_request(b"{not json")
+        assert ei.value.status == 400
+
+    def test_missing_graphs(self):
+        with pytest.raises(ProtocolError, match="graphs"):
+            parse_predict_request(b"{}")
+
+    def test_oversized_batch(self):
+        body = json.dumps({"graphs": [{} for _ in range(5)]}).encode()
+        with pytest.raises(ProtocolError) as ei:
+            parse_predict_request(body, max_graphs=4)
+        assert ei.value.status == 413
+
+    def test_bad_graph_entry(self):
+        body = json.dumps({"graphs": [{"bogus": 1}]}).encode()
+        with pytest.raises(ProtocolError) as ei:
+            parse_predict_request(body)
+        assert ei.value.status == 400
+
+
+class TestBatcher:
+    def test_coalesces_within_window(self):
+        async def scenario():
+            dispatched = []
+
+            def run_batch(items):
+                dispatched.append(len(items))
+                return [sum(len(i.graphs) for i in items)] * len(items)
+
+            b = MicroBatcher(run_batch, window_s=0.2, max_batch_graphs=100)
+            b.start()
+            results = await asyncio.gather(
+                *(b.submit(["g"], False) for _ in range(5))
+            )
+            await b.stop()
+            return dispatched, results
+
+        dispatched, results = asyncio.run(scenario())
+        assert sum(dispatched) == 5  # every request served exactly once
+        assert max(dispatched) > 1  # and some were coalesced
+        # each result reports the graph count of the batch it rode in
+        assert sum(results) == sum(d * d for d in dispatched)
+
+    def test_max_batch_graphs_bound(self):
+        async def scenario():
+            dispatched = []
+
+            def run_batch(items):
+                dispatched.append(sum(len(i.graphs) for i in items))
+                return [None] * len(items)
+
+            b = MicroBatcher(run_batch, window_s=0.2, max_batch_graphs=3)
+            b.start()
+            await asyncio.gather(
+                *(b.submit(["g", "g"], False) for _ in range(4))
+            )
+            await b.stop()
+            return dispatched
+
+        dispatched = asyncio.run(scenario())
+        assert all(n <= 3 for n in dispatched)
+        assert sum(dispatched) == 8
+
+    def test_backpressure_raises_queue_full(self):
+        async def scenario():
+            b = MicroBatcher(lambda items: [None] * len(items), max_queue=1)
+            # not started: the queue can only fill
+            first = asyncio.get_running_loop().create_task(
+                b.submit(["g"], False)
+            )
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFullError):
+                await b.submit(["g"], False)
+            first.cancel()
+
+        asyncio.run(scenario())
+
+    def test_stop_cancels_pending_submits(self):
+        async def scenario():
+            b = MicroBatcher(lambda items: [None] * len(items))
+            # never started: submissions can only queue up
+            pending = asyncio.get_running_loop().create_task(
+                b.submit(["g"], False)
+            )
+            await asyncio.sleep(0)
+            await b.stop()
+            with pytest.raises(asyncio.CancelledError):
+                await pending
+
+        asyncio.run(scenario())
+
+    def test_run_batch_failure_fans_out(self):
+        async def scenario():
+            def boom(items):
+                raise RuntimeError("kernel exploded")
+
+            b = MicroBatcher(boom, window_s=0.05)
+            b.start()
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                await b.submit(["g"], False)
+            await b.stop()
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# the live server
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def live(fitted, tmp_path_factory):
+    """A registry-restored model behind a running in-process server."""
+    root = tmp_path_factory.mktemp("registry")
+    reg = ModelRegistry(root)
+    rec = reg.save("live", fitted["gpr"], fitted["kernel"],
+                   fitted["train"], scheme="synthetic")
+    model = reg.load("live")
+    model.gpr.engine = GramEngine(model.kernel)
+    server = KernelServer(
+        model.gpr,
+        model_info={"name": rec.name, "version": rec.version},
+        window_s=0.15,
+        max_request_graphs=8,
+        max_body_bytes=1 << 16,
+    )
+    with ServerThread(server) as handle:
+        client = ServeClient(port=handle.port)
+        client.wait_ready()
+        yield {"client": client, "server": server, "port": handle.port}
+
+
+class TestServer:
+    def test_healthz(self, live):
+        h = live["client"].healthz()
+        assert h["status"] == "ok"
+        assert h["model"]["name"] == "live"
+
+    def test_acceptance_concurrent_predicts_match_offline(self, fitted, live):
+        """≥8 concurrent predicts: exact answers + a coalesced batch."""
+        client = live["client"]
+        test_indices = [i % 2 for i in range(8)]
+        barrier = threading.Barrier(8)
+
+        def fire(idx):
+            barrier.wait(timeout=10)
+            return client.predict_info([fitted["test"][idx]])
+
+        with cf.ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(fire, test_indices))
+        offline = fitted["gpr"].predict_graphs(fitted["test"])
+        for idx, resp in zip(test_indices, responses):
+            assert abs(resp["mean"][0] - offline[idx]) < 1e-10
+        assert max(r["batched_with"] for r in responses) > 1
+        metrics = client.metrics()
+        assert metrics["max_batch_size"] > 1
+        assert metrics["requests_by_route"]["/predict"] >= 8
+
+    def test_mixed_std_batch_slices_correctly(self, fitted, live):
+        """std and non-std requests coalesced into one batch."""
+        client = live["client"]
+        barrier = threading.Barrier(6)
+
+        def fire(k):
+            barrier.wait(timeout=10)
+            return client.predict_info(
+                [fitted["test"][k % 2]], return_std=(k % 3 == 0)
+            )
+
+        with cf.ThreadPoolExecutor(max_workers=6) as pool:
+            responses = list(pool.map(fire, range(6)))
+        mu_off, std_off = fitted["gpr"].predict_graphs(
+            fitted["test"], return_std=True
+        )
+        for k, resp in enumerate(responses):
+            assert abs(resp["mean"][0] - mu_off[k % 2]) < 1e-10
+            if k % 3 == 0:
+                assert abs(resp["std"][0] - std_off[k % 2]) < 1e-10
+            else:
+                assert "std" not in resp
+
+    def test_predict_with_std_matches_offline(self, fitted, live):
+        mu, std = live["client"].predict(fitted["test"], return_std=True)
+        want_mu, want_std = fitted["gpr"].predict_graphs(
+            fitted["test"], return_std=True
+        )
+        np.testing.assert_allclose(mu, want_mu, atol=1e-10)
+        np.testing.assert_allclose(std, want_std, atol=1e-10)
+
+    def test_similarity_matches_pair(self, fitted, live):
+        a, b = fitted["test"][0], fitted["train"][0]
+        values = live["client"].similarity([(a, b), (a, a)])
+        assert abs(values[0] - make_kernel().pair(a, b).value) < 1e-10
+        assert abs(values[1] - make_kernel().pair(a, a).value) < 1e-10
+
+    def test_metrics_reports_cache_economics(self, live, fitted):
+        live["client"].predict([fitted["test"][0]])
+        live["client"].predict([fitted["test"][0]])  # warm repeat
+        m = live["client"].metrics()
+        assert m["engine"]["cache_hits"] > 0
+        assert m["latency_ms"]["p99"] >= m["latency_ms"]["p50"] >= 0
+        assert sum(m["batch_size_histogram"].values()) == m["batches_total"]
+
+    # -------------------------- failure paths --------------------------
+
+    def _raw(self, live, method, path, body=b"", headers=None):
+        conn = http.client.HTTPConnection("127.0.0.1", live["port"], timeout=30)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read() or b"{}")
+        finally:
+            conn.close()
+
+    def test_malformed_json_is_400(self, live):
+        status, obj = self._raw(live, "POST", "/predict", b"{oops")
+        assert status == 400
+        assert obj["error"]["code"] == "bad_json"
+
+    def test_bad_graph_is_400(self, live):
+        body = json.dumps({"graphs": [[1, 2, 3]]}).encode()
+        status, obj = self._raw(live, "POST", "/predict", body)
+        assert status == 400
+        assert obj["error"]["code"] == "bad_graph"
+
+    def test_oversized_batch_is_413(self, fitted, live):
+        with pytest.raises(ServeClientError) as ei:
+            live["client"].predict([fitted["test"][0]] * 9)  # cap is 8
+        assert ei.value.status == 413
+        assert ei.value.code == "batch_too_large"
+
+    def test_unknown_route_is_404_and_folded_in_metrics(self, live):
+        status, obj = self._raw(live, "GET", "/nope")
+        assert status == 404
+        routes = live["client"].metrics()["requests_by_route"]
+        assert "/nope" not in routes  # scanners can't grow the Counter
+        assert routes.get("<other>", 0) >= 1
+
+    def test_wrong_method_is_405(self, live):
+        status, _ = self._raw(live, "POST", "/healthz", b"{}")
+        assert status == 405
+
+    def test_oversized_body_is_413_and_counted(self, fitted, live):
+        before = live["client"].metrics()["requests_by_status"].get("413", 0)
+        big = b'{"graphs": [' + b" " * (live["server"].max_body_bytes + 1)
+        status, obj = self._raw(live, "POST", "/predict", big)
+        assert status == 413
+        assert obj["error"]["code"] == "body_too_large"
+        # framing-level rejections show up in /metrics too
+        after = live["client"].metrics()["requests_by_status"].get("413", 0)
+        assert after == before + 1
+
+    def test_oversized_header_is_400(self, live):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", live["port"]), timeout=30
+        ) as s:
+            s.sendall(b"GET /healthz HTTP/1.1\r\nX-Big: "
+                      + b"a" * 70000 + b"\r\n\r\n")
+            data = s.recv(65536)
+        assert data.split(b"\r\n")[0] == b"HTTP/1.1 400 Bad Request"
+
+
+class TestShutdown:
+    def test_stop_completes_with_open_keepalive_connection(self, fitted):
+        """Server.stop() must not wait on idle keep-alive handlers."""
+        import socket
+        import time as _time
+
+        gpr = fitted["gpr"]
+        server = KernelServer(gpr, window_s=0.01)
+        handle = ServerThread(server).start()
+        s = socket.create_connection(("127.0.0.1", handle.port), timeout=30)
+        try:
+            s.sendall(b"GET /healthz HTTP/1.1\r\n\r\n")
+            assert s.recv(65536).startswith(b"HTTP/1.1 200")
+            # connection stays open (keep-alive); stop must still return
+            t0 = _time.monotonic()
+            handle.stop()
+            assert _time.monotonic() - t0 < 10
+        finally:
+            s.close()
