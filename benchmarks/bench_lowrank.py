@@ -1,0 +1,130 @@
+"""Low-rank GPR bench: Nyström O(n·m) kernel cost vs. exact O(n²).
+
+Exact graph GPR pays n(n+1)/2 kernel solves to fit and n_train solves
+per test graph to predict.  The Nyström :class:`repro.ml.lowrank.
+LowRankGPR` pays m(m+1)/2 + (n−m)·m to fit and m per test graph — so
+the sweep over the landmark count m below traces the cost curve from
+"almost free" to "exact" while tracking how much predictive quality
+each rung buys.
+
+Shape criteria (ISSUE 3 acceptance): at n ≥ 200 and m = n/4 the
+low-rank fit+predict beats exact wall-clock while the held-out RMSE
+stays within 10% of the exact model's.  Each configuration runs on a
+fresh engine (cold cache) so the timings compare honest end-to-end
+costs.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import SCALE, banner, write_bench_json
+from repro import GramEngine, MarginalizedGraphKernel
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.ml import GaussianProcessRegressor, LowRankGPR
+
+ALPHA = 1e-3
+
+
+def _engine():
+    nk, ek = synthetic_kernels()
+    return GramEngine(MarginalizedGraphKernel(nk, ek, q=0.05))
+
+
+def _dataset(n_train, n_test):
+    rng = np.random.default_rng(17)
+    graphs = [
+        random_labeled_graph(
+            int(rng.integers(5, 10)),
+            density=float(rng.uniform(0.3, 0.6)),
+            weighted=bool(rng.random() < 0.5),
+            seed=rng,
+        )
+        for _ in range(n_train + n_test)
+    ]
+    y = np.array([float(g.degrees.mean()) for g in graphs])
+    return (graphs[:n_train], y[:n_train],
+            graphs[n_train:], y[n_train:])
+
+
+def run_lowrank_workload():
+    k = max(1.0, SCALE)
+    n_train, n_test = int(200 * k), int(40 * k)
+    Xtr, ytr, Xte, yte = _dataset(n_train, n_test)
+
+    eng = _engine()
+    t0 = time.perf_counter()
+    exact = GaussianProcessRegressor(alpha=ALPHA, engine=eng)
+    exact.fit_graphs(Xtr, ytr, normalize=True)
+    mu_exact = exact.predict_graphs(Xte)
+    t_exact = time.perf_counter() - t0
+    exact_row = {
+        "m": n_train,
+        "solves": eng.solves,
+        "seconds": t_exact,
+        "rmse": float(np.sqrt(np.mean((mu_exact - yte) ** 2))),
+    }
+
+    sweep = []
+    for m in (n_train // 8, n_train // 4, n_train // 2):
+        eng = _engine()
+        t0 = time.perf_counter()
+        lr = LowRankGPR(n_landmarks=m, selection="uniform", alpha=ALPHA,
+                        engine=eng)
+        lr.fit_graphs(Xtr, ytr, normalize=True)
+        mu = lr.predict_graphs(Xte)
+        sweep.append({
+            "m": m,
+            "rank": lr.rank,
+            "solves": eng.solves,
+            "seconds": time.perf_counter() - t0,
+            "rmse": float(np.sqrt(np.mean((mu - yte) ** 2))),
+        })
+    return {"n_train": n_train, "n_test": n_test,
+            "exact": exact_row, "sweep": sweep}
+
+
+def test_lowrank_scaling(benchmark, request):
+    r = benchmark.pedantic(run_lowrank_workload, rounds=1, iterations=1)
+    n = r["n_train"]
+    banner(f"Low-rank GPR — Nyström sweep vs. exact (n = {n})")
+    print(f"{'model':>12s} {'m':>6s} {'solves':>8s} {'seconds':>9s} "
+          f"{'RMSE':>10s}")
+    for row in r["sweep"]:
+        print(f"{'lowrank':>12s} {row['m']:6d} {row['solves']:8d} "
+              f"{row['seconds']:9.3f} {row['rmse']:10.5f}")
+    e = r["exact"]
+    print(f"{'exact':>12s} {e['m']:6d} {e['solves']:8d} "
+          f"{e['seconds']:9.3f} {e['rmse']:10.5f}")
+
+    write_bench_json(request, "lowrank", {
+        "n_train": n,
+        "n_test": r["n_test"],
+        "alpha": ALPHA,
+        "exact": e,
+        "sweep": r["sweep"],
+    })
+
+    # Kernel-solve accounting: lowrank fit+predict is m-bound.
+    for row in r["sweep"]:
+        m = row["m"]
+        # K(Z,Z) triangle + K(X\Z, Z) + train diag, then m landmark
+        # solves and one self-similarity per test graph.
+        budget = (m * (m + 1) // 2 + (n - m) * m + n
+                  + r["n_test"] * (m + 1))
+        assert row["solves"] <= budget
+    assert e["solves"] >= n * (n + 1) // 2
+
+    # The acceptance shape: at m = n/4, beat exact wall-clock with
+    # RMSE within 10%.
+    quarter = r["sweep"][1]
+    assert quarter["m"] == n // 4
+    assert quarter["seconds"] < e["seconds"], (
+        f"lowrank m=n/4 took {quarter['seconds']:.3f}s vs exact "
+        f"{e['seconds']:.3f}s"
+    )
+    assert quarter["rmse"] <= 1.10 * e["rmse"], (
+        f"lowrank m=n/4 RMSE {quarter['rmse']:.5f} drifts more than 10% "
+        f"from exact {e['rmse']:.5f}"
+    )

@@ -14,7 +14,10 @@ Batch entry points for the common workflows:
 * ``profile`` — run one graph pair through the virtual-GPU engine and
   print the nvprof-style counter report;
 * ``fit`` — train a graph GPR on a dataset and save it to a versioned
-  model registry (:mod:`repro.serve.registry`);
+  model registry (:mod:`repro.serve.registry`); ``--lowrank M`` fits
+  the Nyström :class:`repro.ml.lowrank.LowRankGPR` on M landmark
+  graphs instead of the exact O(n³) GPR (``--landmarks`` picks the
+  selection strategy);
 * ``serve`` — put a registry model online behind the asyncio
   microbatching inference server (:mod:`repro.serve.server`);
 * ``predict`` — score a dataset against a running server
@@ -263,7 +266,7 @@ def _build_serving_engine(args: argparse.Namespace, kernel):
 def cmd_fit(args: argparse.Namespace) -> int:
     from .graphs.io import load_dataset
     from .kernels import MarginalizedGraphKernel
-    from .ml import GaussianProcessRegressor
+    from .ml import GaussianProcessRegressor, LowRankGPR
     from .serve import ModelRegistry
 
     graphs = load_dataset(args.dataset)
@@ -271,21 +274,52 @@ def cmd_fit(args: argparse.Namespace) -> int:
     nk, ek = _kernels_for(args.kernels)
     mgk = MarginalizedGraphKernel(nk, ek, q=args.q)
     engine = _build_serving_engine(args, mgk)
-    gpr = GaussianProcessRegressor(alpha=args.alpha, engine=engine)
-    gpr.fit_graphs(graphs, y, normalize=args.normalize)
-    loo = gpr.loocv_predictions(y)
-    rmse = float(np.sqrt(np.mean((loo - y) ** 2)))
+    if args.lowrank < 0:
+        raise SystemExit("--lowrank needs a positive landmark count")
+    if args.lowrank:
+        model = LowRankGPR(
+            n_landmarks=args.lowrank,
+            selection=args.landmarks,
+            alpha=args.alpha,
+            seed=args.seed,
+            engine=engine,
+        )
+        model.fit_graphs(graphs, y, normalize=args.normalize)
+        pred = model.predict_graphs(graphs)
+        rmse = float(np.sqrt(np.mean((pred - y) ** 2)))
+        registry_graphs = model.landmarks
+        metadata = {
+            "dataset": args.dataset,
+            "train_rmse": rmse,
+            "lml": model.log_marginal_likelihood(),
+            "n_train": len(graphs),
+            "n_landmarks": len(model.landmarks),
+            "selection": args.landmarks,
+        }
+        rmse_label = "train RMSE"
+    else:
+        model = GaussianProcessRegressor(alpha=args.alpha, engine=engine)
+        model.fit_graphs(graphs, y, normalize=args.normalize)
+        loo = model.loocv_predictions(y)
+        rmse = float(np.sqrt(np.mean((loo - y) ** 2)))
+        registry_graphs = graphs
+        metadata = {"dataset": args.dataset, "loocv_rmse": rmse}
+        rmse_label = "LOOCV RMSE"
     record = ModelRegistry(args.registry).save(
         args.name,
-        gpr,
+        model,
         mgk,
-        graphs,
+        registry_graphs,
         scheme=args.kernels,
-        metadata={"dataset": args.dataset, "loocv_rmse": rmse},
+        metadata=metadata,
     )
+    if args.lowrank:
+        print(f"fitted low-rank on {len(graphs)} graphs with "
+              f"{len(model.landmarks)} landmarks "
+              f"({args.landmarks} selection, rank {model.rank})")
     print(f"fitted on {len(graphs)} graphs "
           f"(engine: {engine.solves} solves, {engine.cache_hits} cache hits)")
-    print(f"LOOCV RMSE: {rmse:.6g}")
+    print(f"{rmse_label}: {rmse:.6g}")
     print(f"saved {record.name} v{record.version} -> {record.path}")
     print(f"kernel fingerprint {record.kernel_fingerprint[:12]}…")
     return 0
@@ -303,6 +337,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         model_info={
             "name": model.record.name,
             "version": model.record.version,
+            "kind": model.model_kind,
             "n_train": len(model.train_graphs),
             "kernel_fingerprint": model.record.kernel_fingerprint,
         },
@@ -468,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="observation-noise variance / jitter")
     t.add_argument("--normalize", action="store_true",
                    help="fit on the cosine-normalized kernel")
+    t.add_argument("--lowrank", type=int, default=0, metavar="M",
+                   help="fit a Nyström low-rank GPR on M landmark graphs "
+                        "instead of the exact GPR (0 = exact)")
+    t.add_argument("--landmarks", default="uniform",
+                   choices=["uniform", "leverage", "kcenter"],
+                   help="landmark selection strategy for --lowrank")
+    t.add_argument("--seed", type=int, default=0,
+                   help="seed folded into landmark selection")
     add_engine_opts(t)
     t.set_defaults(func=cmd_fit)
 

@@ -18,7 +18,13 @@ loop actually needs:
   of the Fig. 9 benchmark, as a real API);
 * :meth:`GramEngine.pairs` — arbitrary (G, G') evaluations submitted
   as one tiled batch, the coalescing primitive the serving layer
-  (:mod:`repro.serve`) builds microbatches on.
+  (:mod:`repro.serve`) builds microbatches on;
+* :meth:`GramEngine.block` — an arbitrary rectangular block
+  K(rows, cols), the entry point the low-rank learning layer
+  (:mod:`repro.ml.lowrank`) computes its K(X, Z) / K(Z, Z) Nyström
+  factors through.  Blocks share the content-addressed cache with
+  full Gram calls, so a landmark column solved during fitting is
+  never re-solved by a later full Gram (or vice versa).
 """
 
 from __future__ import annotations
@@ -309,16 +315,50 @@ class GramEngine:
         else:
             if normalize:
                 raise ValueError("normalize requires a symmetric Gram (Y=None)")
-            Y = list(Y)
-            positions = [
-                (i, j) for i in range(len(X)) for j in range(len(Y))
-            ]
-            entries, diag = self._compute_pairs(X, Y, positions)
-            K = np.zeros((len(X), len(Y)))
-            iters = np.zeros((len(X), len(Y)), dtype=int)
-            for (i, j), e in entries.items():
-                K[i, j] = e.value
-                iters[i, j] = e.iterations
+            return self.block(X, Y)
+        self._warn_nonconverged(diag)
+        return GramResult(
+            matrix=K,
+            iterations=iters,
+            converged=not diag.nonconverged_pairs,
+            wall_time=time.perf_counter() - t0,
+            info=self._result_info(diag),
+        )
+
+    def block(
+        self, rows: Sequence[Graph], cols: Sequence[Graph]
+    ) -> GramResult:
+        """Rectangular Gram block K[i, j] = K(rows_i, cols_j).
+
+        The workhorse of the low-rank layer: Nyström fitting needs the
+        tall-skinny K(X, Z) and the small square K(Z, Z) rather than a
+        full Gram.  Every position resolves through the same
+        content-addressed pipeline as :meth:`gram`, so
+
+        * positions whose (kernel, graph, graph) keys coincide —
+          duplicate graphs, or the symmetric (i, j)/(j, i) repeats when
+          ``rows`` and ``cols`` overlap — collapse to a single solve
+          (``block(Z, Z)`` therefore costs only the upper triangle);
+        * entries solved here are served from cache to later ``gram`` /
+          ``diag`` / ``pairs`` calls, and the other way around.
+        """
+        t0 = time.perf_counter()
+        rows = list(rows)
+        cols = list(cols)
+        K = np.zeros((len(rows), len(cols)))
+        iters = np.zeros((len(rows), len(cols)), dtype=int)
+        if not rows or not cols:
+            return GramResult(
+                matrix=K, iterations=iters, converged=True,
+                wall_time=time.perf_counter() - t0, info={},
+            )
+        positions = [
+            (i, j) for i in range(len(rows)) for j in range(len(cols))
+        ]
+        entries, diag = self._compute_pairs(rows, cols, positions)
+        for (i, j), e in entries.items():
+            K[i, j] = e.value
+            iters[i, j] = e.iterations
         self._warn_nonconverged(diag)
         return GramResult(
             matrix=K,

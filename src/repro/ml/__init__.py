@@ -7,6 +7,8 @@ provides the downstream consumers the examples use:
 
 * :mod:`repro.ml.gpr` — Gaussian process regression on a precomputed
   Gram matrix (exact, with jitter handling and LOOCV utilities);
+* :mod:`repro.ml.lowrank` — Nyström low-rank GPR over m ≪ n landmark
+  graphs, the O(n m²) path past the exact O(n³) wall;
 * :mod:`repro.ml.kpca` — kernel PCA for embedding / visualization;
 * :mod:`repro.ml.knn` — kernel nearest-neighbour classification via the
   kernel-induced distance.
@@ -15,11 +17,15 @@ provides the downstream consumers the examples use:
 from .gpr import GaussianProcessRegressor, NotFittedError
 from .kpca import kernel_pca
 from .knn import kernel_knn_graphs, kernel_knn_predict
+from .lowrank import LowRankGPR, landmark_order, select_landmarks
 
 __all__ = [
     "GaussianProcessRegressor",
+    "LowRankGPR",
     "NotFittedError",
     "kernel_knn_graphs",
     "kernel_knn_predict",
     "kernel_pca",
+    "landmark_order",
+    "select_landmarks",
 ]

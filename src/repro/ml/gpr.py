@@ -91,7 +91,19 @@ class GaussianProcessRegressor:
         (e.g. from ``engine.diag(test_graphs)``) for raw kernels.
         """
         self._require_fitted()
-        K_star = np.atleast_2d(np.asarray(K_star, dtype=np.float64))
+        K_star = np.asarray(K_star, dtype=np.float64)
+        # Catches both a (0, n) matrix and a 1-D empty input (which
+        # atleast_2d would disguise as one row of zero columns).
+        if K_star.size == 0:
+            raise ValueError(
+                "no test rows: predict needs at least one K(test, train) row"
+            )
+        K_star = np.atleast_2d(K_star)
+        if K_star.shape[1] != self._dual.shape[0]:
+            raise ValueError(
+                f"K_star has {K_star.shape[1]} columns but the model was "
+                f"fitted on {self._dual.shape[0]} training rows"
+            )
         mu = K_star @ self._dual * self._y_std + self._y_mean
         if not return_std:
             return mu
@@ -157,6 +169,9 @@ class GaussianProcessRegressor:
                 "fit_graphs() first (or restore train graphs from a "
                 "registry artifact)"
             )
+        graphs = list(graphs)
+        if not graphs:
+            raise ValueError("no test graphs: predict_graphs needs >= 1")
         K_star = engine.gram(graphs, self._train_graphs).matrix
         if not (self._normalize_kernel or return_std):
             return self.predict(K_star)  # self-similarities not needed

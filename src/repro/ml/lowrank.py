@@ -1,0 +1,575 @@
+"""Low-rank (Nyström) Gaussian process regression on graph kernels.
+
+Exact GPR on the marginalized graph kernel costs O(n²) kernel solves
+plus an O(n³) Cholesky — the one wall the Gram engine cannot tile or
+cache its way through once datasets reach thousands of graphs.
+:class:`LowRankGPR` replaces the full Gram with the Nyström
+approximation built from m ≪ n *landmark* graphs:
+
+    K(X, X)  ≈  K(X, Z) · K(Z, Z)⁺ · K(Z, X)
+
+which needs only the rectangular block K(X, Z) (n·m solves through
+:meth:`repro.engine.GramEngine.block`) and the small square K(Z, Z).
+Fitting is O(n m²) linear algebra via the Woodbury identity; prediction
+touches m landmarks per test graph instead of n training graphs.  The
+PSD guarantee of the paper's Section II-B is what makes K(Z, Z)
+eigendecomposable with non-negative spectrum — the jitter-stabilized
+pseudo-inverse below only has to clip numerical noise, never genuine
+negative mass.
+
+Landmark selection (:func:`landmark_order` / :func:`select_landmarks`)
+is ranking-based: each strategy produces a full preference order over
+the (content-deduplicated) training graphs, and the first m entries are
+the landmark set.  Rankings nest — the m=32 set is a subset of the
+m=64 set — so a landmark-count sweep through a shared engine cache
+reuses every kernel solve of the larger candidate.
+
+* ``uniform``   — a seeded shuffle; the seed is derived from the graph
+  content fingerprints, so the same dataset yields the same landmarks
+  in any process;
+* ``leverage``  — ridge leverage scores of K(C, C) over a bounded
+  candidate subsample, highest first;
+* ``kcenter``   — greedy farthest-point traversal of the
+  kernel-induced metric d²(a, b) = K(a,a) + K(b,b) − 2·K(a,b); the
+  K(X, center) columns it evaluates are exactly columns of the later
+  K(X, Z) fit block, so with a shared engine the selection pass is
+  almost free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+import scipy.linalg
+
+from .gpr import NotFittedError
+
+#: Landmark-ranking strategies understood by :func:`landmark_order`.
+SELECTION_METHODS = ("uniform", "leverage", "kcenter")
+
+
+def _dedupe_by_fingerprint(graphs: Sequence) -> list[tuple[str, int]]:
+    """(fingerprint, index) of the first occurrence of each distinct
+    graph content, in dataset order."""
+    from ..engine.fingerprint import graph_fingerprint
+
+    seen: set[str] = set()
+    order = []
+    for i, g in enumerate(graphs):
+        fp = graph_fingerprint(g)
+        if fp not in seen:
+            seen.add(fp)
+            order.append((fp, i))
+    return order
+
+
+def _content_seed(graphs: Sequence, seed: int) -> int:
+    """Derive a deterministic RNG seed from graph content + user seed.
+
+    Selection becomes a pure function of *what* the dataset contains:
+    reloading the same graphs in another process (or in a different
+    order of an otherwise identical set) picks the same landmarks.
+    """
+    from ..engine.fingerprint import graph_fingerprint
+
+    h = hashlib.sha256()
+    for fp in sorted(graph_fingerprint(g) for g in graphs):
+        h.update(fp.encode())
+    h.update(str(seed).encode())
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def landmark_order(
+    graphs: Sequence,
+    method: str = "uniform",
+    seed: int = 0,
+    engine=None,
+    max_candidates: int = 256,
+    limit: int | None = None,
+) -> list[int]:
+    """Landmark preference ranking over ``graphs`` (see module doc).
+
+    Returns indices into ``graphs`` with content duplicates removed;
+    ``leverage`` and ``kcenter`` need an ``engine`` for kernel
+    evaluations.  Slicing the ranking at any m ≤ ``limit`` gives the
+    m-landmark set, and those sets nest across m.
+
+    ``limit`` bounds how far the ranking is *carefully* resolved —
+    essential for ``kcenter``, whose greedy traversal pays one K(X,
+    center) column per resolved position: with ``limit=m`` selection
+    costs O(n·m) kernel solves (the same columns the K(X, Z) fit block
+    needs, so through a shared engine they are solved once), while an
+    unbounded ranking of n graphs would cost the full O(n²) exact-Gram
+    budget the low-rank layer exists to avoid.  Positions past the
+    limit are filled in cheap residual order.
+    """
+    if method not in SELECTION_METHODS:
+        raise ValueError(
+            f"unknown landmark selection {method!r}; pick from "
+            f"{SELECTION_METHODS}"
+        )
+    if limit is not None and limit < 1:
+        raise ValueError("limit must be >= 1")
+    unique = _dedupe_by_fingerprint(graphs)
+    if len(unique) <= 1:
+        return [i for _, i in unique]
+    if method == "uniform":
+        # Shuffle in fingerprint order, not dataset order: the ranking
+        # is then a pure function of dataset *content* — reloading the
+        # same graphs in any order picks the same landmark set.
+        rng = random.Random(_content_seed(graphs, seed))
+        by_content = sorted(unique)
+        rng.shuffle(by_content)
+        return [i for _, i in by_content]
+    if engine is None:
+        raise ValueError(
+            f"landmark selection {method!r} evaluates kernels and needs "
+            "an engine (GramEngine)"
+        )
+    if method == "leverage":
+        return _leverage_order(graphs, unique, seed, engine, max_candidates)
+    return _kcenter_order(graphs, unique, engine, limit)
+
+
+def _leverage_order(
+    graphs, unique: list[tuple[str, int]], seed: int, engine,
+    max_candidates: int
+) -> list[int]:
+    """Ridge-leverage ranking: score τ_i = [K (K + λI)⁻¹]_ii, largest
+    first, over a bounded candidate subsample (O(c²) kernel solves)."""
+    candidates = [i for _, i in sorted(unique)]  # content order
+    if len(candidates) > max_candidates:
+        rng = random.Random(_content_seed(graphs, seed))
+        candidates = rng.sample(candidates, max_candidates)
+    sub = [graphs[i] for i in candidates]
+    K = engine.block(sub, sub).matrix
+    K = (K + K.T) / 2.0
+    lam, U = scipy.linalg.eigh(K)
+    lam = np.maximum(lam, 0.0)
+    ridge = max(float(lam.mean()), 1e-12)
+    scores = ((U * (lam / (lam + ridge))) * U).sum(axis=1)
+    ranked = [candidates[i] for i in np.argsort(-scores, kind="stable")]
+    # Unsampled graphs trail the ranking so any m is still servable.
+    sampled = set(candidates)
+    tail = [i for _, i in unique if i not in sampled]
+    return ranked + tail
+
+
+def _kcenter_order(
+    graphs, unique: list[tuple[str, int]], engine, limit: int | None
+) -> list[int]:
+    """Greedy k-center (farthest-point) ranking in the kernel metric.
+
+    Each greedy step pays one K(pool, center) column, so only the
+    first ``limit`` positions are resolved greedily (O(n·limit) kernel
+    solves); the remainder is appended by residual distance to the
+    chosen centers, which costs nothing further.
+    """
+    pool = [graphs[i] for _, i in unique]
+    n_greedy = len(pool) if limit is None else min(limit, len(pool))
+    diag = engine.diag(pool)
+    # Start from the graph with the largest self-similarity: a
+    # deterministic pick that favours the "heaviest" structure.
+    order = [int(np.argmax(diag))]
+    d2 = np.full(len(pool), np.inf)
+    for _ in range(n_greedy - 1):
+        c = order[-1]
+        col = engine.block(pool, [pool[c]]).matrix[:, 0]
+        d2 = np.minimum(d2, np.maximum(diag + diag[c] - 2.0 * col, 0.0))
+        d2[order] = -np.inf
+        order.append(int(np.argmax(d2)))
+    if len(order) < len(pool):
+        rest = [i for i in np.argsort(-d2, kind="stable") if i not in
+                set(order)]
+        order.extend(int(i) for i in rest)
+    return [unique[i][1] for i in order]
+
+
+def select_landmarks(
+    graphs: Sequence,
+    m: int,
+    method: str = "uniform",
+    seed: int = 0,
+    engine=None,
+) -> list[int]:
+    """The first ``m`` entries of :func:`landmark_order` (clipped to the
+    number of distinct graphs), resolved with ``limit=m`` so selection
+    never costs more kernel solves than the fit it feeds."""
+    if m < 1:
+        raise ValueError("need at least one landmark (m >= 1)")
+    return landmark_order(
+        graphs, method=method, seed=seed, engine=engine, limit=m
+    )[:m]
+
+
+@dataclass
+class LowRankGPR:
+    """Nyström-approximated GP regression (see module doc).
+
+    Drop-in partner of :class:`~repro.ml.gpr.GaussianProcessRegressor`:
+    same ``fit_graphs`` / ``predict_graphs`` / ``export_artifact``
+    surface, so the model registry and the inference server serve both
+    kinds through one code path.
+
+    Parameters
+    ----------
+    n_landmarks:
+        Landmark count m (clipped to the number of distinct training
+        graphs at fit time).
+    selection:
+        Landmark strategy — ``"uniform"``, ``"leverage"``, or
+        ``"kcenter"`` (:func:`landmark_order`).
+    alpha:
+        Observation-noise variance σ².
+    jitter:
+        Eigenvalue floor of the K(Z, Z) pseudo-inverse: components
+        below ``max(jitter, jitter · λ_max)`` are truncated, which is
+        what keeps the Woodbury solve stable when landmarks are nearly
+        collinear in feature space.
+    normalize_y:
+        Center/scale targets before fitting.
+    engine:
+        :class:`repro.engine.GramEngine` for the graph-level API.
+    seed:
+        Seed folded into content-derived landmark selection.
+    """
+
+    n_landmarks: int = 16
+    selection: str = "uniform"
+    alpha: float = 1e-6
+    jitter: float = 1e-10
+    normalize_y: bool = True
+    engine: Any | None = None
+    seed: int = 0
+    _proj: np.ndarray | None = field(default=None, repr=False)
+    _w: np.ndarray | None = field(default=None, repr=False)
+    _A_chol: np.ndarray | None = field(default=None, repr=False)
+    _lml: float = float("nan")
+    _y_mean: float = 0.0
+    _y_std: float = 1.0
+    _landmarks: list | None = field(default=None, repr=False)
+    _landmark_diag: np.ndarray | None = field(default=None, repr=False)
+    _normalize_kernel: bool = False
+
+    # ------------------------------------------------------------------
+    # matrix-level API
+    # ------------------------------------------------------------------
+
+    def fit(
+        self, K_zz: np.ndarray, K_xz: np.ndarray, y: np.ndarray
+    ) -> "LowRankGPR":
+        """Fit from the landmark Gram K(Z, Z) and cross block K(X, Z).
+
+        The Nyström feature map Φ = K(X, Z) · K(Z, Z)^{-1/2} (with the
+        jitter-truncated pseudo-root) turns the GP into Bayesian linear
+        regression in r ≤ m dimensions; the Woodbury identity then
+        gives mean, variance, and log marginal likelihood from the
+        r × r system A = ΦᵀΦ + σ²I.
+        """
+        K_zz = np.asarray(K_zz, dtype=np.float64)
+        K_xz = np.atleast_2d(np.asarray(K_xz, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64)
+        if K_zz.ndim != 2 or K_zz.shape[0] != K_zz.shape[1]:
+            raise ValueError("K_zz must be square")
+        m = K_zz.shape[0]
+        if K_xz.shape[1] != m:
+            raise ValueError(
+                f"K_xz has {K_xz.shape[1]} columns but there are "
+                f"{m} landmarks"
+            )
+        n = K_xz.shape[0]
+        if y.shape != (n,):
+            raise ValueError("y length mismatch")
+        if n < 1:
+            raise ValueError("need at least one training row")
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            self._y_std = float(y.std()) or 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        yn = (y - self._y_mean) / self._y_std
+
+        # Jitter-stabilized pseudo-root of K(Z, Z): PSD by Section
+        # II-B, so anything below the floor is numerical noise.
+        lam, U = scipy.linalg.eigh((K_zz + K_zz.T) / 2.0)
+        floor = max(self.jitter, self.jitter * float(lam.max(initial=0.0)))
+        keep = lam > floor
+        r = int(keep.sum())
+        if r == 0:
+            raise ValueError(
+                "K(Z, Z) has no eigenvalue above the jitter floor "
+                f"({floor:.3g}); the landmark set is degenerate"
+            )
+        self._proj = U[:, keep] / np.sqrt(lam[keep])  # m x r
+        phi = K_xz @ self._proj  # n x r
+        A = phi.T @ phi + self.alpha * np.eye(r)
+        self._A_chol = scipy.linalg.cholesky(A, lower=True)
+        b = phi.T @ yn
+        self._w = scipy.linalg.cho_solve((self._A_chol, True), b)
+
+        # Log marginal likelihood via the Woodbury/determinant lemmas:
+        # y'(ΦΦ'+σ²I)⁻¹y = (y'y − b'A⁻¹b)/σ²,
+        # log|ΦΦ'+σ²I| = log|A| + (n−r)·log σ².
+        quad = (float(yn @ yn) - float(b @ self._w)) / self.alpha
+        logdet = 2.0 * float(
+            np.log(np.diagonal(self._A_chol)).sum()
+        ) + (n - r) * np.log(self.alpha)
+        self._lml = float(-0.5 * (quad + logdet + n * np.log(2 * np.pi)))
+        return self
+
+    def predict(
+        self,
+        K_star_z: np.ndarray,
+        return_std: bool = False,
+        K_test_diag: np.ndarray | None = None,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Predict from K(test, Z); optionally with posterior stddev.
+
+        Variance follows the projected-process form: prior self-
+        similarity minus the Nyström explained part, plus the Woodbury
+        data term.  As in the exact GPR, ``K_test_diag`` defaults to 1
+        (exact for cosine-normalized kernels).
+        """
+        self._require_fitted()
+        K_star_z = np.asarray(K_star_z, dtype=np.float64)
+        # Catches both a (0, m) matrix and a 1-D empty input (which
+        # atleast_2d would disguise as one row of zero columns).
+        if K_star_z.size == 0:
+            raise ValueError(
+                "no test rows: predict needs at least one K(test, Z) row"
+            )
+        K_star_z = np.atleast_2d(K_star_z)
+        assert self._proj is not None and self._w is not None
+        if K_star_z.shape[1] != self._proj.shape[0]:
+            raise ValueError(
+                f"K_star_z has {K_star_z.shape[1]} columns but the model "
+                f"holds {self._proj.shape[0]} landmarks"
+            )
+        phi = K_star_z @ self._proj
+        mu = phi @ self._w * self._y_std + self._y_mean
+        if not return_std:
+            return mu
+        if K_test_diag is None:
+            prior = np.ones(K_star_z.shape[0])
+        else:
+            prior = np.asarray(K_test_diag, dtype=np.float64)
+            if prior.shape != (K_star_z.shape[0],):
+                raise ValueError("K_test_diag length must match test rows")
+        explained = np.einsum("ij,ij->i", phi, phi)
+        v = scipy.linalg.solve_triangular(self._A_chol, phi.T, lower=True)
+        data_term = self.alpha * np.einsum("ij,ij->j", v, v)
+        var = np.maximum(prior - explained + data_term, 0.0)
+        return mu, np.sqrt(var) * self._y_std
+
+    def log_marginal_likelihood(self) -> float:
+        """Log p(y | K̃) of the fitted low-rank model (exact for the
+        Nyström-approximated kernel, computed at fit time)."""
+        self._require_fitted()
+        return self._lml
+
+    # ------------------------------------------------------------------
+    # graph-level API through the engine
+    # ------------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self._w is None or self._proj is None or self._A_chol is None:
+            raise NotFittedError(
+                "LowRankGPR is not fitted; call fit() or fit_graphs() first"
+            )
+
+    def _require_engine(self):
+        if self.engine is None:
+            raise RuntimeError(
+                "no engine attached: the graph-level API needs "
+                "LowRankGPR(engine=GramEngine(kernel)) or gpr.engine = ..."
+            )
+        return self.engine
+
+    @property
+    def landmarks(self) -> list:
+        """The landmark graphs of a graph-level fit."""
+        if self._landmarks is None:
+            raise NotFittedError(
+                "LowRankGPR has no landmarks; call fit_graphs() first (or "
+                "restore them from a registry artifact)"
+            )
+        return self._landmarks
+
+    @property
+    def rank(self) -> int:
+        """Retained Nyström rank r ≤ m after jitter truncation."""
+        self._require_fitted()
+        assert self._proj is not None
+        return self._proj.shape[1]
+
+    def fit_graphs(
+        self,
+        graphs: Sequence,
+        y: np.ndarray,
+        normalize: bool = False,
+        landmarks: Sequence[int] | None = None,
+    ) -> "LowRankGPR":
+        """Fit directly on graphs: select landmarks, then compute the
+        K(X, Z) and K(Z, Z) blocks through the engine.
+
+        ``landmarks`` overrides selection with explicit indices into
+        ``graphs`` (the tuner passes nested ranking prefixes).
+        """
+        engine = self._require_engine()
+        graphs = list(graphs)
+        y = np.asarray(y, dtype=np.float64)
+        if len(graphs) < 2:
+            raise ValueError(
+                "low-rank fitting needs at least two training graphs"
+            )
+        if y.shape != (len(graphs),):
+            raise ValueError("y length mismatch")
+        if landmarks is None:
+            idx = select_landmarks(
+                graphs,
+                min(self.n_landmarks, len(graphs)),
+                method=self.selection,
+                seed=self.seed,
+                engine=engine,
+            )
+        else:
+            idx = list(landmarks)
+            if not idx or not all(0 <= i < len(graphs) for i in idx):
+                raise ValueError("landmark indices out of range")
+        Z = [graphs[i] for i in idx]
+        K_zz = engine.block(Z, Z).matrix
+        K_xz = engine.block(graphs, Z).matrix
+        self._normalize_kernel = normalize
+        if normalize:
+            diag_x = engine.diag(graphs)
+            diag_z = diag_x[idx]
+            K_xz = K_xz / np.sqrt(np.outer(diag_x, diag_z))
+            K_zz = K_zz / np.sqrt(np.outer(diag_z, diag_z))
+            self._landmark_diag = np.asarray(diag_z, dtype=np.float64)
+        else:
+            self._landmark_diag = np.asarray(
+                np.diagonal(K_zz), dtype=np.float64
+            ).copy()
+        self._landmarks = Z
+        return self.fit(K_zz, K_xz, y)
+
+    def predict_graphs(
+        self, graphs: Sequence, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Predict for new graphs: the engine computes K(test, Z) —
+        m landmark solves per graph instead of n training solves."""
+        engine = self._require_engine()
+        self._require_fitted()
+        Z = self.landmarks
+        graphs = list(graphs)
+        if not graphs:
+            raise ValueError("no test graphs: predict_graphs needs >= 1")
+        K_star_z = engine.block(graphs, Z).matrix
+        if not (self._normalize_kernel or return_std):
+            return self.predict(K_star_z)
+        test_diag = engine.diag(graphs)
+        if self._normalize_kernel:
+            assert self._landmark_diag is not None
+            K_star_z = K_star_z / np.sqrt(
+                np.outer(test_diag, self._landmark_diag)
+            )
+            test_diag = np.ones(len(graphs))
+        if not return_std:
+            return self.predict(K_star_z)
+        return self.predict(K_star_z, return_std=True, K_test_diag=test_diag)
+
+    # ------------------------------------------------------------------
+    # persistence (the model-registry payload)
+    # ------------------------------------------------------------------
+
+    #: Bumped whenever the artifact layout changes incompatibly.
+    ARTIFACT_VERSION = 1
+
+    def export_artifact(self) -> dict:
+        """Factor matrices + scalars for registry persistence.
+
+        Landmark graphs are *not* included — the registry stores them
+        alongside as the version's dataset file, exactly as it stores
+        train graphs for exact GPR artifacts.  Inverse of
+        :meth:`from_artifact`.
+        """
+        self._require_fitted()
+        assert (
+            self._proj is not None
+            and self._w is not None
+            and self._A_chol is not None
+        )
+        art = {
+            "artifact_version": self.ARTIFACT_VERSION,
+            "kind": "lowrank",
+            "alpha": float(self.alpha),
+            "jitter": float(self.jitter),
+            "normalize_y": bool(self.normalize_y),
+            "y_mean": float(self._y_mean),
+            "y_std": float(self._y_std),
+            "normalize_kernel": bool(self._normalize_kernel),
+            "selection": str(self.selection),
+            "lml": float(self._lml),
+            "projector": np.asarray(self._proj, dtype=np.float64),
+            "w": np.asarray(self._w, dtype=np.float64),
+            "A_cholesky": np.asarray(self._A_chol, dtype=np.float64),
+        }
+        if self._landmark_diag is not None:
+            art["landmark_diag"] = np.asarray(
+                self._landmark_diag, dtype=np.float64
+            )
+        return art
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: dict,
+        landmarks: Sequence | None = None,
+        engine: Any | None = None,
+    ) -> "LowRankGPR":
+        """Rebuild a fitted low-rank model from :meth:`export_artifact`
+        output; pass ``landmarks`` and an ``engine`` to re-enable the
+        graph-level API."""
+        version = int(artifact.get("artifact_version", -1))
+        if version != cls.ARTIFACT_VERSION:
+            raise ValueError(
+                f"unsupported LowRankGPR artifact version {version} "
+                f"(this build reads version {cls.ARTIFACT_VERSION})"
+            )
+        if artifact.get("kind", "lowrank") != "lowrank":
+            raise ValueError(
+                f"artifact kind {artifact.get('kind')!r} is not 'lowrank'"
+            )
+        proj = np.asarray(artifact["projector"], dtype=np.float64)
+        model = cls(
+            n_landmarks=proj.shape[0],
+            selection=str(artifact.get("selection", "uniform")),
+            alpha=float(artifact["alpha"]),
+            jitter=float(artifact["jitter"]),
+            normalize_y=bool(artifact["normalize_y"]),
+            engine=engine,
+        )
+        model._proj = proj
+        model._w = np.asarray(artifact["w"], dtype=np.float64)
+        model._A_chol = np.asarray(artifact["A_cholesky"], dtype=np.float64)
+        model._y_mean = float(artifact["y_mean"])
+        model._y_std = float(artifact["y_std"])
+        model._normalize_kernel = bool(artifact["normalize_kernel"])
+        model._lml = float(artifact.get("lml", float("nan")))
+        if artifact.get("landmark_diag") is not None:
+            model._landmark_diag = np.asarray(
+                artifact["landmark_diag"], dtype=np.float64
+            )
+        if landmarks is not None:
+            landmarks = list(landmarks)
+            if len(landmarks) != proj.shape[0]:
+                raise ValueError(
+                    f"artifact was fitted on {proj.shape[0]} landmarks "
+                    f"but {len(landmarks)} were supplied"
+                )
+            model._landmarks = landmarks
+        return model

@@ -6,6 +6,13 @@ machine learning model" — is exactly a hyperparameter search: each
 candidate (stopping probability q, base-kernel parameters, GP noise)
 requires a fresh Gram matrix.  This module provides that loop, scoring
 candidates by GP log marginal likelihood or leave-one-out error.
+
+:func:`lowrank_search` is the low-rank counterpart: it tunes the
+Nyström landmark count m and the noise α *jointly* for a fixed kernel.
+Landmark rankings nest across m (:func:`repro.ml.lowrank.
+landmark_order`), so the whole sweep through a shared engine computes
+each K(X, z) column exactly once — candidate (m=32, α) reuses every
+kernel solve of candidate (m=64, α').
 """
 
 from __future__ import annotations
@@ -19,6 +26,26 @@ import numpy as np
 from ..graphs.graph import Graph
 from ..kernels.marginalized import MarginalizedGraphKernel, normalized
 from .gpr import GaussianProcessRegressor
+
+
+def _validate_search_inputs(
+    graphs: Sequence[Graph], y: np.ndarray
+) -> tuple[list[Graph], np.ndarray]:
+    """Shared admission check for the search loops: enough graphs for
+    the scores to mean anything, and matching targets."""
+    graphs = list(graphs)
+    y = np.asarray(y, dtype=np.float64)
+    if len(graphs) < 3:
+        raise ValueError(
+            f"hyperparameter search needs at least 3 graphs, got "
+            f"{len(graphs)}: LML and LOOCV scores are degenerate on "
+            "smaller sets"
+        )
+    if y.shape != (len(graphs),):
+        raise ValueError(
+            f"y has shape {y.shape} but there are {len(graphs)} graphs"
+        )
+    return graphs, y
 
 
 @dataclass
@@ -60,7 +87,7 @@ def grid_search(
         that revisit a hyperparameter point — content-addressed keys
         keep distinct candidates from colliding.
     """
-    y = np.asarray(y, dtype=np.float64)
+    graphs, y = _validate_search_inputs(graphs, y)
     if scoring not in ("lml", "loocv"):
         raise ValueError("scoring must be 'lml' or 'loocv'")
     names = list(grid)
@@ -83,6 +110,93 @@ def grid_search(
         if best is None or score > best.score:
             best = TuningResult(params=params, score=score, gram=K,
                                 history=history)
+    assert best is not None
+    best.history = history
+    return best
+
+
+@dataclass
+class LowRankTuningResult:
+    """Best (m, alpha) found by :func:`lowrank_search`."""
+
+    params: dict
+    score: float
+    model: "object"  # the fitted repro.ml.lowrank.LowRankGPR
+    history: list[tuple[dict, float]]
+
+
+def lowrank_search(
+    graphs: Sequence[Graph],
+    y: np.ndarray,
+    kernel: MarginalizedGraphKernel,
+    m_grid: Sequence[int],
+    alpha_grid: Sequence[float] = (1e-8, 1e-6, 1e-4, 1e-2),
+    selection: str = "uniform",
+    seed: int = 0,
+    normalize: bool = True,
+    engine_options: Mapping | None = None,
+    engine=None,
+) -> LowRankTuningResult:
+    """Jointly tune the Nyström landmark count m and the noise α.
+
+    One landmark ranking is computed up front; every candidate m is a
+    prefix of it, and every candidate shares one engine (hence one
+    content-addressed cache), so the sweep's kernel cost is that of the
+    *largest* m alone.  Candidates are scored by the low-rank log
+    marginal likelihood and the best refitted model is returned.
+
+    Parameters
+    ----------
+    kernel:
+        The fixed :class:`MarginalizedGraphKernel` (tune it separately
+        with :func:`grid_search`).
+    m_grid:
+        Candidate landmark counts; values above the number of distinct
+        graphs are clipped (duplicates after clipping are dropped).
+    alpha_grid:
+        Candidate observation-noise variances.
+    selection / seed:
+        Landmark strategy, as in :class:`repro.ml.lowrank.LowRankGPR`.
+    engine / engine_options:
+        Pass an existing :class:`repro.engine.GramEngine` built on
+        ``kernel``, or options to construct one.
+    """
+    from ..engine import GramEngine
+    from .lowrank import LowRankGPR, landmark_order
+
+    graphs, y = _validate_search_inputs(graphs, y)
+    if not m_grid or any(m < 1 for m in m_grid):
+        raise ValueError("m_grid must hold positive landmark counts")
+    if engine is None:
+        engine = GramEngine(kernel, **dict(engine_options or {}))
+    # Resolve the ranking only as deep as the largest candidate needs —
+    # for kcenter this caps selection at O(n·max(m)) kernel solves.
+    order = landmark_order(
+        graphs, method=selection, seed=seed, engine=engine,
+        limit=max(int(m) for m in m_grid),
+    )
+    ms = sorted({min(int(m), len(order)) for m in m_grid})
+    best: LowRankTuningResult | None = None
+    history: list[tuple[dict, float]] = []
+    for m in ms:
+        for alpha in alpha_grid:
+            model = LowRankGPR(
+                n_landmarks=m,
+                selection=selection,
+                alpha=float(alpha),
+                seed=seed,
+                engine=engine,
+            )
+            model.fit_graphs(
+                graphs, y, normalize=normalize, landmarks=order[:m]
+            )
+            score = model.log_marginal_likelihood()
+            params = {"m": m, "alpha": float(alpha)}
+            history.append((params, score))
+            if best is None or score > best.score:
+                best = LowRankTuningResult(
+                    params=params, score=score, model=model, history=history
+                )
     assert best is not None
     best.history = history
     return best

@@ -32,6 +32,7 @@ from .client import ServeClient, ServeClientError
 from .metrics import ServerMetrics
 from .protocol import ProtocolError
 from .registry import (
+    MODEL_KINDS,
     LoadedModel,
     ModelRecord,
     ModelRegistry,
@@ -43,6 +44,7 @@ from .server import KernelServer, ServerThread
 __all__ = [
     "KernelServer",
     "LoadedModel",
+    "MODEL_KINDS",
     "MicroBatcher",
     "ModelRecord",
     "ModelRegistry",

@@ -1,16 +1,26 @@
 """Versioned on-disk store for fitted graph-kernel models.
 
 A *model* is everything ``repro predict`` needs after a process
-restart: the GPR artifact (dual vector, Cholesky factor, target
-normalization), the training graphs, and the kernel hyperparameters
-that produced the Gram matrix.  The registry lays each save out as
+restart: the learned arrays, the graphs prediction must evaluate the
+kernel against, and the kernel hyperparameters that produced the Gram
+matrix.  Two model kinds share the layout:
+
+* ``gpr`` — exact GPR: dual vector + Cholesky factor, with the full
+  training set as its graphs file;
+* ``lowrank`` — Nyström :class:`repro.ml.lowrank.LowRankGPR`: factor
+  matrices (projector, Woodbury Cholesky, landmark dual), with only
+  the m landmark graphs as its graphs file — a registry version of a
+  100k-graph fit stays a few hundred kilobytes.
+
+The registry lays each save out as
 
 ::
 
     <root>/<name>/v0001/
-        manifest.json   # schema, kernel spec + fingerprint, checksums
-        arrays.npz      # dual, cholesky, train_diag
-        graphs.jsonl    # train graphs (repro.graphs.io JSON-lines)
+        manifest.json   # schema, model kind, kernel spec, checksums
+        arrays.npz      # gpr: dual, cholesky, train_diag
+                        # lowrank: projector, w, A_cholesky, ...
+        graphs.jsonl    # train graphs / landmark graphs (JSON-lines)
 
 Integrity is layered:
 
@@ -50,9 +60,15 @@ from ..graphs.io import load_dataset, save_dataset
 from ..kernels.basekernels import KERNEL_SCHEMES
 from ..kernels.marginalized import MarginalizedGraphKernel
 from ..ml.gpr import GaussianProcessRegressor
+from ..ml.lowrank import LowRankGPR
 
 #: Manifest layout version; readers reject manifests they don't speak.
 SCHEMA_VERSION = 1
+
+#: Supported model kinds and the array that must match the graphs file:
+#: exact GPR stores one dual weight per train graph, low-rank stores
+#: one projector row per landmark graph.
+MODEL_KINDS = ("gpr", "lowrank")
 
 _VERSION_RE = re.compile(r"^v(\d{4,})$")
 
@@ -128,13 +144,25 @@ class ModelRecord:
 
 @dataclass
 class LoadedModel:
-    """A model restored from the registry, ready to predict."""
+    """A model restored from the registry, ready to predict.
+
+    ``gpr`` is the fitted regressor — exact
+    :class:`~repro.ml.gpr.GaussianProcessRegressor` or Nyström
+    :class:`~repro.ml.lowrank.LowRankGPR` depending on the manifest's
+    ``model_kind``; both speak the same ``predict_graphs`` surface, so
+    the server and the CLI never branch on the kind.  For low-rank
+    models ``train_graphs`` holds the landmark graphs.
+    """
 
     record: ModelRecord
-    gpr: GaussianProcessRegressor
+    gpr: GaussianProcessRegressor | LowRankGPR
     kernel: MarginalizedGraphKernel
     train_graphs: list[Graph]
     manifest: dict
+
+    @property
+    def model_kind(self) -> str:
+        return str(self.manifest.get("model_kind", "gpr"))
 
 
 class ModelRegistry:
@@ -189,8 +217,11 @@ class ModelRegistry:
     ) -> ModelRecord:
         """Persist a fitted model as the next version of ``name``.
 
-        The GPR must be fitted; ``scheme`` names the base-kernel recipe
-        (a :data:`KERNEL_SCHEMES` key) so load can rebuild the kernel.
+        The model must be fitted; ``scheme`` names the base-kernel
+        recipe (a :data:`KERNEL_SCHEMES` key) so load can rebuild the
+        kernel.  For low-rank models pass the *landmark* graphs as
+        ``train_graphs`` (:attr:`repro.ml.lowrank.LowRankGPR.
+        landmarks`) — they are what prediction evaluates against.
         Payload files land first, the manifest last (atomic rename), so
         a crash mid-save leaves no loadable-but-partial version.
         """
@@ -200,9 +231,21 @@ class ModelRegistry:
             )
         train_graphs = list(train_graphs)
         artifact = gpr.export_artifact()  # raises NotFittedError unfitted
-        if artifact["dual"].shape[0] != len(train_graphs):
+        kind = str(artifact.get("kind", "gpr"))
+        if kind not in MODEL_KINDS:
             raise RegistryError(
-                f"artifact covers {artifact['dual'].shape[0]} train graphs "
+                f"artifact kind {kind!r} is not a registry model kind "
+                f"(supported: {MODEL_KINDS})"
+            )
+        n_rows = (
+            artifact["dual"].shape[0]
+            if kind == "gpr"
+            else artifact["projector"].shape[0]
+        )
+        if n_rows != len(train_graphs):
+            what = "train" if kind == "gpr" else "landmark"
+            raise RegistryError(
+                f"artifact covers {n_rows} {what} graphs "
                 f"but {len(train_graphs)} were supplied"
             )
         spec = kernel_spec(kernel, scheme)
@@ -246,6 +289,7 @@ class ModelRegistry:
 
         manifest = {
             "schema_version": SCHEMA_VERSION,
+            "model_kind": kind,
             "name": name,
             "version": version,
             "created_unix": time.time(),
@@ -346,15 +390,28 @@ class ModelRegistry:
 
         with np.load(vdir / "arrays.npz") as npz:
             arrays = {k: npz[k] for k in npz.files}
-        try:
-            gpr = GaussianProcessRegressor.from_artifact(
-                {**manifest["gpr"], **arrays},
-                train_graphs=train_graphs,
-                engine=engine,
+        kind = str(manifest.get("model_kind", "gpr"))
+        if kind not in MODEL_KINDS:
+            raise RegistryError(
+                f"{name} v{version} stores model kind {kind!r}; this "
+                f"build reads {MODEL_KINDS}"
             )
+        try:
+            if kind == "lowrank":
+                gpr = LowRankGPR.from_artifact(
+                    {**manifest["gpr"], **arrays},
+                    landmarks=train_graphs,
+                    engine=engine,
+                )
+            else:
+                gpr = GaussianProcessRegressor.from_artifact(
+                    {**manifest["gpr"], **arrays},
+                    train_graphs=train_graphs,
+                    engine=engine,
+                )
         except (KeyError, ValueError) as exc:
             raise RegistryError(
-                f"corrupt GPR artifact in {name} v{version}: {exc}"
+                f"corrupt {kind} artifact in {name} v{version}: {exc}"
             ) from exc
         record = ModelRecord(
             name=name,

@@ -1,0 +1,141 @@
+"""Golden regression fixtures: frozen kernel values for a canonical set.
+
+The invariant suite (:mod:`tests.test_invariants`) catches *structural*
+breakage — asymmetry, negative eigenvalues.  This file catches *silent
+numeric drift*: an engine refactor that changes kernel values by 1e-3
+passes every invariant but is still wrong.  The canonical graph set's
+Gram matrix is frozen into ``tests/golden/gram_v1.json`` and future
+runs must reproduce it within a pinned tolerance.
+
+Regenerate (only after an *intentional* numeric change, with the diff
+reviewed):
+
+    PYTHONPATH=src python tests/test_golden.py --regen
+
+The fixture records the kernel fingerprint and per-graph content
+fingerprints, so the test can tell "the kernel values drifted" apart
+from "the canonical inputs themselves changed" and fail with the right
+message.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import MarginalizedGraphKernel
+from repro.engine import GramEngine, graph_fingerprint, kernel_fingerprint
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.kernels.marginalized import normalized
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "gram_v1.json"
+
+#: Relative tolerance for frozen values: loose enough for BLAS/platform
+#: noise, far tighter than any meaningful numeric change.
+RTOL = 1e-7
+ATOL = 1e-12
+
+
+def canonical_graphs() -> list:
+    """The frozen input set: small labeled graphs spanning the
+    generator's space (sizes, densities, weighted and not)."""
+    return [
+        random_labeled_graph(9, density=0.35, weighted=True, seed=11),
+        random_labeled_graph(7, density=0.4, weighted=True, seed=12),
+        random_labeled_graph(4, density=0.6, seed=13),
+        random_labeled_graph(3, density=0.7, seed=14),
+        random_labeled_graph(12, density=0.25, weighted=True, seed=15),
+        random_labeled_graph(6, density=0.5, seed=16),
+    ]
+
+
+def canonical_kernel() -> MarginalizedGraphKernel:
+    nk, ek = synthetic_kernels()
+    return MarginalizedGraphKernel(nk, ek, q=0.2)
+
+
+def compute_golden() -> dict:
+    graphs = canonical_graphs()
+    mgk = canonical_kernel()
+    K = GramEngine(mgk).gram(graphs).matrix
+    return {
+        "version": 1,
+        "kernel": {"scheme": "synthetic", "q": 0.2},
+        "kernel_fingerprint": kernel_fingerprint(mgk),
+        "graph_fingerprints": [graph_fingerprint(g) for g in graphs],
+        "rtol": RTOL,
+        "gram": K.tolist(),
+        "gram_normalized": normalized(K).tolist(),
+    }
+
+
+def load_golden() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def test_golden_fixture_exists():
+    assert GOLDEN_PATH.is_file(), (
+        f"missing golden fixture {GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden.py --regen`"
+    )
+
+
+def test_canonical_inputs_unchanged():
+    """The graph generator and kernel config still produce the frozen
+    inputs — if this fails, the *inputs* moved, not the numerics."""
+    golden = load_golden()
+    graphs = canonical_graphs()
+    assert [graph_fingerprint(g) for g in graphs] == golden[
+        "graph_fingerprints"
+    ], (
+        "canonical graphs no longer match the golden fixture: the "
+        "generator changed; review the change, then regenerate the "
+        "fixture"
+    )
+    assert kernel_fingerprint(canonical_kernel()) == golden[
+        "kernel_fingerprint"
+    ], (
+        "canonical kernel configuration changed (hyperparameters or "
+        "fingerprinting); review, then regenerate the fixture"
+    )
+
+
+def test_gram_matches_golden():
+    golden = load_golden()
+    fresh = compute_golden()
+    want = np.array(golden["gram"])
+    have = np.array(fresh["gram"])
+    assert np.allclose(have, want, rtol=golden["rtol"], atol=ATOL), (
+        "kernel values drifted from the golden fixture "
+        f"(max rel err {np.max(np.abs(have - want) / np.abs(want)):.3e}, "
+        f"pinned rtol {golden['rtol']:g}); if the numeric change is "
+        "intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_golden.py --regen`"
+    )
+    want_n = np.array(golden["gram_normalized"])
+    have_n = np.array(fresh["gram_normalized"])
+    assert np.allclose(have_n, want_n, rtol=golden["rtol"], atol=ATOL)
+
+
+def _regen() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = compute_golden()
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH} "
+          f"(kernel {payload['kernel_fingerprint'][:12]}…, "
+          f"{len(payload['graph_fingerprints'])} graphs)")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
+        sys.exit(2)

@@ -1,0 +1,453 @@
+"""Tests for the low-rank learning layer (Nyström GPR) and its wiring.
+
+Covers the math (full-landmark Nyström == exact GPR, Woodbury LML,
+projected-process variance), landmark selection (determinism, nesting,
+strategies), the engine's rectangular ``block`` entry point and its
+cache sharing, registry persistence of the ``lowrank`` artifact kind,
+serving through the HTTP stack, and the edge-case guards added
+alongside (empty predictions, tiny tuning sets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MarginalizedGraphKernel
+from repro.engine import GramEngine
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.ml import (
+    GaussianProcessRegressor,
+    LowRankGPR,
+    NotFittedError,
+    landmark_order,
+    select_landmarks,
+)
+from repro.ml.tuning import grid_search, lowrank_search
+from repro.serve import KernelServer, ModelRegistry, RegistryError, ServerThread
+from repro.serve.client import ServeClient
+
+
+def make_graphs(n, seed0=200):
+    return [
+        random_labeled_graph(5 + k % 5, density=0.4, weighted=k % 2 == 0,
+                             seed=seed0 + k)
+        for k in range(n)
+    ]
+
+
+def make_engine(**kw):
+    nk, ek = synthetic_kernels()
+    return GramEngine(MarginalizedGraphKernel(nk, ek, q=0.2), **kw)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    graphs = make_graphs(16)
+    y = np.array([float(g.degrees.mean()) for g in graphs])
+    return graphs, y
+
+
+# ----------------------------------------------------------------------
+# engine.block
+# ----------------------------------------------------------------------
+
+
+class TestBlock:
+    def test_rectangular_shape_and_values(self):
+        eng = make_engine()
+        rows, cols = make_graphs(4, seed0=300), make_graphs(3, seed0=310)
+        B = eng.block(rows, cols)
+        assert B.matrix.shape == (4, 3)
+        for i in (0, 3):
+            for j in (0, 2):
+                assert B.matrix[i, j] == pytest.approx(
+                    eng.kernel.pair(rows[i], cols[j]).value, rel=1e-12
+                )
+
+    def test_symmetric_block_solves_triangle_only(self):
+        eng = make_engine()
+        Z = make_graphs(5, seed0=320)
+        eng.block(Z, Z)
+        # 25 positions, but content-key dedup collapses (i,j)/(j,i).
+        assert eng.solves == 5 * 6 // 2
+
+    def test_cache_shared_with_gram(self):
+        eng = make_engine()
+        X = make_graphs(6, seed0=330)
+        Z = X[:3]
+        eng.block(X, Z)  # the Nyström fit block
+        before = eng.solves
+        eng.gram(X)  # later full Gram: X-Z columns must be cache hits
+        new_solves = eng.solves - before
+        assert new_solves == 3 * 4 // 2  # only the X\Z triangle
+
+    def test_empty_block(self):
+        eng = make_engine()
+        res = eng.block([], make_graphs(2, seed0=340))
+        assert res.matrix.shape == (0, 2) and res.converged
+
+
+# ----------------------------------------------------------------------
+# landmark selection
+# ----------------------------------------------------------------------
+
+
+class TestLandmarkSelection:
+    def test_unknown_method(self, dataset):
+        with pytest.raises(ValueError, match="unknown landmark selection"):
+            landmark_order(dataset[0], method="magic")
+
+    def test_uniform_is_content_deterministic(self, dataset):
+        graphs, _ = dataset
+        a = landmark_order(graphs, "uniform", seed=0)
+        b = landmark_order(graphs, "uniform", seed=0)
+        assert a == b
+        assert a != landmark_order(graphs, "uniform", seed=1)
+
+    def test_rankings_nest(self, dataset):
+        graphs, _ = dataset
+        eng = make_engine()
+        for method in ("uniform", "leverage", "kcenter"):
+            order = landmark_order(graphs, method, engine=eng)
+            assert select_landmarks(graphs, 4, method, engine=eng) == order[:4]
+            assert select_landmarks(graphs, 8, method, engine=eng)[:4] == \
+                order[:4]
+
+    def test_duplicates_removed(self):
+        graphs = make_graphs(5, seed0=350)
+        graphs = graphs + graphs[:2]  # content duplicates
+        order = landmark_order(graphs, "uniform")
+        assert len(order) == 5
+        assert select_landmarks(graphs, 99, "uniform") == order
+
+    def test_kernel_methods_need_engine(self, dataset):
+        with pytest.raises(ValueError, match="needs.*engine"):
+            landmark_order(dataset[0], "kcenter")
+
+    def test_uniform_is_dataset_order_independent(self):
+        """Same content, different order => same landmark *content*."""
+        from repro.engine import graph_fingerprint
+
+        graphs = make_graphs(8, seed0=360)
+        fwd = [
+            graph_fingerprint(graphs[i])
+            for i in landmark_order(graphs, "uniform")
+        ]
+        rev = list(reversed(graphs))
+        bwd = [
+            graph_fingerprint(rev[i])
+            for i in landmark_order(rev, "uniform")
+        ]
+        assert fwd == bwd
+
+    def test_kcenter_selection_cost_is_landmark_bound(self):
+        """Selecting m landmarks must not rank the whole dataset: the
+        greedy pass is capped at one kernel column per landmark."""
+        graphs = make_graphs(20, seed0=370)
+        eng = make_engine()
+        idx = select_landmarks(graphs, 4, "kcenter", engine=eng)
+        assert len(idx) == 4
+        n = len(graphs)
+        assert eng.solves <= n + 4 * n  # diag + one column per center
+        assert eng.solves < n * (n + 1) // 2  # far below the full Gram
+
+    def test_kcenter_spreads(self, dataset):
+        graphs, _ = dataset
+        eng = make_engine()
+        order = landmark_order(graphs, "kcenter", engine=eng)
+        assert sorted(order) == sorted(range(len(graphs)))
+
+
+# ----------------------------------------------------------------------
+# LowRankGPR math
+# ----------------------------------------------------------------------
+
+
+class TestLowRankGPR:
+    def test_full_landmarks_match_exact_gpr(self, dataset):
+        """With m = n (and matching jitter) Nyström is exact: the
+        approximation error is entirely the truncated spectrum."""
+        graphs, y = dataset
+        eng = make_engine()
+        exact = GaussianProcessRegressor(alpha=1e-6, engine=eng)
+        exact.fit_graphs(graphs, y, normalize=True)
+        lr = LowRankGPR(n_landmarks=len(graphs), alpha=1e-6, engine=eng)
+        lr.fit_graphs(graphs, y, normalize=True)
+        test = make_graphs(4, seed0=400)
+        mu_e, std_e = exact.predict_graphs(test, return_std=True)
+        mu_l, std_l = lr.predict_graphs(test, return_std=True)
+        assert np.allclose(mu_l, mu_e, rtol=1e-6, atol=1e-8)
+        assert np.allclose(std_l, std_e, rtol=1e-4, atol=1e-6)
+
+    def test_approximation_improves_with_m(self, dataset):
+        graphs, y = dataset
+        eng = make_engine()
+        exact = GaussianProcessRegressor(alpha=1e-4, engine=eng)
+        exact.fit_graphs(graphs, y, normalize=True)
+        mu_e = exact.predict_graphs(graphs)
+        errs = []
+        for m in (4, 8, 16):
+            lr = LowRankGPR(n_landmarks=m, alpha=1e-4, engine=eng,
+                            selection="kcenter")
+            lr.fit_graphs(graphs, y, normalize=True)
+            errs.append(
+                float(np.sqrt(np.mean((lr.predict_graphs(graphs) - mu_e) ** 2)))
+            )
+        assert errs[-1] <= errs[0] + 1e-12
+        assert errs[-1] < 1e-6  # m = n reproduces exact
+
+    def test_lml_matches_exact_at_full_rank(self, dataset):
+        """Nyström LML via Woodbury/determinant lemmas equals the exact
+        GPR's LML when no spectrum is truncated (same kernel + noise)."""
+        graphs, y = dataset
+        eng = make_engine()
+        alpha = 1e-3
+        exact = GaussianProcessRegressor(alpha=alpha, engine=eng)
+        exact.fit_graphs(graphs, y, normalize=True)
+        lr = LowRankGPR(n_landmarks=len(graphs), alpha=alpha, jitter=1e-12,
+                        engine=eng)
+        lr.fit_graphs(graphs, y, normalize=True)
+        assert lr.log_marginal_likelihood() == pytest.approx(
+            exact.log_marginal_likelihood(y), rel=1e-4
+        )
+
+    def test_fit_cost_is_landmark_bound(self, dataset):
+        """The whole point: fitting solves O(n·m) kernel pairs, not
+        O(n²)."""
+        graphs, y = dataset
+        n, m = len(graphs), 4
+        eng = make_engine()
+        lr = LowRankGPR(n_landmarks=m, selection="uniform", engine=eng)
+        lr.fit_graphs(graphs, y, normalize=True)
+        # K(Z,Z) triangle + K(X,Z) off-landmark part + diag of X.
+        max_solves = m * (m + 1) // 2 + (n - m) * m + n
+        assert eng.solves <= max_solves
+        assert eng.solves < n * (n + 1) // 2  # strictly below exact cost
+
+    def test_variance_nonnegative_and_shrinks_on_landmarks(self, dataset):
+        graphs, y = dataset
+        eng = make_engine()
+        lr = LowRankGPR(n_landmarks=6, selection="kcenter", alpha=1e-6,
+                        engine=eng)
+        lr.fit_graphs(graphs, y, normalize=True)
+        _, std = lr.predict_graphs(graphs, return_std=True)
+        assert (std >= 0).all()
+        idx = [
+            next(i for i, g in enumerate(graphs) if g is z)
+            for z in lr.landmarks
+        ]
+        landmark_std = std[idx]
+        assert landmark_std.mean() <= std.mean() + 1e-12
+
+    def test_raw_kernel_predicts(self, dataset):
+        graphs, y = dataset
+        eng = make_engine()
+        lr = LowRankGPR(n_landmarks=8, engine=eng)
+        lr.fit_graphs(graphs, y, normalize=False)
+        mu, std = lr.predict_graphs(graphs[:3], return_std=True)
+        assert np.isfinite(mu).all() and (std >= 0).all()
+
+    def test_degenerate_landmarks_raise(self):
+        lr = LowRankGPR(jitter=1e-10)
+        with pytest.raises(ValueError, match="degenerate"):
+            lr.fit(np.zeros((3, 3)), np.zeros((5, 3)), np.zeros(5))
+
+    def test_shape_validation(self):
+        lr = LowRankGPR()
+        with pytest.raises(ValueError, match="square"):
+            lr.fit(np.zeros((2, 3)), np.zeros((4, 3)), np.zeros(4))
+        with pytest.raises(ValueError, match="columns"):
+            lr.fit(np.eye(3), np.zeros((4, 2)), np.zeros(4))
+        with pytest.raises(ValueError, match="y length"):
+            lr.fit(np.eye(3), np.ones((4, 3)), np.zeros(5))
+
+    def test_not_fitted(self):
+        lr = LowRankGPR()
+        with pytest.raises(NotFittedError, match="not fitted"):
+            lr.predict(np.ones((1, 3)))
+        with pytest.raises(NotFittedError):
+            lr.log_marginal_likelihood()
+        with pytest.raises(NotFittedError, match="landmarks"):
+            _ = lr.landmarks
+
+    def test_artifact_round_trip(self, dataset):
+        graphs, y = dataset
+        eng = make_engine()
+        lr = LowRankGPR(n_landmarks=6, alpha=1e-4, engine=eng)
+        lr.fit_graphs(graphs, y, normalize=True)
+        art = lr.export_artifact()
+        back = LowRankGPR.from_artifact(art, landmarks=lr.landmarks,
+                                        engine=eng)
+        test = make_graphs(3, seed0=410)
+        mu0, s0 = lr.predict_graphs(test, return_std=True)
+        mu1, s1 = back.predict_graphs(test, return_std=True)
+        assert np.allclose(mu0, mu1) and np.allclose(s0, s1)
+        assert back.log_marginal_likelihood() == pytest.approx(
+            lr.log_marginal_likelihood()
+        )
+
+    def test_artifact_version_and_kind_checked(self, dataset):
+        graphs, y = dataset
+        lr = LowRankGPR(n_landmarks=4, engine=make_engine())
+        lr.fit_graphs(graphs, y)
+        art = lr.export_artifact()
+        with pytest.raises(ValueError, match="artifact version"):
+            LowRankGPR.from_artifact({**art, "artifact_version": 99})
+        with pytest.raises(ValueError, match="not 'lowrank'"):
+            LowRankGPR.from_artifact({**art, "kind": "gpr"})
+        with pytest.raises(ValueError, match="landmarks"):
+            LowRankGPR.from_artifact(art, landmarks=graphs[:2])
+
+
+# ----------------------------------------------------------------------
+# edge-case guards (satellite fix)
+# ----------------------------------------------------------------------
+
+
+class TestEdgeCaseGuards:
+    def test_exact_gpr_rejects_zero_test_rows(self):
+        K = np.eye(4) + 0.1
+        gpr = GaussianProcessRegressor(alpha=1e-6).fit(K, np.arange(4.0))
+        with pytest.raises(ValueError, match="no test rows"):
+            gpr.predict(np.zeros((0, 4)))
+        with pytest.raises(ValueError, match="no test rows"):
+            gpr.predict(np.array([]))  # 1-D empty, pre-atleast_2d shape
+        with pytest.raises(ValueError, match="columns"):
+            gpr.predict(np.zeros((1, 3)))
+
+    def test_exact_gpr_rejects_zero_test_graphs(self, dataset):
+        graphs, y = dataset
+        gpr = GaussianProcessRegressor(alpha=1e-6, engine=make_engine())
+        gpr.fit_graphs(graphs[:4], y[:4])
+        with pytest.raises(ValueError, match="no test graphs"):
+            gpr.predict_graphs([])
+
+    def test_lowrank_rejects_empty(self, dataset):
+        graphs, y = dataset
+        lr = LowRankGPR(n_landmarks=3, engine=make_engine())
+        lr.fit_graphs(graphs[:5], y[:5])
+        with pytest.raises(ValueError, match="no test graphs"):
+            lr.predict_graphs([])
+        with pytest.raises(ValueError, match="no test rows"):
+            lr.predict(np.zeros((0, lr.rank)))
+        with pytest.raises(ValueError, match="no test rows"):
+            lr.predict(np.array([]))
+        with pytest.raises(ValueError, match="at least two"):
+            LowRankGPR(engine=make_engine()).fit_graphs(graphs[:1], y[:1])
+
+    def test_grid_search_rejects_tiny_sets(self, dataset):
+        graphs, y = dataset
+
+        def factory(q):
+            nk, ek = synthetic_kernels()
+            return MarginalizedGraphKernel(nk, ek, q=q)
+
+        with pytest.raises(ValueError, match="at least 3 graphs"):
+            grid_search(graphs[:2], y[:2], factory, {"q": [0.2]})
+        with pytest.raises(ValueError, match="y has shape"):
+            grid_search(graphs[:4], y[:3], factory, {"q": [0.2]})
+
+    def test_lowrank_search_rejects_tiny_sets(self, dataset):
+        graphs, y = dataset
+        nk, ek = synthetic_kernels()
+        mgk = MarginalizedGraphKernel(nk, ek, q=0.2)
+        with pytest.raises(ValueError, match="at least 3 graphs"):
+            lowrank_search(graphs[:2], y[:2], mgk, m_grid=[2])
+        with pytest.raises(ValueError, match="m_grid"):
+            lowrank_search(graphs[:5], y[:5], mgk, m_grid=[])
+
+
+# ----------------------------------------------------------------------
+# joint (m, alpha) tuning
+# ----------------------------------------------------------------------
+
+
+class TestLowRankSearch:
+    def test_joint_search_shares_kernel_work(self, dataset):
+        graphs, y = dataset
+        eng = make_engine()
+        res = lowrank_search(
+            graphs, y, eng.kernel, m_grid=[4, 8], alpha_grid=[1e-6, 1e-2],
+            engine=eng,
+        )
+        assert len(res.history) == 4
+        assert res.score == max(s for _, s in res.history)
+        assert set(res.params) == {"m", "alpha"}
+        # Nested rankings: the whole sweep costs no more kernel solves
+        # than the largest m alone (plus the diag for normalization).
+        n, m_max = len(graphs), 8
+        assert eng.solves <= m_max * (m_max + 1) // 2 + \
+            (n - m_max) * m_max + n
+        mu = res.model.predict_graphs(graphs[:2])
+        assert np.isfinite(mu).all()
+
+
+# ----------------------------------------------------------------------
+# registry + serving integration
+# ----------------------------------------------------------------------
+
+
+class TestLowRankRegistry:
+    def test_save_load_round_trip(self, dataset, tmp_path):
+        graphs, y = dataset
+        eng = make_engine()
+        lr = LowRankGPR(n_landmarks=5, alpha=1e-4, engine=eng)
+        lr.fit_graphs(graphs, y, normalize=True)
+        reg = ModelRegistry(tmp_path)
+        rec = reg.save("lr", lr, eng.kernel, lr.landmarks,
+                       scheme="synthetic")
+        loaded = reg.load("lr")
+        assert loaded.model_kind == "lowrank"
+        assert loaded.manifest["model_kind"] == "lowrank"
+        assert len(loaded.train_graphs) == 5
+        loaded.gpr.engine = GramEngine(loaded.kernel)
+        test = make_graphs(3, seed0=420)
+        assert np.allclose(
+            loaded.gpr.predict_graphs(test), lr.predict_graphs(test)
+        )
+        assert rec.version == 1
+
+    def test_save_validates_landmark_count(self, dataset, tmp_path):
+        graphs, y = dataset
+        eng = make_engine()
+        lr = LowRankGPR(n_landmarks=5, engine=eng)
+        lr.fit_graphs(graphs, y)
+        with pytest.raises(RegistryError, match="landmark graphs"):
+            ModelRegistry(tmp_path).save(
+                "bad", lr, eng.kernel, graphs, scheme="synthetic"
+            )
+
+    def test_exact_models_unaffected(self, dataset, tmp_path):
+        """Exact GPR saves keep working and load as kind 'gpr'."""
+        graphs, y = dataset
+        eng = make_engine()
+        gpr = GaussianProcessRegressor(alpha=1e-6, engine=eng)
+        gpr.fit_graphs(graphs[:6], y[:6])
+        reg = ModelRegistry(tmp_path)
+        reg.save("exact", gpr, eng.kernel, graphs[:6], scheme="synthetic")
+        loaded = reg.load("exact")
+        assert loaded.model_kind == "gpr"
+        assert isinstance(loaded.gpr, GaussianProcessRegressor)
+
+    def test_lowrank_serves_over_http(self, dataset, tmp_path):
+        graphs, y = dataset
+        eng = make_engine()
+        lr = LowRankGPR(n_landmarks=5, alpha=1e-4, engine=eng)
+        lr.fit_graphs(graphs, y, normalize=True)
+        reg = ModelRegistry(tmp_path)
+        reg.save("lr", lr, eng.kernel, lr.landmarks, scheme="synthetic")
+        model = reg.load("lr")
+        model.gpr.engine = GramEngine(model.kernel)
+        server = KernelServer(
+            model.gpr, model_info={"kind": model.model_kind}
+        )
+        test = make_graphs(3, seed0=430)
+        with ServerThread(server) as handle:
+            client = ServeClient(port=handle.port)
+            health = client.wait_ready()
+            assert health["model"]["kind"] == "lowrank"
+            mu, std = client.predict(test, return_std=True)
+        assert np.allclose(mu, lr.predict_graphs(test), rtol=1e-9)
+        assert (std >= 0).all()
