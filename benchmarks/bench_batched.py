@@ -1,0 +1,132 @@
+"""Batched pair solver bench: fused_batched vs. serial fused (ISSUE 4).
+
+The batched engine's claim is that the per-pair Python overhead of the
+fast CPU path — one system build, one scalar PCG loop, one float per
+pair — can be amortized across a whole shape bucket.  That overhead
+dominates exactly where the paper's dataset-scale workload lives: the
+bulk of DrugBank-style libraries are *small* molecules whose product
+systems solve in microseconds of arithmetic wrapped in milliseconds of
+interpreter.  This bench pins the claim on an n=200 Gram matrix over a
+GDB-style small-molecule library (4-11 heavy atoms — the all-fragments
+enumeration regime where graph kernels are classically benchmarked):
+
+* ``fused_batched`` must be >= 3x faster than serial ``fused``;
+* values must agree within rtol 1e-10 (the engine's equivalence
+  contract with the per-pair path);
+* a mixed drug-like set (log-normal sizes, max 64 atoms) is reported
+  as a second series: its compute-bound tail solves per-pair by design
+  ("solo" buckets), so the speedup there is modest but must never be
+  a slowdown (>= 0.9x guard).
+
+Shape criteria only — absolute numbers vary by machine; the committed
+baseline gate (``benchmarks/check_regression.py``) tracks the
+machine-independent speedup ratios PR over PR.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import SCALE, banner, write_bench_json
+from repro import GramEngine, MarginalizedGraphKernel
+from repro.graphs.datasets import drugbank_dataset
+from repro.graphs.generators import drugbank_like_molecule
+from repro.kernels.basekernels import molecule_kernels
+
+#: ISSUE 4 acceptance thresholds.
+MIN_SPEEDUP = 3.0
+RTOL = 1e-10
+
+
+def fragment_library(n_graphs: int, seed: int = 5) -> list:
+    """GDB-style library: uniformly sized 4-11 heavy-atom molecules."""
+    rng = np.random.default_rng(seed)
+    return [
+        drugbank_like_molecule(n_heavy=int(rng.integers(4, 12)), seed=rng)
+        for _ in range(n_graphs)
+    ]
+
+
+def _time_gram(engine: str, graphs, **kernel_kw):
+    nk, ek = molecule_kernels()
+    mgk = MarginalizedGraphKernel(nk, ek, q=0.05, engine=engine, **kernel_kw)
+    eng = GramEngine(mgk, cache=False)
+    t0 = time.perf_counter()
+    res = eng.gram(graphs)
+    return res, time.perf_counter() - t0
+
+
+def run_batched_bench():
+    n = int(200 * max(1.0, SCALE) ** 0.5)
+    frags = fragment_library(n_graphs=n)
+    serial_res, serial_t = _time_gram("fused", frags)
+    batched_res, batched_t = _time_gram("fused_batched", frags)
+    denom = np.abs(serial_res.matrix)
+    denom[denom == 0] = 1.0
+    max_rel = float(np.max(np.abs(batched_res.matrix - serial_res.matrix) / denom))
+
+    n_mixed = max(4, n // 4)
+    mixed = drugbank_dataset(n_graphs=n_mixed, seed=11, max_atoms=64)
+    mixed_serial_res, mixed_serial_t = _time_gram("fused", mixed)
+    mixed_batched_res, mixed_batched_t = _time_gram("fused_batched", mixed)
+
+    pairs = n * (n + 1) // 2
+    mixed_pairs = n_mixed * (n_mixed + 1) // 2
+    return {
+        "n": n,
+        "pairs": pairs,
+        "serial_t": serial_t,
+        "batched_t": batched_t,
+        "speedup": serial_t / batched_t,
+        "max_rel": max_rel,
+        "converged": batched_res.converged and serial_res.converged,
+        "mixed_n": n_mixed,
+        "mixed_pairs": mixed_pairs,
+        "mixed_serial_t": mixed_serial_t,
+        "mixed_batched_t": mixed_batched_t,
+        "mixed_speedup": mixed_serial_t / mixed_batched_t,
+    }
+
+
+def test_batched_speedup(benchmark, request):
+    r = benchmark.pedantic(run_batched_bench, rounds=1, iterations=1)
+    banner("Batched pair solver — fused_batched vs. serial fused")
+    print(f"{'workload':>24s} {'pairs':>7s} {'serial':>8s} {'batched':>8s} "
+          f"{'speedup':>8s}")
+    print(f"{'fragments (4-11 atoms)':>24s} {r['pairs']:7d} "
+          f"{r['serial_t']:7.2f}s {r['batched_t']:7.2f}s "
+          f"{r['speedup']:7.2f}x")
+    print(f"{'drug-like (<=64 atoms)':>24s} {r['mixed_pairs']:7d} "
+          f"{r['mixed_serial_t']:7.2f}s {r['mixed_batched_t']:7.2f}s "
+          f"{r['mixed_speedup']:7.2f}x")
+    print(f"max |Δ|/|K| vs per-pair: {r['max_rel']:.2e}  (bound {RTOL:g})")
+
+    write_bench_json(request, "batched", {
+        "n": r["n"],
+        "pairs": r["pairs"],
+        "serial_seconds": r["serial_t"],
+        "batched_seconds": r["batched_t"],
+        "speedup": r["speedup"],
+        "pairs_per_sec_serial": r["pairs"] / r["serial_t"],
+        "pairs_per_sec_batched": r["pairs"] / r["batched_t"],
+        "max_rel_error": r["max_rel"],
+        "mixed": {
+            "n": r["mixed_n"],
+            "pairs": r["mixed_pairs"],
+            "serial_seconds": r["mixed_serial_t"],
+            "batched_seconds": r["mixed_batched_t"],
+            "speedup": r["mixed_speedup"],
+        },
+    })
+
+    assert r["converged"]
+    # the engine's equivalence contract with the per-pair path
+    assert r["max_rel"] <= RTOL
+    # ISSUE 4 acceptance: >= 3x on the n=200 small-molecule Gram
+    assert r["speedup"] >= MIN_SPEEDUP, (
+        f"fused_batched only {r['speedup']:.2f}x over serial fused"
+    )
+    # the compute-bound mixed workload must never regress
+    assert r["mixed_speedup"] >= 0.9, (
+        f"mixed drug-like workload regressed: {r['mixed_speedup']:.2f}x"
+    )

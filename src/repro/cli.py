@@ -101,6 +101,7 @@ def cmd_gram(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.workers,
         tile_pairs=args.tile_pairs,
+        batch_pairs=args.batch_pairs,
         cache_dir=args.cache_dir,
         progress=progress,
     )
@@ -445,8 +446,8 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--kernels", default="synthetic",
                    help="unlabeled|synthetic|protein|molecule")
     m.add_argument("--q", type=float, default=0.05)
-    m.add_argument("--engine", default="fused",
-                   choices=["fused", "dense", "vgpu"])
+    m.add_argument("--engine", default="fused_batched",
+                   choices=["fused_batched", "fused", "dense", "vgpu"])
     m.add_argument("--normalize", action="store_true")
     m.add_argument("--executor", default="serial",
                    choices=["serial", "threads", "process"],
@@ -454,7 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--workers", type=int, default=None,
                    help="pool size for threads/process executors")
     m.add_argument("--tile-pairs", type=int, default=None,
-                   help="pairs per tile (default: cost-balanced)")
+                   help="pairs per tile (default: cost-balanced; "
+                        "per-pair path only)")
+    m.add_argument("--batch-pairs", type=int, default=None, metavar="N",
+                   help="pairs per shape-bucketed batched tile "
+                        "(default: auto; 0 forces the per-pair path)")
     m.add_argument("--cache-dir", default=None,
                    help="persist kernel values here; reruns and extends "
                         "hit this cache")

@@ -26,11 +26,18 @@ from .cache import CachedPair, CacheStats, DiskCache, LRUCache, TieredCache
 from .core import GramEngine
 from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
 from .progress import Diagnostics, ProgressEvent
-from .tiles import Tile, build_pair_jobs, plan_tiles
+from .tiles import (
+    DEFAULT_BATCH_PAIRS,
+    Tile,
+    build_pair_jobs,
+    plan_bucketed_tiles,
+    plan_tiles,
+)
 
 __all__ = [
     "CachedPair",
     "CacheStats",
+    "DEFAULT_BATCH_PAIRS",
     "Diagnostics",
     "DiskCache",
     "GramEngine",
@@ -42,5 +49,6 @@ __all__ = [
     "graph_fingerprint",
     "kernel_fingerprint",
     "pair_key",
+    "plan_bucketed_tiles",
     "plan_tiles",
 ]

@@ -39,10 +39,15 @@ import numpy as np
 from ..graphs.graph import Graph
 from ..kernels.marginalized import GramResult, normalized
 from .cache import CachedPair, DiskCache, LRUCache, TieredCache
-from .executors import EXECUTORS, default_workers, run_tiles
+from .executors import BATCHED_SOLVERS, EXECUTORS, default_workers, run_tiles
 from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
 from .progress import Diagnostics, ProgressCallback, ProgressEvent, iteration_histogram
-from .tiles import build_pair_jobs, plan_tiles
+from .tiles import (
+    DEFAULT_BATCH_PAIRS,
+    build_pair_jobs,
+    plan_bucketed_tiles,
+    plan_tiles,
+)
 
 
 class GramEngine:
@@ -62,7 +67,15 @@ class GramEngine:
     tile_pairs / n_tiles:
         Workload parameterization: fix the pair count per tile, or the
         tile count (default: cost-balanced packing into 4 tiles per
-        worker).
+        worker).  Ignored on the batched path, which plans
+        shape-bucketed tiles instead (see ``batch_pairs``).
+    batch_pairs:
+        Batched-solver control.  ``None`` (default): solve through the
+        batched pair pipeline whenever the kernel's engine is
+        ``"fused_batched"`` and its solver is batchable, with
+        :data:`~repro.engine.tiles.DEFAULT_BATCH_PAIRS` pairs per
+        bucket tile.  An integer sets the pairs-per-tile cap; ``0``
+        disables batching and forces the per-pair path.
     cache:
         A cache object (:class:`~repro.engine.cache.LRUCache`,
         :class:`~repro.engine.cache.DiskCache`, or
@@ -90,6 +103,7 @@ class GramEngine:
         max_workers: int | None = None,
         tile_pairs: int | None = None,
         n_tiles: int | None = None,
+        batch_pairs: int | None = None,
         cache=None,
         cache_dir: str | None = None,
         cost_model: str = "edges",
@@ -99,11 +113,14 @@ class GramEngine:
             raise ValueError(
                 f"unknown executor {executor!r}; pick from {EXECUTORS}"
             )
+        if batch_pairs is not None and batch_pairs < 0:
+            raise ValueError("batch_pairs must be >= 0 (0 disables batching)")
         self.kernel = kernel
         self.executor = executor
         self.max_workers = max_workers
         self.tile_pairs = tile_pairs
         self.n_tiles = n_tiles
+        self.batch_pairs = batch_pairs
         if cache is False:
             self.cache = None
         elif cache is not None:
@@ -137,6 +154,26 @@ class GramEngine:
         if self.executor == "serial":
             return 1
         return self.max_workers or default_workers()
+
+    @property
+    def batched(self) -> bool:
+        """Whether pair solves go through the batched pipeline.
+
+        Explicit per-pair workload parameterization (``tile_pairs`` /
+        ``n_tiles``) opts out of batching — those callers asked for a
+        specific classic tile plan — unless ``batch_pairs`` is also set
+        explicitly, which wins.
+        """
+        if self.batch_pairs == 0:
+            return False
+        if self.batch_pairs is None and (
+            self.tile_pairs is not None or self.n_tiles is not None
+        ):
+            return False
+        return (
+            getattr(self.kernel, "engine", None) == "fused_batched"
+            and getattr(self.kernel, "solver", None) in BATCHED_SOLVERS
+        )
 
     # ------------------------------------------------------------------
     # the shared pair-solving pipeline
@@ -181,12 +218,22 @@ class GramEngine:
             cost_model=self.cost_model,
             edge_kernel=self.kernel.edge_kernel,
         )
-        tiles = plan_tiles(
-            jobs,
-            n_tiles=self.n_tiles,
-            tile_pairs=self.tile_pairs,
-            workers=self.workers,
-        )
+        batched = self.batched
+        if batched:
+            # Shape-bucketed tiles for the batched solver.  The plan is
+            # independent of the worker count, so every executor
+            # assembles identical buckets and returns identical bits.
+            tiles = plan_bucketed_tiles(
+                jobs, X, Y,
+                batch_pairs=self.batch_pairs or DEFAULT_BATCH_PAIRS,
+            )
+        else:
+            tiles = plan_tiles(
+                jobs,
+                n_tiles=self.n_tiles,
+                tile_pairs=self.tile_pairs,
+                workers=self.workers,
+            )
 
         n_total = len(positions)
         n_hit_positions = n_total - sum(
@@ -196,7 +243,8 @@ class GramEngine:
         tiles_done = 0
         solves = 0
         for tile, outcomes in run_tiles(
-            self.executor, self.kernel, X, Y, tiles, self.max_workers
+            self.executor, self.kernel, X, Y, tiles, self.max_workers,
+            batched=batched,
         ):
             for i, j, value, iters, converged, resnorm in outcomes:
                 entry = CachedPair(value, iters, converged, resnorm)

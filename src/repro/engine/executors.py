@@ -16,6 +16,7 @@ tile's pair-index list.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from typing import Iterator, Sequence
 
@@ -28,6 +29,10 @@ PairOutcome = tuple[int, int, float, int, bool, float]
 
 # Per-process worker state, installed by _init_worker in each pool child.
 _WORKER_STATE: dict = {}
+
+# One batch-assembly workspace per executor thread (the big stacked
+# buffers are recycled across tiles; see BatchWorkspace).
+_WORKSPACES = threading.local()
 
 
 def default_workers() -> int:
@@ -43,14 +48,85 @@ def solve_pairs(kernel, X, Y, pairs: Sequence[tuple[int, int]]) -> list[PairOutc
     return out
 
 
+#: Solvers the batched path vectorizes; anything else (direct,
+#: fixed-point) falls back to the per-pair task body.
+BATCHED_SOLVERS = ("pcg", "cg")
+
+
+def _thread_workspace():
+    from ..kernels.linsys import BatchWorkspace
+
+    ws = getattr(_WORKSPACES, "ws", None)
+    if ws is None:
+        ws = _WORKSPACES.ws = BatchWorkspace()
+    return ws
+
+
+def solve_pairs_batched(
+    kernel, X, Y, pairs: Sequence[tuple[int, int]]
+) -> list[PairOutcome]:
+    """Batched task body: stack the tile's pairs and solve them together.
+
+    Pairs are grouped into shape buckets (tiles planned by
+    :func:`~repro.engine.tiles.plan_bucketed_tiles` arrive bucket-pure
+    already; arbitrary pair lists still work), each bucket is assembled
+    into one :class:`~repro.kernels.linsys.BatchedProductSystem`, and
+    the batched PCG/CG advances all of its pairs per iteration.
+    Oddball work falls back to the per-pair body: singleton buckets
+    (nothing to amortize) and solvers the batched path does not
+    vectorize.
+    """
+    from ..kernels.linsys import build_batched_system, pair_bucket
+    from ..solvers.batched_pcg import batched_cg_solve, batched_pcg_solve
+
+    if kernel.solver not in BATCHED_SOLVERS:
+        return solve_pairs(kernel, X, Y, pairs)
+    buckets: dict[tuple[str, int], list[tuple[int, int]]] = {}
+    for i, j in pairs:
+        key = pair_bucket(X[i].n_nodes * Y[j].n_nodes)
+        buckets.setdefault(key, []).append((i, j))
+
+    out: list[PairOutcome] = []
+    solve = batched_pcg_solve if kernel.solver == "pcg" else batched_cg_solve
+    kwargs = {"rtol": kernel.rtol}
+    if kernel.max_iter is not None:
+        kwargs["max_iter"] = kernel.max_iter
+    for key in sorted(buckets):
+        members = buckets[key]
+        if len(members) < 2 or key[0] == "solo":
+            # Nothing to amortize (singleton) or compute-bound giants:
+            # the per-pair path is as fast or faster.
+            out.extend(solve_pairs(kernel, X, Y, members))
+            continue
+        system = build_batched_system(
+            [(X[i], Y[j]) for i, j in members],
+            kernel.node_kernel,
+            kernel.edge_kernel,
+            q=kernel.q,
+            mode=key[0],
+            workspace=_thread_workspace(),
+        )
+        res = solve(system, **kwargs)
+        values = system.kernel_values(res.x)
+        out.extend(
+            (i, j, float(values[b]), int(res.iterations[b]),
+             bool(res.converged[b]), float(res.residual_norms[b]))
+            for b, (i, j) in enumerate(members)
+        )
+    return out
+
+
 def _init_worker(kernel, X, Y) -> None:
     _WORKER_STATE["kernel"] = kernel
     _WORKER_STATE["X"] = X
     _WORKER_STATE["Y"] = Y
 
 
-def _worker_solve_tile(pairs: Sequence[tuple[int, int]]) -> list[PairOutcome]:
-    return solve_pairs(
+def _worker_solve_tile(
+    pairs: Sequence[tuple[int, int]], batched: bool = False
+) -> list[PairOutcome]:
+    body = solve_pairs_batched if batched else solve_pairs
+    return body(
         _WORKER_STATE["kernel"], _WORKER_STATE["X"], _WORKER_STATE["Y"], pairs
     )
 
@@ -62,32 +138,37 @@ def run_tiles(
     Y,
     tiles: Sequence[Tile],
     max_workers: int | None = None,
+    batched: bool = False,
 ) -> Iterator[tuple[Tile, list[PairOutcome]]]:
     """Execute tiles on the chosen backend, yielding in completion order.
 
     ``executor`` is ``"serial"``, ``"threads"``, or ``"process"``.
     Tiles should arrive largest-first (see :func:`~repro.engine.tiles.
     plan_tiles`); with a pool backend that ordering makes the natural
-    work-queue dispatch approximate LPT scheduling.
+    work-queue dispatch approximate LPT scheduling.  With
+    ``batched=True`` every tile runs the batched task body
+    (:func:`solve_pairs_batched`) instead of the per-pair loop — the
+    backends are oblivious to the difference.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; pick from {EXECUTORS}")
+    body = solve_pairs_batched if batched else solve_pairs
     if executor == "serial" or len(tiles) <= 1 or (max_workers or 2) == 1:
         for tile in tiles:
-            yield tile, solve_pairs(kernel, X, Y, tile.pairs)
+            yield tile, body(kernel, X, Y, tile.pairs)
         return
 
     workers = max_workers or default_workers()
     if executor == "threads":
         pool = ThreadPoolExecutor(max_workers=workers)
-        submit = lambda tile: pool.submit(solve_pairs, kernel, X, Y, tile.pairs)
+        submit = lambda tile: pool.submit(body, kernel, X, Y, tile.pairs)
     else:
         pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(kernel, list(X), list(Y)),
         )
-        submit = lambda tile: pool.submit(_worker_solve_tile, tile.pairs)
+        submit = lambda tile: pool.submit(_worker_solve_tile, tile.pairs, batched)
 
     with pool:
         futures = {submit(tile): tile for tile in tiles}

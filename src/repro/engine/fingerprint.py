@@ -77,6 +77,15 @@ def microkernel_signature(kernel: MicroKernel) -> str:
     return f"{name}({params})"
 
 
+#: Engines whose values are interchangeable within solver tolerance
+#: map to one canonical fingerprint: ``fused_batched`` is *defined* as
+#: reproducing ``fused`` (agreement well inside the solver's rtol), so
+#: entries computed by either engine serve cache hits for both, and
+#: flipping the default engine never cold-starts existing disk caches
+#: or registry models.
+_ENGINE_ALIASES = {"fused_batched": "fused"}
+
+
 def kernel_fingerprint(mgk) -> str:
     """Hex digest of every hyperparameter that affects kernel values.
 
@@ -90,7 +99,7 @@ def kernel_fingerprint(mgk) -> str:
         microkernel_signature(mgk.node_kernel),
         microkernel_signature(mgk.edge_kernel),
         repr(mgk.q),
-        mgk.engine,
+        _ENGINE_ALIASES.get(mgk.engine, mgk.engine),
         mgk.solver,
         repr(mgk.rtol),
         repr(mgk.max_iter),

@@ -30,11 +30,18 @@ from ..scheduler.jobs import PairJob, estimate_iterations
 
 @dataclass
 class Tile:
-    """A batch of pair jobs executed as one schedulable unit."""
+    """A batch of pair jobs executed as one schedulable unit.
+
+    ``bucket`` is set by :func:`plan_bucketed_tiles`: tiles planned for
+    the batched solver contain only pairs of one shape bucket (see
+    :func:`repro.kernels.linsys.pair_bucket`), so the whole tile
+    assembles into a single stacked linear object.
+    """
 
     index: int
     pairs: list[tuple[int, int]] = field(default_factory=list)
     cycles: float = 0.0
+    bucket: tuple[str, int] | None = None
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -125,6 +132,77 @@ def plan_tiles(
             tile = min(tiles, key=lambda t: t.cycles)
             tile.pairs.append((job.i, job.j))
             tile.cycles += job.cycles
+    tiles.sort(key=lambda t: -t.cycles)
+    for k, t in enumerate(tiles):
+        t.index = k
+    return tiles
+
+
+#: Default pair count per batched tile: large enough to amortize the
+#: per-bucket Python constant over ~a hundred pairs, small enough that
+#: buckets of big molecules stay within tens of MB of stacked operands.
+DEFAULT_BATCH_PAIRS = 128
+
+#: Cost cap per batched tile, in stored off-diagonal entries (4 e1 e2
+#: summed over the tile): bounds both stacked-operand memory and the
+#: latency of one tile on a pool worker.
+BATCH_TILE_NNZ = 2_000_000
+
+
+def plan_bucketed_tiles(
+    jobs: Sequence[PairJob],
+    X: Sequence[Graph],
+    Y: Sequence[Graph],
+    batch_pairs: int = DEFAULT_BATCH_PAIRS,
+    max_nnz: int = BATCH_TILE_NNZ,
+) -> list[Tile]:
+    """Pack jobs into shape-bucketed tiles for the batched solver.
+
+    Pairs are grouped by :func:`~repro.kernels.linsys.pair_bucket` of
+    their product-system size, ordered by modeled cost (largest first,
+    deterministic tie-break on indices), and chunked so every tile
+    stays within ``batch_pairs`` pairs *and* ``max_nnz`` stored
+    off-diagonal entries.  The plan depends only on the pair set and
+    these caps — never on the executor's worker count — so serial and
+    pool runs assemble identical buckets and produce identical bits.
+    Tiles are returned largest-first for LPT-style dynamic dispatch,
+    exactly like :func:`plan_tiles`.
+    """
+    from ..kernels.linsys import pair_bucket
+
+    if not jobs:
+        return []
+    if batch_pairs < 1:
+        raise ValueError("batch_pairs must be positive")
+    buckets: dict[tuple[str, int], list[PairJob]] = {}
+    for job in jobs:
+        key = pair_bucket(X[job.i].n_nodes * Y[job.j].n_nodes)
+        buckets.setdefault(key, []).append(job)
+
+    tiles: list[Tile] = []
+    for key in sorted(buckets):
+        ordered = sorted(buckets[key], key=lambda j: (-j.cycles, j.i, j.j))
+        chunk: list[PairJob] = []
+        nnz = 0
+        cycles = 0.0
+        for job in ordered:
+            job_nnz = 4 * max(1, X[job.i].n_edges) * max(1, Y[job.j].n_edges)
+            if chunk and (
+                len(chunk) >= batch_pairs or nnz + job_nnz > max_nnz
+            ):
+                tiles.append(
+                    Tile(index=len(tiles), pairs=[(j.i, j.j) for j in chunk],
+                         cycles=cycles, bucket=key)
+                )
+                chunk, nnz, cycles = [], 0, 0.0
+            chunk.append(job)
+            nnz += job_nnz
+            cycles += job.cycles
+        if chunk:
+            tiles.append(
+                Tile(index=len(tiles), pairs=[(j.i, j.j) for j in chunk],
+                     cycles=cycles, bucket=key)
+            )
     tiles.sort(key=lambda t: -t.cycles)
     for k, t in enumerate(tiles):
         t.index = k

@@ -15,7 +15,7 @@
   datasets of Section VI with the paper's parameters.
 """
 
-from .graph import Graph
+from .graph import EdgeArrays, Graph
 from .generators import (
     barabasi_albert,
     drugbank_like_molecule,
@@ -26,6 +26,7 @@ from .smiles import MoleculeParseError, graph_from_smiles, parse_smiles
 from .pdb import protein_like_structure, structure_to_graph
 
 __all__ = [
+    "EdgeArrays",
     "Graph",
     "MoleculeParseError",
     "barabasi_albert",

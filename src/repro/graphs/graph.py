@@ -20,6 +20,30 @@ from typing import Mapping
 import numpy as np
 
 
+@dataclass(frozen=True)
+class EdgeArrays:
+    """Flattened per-edge arrays of one graph, computed once and cached.
+
+    Every pair evaluation needs the same per-graph extractions — the
+    undirected edge list, the edge weights, the compact per-edge label
+    arrays, and the directed (forward + reverse) endpoint arrays the
+    off-diagonal operator is indexed by.  Recomputing them per pair
+    costs O(n²) array work times O(dataset²) pairs; caching them on the
+    graph makes the cost O(dataset).
+    """
+
+    edges: np.ndarray  # (m, 2) undirected edges, i < j
+    weights: np.ndarray  # (m,) edge weights A[i, j]
+    labels: dict[str, np.ndarray]  # per-edge compact label arrays, (m,)
+    src: np.ndarray  # (2m,) directed sources  [i…, j…]
+    dst: np.ndarray  # (2m,) directed targets  [j…, i…]
+    directed_weights: np.ndarray  # (2m,) weights for both directions
+
+    @property
+    def n_directed(self) -> int:
+        return self.src.shape[0]
+
+
 @dataclass
 class Graph:
     """Labeled weighted undirected graph.
@@ -74,6 +98,21 @@ class Graph:
             self.coords = np.asarray(self.coords, dtype=np.float64)
             if self.coords.shape[0] != n:
                 raise ValueError("coords length mismatch")
+        # Derived-array caches (degrees, flattened edge arrays).  Graphs
+        # are treated as immutable by the whole stack — fingerprinting,
+        # the kernel cache, and these caches all rely on that.
+        self._degrees: np.ndarray | None = None
+        self._edge_arrays: EdgeArrays | None = None
+        self._n_edges: int | None = None
+
+    def __getstate__(self) -> dict:
+        # Keep pickled payloads (process-pool datasets, registry stores)
+        # lean: derived caches are cheap to rebuild on the other side.
+        state = self.__dict__.copy()
+        state["_degrees"] = None
+        state["_edge_arrays"] = None
+        state["_n_edges"] = None
+        return state
 
     # ------------------------------------------------------------------
     # basic queries
@@ -85,18 +124,40 @@ class Graph:
 
     @property
     def n_edges(self) -> int:
-        """Number of undirected edges."""
-        return int(np.count_nonzero(np.triu(self.adjacency, k=1)))
+        """Number of undirected edges (cached; the cost models query
+        this once per pair, i.e. O(dataset²) times)."""
+        if self._n_edges is None:
+            self._n_edges = int(np.count_nonzero(np.triu(self.adjacency, k=1)))
+        return self._n_edges
 
     @property
     def degrees(self) -> np.ndarray:
-        """Weighted degree of each node, d_i = sum_j A_ij."""
-        return self.adjacency.sum(axis=1)
+        """Weighted degree of each node, d_i = sum_j A_ij (cached)."""
+        if self._degrees is None:
+            self._degrees = self.adjacency.sum(axis=1)
+        return self._degrees
 
     def edge_list(self) -> np.ndarray:
         """(m, 2) array of undirected edges (i < j)."""
         iu, ju = np.nonzero(np.triu(self.adjacency, k=1))
         return np.stack([iu, ju], axis=1)
+
+    def edge_arrays(self) -> EdgeArrays:
+        """Cached flattened edge arrays (see :class:`EdgeArrays`)."""
+        if self._edge_arrays is None:
+            edges = self.edge_list()
+            i, j = edges[:, 0], edges[:, 1]
+            weights = self.adjacency[i, j]
+            labels = {k: v[i, j] for k, v in self.edge_labels.items()}
+            self._edge_arrays = EdgeArrays(
+                edges=edges,
+                weights=weights,
+                labels=labels,
+                src=np.concatenate([i, j]),
+                dst=np.concatenate([j, i]),
+                directed_weights=np.concatenate([weights, weights]),
+            )
+        return self._edge_arrays
 
     def is_connected(self) -> bool:
         """Whether the graph is connected (BFS from node 0)."""

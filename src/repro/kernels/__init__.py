@@ -23,10 +23,19 @@ from .basekernels import (
     SquareExponential,
     TensorProduct,
 )
-from .linsys import ProductSystem, build_product_system
+from .linsys import (
+    BatchedProductSystem,
+    BatchWorkspace,
+    ProductSystem,
+    build_batched_system,
+    build_product_system,
+    pair_bucket,
+)
 from .marginalized import GramResult, MarginalizedGraphKernel, PairResult
 
 __all__ = [
+    "BatchWorkspace",
+    "BatchedProductSystem",
     "CompactPolynomial",
     "Constant",
     "GramResult",
@@ -39,5 +48,7 @@ __all__ = [
     "RConvolution",
     "SquareExponential",
     "TensorProduct",
+    "build_batched_system",
     "build_product_system",
+    "pair_bucket",
 ]

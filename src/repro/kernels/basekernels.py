@@ -58,6 +58,27 @@ class MicroKernel:
         """Cross kernel matrix κ(X_i, Y_j) of shape (len(X), len(Y))."""
         raise NotImplementedError
 
+    def pairwise(self, X, Y) -> np.ndarray:
+        """Elementwise κ(X_k, Y_k) for aligned operand arrays.
+
+        The batched Gram engine gathers the label operands of every
+        product-graph entry in a bucket into two flat aligned arrays
+        and evaluates the base kernel once over all of them; this is
+        the aligned counterpart of the all-pairs :meth:`matrix`.
+        Concrete kernels override it with a closed-form vectorization
+        that performs the *same* scalar operations as :meth:`matrix`
+        (so batched and per-pair assemblies agree bitwise); this
+        fallback loops, which is slow but always available.
+        """
+        X = np.asarray(X)
+        Y = np.asarray(Y)
+        if X.shape[0] != Y.shape[0]:
+            raise ValueError("pairwise operands must have equal length")
+        out = np.empty(X.shape[0])
+        for k in range(X.shape[0]):
+            out[k] = self.matrix(X[k : k + 1], Y[k : k + 1])[0, 0]
+        return out
+
     def __call__(self, x, y) -> float:
         """Scalar evaluation κ(x, y)."""
         return float(self.matrix(np.asarray([x]), np.asarray([y]))[0, 0])
@@ -97,6 +118,9 @@ class Constant(MicroKernel):
         Y = np.asarray(Y)
         return np.full((X.shape[0], Y.shape[0]), self.c)
 
+    def pairwise(self, X, Y) -> np.ndarray:
+        return np.full(np.asarray(X).shape[0], self.c)
+
 
 @dataclass
 class KroneckerDelta(MicroKernel):
@@ -120,6 +144,9 @@ class KroneckerDelta(MicroKernel):
         eq = X[:, None] == Y[None, :]
         return np.where(eq, 1.0, self.h)
 
+    def pairwise(self, X, Y) -> np.ndarray:
+        return np.where(np.asarray(X) == np.asarray(Y), 1.0, self.h)
+
 
 @dataclass
 class SquareExponential(MicroKernel):
@@ -141,6 +168,10 @@ class SquareExponential(MicroKernel):
         X = np.asarray(X, dtype=np.float64)
         Y = np.asarray(Y, dtype=np.float64)
         d = X[:, None] - Y[None, :]
+        return np.exp(-(d**2) / (2.0 * self.length_scale**2))
+
+    def pairwise(self, X, Y) -> np.ndarray:
+        d = np.asarray(X, dtype=np.float64) - np.asarray(Y, dtype=np.float64)
         return np.exp(-(d**2) / (2.0 * self.length_scale**2))
 
 
@@ -171,6 +202,12 @@ class CompactPolynomial(MicroKernel):
         u = np.minimum(np.abs(X[:, None] - Y[None, :]) / self.cutoff, 1.0)
         return (1.0 - u) ** 4 * (4.0 * u + 1.0)
 
+    def pairwise(self, X, Y) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        u = np.minimum(np.abs(X - Y) / self.cutoff, 1.0)
+        return (1.0 - u) ** 4 * (4.0 * u + 1.0)
+
 
 @dataclass
 class Product(MicroKernel):
@@ -189,6 +226,9 @@ class Product(MicroKernel):
 
     def matrix(self, X, Y) -> np.ndarray:
         return self.a.matrix(X, Y) * self.b.matrix(X, Y)
+
+    def pairwise(self, X, Y) -> np.ndarray:
+        return self.a.pairwise(X, Y) * self.b.pairwise(X, Y)
 
 
 class TensorProduct(MicroKernel):
@@ -219,6 +259,24 @@ class TensorProduct(MicroKernel):
             if key not in X or key not in Y:
                 raise KeyError(f"label component {key!r} missing from operands")
             m = kern.matrix(np.asarray(X[key]), np.asarray(Y[key]))
+            out = m if out is None else out * m
+        assert out is not None
+        return out
+
+    def pairwise(
+        self, X: Mapping[str, np.ndarray], Y: Mapping[str, np.ndarray]
+    ) -> np.ndarray:
+        """Elementwise product kernel over aligned label dicts.
+
+        Components multiply in the same declaration order as
+        :meth:`matrix`, so batched and per-pair evaluations agree
+        bitwise.
+        """
+        out: np.ndarray | None = None
+        for key, kern in self.components.items():
+            if key not in X or key not in Y:
+                raise KeyError(f"label component {key!r} missing from operands")
+            m = kern.pairwise(np.asarray(X[key]), np.asarray(Y[key]))
             out = m if out is None else out * m
         assert out is not None
         return out

@@ -28,6 +28,15 @@ operator constructions:
   nonzero support is).
 * the virtual-GPU tile pipeline lives in :mod:`repro.xmv` and wraps a
   :class:`ProductSystem` built here with ``build_operator=False``.
+
+It also provides the **batched** assembly behind the
+``fused_batched`` engine: :func:`build_batched_system` stacks a whole
+shape bucket of pairs into one :class:`BatchedProductSystem` — batched
+diagonals D× V×⁻¹ over a concatenated product-vector layout, and a
+stacked off-diagonal operator (3-D dense for small padded systems,
+block-CSR for the rest) — so :func:`repro.solvers.batched_pcg.
+batched_pcg_solve` advances every pair in the bucket per CG iteration
+with a handful of NumPy calls instead of a Python round-trip per pair.
 """
 
 from __future__ import annotations
@@ -96,10 +105,14 @@ def _sole_label(labels: Mapping[str, np.ndarray], kind: str) -> np.ndarray:
 
 
 def edge_labels_compact(g: Graph) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-    """Undirected edge list (m, 2) and per-edge compact label arrays."""
-    edges = g.edge_list()
-    labels = {k: v[edges[:, 0], edges[:, 1]] for k, v in g.edge_labels.items()}
-    return edges, labels
+    """Undirected edge list (m, 2) and per-edge compact label arrays.
+
+    Served from the graph's :meth:`~repro.graphs.graph.Graph.
+    edge_arrays` cache: the extraction is O(n²) and identical for every
+    one of the O(dataset²) pairs a graph participates in.
+    """
+    ea = g.edge_arrays()
+    return ea.edges, ea.labels
 
 
 # ----------------------------------------------------------------------
@@ -260,25 +273,458 @@ def assemble_sparse_offdiag(
     from one (m1 x m2) edge base-kernel evaluation, fully vectorized.
     """
     n, m = g1.n_nodes, g2.n_nodes
-    e1, lab1 = edge_labels_compact(g1)
-    e2, lab2 = edge_labels_compact(g2)
-    m1, m2 = len(e1), len(e2)
+    ea1, ea2 = g1.edge_arrays(), g2.edge_arrays()
+    m1, m2 = len(ea1.edges), len(ea2.edges)
     N = n * m
     if m1 == 0 or m2 == 0:
         return sp.csr_matrix((N, N))
-    w1 = g1.adjacency[e1[:, 0], e1[:, 1]]
-    w2 = g2.adjacency[e2[:, 0], e2[:, 1]]
-    Ke = edge_kernel_values(edge_kernel, lab1, lab2, m1, m2)
-    vals_u = (w1[:, None] * w2[None, :]) * Ke  # (m1, m2)
+    Ke = edge_kernel_values(edge_kernel, ea1.labels, ea2.labels, m1, m2)
+    vals_u = (ea1.weights[:, None] * ea2.weights[None, :]) * Ke  # (m1, m2)
 
     # Directed endpoints: forward and reverse of each undirected edge.
-    s1 = np.concatenate([e1[:, 0], e1[:, 1]])
-    t1 = np.concatenate([e1[:, 1], e1[:, 0]])
-    s2 = np.concatenate([e2[:, 0], e2[:, 1]])
-    t2 = np.concatenate([e2[:, 1], e2[:, 0]])
+    s1, t1 = ea1.src, ea1.dst
+    s2, t2 = ea2.src, ea2.dst
     vals = np.tile(vals_u, (2, 2))  # κe symmetric, weights symmetric
 
     rows = (s1[:, None] * m + s2[None, :]).ravel()
     cols = (t1[:, None] * m + t2[None, :]).ravel()
     W = sp.coo_matrix((vals.ravel(), (rows, cols)), shape=(N, N))
     return W.tocsr()
+
+
+# ----------------------------------------------------------------------
+# batched assembly: one linear-algebra object per shape bucket
+# ----------------------------------------------------------------------
+
+#: Padded product-system sizes at or below this solve through the
+#: stacked 3-D dense off-diagonal (batched GEMV); larger buckets use
+#: the block-CSR operator.
+BATCH_DENSE_MAX = 64
+
+#: Product sizes above this stay on the per-pair path ("solo" bucket):
+#: systems that large are compute-bound — the per-pair Python overhead
+#: is noise next to their SpMV work, and stacking them evicts each
+#: pair's operator from cache between its iterations (the scalar loop
+#: keeps W hot across all ~30 of them), so batching *loses* there.
+#: Measured crossover on molecule-like sparsity is near N ≈ 512.
+#: This is the "oddball shapes fall back to per-pair" rule.
+BATCH_SPARSE_MAX = 512
+
+#: Upper bound on stacked-dense storage (elements).  A bucket whose
+#: B x N x N stack would exceed it falls back to block-CSR regardless
+#: of N (only reachable through very large direct calls — engine tiles
+#: cap the batch size well below this).
+BATCH_DENSE_BUDGET = 1 << 24
+
+
+def pair_bucket(size: int) -> tuple[str, int]:
+    """Shape bucket of a product system of ``size`` = n·m entries.
+
+    Sizes quantize up to the next power of two, so pairs within a 2x
+    size band share a bucket: small buckets (padded size <=
+    ``BATCH_DENSE_MAX``) are solved with the stacked-dense operator at
+    exactly the bucket's padded size, medium ones with block-CSR
+    (which needs no padding; the quantized size only groups pairs of
+    comparable cost and iteration count), and giant ones (padded size
+    > ``BATCH_SPARSE_MAX``) per-pair.
+    """
+    if size < 1:
+        raise ValueError("product system size must be positive")
+    padded = 1 << max(0, size - 1).bit_length()
+    if padded <= BATCH_DENSE_MAX:
+        return ("dense", padded)
+    if padded <= BATCH_SPARSE_MAX:
+        return ("sparse", padded)
+    return ("solo", padded)
+
+
+def _concat_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Vectorized ``concatenate([arange(a, b) for a, b in zip(...)])``."""
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    lens = stops - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    shift = np.repeat(starts - np.concatenate(([0], np.cumsum(lens)[:-1])), lens)
+    return np.arange(total, dtype=np.int64) + shift
+
+
+class BatchWorkspace:
+    """Reusable scratch buffers for batched assembly.
+
+    The stacked operands of a bucket (dense W stack, padded diagonal /
+    rhs / p× vectors) are the assembly's only large allocations; one
+    workspace per executor worker recycles them across tiles instead
+    of paying a fresh ``np.zeros`` (mmap + page-fault for MB-sized
+    stacks) per bucket.  Buffers are grow-only and zeroed on checkout,
+    so results are unaffected.  Not thread-safe: use one workspace per
+    thread (see :func:`repro.engine.executors.solve_pairs_batched`).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def zeros(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < n:
+            buf = np.empty(max(n, 1), dtype=np.float64)
+            self._buffers[name] = buf
+        out = buf[:n].reshape(shape)
+        out.fill(0.0)
+        return out
+
+
+class StackedDenseOffdiag:
+    """Off-diagonal operator W as a (B, N, N) dense stack.
+
+    One batched GEMV (``np.matmul``) advances every pair per CG
+    iteration; used for small padded systems where the dense stack
+    fits comfortably and beats sparse indexing overhead.
+    """
+
+    __slots__ = ("W",)
+
+    def __init__(self, W: np.ndarray) -> None:
+        self.W = W
+
+    def matvec(self, p: np.ndarray) -> np.ndarray:
+        B, N, _ = self.W.shape
+        return np.matmul(self.W, p.reshape(B, N, 1)).reshape(-1)
+
+    def take(
+        self, idx: np.ndarray, old_offsets: np.ndarray, new_offsets: np.ndarray
+    ) -> "StackedDenseOffdiag":
+        return StackedDenseOffdiag(np.ascontiguousarray(self.W[idx]))
+
+
+class BlockCSROffdiag:
+    """Off-diagonal operator W as one block-diagonal CSR matrix.
+
+    The bucket's pairs are laid out along the diagonal of a single
+    (S, S) sparse matrix over the concatenated product vectors, so one
+    C-speed SpMV per CG iteration covers all of them with zero padding
+    or fill-in waste.  Each block is bitwise identical to the per-pair
+    ``fused`` operator (same canonical CSR ordering), which is what
+    keeps batched and serial kernel values in lockstep.
+    """
+
+    __slots__ = ("mat",)
+
+    def __init__(self, mat: sp.csr_matrix) -> None:
+        self.mat = mat
+
+    def matvec(self, p: np.ndarray) -> np.ndarray:
+        return self.mat @ p
+
+    def take(
+        self, idx: np.ndarray, old_offsets: np.ndarray, new_offsets: np.ndarray
+    ) -> "BlockCSROffdiag":
+        """Keep only the blocks in ``idx`` (converged pairs drop out).
+
+        Row ranges are sliced straight out of the CSR arrays and column
+        indices shifted to the compacted layout — no sort, no COO round
+        trip.
+        """
+        mat = self.mat
+        idx = np.asarray(idx, dtype=np.int64)
+        rows = _concat_ranges(old_offsets[idx], old_offsets[idx + 1])
+        starts = mat.indptr[rows].astype(np.int64)
+        stops = mat.indptr[rows + 1].astype(np.int64)
+        nnz_idx = _concat_ranges(starts, stops)
+        new_indptr = np.concatenate(([0], np.cumsum(stops - starts)))
+        pair_nnz = (
+            mat.indptr[old_offsets[idx + 1]] - mat.indptr[old_offsets[idx]]
+        ).astype(np.int64)
+        shift = np.repeat(old_offsets[idx] - new_offsets[:-1], pair_nnz)
+        S_new = int(new_offsets[-1])
+        new = sp.csr_matrix(
+            (mat.data[nnz_idx], mat.indices[nnz_idx] - shift, new_indptr),
+            shape=(S_new, S_new),
+        )
+        return BlockCSROffdiag(new)
+
+
+@dataclass
+class BatchedProductSystem:
+    """A shape bucket of product systems as stacked operands.
+
+    The B pairs' product vectors are concatenated into one (S,) layout
+    (``offsets`` marks segment starts; dense-mode segments are padded
+    to the bucket size with identity rows: diag 1, rhs/p× 0, W rows 0,
+    which provably never perturbs the unpadded entries).  All
+    elementwise solver state lives on (S,) arrays; per-pair reductions
+    are segment ``reduceat`` calls; per-pair scalars broadcast back
+    with ``expand``.  This is what lets the batched PCG advance every
+    pair per iteration at a fixed number of NumPy calls.
+    """
+
+    n: np.ndarray  # (B,) row-graph node counts
+    m: np.ndarray  # (B,) column-graph node counts
+    sizes: np.ndarray  # (B,) true product sizes n·m
+    offsets: np.ndarray  # (B+1,) segment starts in the stacked layout
+    diag: np.ndarray  # (S,) system diagonal D× V×⁻¹
+    rhs: np.ndarray  # (S,) right-hand side D× q×
+    px: np.ndarray  # (S,) starting probabilities
+    offdiag: StackedDenseOffdiag | BlockCSROffdiag
+    info: dict = field(default_factory=dict)
+
+    @property
+    def batch(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def total(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def seg_lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def matvec_offdiag(self, p: np.ndarray) -> np.ndarray:
+        return self.offdiag.matvec(p)
+
+    def pair_dots(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Per-pair inner products <u_b, v_b> as a (B,) vector."""
+        return np.add.reduceat(u * v, self.offsets[:-1])
+
+    def pair_norms(self, u: np.ndarray) -> np.ndarray:
+        return np.sqrt(self.pair_dots(u, u))
+
+    def expand(self, per_pair: np.ndarray) -> np.ndarray:
+        """Broadcast a (B,) per-pair scalar onto the (S,) layout."""
+        return np.repeat(per_pair, self.seg_lengths)
+
+    def kernel_values(self, x: np.ndarray) -> np.ndarray:
+        """K(G_b, G'_b) = p×ᵀ x per pair."""
+        return self.pair_dots(self.px, x)
+
+    def take(self, idx: np.ndarray) -> "BatchedProductSystem":
+        """Compact to the pairs in ``idx`` (active-set dropout)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        seglen = self.seg_lengths[idx]
+        new_offsets = np.concatenate(([0], np.cumsum(seglen)))
+        gather = _concat_ranges(self.offsets[idx], self.offsets[idx + 1])
+        return BatchedProductSystem(
+            n=self.n[idx],
+            m=self.m[idx],
+            sizes=self.sizes[idx],
+            offsets=new_offsets,
+            diag=self.diag[gather],
+            rhs=self.rhs[gather],
+            px=self.px[gather],
+            offdiag=self.offdiag.take(idx, self.offsets, new_offsets),
+            info=self.info,
+        )
+
+
+def _batched_base_values(
+    kernel: MicroKernel,
+    label_sets1: list[Mapping[str, np.ndarray]],
+    label_sets2: list[Mapping[str, np.ndarray]],
+    I1: np.ndarray,
+    I2: np.ndarray,
+    kind: str,
+) -> np.ndarray:
+    """Elementwise base-kernel values over gathered label operands.
+
+    ``label_sets*`` hold one compact label mapping per batch member;
+    the arrays are concatenated per component and gathered through the
+    stacked index arrays ``I1`` / ``I2``, so the base kernel runs once
+    per bucket instead of once per pair.  Dispatch mirrors
+    :func:`node_kernel_matrix` / :func:`edge_kernel_values` exactly.
+    """
+    if isinstance(kernel, Constant):
+        return np.full(len(I1), kernel.c)
+    if isinstance(kernel, TensorProduct):
+        X = {
+            k: np.concatenate([np.asarray(ls[k]) for ls in label_sets1])[I1]
+            for k in kernel.components
+        }
+        Y = {
+            k: np.concatenate([np.asarray(ls[k]) for ls in label_sets2])[I2]
+            for k in kernel.components
+        }
+        return kernel.pairwise(X, Y)
+    a = np.concatenate([_sole_label(ls, kind) for ls in label_sets1])
+    b = np.concatenate([_sole_label(ls, kind) for ls in label_sets2])
+    return kernel.pairwise(a[I1], b[I2])
+
+
+def _edge_entries_loop(ea1, ea2, m, offsets, edge_kernel, mode, N):
+    """Per-pair broadcast construction of the stacked W entries."""
+    idx_parts: list[np.ndarray] = []
+    col_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    for b in range(len(ea1)):
+        e1, e2 = ea1[b], ea2[b]
+        m1, m2 = len(e1.edges), len(e2.edges)
+        if m1 == 0 or m2 == 0:
+            continue
+        Ke = edge_kernel_values(edge_kernel, e1.labels, e2.labels, m1, m2)
+        vals_u = (e1.weights[:, None] * e2.weights[None, :]) * Ke
+        val_parts.append(np.tile(vals_u, (2, 2)).ravel())
+        mb = int(m[b])
+        if mode == "dense":
+            # Flat scatter index b N² + (s1 m + s2) N + (t1 m + t2),
+            # split into a per-edge1 and a per-edge2 factor.
+            f1 = e1.src * (mb * N) + e1.dst * mb + b * N * N
+            f2 = e2.src * N + e2.dst
+            idx_parts.append((f1[:, None] + f2[None, :]).ravel())
+        else:
+            off = int(offsets[b])
+            r1 = e1.src * mb + off
+            c1 = e1.dst * mb + off
+            idx_parts.append((r1[:, None] + e2.src[None, :]).ravel())
+            col_parts.append((c1[:, None] + e2.dst[None, :]).ravel())
+    return val_parts, idx_parts, col_parts
+
+
+def build_batched_system(
+    pairs: list[tuple[Graph, Graph]],
+    node_kernel: MicroKernel,
+    edge_kernel: MicroKernel,
+    q: float = 0.05,
+    mode: str = "auto",
+    workspace: BatchWorkspace | None = None,
+) -> BatchedProductSystem:
+    """Assemble a bucket of graph pairs as one stacked linear object.
+
+    Every per-pair quantity of :func:`build_product_system` is built
+    here from flat index arithmetic over concatenated per-graph arrays
+    (degrees, node labels, directed edge endpoints — all cached on the
+    graphs), so the assembly cost per pair is C-speed array work with
+    a bucket-constant number of Python calls.
+
+    Parameters
+    ----------
+    mode:
+        ``"dense"`` (stacked 3-D off-diagonal, pads each pair to the
+        bucket's quantized size), ``"sparse"`` (block-CSR, no padding),
+        or ``"auto"`` (by :func:`pair_bucket` of the largest pair;
+        "solo" buckets assemble as ``"sparse"`` — the per-pair
+        fallback is the engine's call, not the assembler's).
+    workspace:
+        Optional :class:`BatchWorkspace` recycling the large stacked
+        buffers across calls (one per executor worker).
+    """
+    if not pairs:
+        raise ValueError("cannot batch an empty pair list")
+    q = float(q)
+    if not 0.0 < q <= 1.0:
+        raise ValueError("stopping probability must be in (0, 1]")
+    g1s = [a for a, _ in pairs]
+    g2s = [b for _, b in pairs]
+    B = len(pairs)
+    n = np.array([g.n_nodes for g in g1s], dtype=np.int64)
+    m = np.array([g.n_nodes for g in g2s], dtype=np.int64)
+    sizes = n * m
+    bucket_mode, padded = pair_bucket(int(sizes.max()))
+    if mode == "auto":
+        mode = "sparse" if bucket_mode == "solo" else bucket_mode
+    if mode == "dense" and B * padded * padded > BATCH_DENSE_BUDGET:
+        mode = "sparse"
+    if mode not in ("dense", "sparse"):
+        raise ValueError(f"unknown batch mode {mode!r}")
+    ws = workspace if workspace is not None else BatchWorkspace()
+
+    # ---- stacked node-level layout ---------------------------------
+    true_off = np.concatenate(([0], np.cumsum(sizes)))
+    S_true = int(true_off[-1])
+    seg = np.repeat(np.arange(B), sizes)
+    pos = np.arange(S_true, dtype=np.int64) - np.repeat(true_off[:-1], sizes)
+    mseg = m[seg]
+    i_loc = pos // mseg
+    ip_loc = pos - i_loc * mseg
+    noff1 = np.concatenate(([0], np.cumsum(n)))
+    noff2 = np.concatenate(([0], np.cumsum(m)))
+    I1 = np.repeat(noff1[:-1], sizes) + i_loc
+    I2 = np.repeat(noff2[:-1], sizes) + ip_loc
+
+    vx = _batched_base_values(
+        node_kernel,
+        [g.node_labels for g in g1s],
+        [g.node_labels for g in g2s],
+        I1,
+        I2,
+        "node",
+    )
+    if (vx <= 0).any() or (vx > 1 + 1e-12).any():
+        raise ValueError("vertex base kernel must have range (0, 1] for SPD")
+
+    d1 = np.concatenate([g.degrees for g in g1s]) + q
+    d2 = np.concatenate([g.degrees for g in g2s]) + q
+    dx = d1[I1] * d2[I2]
+    qx = (q / d1)[I1] * (q / d2)[I2]
+    px_true = np.repeat((1.0 / n) * (1.0 / m), sizes)
+
+    # ---- stacked edge-level off-diagonal ---------------------------
+    # Per-pair broadcast construction, exactly mirroring
+    # :func:`assemble_sparse_offdiag` (same κe evaluation, same
+    # ``np.tile(vals_u, (2, 2))``, same index arithmetic), with global
+    # offsets folded into the small per-edge factor arrays so the big
+    # (2 m1, 2 m2) index grids cost one broadcast add each.  A fully
+    # index-vectorized single-call variant was measured slower at
+    # every relevant pair size: its div/mod machinery costs ~10 int64
+    # ops per stored entry versus one here, and a handful of
+    # small-array NumPy calls per pair is cheaper than that.
+    if mode == "dense":
+        N = padded
+        offsets = np.arange(B + 1, dtype=np.int64) * N
+    else:
+        N = 0
+        offsets = true_off.astype(np.int64)
+    ea1 = [g.edge_arrays() for g in g1s]
+    ea2 = [g.edge_arrays() for g in g2s]
+    m1 = np.array([len(e.edges) for e in ea1], dtype=np.int64)
+    m2 = np.array([len(e.edges) for e in ea2], dtype=np.int64)
+    nnz = int(4 * (m1 * m2).sum())
+    vals, idx_parts, col_parts = _edge_entries_loop(
+        ea1, ea2, m, offsets, edge_kernel, mode, N
+    )
+
+    def _cat(parts, dtype):
+        if isinstance(parts, np.ndarray):
+            return parts
+        if not parts:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate(parts)
+
+    vals = _cat(vals, np.float64)
+
+    # ---- assemble per mode -----------------------------------------
+    if mode == "dense":
+        S = B * N
+        scatter = np.repeat(offsets[:-1], sizes) + pos
+        diag = ws.zeros("diag", (S,))
+        diag.fill(1.0)
+        rhs = ws.zeros("rhs", (S,))
+        px = ws.zeros("px", (S,))
+        diag[scatter] = dx / vx
+        rhs[scatter] = dx * qx
+        px[scatter] = px_true
+        W = ws.zeros("W_dense", (B, N, N))
+        W.reshape(-1)[_cat(idx_parts, np.int64)] = vals
+        offdiag = StackedDenseOffdiag(W)
+    else:
+        diag = dx / vx
+        rhs = dx * qx
+        px = px_true
+        mat = sp.coo_matrix(
+            (vals, (_cat(idx_parts, np.int64), _cat(col_parts, np.int64))),
+            shape=(S_true, S_true),
+        ).tocsr()
+        offdiag = BlockCSROffdiag(mat)
+
+    return BatchedProductSystem(
+        n=n,
+        m=m,
+        sizes=sizes,
+        offsets=offsets,
+        diag=diag,
+        rhs=rhs,
+        px=px,
+        offdiag=offdiag,
+        info={"mode": mode, "nnz": int(nnz), "padded": int(padded)},
+    )

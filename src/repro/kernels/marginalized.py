@@ -9,8 +9,17 @@ systems").
 
 Engines
 -------
+``fused_batched``
+    Default.  Dataset calls route whole shape buckets of pairs through
+    the stacked assembly (:func:`repro.kernels.linsys.
+    build_batched_system`) and the batched PCG — one NumPy call chain
+    per CG iteration for an entire bucket instead of per pair.
+    Single-pair calls, oddball buckets, and non-batchable solvers fall
+    back to ``fused`` automatically; values agree with ``fused`` to
+    well within 1e-10 relative (block-CSR buckets are bitwise
+    identical per block), so the two engines share cache entries.
 ``fused``
-    Fast CPU path: precompute the sparse edge-pair weight matrix
+    Per-pair CPU path: precompute the sparse edge-pair weight matrix
     W = A× ∘ E× once per pair, then PCG with sparse matvecs.
 ``dense``
     Explicit product matrix; oracle for testing and tiny problems.
@@ -94,7 +103,7 @@ class MarginalizedGraphKernel:
         Uniform stopping probability in (0, 1].  The paper's solver
         remains convergent down to q = 0.0005.
     engine:
-        "fused" (default), "dense", or "vgpu".
+        "fused_batched" (default), "fused", "dense", or "vgpu".
     solver:
         "pcg" (default, Algorithm 1), "cg", "fixed_point", or "direct".
     rtol, max_iter:
@@ -122,7 +131,7 @@ class MarginalizedGraphKernel:
         node_kernel: MicroKernel | None = None,
         edge_kernel: MicroKernel | None = None,
         q: float = 0.05,
-        engine: str = "fused",
+        engine: str = "fused_batched",
         solver: str = "pcg",
         rtol: float = 1e-9,
         max_iter: int | None = None,
@@ -132,7 +141,7 @@ class MarginalizedGraphKernel:
         self.edge_kernel = edge_kernel if edge_kernel is not None else Constant(1.0)
         if not 0.0 < q <= 1.0:
             raise ValueError("q must be in (0, 1]")
-        if engine not in ("fused", "dense", "vgpu"):
+        if engine not in ("fused_batched", "fused", "dense", "vgpu"):
             raise ValueError(f"unknown engine {engine!r}")
         if solver not in _SOLVERS:
             raise ValueError(f"unknown solver {solver!r}")
@@ -188,8 +197,11 @@ class MarginalizedGraphKernel:
             system.matvec_offdiag = pipeline.matvec
             system.info["pipeline"] = pipeline
             return system
+        # A single pair has nothing to batch over: the batched engine's
+        # per-pair systems are plain fused systems.
+        engine = "fused" if self.engine == "fused_batched" else self.engine
         return build_product_system(
-            g1, g2, self.node_kernel, self.edge_kernel, self.q, engine=self.engine
+            g1, g2, self.node_kernel, self.edge_kernel, self.q, engine=engine
         )
 
     def _solve(self, system: ProductSystem) -> SolveResult:

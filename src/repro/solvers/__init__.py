@@ -7,6 +7,10 @@ use.  All of them are implemented here against the common
 :class:`~repro.kernels.linsys.ProductSystem` interface:
 
 * :mod:`repro.solvers.pcg` — Algorithm 1, the production solver.
+* :mod:`repro.solvers.batched_pcg` — Algorithm 1 vectorized over a
+  whole shape bucket of pairs (the ``fused_batched`` engine's solver):
+  one stacked matvec per CG iteration, per-pair convergence masks,
+  converged pairs drop out of the active set.
 * :mod:`repro.solvers.cg` — unpreconditioned CG (ablation).
 * :mod:`repro.solvers.fixed_point` — Eq. (9) iteration, the method
   class of the GraphKernels package; diverges at small stopping
@@ -20,13 +24,17 @@ use.  All of them are implemented here against the common
 
 from .result import SolveResult
 from .pcg import pcg_solve
+from .batched_pcg import BatchedSolveResult, batched_cg_solve, batched_pcg_solve
 from .cg import cg_solve
 from .fixed_point import fixed_point_solve
 from .spectral import spectral_solve_unlabeled
 from .direct import direct_solve
 
 __all__ = [
+    "BatchedSolveResult",
     "SolveResult",
+    "batched_cg_solve",
+    "batched_pcg_solve",
     "cg_solve",
     "direct_solve",
     "fixed_point_solve",

@@ -38,13 +38,8 @@ class NaivePrimitive(DensePrimitive):
         return self.W.shape[0] * self.W.shape[1] * self.F_bytes
 
     def matvec(self, p: np.ndarray) -> np.ndarray:
-        nm = self.n * self.m
         Npad = self.np_ * self.mp_
-        pp = np.zeros(Npad)
-        P = np.asarray(p, dtype=np.float64).reshape(self.n, self.m)
-        P2 = np.zeros((self.np_, self.mp_))
-        P2[: self.n, : self.m] = P
-        pp = P2.ravel()
+        pp = self.pad_vector(p).ravel()
         y = self.W @ pp
 
         # Appendix C (naive) accounting, padded sizes:

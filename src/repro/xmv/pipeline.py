@@ -126,6 +126,7 @@ class VgpuPipeline:
         self.counters = Counters()
         self.cycles = 0.0
         self.launch_count = 0
+        self._mv_workspace: tuple[np.ndarray, np.ndarray] | None = None
         self._per_matvec = self._aggregate_cost()
 
     # ------------------------------------------------------------------
@@ -234,9 +235,17 @@ class VgpuPipeline:
         t = self.t
         P = np.asarray(p, dtype=np.float64).reshape(self.n, self.m)
         Pp = P[np.ix_(self.order1, self.order2)]
-        P2 = np.zeros((self.nt1 * t, self.nt2 * t))
+        # Reused per-pipeline workspaces (one matvec per CG iteration):
+        # the padded rhs only ever writes [:n, :m], the accumulator is
+        # re-zeroed — results stay bit-identical to fresh buffers.
+        if self._mv_workspace is None:
+            self._mv_workspace = (
+                np.zeros((self.nt1 * t, self.nt2 * t)),
+                np.zeros((self.nt1 * t, self.nt2 * t)),
+            )
+        P2, Y2 = self._mv_workspace
         P2[: self.n, : self.m] = Pp
-        Y2 = np.zeros_like(P2)
+        Y2.fill(0.0)
         for t1 in self.om1.tiles:
             r0 = t1.ti * t
             c0 = t1.tj * t

@@ -27,10 +27,7 @@ class RegisterBlockingPrimitive(DensePrimitive):
         t, r = self.t, self.r
         E, F = self.E_bytes, self.F_bytes
         n, m = self.np_, self.mp_
-        P2 = np.zeros((n, m))
-        P2[: self.n, : self.m] = np.asarray(p, dtype=np.float64).reshape(
-            self.n, self.m
-        )
+        P2 = self.pad_vector(p)
         Y = np.zeros((n, m))
         c = self.counters
         for I in range(0, n, t):
