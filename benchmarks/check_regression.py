@@ -40,6 +40,8 @@ METRICS = [
     ("BENCH_batched.json", "pairs_per_sec_serial", "absolute"),
     ("BENCH_engine.json", "stages.extend.pairs_per_sec", "absolute"),
     ("BENCH_engine.json", "stages.cold.pairs_per_sec", "absolute"),
+    ("BENCH_sweep.json", "speedup", "ratio"),
+    ("BENCH_sweep.json", "cold_throughput_ratio", "ratio"),
 ]
 
 #: Ratio metrics derived from one file's fields (numerator / denominator),

@@ -91,11 +91,22 @@ def cmd_gram(args: argparse.Namespace) -> int:
     progress = None
     if args.progress:
         def progress(ev):
+            # Structure-cache traffic is reported alongside — never
+            # folded into — the solve/cache counts: a bucket served
+            # from the structure cache is still numerically solved, so
+            # pairs_done/solves must not undercount it.
+            struct = ""
+            if ev.structure_hits or ev.structure_misses:
+                struct = (f", structures {ev.structure_hits}r/"
+                          f"{ev.structure_misses}b")
             print(f"  [{ev.phase}] tiles {ev.tiles_done}/{ev.tiles_total} "
                   f"pairs {ev.pairs_done}/{ev.pairs_total} "
-                  f"(solved {ev.solves}, cached {ev.cache_hits}, "
-                  f"{ev.elapsed:.2f} s)")
+                  f"(solved {ev.solves}, cached {ev.cache_hits}"
+                  f"{struct}, {ev.elapsed:.2f} s)")
 
+    engine_kw = {}
+    if args.reorder_cutoff is not None:
+        engine_kw["reorder_cutoff"] = args.reorder_cutoff
     eng = GramEngine(
         mgk,
         executor=args.executor,
@@ -103,7 +114,12 @@ def cmd_gram(args: argparse.Namespace) -> int:
         tile_pairs=args.tile_pairs,
         batch_pairs=args.batch_pairs,
         cache_dir=args.cache_dir,
+        structure_cache=False if args.no_structure_cache else None,
+        structure_cache_dir=args.structure_cache_dir,
+        warm_start=args.warm_start,
+        reorder=args.reorder_products,
         progress=progress,
+        **engine_kw,
     )
 
     if args.extend:
@@ -463,6 +479,25 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--cache-dir", default=None,
                    help="persist kernel values here; reruns and extends "
                         "hit this cache")
+    m.add_argument("--no-structure-cache", action="store_true",
+                   help="disable the structural-plan cache (assembly "
+                        "topology is then rebuilt on every call)")
+    m.add_argument("--structure-cache-dir", default=None, metavar="DIR",
+                   help="persist structural assembly plans here; reruns, "
+                        "sweeps, and extends over the same graphs skip "
+                        "topology work")
+    m.add_argument("--warm-start", action="store_true",
+                   help="warm-start batched solves from previous "
+                        "solutions of the same graph pairs (sweep mode; "
+                        "values agree within solver tolerance)")
+    m.add_argument("--reorder-products", action="store_true",
+                   help="apply RCM bandwidth reduction to block-CSR "
+                        "product systems at plan time (paid once per "
+                        "cached structure)")
+    m.add_argument("--reorder-cutoff", type=int, metavar="N", default=None,
+                   help="graphs above N nodes keep the identity order "
+                        "under --reorder-products (default 512; resolved "
+                        "lazily so the CLI stays import-light)")
     m.add_argument("--extend", default=None, metavar="OLD_NPY",
                    help="previously saved unnormalized Gram over the "
                         "first N dataset graphs; only new rows/columns "

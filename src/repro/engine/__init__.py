@@ -22,7 +22,15 @@ its ``__call__`` and ``diag`` here; construct an explicit engine to
 choose an executor, share a disk cache, or extend Grams incrementally.
 """
 
-from .cache import CachedPair, CacheStats, DiskCache, LRUCache, TieredCache
+from .cache import (
+    CachedPair,
+    CacheStats,
+    DiskCache,
+    LRUCache,
+    StructureCache,
+    TieredCache,
+    WarmStartStore,
+)
 from .core import GramEngine
 from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
 from .progress import Diagnostics, ProgressEvent
@@ -43,8 +51,10 @@ __all__ = [
     "GramEngine",
     "LRUCache",
     "ProgressEvent",
+    "StructureCache",
     "TieredCache",
     "Tile",
+    "WarmStartStore",
     "build_pair_jobs",
     "graph_fingerprint",
     "kernel_fingerprint",

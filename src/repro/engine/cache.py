@@ -7,6 +7,16 @@ a small interface (``get`` / ``put`` / ``__len__`` / ``clear``) plus a
 :class:`CacheStats` counter block, and are safe to share between the
 threads executor's workers.
 
+Two further stores back the structure-reuse assembly pipeline:
+
+* :class:`StructureCache` — a bytes-bounded LRU (plus optional pickle
+  disk tier) of :class:`~repro.kernels.linsys.StructurePlan` objects,
+  keyed by graph-content hashes and assembly config.  Hyperparameter
+  sweeps hit it because hyperparameters never enter the key.
+* :class:`WarmStartStore` — a bytes-bounded LRU of per-pair solution
+  vectors keyed by graph content only, seeding the batched solver at
+  the next sweep point.
+
 The disk store writes one small JSON file per entry under a two-level
 fan-out directory (``ab/abcdef....json``) via temp-file + atomic
 rename, so that concurrent writers — including separate CLI
@@ -20,27 +30,32 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from threading import Lock
+from typing import NamedTuple
+
+import numpy as np
 
 
-def atomic_write_json(path: str | os.PathLike, obj, fsync: bool = True,
-                      **dump_kwargs) -> None:
-    """Write ``obj`` as JSON such that ``path`` is never seen torn.
+def _atomic_write_bytes(path: str | os.PathLike, payload: bytes,
+                        fsync: bool = False) -> None:
+    """Atomically publish ``payload`` at ``path`` (temp file + replace).
 
     Temp file in the target directory, optional fsync for crash
     durability, then ``os.replace``; the temp file is removed on any
-    failure.  Shared by the disk cache, the model registry's
+    failure.  The single atomic-publication primitive behind the JSON
+    value cache, the pickle structure-plan tier, the model registry's
     manifests, and the benchmark result writer.
     """
     path = os.fspath(path)
     fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".",
                                suffix=".tmp")
     try:
-        with os.fdopen(fd, "w") as fh:
-            json.dump(obj, fh, **dump_kwargs)
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
             if fsync:
                 fh.flush()
                 os.fsync(fh.fileno())
@@ -53,9 +68,21 @@ def atomic_write_json(path: str | os.PathLike, obj, fsync: bool = True,
         raise
 
 
-@dataclass(frozen=True)
-class CachedPair:
-    """One cached kernel evaluation with its solver diagnostics."""
+def atomic_write_json(path: str | os.PathLike, obj, fsync: bool = True,
+                      **dump_kwargs) -> None:
+    """Write ``obj`` as JSON such that ``path`` is never seen torn."""
+    _atomic_write_bytes(
+        path, json.dumps(obj, **dump_kwargs).encode(), fsync=fsync
+    )
+
+
+class CachedPair(NamedTuple):
+    """One cached kernel evaluation with its solver diagnostics.
+
+    A NamedTuple rather than a (frozen) dataclass: the engine creates
+    one per solved pair in its hottest bookkeeping loop, and frozen-
+    dataclass construction pays an ``object.__setattr__`` per field.
+    """
 
     value: float
     iterations: int
@@ -217,3 +244,206 @@ class TieredCache:
         self.memory.clear()
         if self.disk is not None:
             self.disk.clear()
+
+
+class StructureCache:
+    """Bytes-bounded LRU of structural assembly plans, with a disk tier.
+
+    Values are :class:`~repro.kernels.linsys.StructurePlan` objects
+    (treated opaquely here — anything with an ``nbytes`` attribute
+    works).  Keys are content-addressed over the bucket's graph
+    fingerprints plus the assembly configuration (mode, padding, RCM
+    cutoff) — see :func:`repro.engine.executors.structure_key` — so a
+    hyperparameter change is a guaranteed hit while any graph-content
+    or engine-config change is a guaranteed miss.
+
+    Eviction is by total plan bytes, not entry count: plans span four
+    orders of magnitude (a dense 8-pair bucket vs. a 2M-nnz block-CSR
+    tile).  The optional disk tier pickles plans under a two-level
+    fan-out directory with atomic publication, mirroring
+    :class:`DiskCache`; unreadable entries degrade to misses.
+    Thread-safe: the threads executor fills one engine-owned instance
+    from many workers.
+    """
+
+    def __init__(self, max_bytes: int = 256 << 20,
+                 disk_dir: str | os.PathLike | None = None) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self.disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            os.makedirs(self.disk_dir, exist_ok=True)
+        self.stats = CacheStats()
+        self._data: OrderedDict[str, object] = OrderedDict()
+        #: Size snapshot per key, taken at insert and refreshed on hit:
+        #: sweep-managed plans grow fill memos *after* insertion, and
+        #: the eviction arithmetic must subtract exactly what it added.
+        self._sizes: dict[str, int] = {}
+        self._bytes = 0
+        self._lock = Lock()
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held by the in-memory tier."""
+        return self._bytes
+
+    @staticmethod
+    def _size_of(plan) -> int:
+        nbytes = getattr(plan, "nbytes", None)
+        if nbytes is not None:
+            return int(nbytes)
+        if isinstance(plan, list):
+            # Bucketed tile plans: a list of Tile objects whose payload
+            # is the (i, j) pair tuples.  Rough Python-object costing —
+            # a tuple of two ints plus its list slot is ~120 bytes —
+            # keeps multi-MB plans visible to the byte bound.
+            return 64 + sum(
+                96 + 120 * len(getattr(t, "pairs", ())) for t in plan
+            )
+        return 0
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, key[:2], key + ".pkl")
+
+    def _refresh_size(self, key: str, plan) -> None:
+        size = self._size_of(plan)
+        self._bytes += size - self._sizes.get(key, 0)
+        self._sizes[key] = size
+
+    def _evict(self) -> None:
+        while self._bytes > self.max_bytes and len(self._data) > 1:
+            evicted_key, _ = self._data.popitem(last=False)
+            self._bytes -= self._sizes.pop(evicted_key, 0)
+
+    def _insert(self, key: str, plan) -> None:
+        old = self._data.pop(key, None)
+        if old is not None:
+            self._bytes -= self._sizes.pop(key, 0)
+        self._data[key] = plan
+        self._refresh_size(key, plan)
+        self._evict()
+
+    def get(self, key: str):
+        with self._lock:
+            plan = self._data.get(key)
+            if plan is not None:
+                self._data.move_to_end(key)
+                # Plans grow fill memos after insertion; re-snapshot and
+                # re-enforce the bound here too, or a steady-state sweep
+                # (all hits, no puts) would exceed it without limit.
+                # The just-returned entry is most-recently-used, so it
+                # is evicted only if it alone exceeds the whole budget.
+                self._refresh_size(key, plan)
+                self._evict()
+                self.stats.hits += 1
+                return plan
+        if self.disk_dir is not None:
+            try:
+                with open(self._disk_path(key), "rb") as fh:
+                    plan = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                plan = None
+            if plan is not None:
+                with self._lock:
+                    self._insert(key, plan)  # promote
+                    self.stats.hits += 1
+                return plan
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, plan) -> None:
+        with self._lock:
+            self._insert(key, plan)
+            self.stats.puts += 1
+        if self.disk_dir is not None:
+            target = self._disk_path(key)
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            _atomic_write_bytes(target, pickle.dumps(plan, protocol=4))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._sizes.clear()
+            self._bytes = 0
+        if self.disk_dir is not None:
+            for root, _, files in os.walk(self.disk_dir):
+                for f in files:
+                    if f.endswith(".pkl"):
+                        try:
+                            os.unlink(os.path.join(root, f))
+                        except OSError:
+                            pass
+
+
+class WarmStartStore:
+    """Bytes-bounded LRU of solution vectors for solver warm-starting.
+
+    Keyed by the bucket's *structure key* — graph content plus assembly
+    config, deliberately never kernel hyperparameters: the stored
+    vectors are previous sweep points' stacked solutions for the same
+    bucket, and adjacent hyperparameters give nearby solutions, which
+    is the entire value of the store.  Because the structure key pins
+    the bucket's members, order, padding, and permutation, one entry
+    covers a whole bucket in its exact stacked layout — seeding costs
+    O(1) Python per bucket instead of a per-pair loop.  Up to
+    ``history`` (default 5) vectors are retained per key, most-recent
+    first; the seeding layer projects onto their span, which tracks the
+    solution manifold far better than a single copied vector (CG
+    converges exponentially, so the seed must be *accurate*, not merely
+    close, to save iterations).  Thread-safe.
+    """
+
+    def __init__(self, max_bytes: int = 64 << 20, history: int = 5) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if history < 1:
+            raise ValueError("history must be positive")
+        self.max_bytes = max_bytes
+        self.history = history
+        self.stats = CacheStats()
+        self._data: OrderedDict[str, tuple[np.ndarray, ...]] = OrderedDict()
+        self._bytes = 0
+        self._lock = Lock()
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: str) -> tuple[np.ndarray, ...] | None:
+        """Stored solutions for a pair, most-recent first (None: miss)."""
+        with self._lock:
+            vecs = self._data.get(key)
+            if vecs is None:
+                self.stats.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return vecs
+
+    def put(self, key: str, x: np.ndarray) -> None:
+        """Push a pair's newest solution, keeping ``history`` vectors."""
+        x = np.asarray(x, dtype=np.float64)
+        with self._lock:
+            old = self._data.pop(key, ())
+            self._bytes -= sum(v.nbytes for v in old)
+            vecs = (x,) + old[: self.history - 1]
+            self._data[key] = vecs
+            self._bytes += sum(v.nbytes for v in vecs)
+            self.stats.puts += 1
+            while self._bytes > self.max_bytes and len(self._data) > 1:
+                _, evicted = self._data.popitem(last=False)
+                self._bytes -= sum(v.nbytes for v in evicted)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._bytes = 0

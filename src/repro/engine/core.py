@@ -29,6 +29,7 @@ loop actually needs:
 
 from __future__ import annotations
 
+import hashlib
 import time
 import warnings
 from threading import Lock
@@ -37,17 +38,56 @@ from typing import Sequence
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels.linsys import DEFAULT_RCM_CUTOFF
 from ..kernels.marginalized import GramResult, normalized
-from .cache import CachedPair, DiskCache, LRUCache, TieredCache
-from .executors import BATCHED_SOLVERS, EXECUTORS, default_workers, run_tiles
+from .cache import (
+    CachedPair,
+    DiskCache,
+    LRUCache,
+    StructureCache,
+    TieredCache,
+    WarmStartStore,
+)
+from .executors import (
+    BATCHED_SOLVERS,
+    EXECUTORS,
+    BatchRuntime,
+    default_workers,
+    run_tiles,
+)
 from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
 from .progress import Diagnostics, ProgressCallback, ProgressEvent, iteration_histogram
 from .tiles import (
     DEFAULT_BATCH_PAIRS,
+    MERGED_BATCH_PAIRS,
     build_pair_jobs,
     plan_bucketed_tiles,
     plan_tiles,
 )
+
+
+def _scatter_entries(
+    entries: dict, K: np.ndarray, iters: np.ndarray, symmetric: bool
+) -> None:
+    """Write resolved pair entries into result matrices, vectorized.
+
+    A 2000-graph sweep point resolves millions of positions; ``fromiter``
+    plus two fancy assignments beats a Python assignment loop several-fold.
+    """
+    n = len(entries)
+    ii = np.fromiter((p[0] for p in entries), dtype=np.int64, count=n)
+    jj = np.fromiter((p[1] for p in entries), dtype=np.int64, count=n)
+    vals = np.fromiter(
+        (e.value for e in entries.values()), dtype=np.float64, count=n
+    )
+    its = np.fromiter(
+        (e.iterations for e in entries.values()), dtype=np.int64, count=n
+    )
+    K[ii, jj] = vals
+    iters[ii, jj] = its
+    if symmetric:
+        K[jj, ii] = vals
+        iters[jj, ii] = its
 
 
 class GramEngine:
@@ -84,6 +124,34 @@ class GramEngine:
     cache_dir:
         Convenience: wrap the in-memory cache with an on-disk store at
         this path (ignored when an explicit ``cache`` is given).
+    structure_cache:
+        Cache of structural assembly plans for the batched path
+        (:class:`~repro.engine.cache.StructureCache`), keyed by graph
+        content and assembly config — *not* by hyperparameters, so a
+        tuning sweep re-fills cached topology instead of rebuilding it.
+        ``None`` (default) creates a private in-memory cache, ``False``
+        disables structure reuse, or pass a shared instance (what
+        :func:`repro.ml.tuning.grid_search` does across candidates).
+        Structure-cache hits change nothing numerically: plan + fill is
+        bitwise identical to direct assembly.
+    structure_cache_dir:
+        Add a pickle disk tier to the default structure cache (ignored
+        when an explicit ``structure_cache`` is given).
+    warm_start:
+        Warm-start the batched solver from each pair's previous
+        solution (:class:`~repro.engine.cache.WarmStartStore`): ``True``
+        for a private store, a shared instance for cross-engine sweeps,
+        ``False`` (default) off.  Pairs without a stored solution run
+        the exact cold iteration; warm-started values agree with cold
+        ones within the solver tolerance (not bitwise).  Serial/threads
+        only: the process executor's workers are rebuilt per call, so
+        history can never accumulate there and the option is ignored.
+    reorder / reorder_cutoff:
+        Apply the RCM bandwidth-reducing permutation to block-CSR
+        buckets at plan time (the paper's locality optimization, paid
+        once per structure).  Graphs above ``reorder_cutoff`` nodes
+        keep the identity order.  Off by default: reordered solves
+        agree within solver tolerance, not bitwise.
     cost_model:
         ``"edges"`` (O(1) per pair, default) or ``"vgpu"`` (full
         tile-pipeline cost pass) — see :mod:`repro.engine.tiles`.
@@ -106,6 +174,11 @@ class GramEngine:
         batch_pairs: int | None = None,
         cache=None,
         cache_dir: str | None = None,
+        structure_cache=None,
+        structure_cache_dir: str | None = None,
+        warm_start=False,
+        reorder: bool = False,
+        reorder_cutoff: int = DEFAULT_RCM_CUTOFF,
         cost_model: str = "edges",
         progress: ProgressCallback | None = None,
     ) -> None:
@@ -115,6 +188,8 @@ class GramEngine:
             )
         if batch_pairs is not None and batch_pairs < 0:
             raise ValueError("batch_pairs must be >= 0 (0 disables batching)")
+        if reorder_cutoff < 1:
+            raise ValueError("reorder_cutoff must be positive")
         self.kernel = kernel
         self.executor = executor
         self.max_workers = max_workers
@@ -129,6 +204,19 @@ class GramEngine:
             self.cache = TieredCache(memory=LRUCache(), disk=DiskCache(cache_dir))
         else:
             self.cache = LRUCache()
+        if structure_cache is False:
+            self.structure_cache = None
+        elif structure_cache is not None:
+            self.structure_cache = structure_cache
+        else:
+            self.structure_cache = StructureCache(disk_dir=structure_cache_dir)
+        if warm_start is False or warm_start is None:
+            self.warm_store = None
+        elif warm_start is True:
+            self.warm_store = WarmStartStore()
+        else:
+            self.warm_store = warm_start
+        self.reorder_cutoff = reorder_cutoff if reorder else None
         self.cost_model = cost_model
         self.progress = progress
         self.solves = 0
@@ -139,6 +227,30 @@ class GramEngine:
         self._counter_lock = Lock()
 
     # ------------------------------------------------------------------
+
+    def _tiles_key(self, fx, fy, reps, merge_small: bool) -> str:
+        """Structure-cache key for a bucketed tile plan.
+
+        Covers the planning config (batch cap, merge mode) and every
+        solved position with its graph content — positions matter
+        because tiles carry (i, j) indices — and deliberately nothing
+        hyperparameter-dependent.
+        """
+        default_pairs = (
+            MERGED_BATCH_PAIRS if merge_small else DEFAULT_BATCH_PAIRS
+        )
+        h = hashlib.sha1()
+        parts = [f"tiles-v1|{self.batch_pairs or default_pairs}|{merge_small}"]
+        for i, j in reps:
+            parts.append(f"{i},{j},{fx[i]},{fy[j]}")
+            # Flush in bounded chunks: one joined string over a
+            # million-pair Gram would be a ~100 MB transient.
+            if len(parts) >= 65536:
+                h.update(";".join(parts).encode())
+                h.update(b";")
+                parts = []
+        h.update(";".join(parts).encode())
+        return h.hexdigest()
 
     def reset_counters(self) -> None:
         with self._counter_lock:
@@ -196,9 +308,19 @@ class GramEngine:
         fx = [graph_fingerprint(g) for g in X]
         fy = fx if Y is X else [graph_fingerprint(g) for g in Y]
 
-        by_key: dict[str, list[tuple[int, int]]] = {}
+        if self.cache is not None:
+            def make_key(i: int, j: int):
+                return pair_key(kfp, fx[i], fy[j])
+        else:
+            # No value cache to address: a symmetric content tuple
+            # dedups identically without paying a sha1 per position.
+            def make_key(i: int, j: int):
+                a, b = fx[i], fy[j]
+                return (a, b) if a <= b else (b, a)
+
+        by_key: dict = {}
         for pos in positions:
-            by_key.setdefault(pair_key(kfp, fx[pos[0]], fy[pos[1]]), []).append(pos)
+            by_key.setdefault(make_key(pos[0], pos[1]), []).append(pos)
 
         resolved: dict[str, CachedPair] = {}
         missing: list[tuple[str, tuple[int, int]]] = []
@@ -210,30 +332,96 @@ class GramEngine:
                 missing.append((key, posns[0]))
 
         key_of = {rep: key for key, rep in missing}
-        jobs = build_pair_jobs(
-            X,
-            Y,
-            [rep for _, rep in missing],
-            q=self.kernel.q,
-            cost_model=self.cost_model,
-            edge_kernel=self.kernel.edge_kernel,
-        )
+        reps = [rep for _, rep in missing]
         batched = self.batched
+        runtime = None
         if batched:
             # Shape-bucketed tiles for the batched solver.  The plan is
             # independent of the worker count, so every executor
             # assembles identical buckets and returns identical bits.
-            tiles = plan_bucketed_tiles(
-                jobs, X, Y,
-                batch_pairs=self.batch_pairs or DEFAULT_BATCH_PAIRS,
+            # It is also independent of hyperparameters (within-bucket
+            # ordering is by nnz), so the whole tile plan — including
+            # the cost-model pass behind it — is served from the
+            # structure cache across sweep points.
+            # Sweep mode (warm-starting on): merge all non-solo pairs
+            # into large block-CSR tiles — with most pairs retiring at
+            # iteration zero, bucket count beats per-iteration shape
+            # purity.  Cold single-shot calls keep the PR-4 bucketing.
+            #
+            # The process executor builds fresh workers per call, so
+            # in-memory worker state can never carry across calls:
+            # warm history would always be empty (making merged tiling
+            # a pure pessimization) and a memory-only structure cache
+            # would store plans nothing re-reads.  Warm-starting is
+            # therefore a serial/threads feature, and workers get the
+            # structure cache only through its disk tier.  Tile-plan
+            # caching below is unaffected — it runs in this process.
+            if self.executor == "process":
+                worker_warm = None
+                worker_cache = (
+                    self.structure_cache
+                    if self.structure_cache is not None
+                    and self.structure_cache.disk_dir is not None
+                    else None
+                )
+            else:
+                worker_warm = self.warm_store
+                worker_cache = self.structure_cache
+            merge_small = worker_warm is not None
+            runtime = BatchRuntime(
+                structure_cache=worker_cache,
+                warm_store=worker_warm,
+                rcm_cutoff=self.reorder_cutoff,
+                merge_small=merge_small,
             )
+            default_pairs = (
+                MERGED_BATCH_PAIRS if merge_small else DEFAULT_BATCH_PAIRS
+            )
+            tiles = None
+            tkey = None
+            if not reps:
+                tiles = []
+            elif self.structure_cache is not None:
+                tkey = self._tiles_key(fx, fy, reps, merge_small)
+                tiles = self.structure_cache.get(tkey)
+                runtime.record(tiles is not None)
+            if tiles is None:
+                jobs = build_pair_jobs(
+                    X, Y, reps,
+                    q=self.kernel.q,
+                    cost_model=self.cost_model,
+                    edge_kernel=self.kernel.edge_kernel,
+                )
+                tiles = plan_bucketed_tiles(
+                    jobs, X, Y,
+                    batch_pairs=self.batch_pairs or default_pairs,
+                    merge_small=merge_small,
+                )
+                if tkey is not None:
+                    self.structure_cache.put(tkey, tiles)
         else:
+            jobs = build_pair_jobs(
+                X, Y, reps,
+                q=self.kernel.q,
+                cost_model=self.cost_model,
+                edge_kernel=self.kernel.edge_kernel,
+            )
             tiles = plan_tiles(
                 jobs,
                 n_tiles=self.n_tiles,
                 tile_pairs=self.tile_pairs,
                 workers=self.workers,
             )
+
+        # This call's structure traffic comes from the per-call runtime
+        # counters — the shared cache's global stats cannot attribute
+        # lookups per call when several threads drive one engine.  The
+        # process executor's workers keep their own runtimes, so its
+        # calls legitimately report zero here.
+        def structure_delta() -> tuple[int, int]:
+            if runtime is None:
+                return 0, 0
+            return runtime.call_hits, runtime.call_misses
 
         n_total = len(positions)
         n_hit_positions = n_total - sum(
@@ -244,7 +432,7 @@ class GramEngine:
         solves = 0
         for tile, outcomes in run_tiles(
             self.executor, self.kernel, X, Y, tiles, self.max_workers,
-            batched=batched,
+            batched=batched, runtime=runtime,
         ):
             for i, j, value, iters, converged, resnorm in outcomes:
                 entry = CachedPair(value, iters, converged, resnorm)
@@ -256,6 +444,7 @@ class GramEngine:
                 pairs_done += len(by_key[key])
             tiles_done += 1
             if self.progress is not None:
+                s_hits, s_misses = structure_delta()
                 self.progress(
                     ProgressEvent(
                         phase="tile",
@@ -266,9 +455,15 @@ class GramEngine:
                         solves=solves,
                         # same definition as the final event/Diagnostics:
                         # every resolved position that was not a solve
-                        # (cache hits and content-duplicate fills)
+                        # (cache hits and content-duplicate fills).  A
+                        # bucket served from the *structure* cache is
+                        # still numerically solved, so its pairs count
+                        # as solves here — never as cache hits — and
+                        # the structure reuse is reported separately.
                         cache_hits=pairs_done - solves,
                         elapsed=time.perf_counter() - t0,
+                        structure_hits=s_hits,
+                        structure_misses=s_misses,
                     )
                 )
 
@@ -279,6 +474,7 @@ class GramEngine:
         with self._counter_lock:
             self.solves += solves
             self.cache_hits += hits
+        s_hits, s_misses = structure_delta()
         diag = Diagnostics(
             executor=self.executor,
             workers=self.workers,
@@ -293,6 +489,8 @@ class GramEngine:
             nonconverged_pairs=sorted(
                 pos for pos, e in out.items() if not e.converged
             ),
+            structure_hits=s_hits,
+            structure_misses=s_misses,
         )
         if self.progress is not None:
             self.progress(
@@ -305,6 +503,8 @@ class GramEngine:
                     solves=solves,
                     cache_hits=hits,
                     elapsed=diag.wall_time,
+                    structure_hits=s_hits,
+                    structure_misses=s_misses,
                 )
             )
         return out, diag
@@ -355,9 +555,7 @@ class GramEngine:
             entries, diag = self._compute_pairs(X, X, positions)
             K = np.zeros((len(X), len(X)))
             iters = np.zeros((len(X), len(X)), dtype=int)
-            for (i, j), e in entries.items():
-                K[i, j] = K[j, i] = e.value
-                iters[i, j] = iters[j, i] = e.iterations
+            _scatter_entries(entries, K, iters, symmetric=True)
             if normalize:
                 K = normalized(K)
         else:
@@ -404,9 +602,7 @@ class GramEngine:
             (i, j) for i in range(len(rows)) for j in range(len(cols))
         ]
         entries, diag = self._compute_pairs(rows, cols, positions)
-        for (i, j), e in entries.items():
-            K[i, j] = e.value
-            iters[i, j] = e.iterations
+        _scatter_entries(entries, K, iters, symmetric=False)
         self._warn_nonconverged(diag)
         return GramResult(
             matrix=K,
@@ -467,6 +663,27 @@ class GramEngine:
                 "puts": stats.puts,
                 "hit_rate": stats.hit_rate,
             }
+        # Structure-cache economics, deliberately separate from the
+        # value-cache block: a structure hit still runs a numeric fill
+        # and solve, so conflating the two would misstate both.
+        if self.structure_cache is not None:
+            sstats = self.structure_cache.stats
+            out["structure"] = {
+                "hits": sstats.hits,
+                "misses": sstats.misses,
+                "puts": sstats.puts,
+                "hit_rate": sstats.hit_rate,
+                "entries": len(self.structure_cache),
+                "bytes": self.structure_cache.nbytes,
+            }
+        if self.warm_store is not None:
+            wstats = self.warm_store.stats
+            out["warm_start"] = {
+                "hits": wstats.hits,
+                "misses": wstats.misses,
+                "entries": len(self.warm_store),
+                "bytes": self.warm_store.nbytes,
+            }
         return out
 
     def diag(self, graphs: Sequence[Graph]) -> np.ndarray:
@@ -511,9 +728,7 @@ class GramEngine:
         K = np.zeros((N + M, N + M))
         K[:N, :N] = K_old
         iters = np.zeros((N + M, N + M), dtype=int)
-        for (i, j), e in entries.items():
-            K[i, j] = K[j, i] = e.value
-            iters[i, j] = iters[j, i] = e.iterations
+        _scatter_entries(entries, K, iters, symmetric=True)
         if normalize:
             K = normalized(K)
         self._warn_nonconverged(diag)

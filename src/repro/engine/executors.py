@@ -15,10 +15,14 @@ tile's pair-index list.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
+
+import numpy as np
 
 from .tiles import Tile
 
@@ -53,6 +57,168 @@ def solve_pairs(kernel, X, Y, pairs: Sequence[tuple[int, int]]) -> list[PairOutc
 BATCHED_SOLVERS = ("pcg", "cg")
 
 
+@dataclass
+class BatchRuntime:
+    """Structure-reuse context threaded into the batched task body.
+
+    ``structure_cache`` serves/holds assembly plans, ``warm_store``
+    previous solution vectors, ``rcm_cutoff`` enables the plan-time RCM
+    reordering of block-CSR buckets (None disables it).  All fields
+    optional: a ``None`` runtime (or field) reproduces the PR-4
+    behavior bitwise.
+
+    The runtime is created fresh per engine call and accumulates that
+    call's structure hits/misses (:meth:`record`) — the shared cache's
+    global counters cannot attribute traffic per call when the serving
+    layer drives one engine from several threads concurrently.
+    """
+
+    structure_cache: object | None = None
+    warm_store: object | None = None
+    rcm_cutoff: int | None = None
+    #: Mirror of the tile planner's ``merge_small`` (sweep mode): the
+    #: task body's re-bucketing must group pairs exactly like the tiles
+    #: were planned, or a merged tile would be split right back apart.
+    merge_small: bool = False
+    call_hits: int = 0
+    call_misses: int = 0
+    _stats_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, hit: bool) -> None:
+        """Count one structure-cache lookup of this engine call."""
+        with self._stats_lock:
+            if hit:
+                self.call_hits += 1
+            else:
+                self.call_misses += 1
+
+    def config(self) -> dict:
+        """Picklable description for process-pool worker initializers."""
+        return {
+            "structure": self.structure_cache is not None,
+            "disk_dir": getattr(self.structure_cache, "disk_dir", None),
+            "max_bytes": getattr(self.structure_cache, "max_bytes", None),
+            "warm": self.warm_store is not None,
+            "warm_max_bytes": getattr(self.warm_store, "max_bytes", None),
+            "warm_history": getattr(self.warm_store, "history", None),
+            "rcm_cutoff": self.rcm_cutoff,
+            "merge_small": self.merge_small,
+        }
+
+    @classmethod
+    def from_config(cls, cfg: dict | None) -> "BatchRuntime | None":
+        if cfg is None:
+            return None
+        from .cache import StructureCache, WarmStartStore
+
+        return cls(
+            structure_cache=(
+                StructureCache(
+                    max_bytes=cfg["max_bytes"], disk_dir=cfg["disk_dir"]
+                )
+                if cfg["structure"] else None
+            ),
+            warm_store=(
+                WarmStartStore(
+                    max_bytes=cfg["warm_max_bytes"],
+                    history=cfg["warm_history"],
+                )
+                if cfg["warm"] else None
+            ),
+            rcm_cutoff=cfg["rcm_cutoff"],
+            merge_small=cfg["merge_small"],
+        )
+
+
+def structure_key(pair_graphs, bucket: tuple[str, int],
+                  rcm_cutoff: int | None) -> str:
+    """Content-addressed identity of a bucket's structural plan.
+
+    Covers the assembly config (bucket mode and padding, reordering
+    cutoff) and every member pair's graph fingerprints *in order* —
+    the stacked layout depends on member order.  Hyperparameters are
+    deliberately absent: a sweep point changes the kernel fingerprint
+    but never this key.
+    """
+    from .fingerprint import graph_fingerprint
+
+    parts = [f"plan-v1|{bucket[0]}|{bucket[1]}|rcm={rcm_cutoff}"]
+    for a, b in pair_graphs:
+        parts.append(graph_fingerprint(a))
+        parts.append(graph_fingerprint(b))
+    return hashlib.sha1("|".join(parts).encode()).hexdigest()
+
+
+def _seed_warm_start(warm_store, key: str, system, rtol: float = 0.0,
+                     atol: float = 0.0):
+    """Residual-minimizing warm start from the bucket's solution history.
+
+    Warm vectors are stored *per bucket* in the bucket's stacked layout
+    (keyed by the structure key, which pins members, order, padding,
+    and permutation), so seeding costs O(1) Python per bucket: fetch
+    the k stacked history vectors, compute their images under S (one
+    stacked matvec each), and solve the per-pair least-squares problem
+    min_c ||b − S Σ cₐvₐ||₂ — a batched ridge-regularized k×k solve
+    over segment-reduced Gram entries.  The seed is therefore never
+    worse than the cold start (c = 0 lies in the subspace) and tracks a
+    sweep's solution manifold to k-th order — which matters because CG
+    converges exponentially: a seed must be *accurate*, not merely
+    nearby, to cut iterations.
+
+    Returns ``(x0, r0)`` — the initial residual falls out of the
+    projection for free — or ``(None, None)`` on a history miss (the
+    exact cold fallback).
+    """
+    vecs = warm_store.get(key)
+    if not vecs:
+        return None, None
+    vecs = [v for v in vecs if v.shape[0] == system.total]
+    if not vecs:
+        return None, None
+    k = len(vecs)
+    b_vec = system.rhs
+    # Images under S (one batched GEMM/SpMM for all k history vectors),
+    # then per-pair modified Gram-Schmidt on the image basis:
+    # numerically stable where a normal-equations solve is not
+    # (adjacent sweep points give nearly parallel history vectors), and
+    # directions that collapse below the tolerance are simply dropped —
+    # their pairs keep the best seed from the surviving directions.
+    V = np.stack(vecs, axis=1)
+    Y = system.diag[:, None] * V - system.offdiag.matmat(V)
+    vs = [np.ascontiguousarray(V[:, a]) for a in range(k)]
+    ys = [np.ascontiguousarray(Y[:, a]) for a in range(k)]
+    # Deeper history directions stop paying once every pair's seed
+    # residual is below the solver's own stopping threshold.
+    sq_threshold = np.maximum(rtol * system.pair_norms(b_vec), atol) ** 2
+
+    x0 = np.zeros(system.total)
+    r0 = b_vec.copy()
+    ref = None
+    for a in range(k):
+        for c in range(a):
+            proj = system.expand(system.pair_dots(ys[a], ys[c]))
+            ys[a] -= proj * ys[c]
+            vs[a] -= proj * vs[c]
+        norm = system.pair_norms(ys[a])
+        if ref is None:
+            ref = norm
+        keep = norm > 1e-8 * ref
+        inv = np.divide(
+            1.0, norm, out=np.zeros_like(norm), where=keep & (norm > 0)
+        )
+        scale = system.expand(inv)
+        ys[a] *= scale
+        vs[a] *= scale
+        coef = system.expand(system.pair_dots(ys[a], r0))
+        x0 += coef * vs[a]
+        r0 -= coef * ys[a]
+        if a + 1 < k and (system.pair_dots(r0, r0) <= sq_threshold).all():
+            break
+    return x0, r0
+
+
 def _thread_workspace():
     from ..kernels.linsys import BatchWorkspace
 
@@ -63,7 +229,8 @@ def _thread_workspace():
 
 
 def solve_pairs_batched(
-    kernel, X, Y, pairs: Sequence[tuple[int, int]]
+    kernel, X, Y, pairs: Sequence[tuple[int, int]],
+    runtime: BatchRuntime | None = None,
 ) -> list[PairOutcome]:
     """Batched task body: stack the tile's pairs and solve them together.
 
@@ -75,15 +242,30 @@ def solve_pairs_batched(
     Oddball work falls back to the per-pair body: singleton buckets
     (nothing to amortize) and solvers the batched path does not
     vectorize.
+
+    With a :class:`BatchRuntime`, each bucket's structural plan is
+    served from the structure cache (topology skipped entirely on a
+    hit — only the numeric fill and the solve run), and the batched
+    solver is warm-started from the warm store's previous solutions.
+    The fallback paths (solo/singleton/non-batchable) bypass both by
+    design: they are per-pair and compute-bound.
     """
-    from ..kernels.linsys import build_batched_system, pair_bucket
+    from ..kernels.linsys import (
+        BATCH_SPARSE_MAX,
+        build_structure_plan,
+        fill_batched_system,
+        pair_bucket,
+    )
     from ..solvers.batched_pcg import batched_cg_solve, batched_pcg_solve
 
     if kernel.solver not in BATCHED_SOLVERS:
         return solve_pairs(kernel, X, Y, pairs)
+    merge = runtime is not None and runtime.merge_small
     buckets: dict[tuple[str, int], list[tuple[int, int]]] = {}
     for i, j in pairs:
         key = pair_bucket(X[i].n_nodes * Y[j].n_nodes)
+        if merge and key[0] != "solo":
+            key = ("sparse", BATCH_SPARSE_MAX)
         buckets.setdefault(key, []).append((i, j))
 
     out: list[PairOutcome] = []
@@ -91,6 +273,9 @@ def solve_pairs_batched(
     kwargs = {"rtol": kernel.rtol}
     if kernel.max_iter is not None:
         kwargs["max_iter"] = kernel.max_iter
+    cache = runtime.structure_cache if runtime is not None else None
+    warm = runtime.warm_store if runtime is not None else None
+    rcm_cutoff = runtime.rcm_cutoff if runtime is not None else None
     for key in sorted(buckets):
         members = buckets[key]
         if len(members) < 2 or key[0] == "solo":
@@ -98,15 +283,35 @@ def solve_pairs_batched(
             # the per-pair path is as fast or faster.
             out.extend(solve_pairs(kernel, X, Y, members))
             continue
-        system = build_batched_system(
-            [(X[i], Y[j]) for i, j in members],
+        pair_graphs = [(X[i], Y[j]) for i, j in members]
+        plan = None
+        skey = None
+        if cache is not None or warm is not None:
+            skey = structure_key(pair_graphs, key, rcm_cutoff)
+        if cache is not None:
+            plan = cache.get(skey)
+            runtime.record(plan is not None)
+        if plan is None:
+            plan = build_structure_plan(
+                pair_graphs, mode=key[0], rcm_cutoff=rcm_cutoff
+            )
+            if cache is not None:
+                cache.put(skey, plan)
+        system = fill_batched_system(
+            plan,
             kernel.node_kernel,
             kernel.edge_kernel,
             q=kernel.q,
-            mode=key[0],
             workspace=_thread_workspace(),
+            reuse_offdiag=cache is not None,
         )
-        res = solve(system, **kwargs)
+        x0 = r0 = None
+        if warm is not None:
+            x0, r0 = _seed_warm_start(warm, skey, system, rtol=kernel.rtol)
+        res = solve(system, x0=x0, r0=r0, **kwargs)
+        if warm is not None:
+            # res.x is freshly allocated per solve — safe to retain.
+            warm.put(skey, res.x)
         values = system.kernel_values(res.x)
         out.extend(
             (i, j, float(values[b]), int(res.iterations[b]),
@@ -116,17 +321,25 @@ def solve_pairs_batched(
     return out
 
 
-def _init_worker(kernel, X, Y) -> None:
+def _init_worker(kernel, X, Y, runtime_cfg=None) -> None:
     _WORKER_STATE["kernel"] = kernel
     _WORKER_STATE["X"] = X
     _WORKER_STATE["Y"] = Y
+    # Each pool worker gets its own runtime: caches don't cross process
+    # boundaries, but a disk-backed structure cache still shares plans,
+    # and in-memory reuse works across the tiles one worker executes.
+    _WORKER_STATE["runtime"] = BatchRuntime.from_config(runtime_cfg)
 
 
 def _worker_solve_tile(
     pairs: Sequence[tuple[int, int]], batched: bool = False
 ) -> list[PairOutcome]:
-    body = solve_pairs_batched if batched else solve_pairs
-    return body(
+    if batched:
+        return solve_pairs_batched(
+            _WORKER_STATE["kernel"], _WORKER_STATE["X"], _WORKER_STATE["Y"],
+            pairs, runtime=_WORKER_STATE.get("runtime"),
+        )
+    return solve_pairs(
         _WORKER_STATE["kernel"], _WORKER_STATE["X"], _WORKER_STATE["Y"], pairs
     )
 
@@ -139,6 +352,7 @@ def run_tiles(
     tiles: Sequence[Tile],
     max_workers: int | None = None,
     batched: bool = False,
+    runtime: BatchRuntime | None = None,
 ) -> Iterator[tuple[Tile, list[PairOutcome]]]:
     """Execute tiles on the chosen backend, yielding in completion order.
 
@@ -148,25 +362,43 @@ def run_tiles(
     work-queue dispatch approximate LPT scheduling.  With
     ``batched=True`` every tile runs the batched task body
     (:func:`solve_pairs_batched`) instead of the per-pair loop — the
-    backends are oblivious to the difference.
+    backends are oblivious to the difference.  ``runtime`` carries the
+    structure cache / warm store / reordering config; serial and
+    threads backends share the caller's instances, the process backend
+    rebuilds per-worker equivalents from the picklable config (the
+    disk tier, when configured, is what crosses the process boundary).
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; pick from {EXECUTORS}")
-    body = solve_pairs_batched if batched else solve_pairs
     if executor == "serial" or len(tiles) <= 1 or (max_workers or 2) == 1:
         for tile in tiles:
-            yield tile, body(kernel, X, Y, tile.pairs)
+            if batched:
+                yield tile, solve_pairs_batched(
+                    kernel, X, Y, tile.pairs, runtime=runtime
+                )
+            else:
+                yield tile, solve_pairs(kernel, X, Y, tile.pairs)
         return
 
     workers = max_workers or default_workers()
     if executor == "threads":
         pool = ThreadPoolExecutor(max_workers=workers)
-        submit = lambda tile: pool.submit(body, kernel, X, Y, tile.pairs)
+        if batched:
+            submit = lambda tile: pool.submit(
+                solve_pairs_batched, kernel, X, Y, tile.pairs, runtime
+            )
+        else:
+            submit = lambda tile: pool.submit(
+                solve_pairs, kernel, X, Y, tile.pairs
+            )
     else:
         pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(kernel, list(X), list(Y)),
+            initargs=(
+                kernel, list(X), list(Y),
+                runtime.config() if runtime is not None else None,
+            ),
         )
         submit = lambda tile: pool.submit(_worker_solve_tile, tile.pairs, batched)
 

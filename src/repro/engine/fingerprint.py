@@ -40,7 +40,17 @@ def _update_array(h: "hashlib._Hash", a: np.ndarray) -> None:
 
 
 def graph_fingerprint(g: Graph) -> str:
-    """Hex digest of a graph's structural content (name excluded)."""
+    """Hex digest of a graph's structural content (name excluded).
+
+    Memoized on the graph object (graphs are immutable by stack-wide
+    convention, like ``degrees``/``edge_arrays``): a 16-point sweep
+    re-fingerprints its dataset at every point, and the structure cache
+    and warm-start store key on fingerprints per bucket member, so the
+    hash must be O(1) after the first call.
+    """
+    cached = getattr(g, "_fingerprint", None)
+    if cached is not None:
+        return cached
     h = hashlib.sha1()
     _update_array(h, g.adjacency)
     for key in sorted(g.node_labels):
@@ -52,7 +62,9 @@ def graph_fingerprint(g: Graph) -> str:
     if g.coords is not None:
         h.update(b"C")
         _update_array(h, g.coords)
-    return h.hexdigest()
+    fp = h.hexdigest()
+    g._fingerprint = fp
+    return fp
 
 
 def microkernel_signature(kernel: MicroKernel) -> str:

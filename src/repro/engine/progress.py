@@ -20,7 +20,14 @@ ProgressCallback = Callable[["ProgressEvent"], None]
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """Snapshot of a running Gram computation after one tile."""
+    """Snapshot of a running Gram computation after one tile.
+
+    ``pairs_done``/``solves`` count numeric work: a bucket whose
+    *structure* was served from the structure cache is still solved, so
+    its pairs appear under ``solves`` (never under ``cache_hits``) —
+    structure reuse is surfaced separately via ``structure_hits`` /
+    ``structure_misses`` (cumulative within the call).
+    """
 
     phase: str  # "tile" while streaming, "done" at completion
     tiles_done: int
@@ -30,6 +37,8 @@ class ProgressEvent:
     solves: int
     cache_hits: int
     elapsed: float
+    structure_hits: int = 0
+    structure_misses: int = 0
 
     @property
     def fraction(self) -> float:
@@ -71,6 +80,10 @@ class Diagnostics:
     wall_time: float
     iteration_histogram: dict[str, int] = field(default_factory=dict)
     nonconverged_pairs: list[tuple[int, int]] = field(default_factory=list)
+    #: Structure-cache traffic of this call (plans reused / built);
+    #: distinct from ``cache_hits``, which counts skipped *solves*.
+    structure_hits: int = 0
+    structure_misses: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -79,10 +92,16 @@ class Diagnostics:
 
     def summary(self) -> str:
         """One-line human-readable report (used by the CLI)."""
-        return (
+        line = (
             f"{self.pairs} pairs via {self.executor} x{self.workers} "
             f"({self.tiles} tiles): {self.solves} solved, "
             f"{self.cache_hits} cached ({100 * self.cache_hit_rate:.0f}% "
             f"hit rate), {len(self.nonconverged_pairs)} non-converged, "
             f"{self.wall_time:.2f} s"
         )
+        if self.structure_hits or self.structure_misses:
+            line += (
+                f"; structure cache: {self.structure_hits} reused, "
+                f"{self.structure_misses} built"
+            )
+        return line

@@ -143,6 +143,13 @@ def plan_tiles(
 #: buckets of big molecules stay within tens of MB of stacked operands.
 DEFAULT_BATCH_PAIRS = 128
 
+#: Pair cap per *merged* tile (sweep mode): with warm-started solves the
+#: per-iteration cost argument behind small shape-pure buckets vanishes
+#: (most pairs retire at iteration zero), and the bucket-count Python
+#: constant dominates instead — so merged tiles go as large as the nnz
+#: cap allows.
+MERGED_BATCH_PAIRS = 4096
+
 #: Cost cap per batched tile, in stored off-diagonal entries (4 e1 e2
 #: summed over the tile): bounds both stacked-operand memory and the
 #: latency of one tile on a pool worker.
@@ -155,20 +162,34 @@ def plan_bucketed_tiles(
     Y: Sequence[Graph],
     batch_pairs: int = DEFAULT_BATCH_PAIRS,
     max_nnz: int = BATCH_TILE_NNZ,
+    merge_small: bool = False,
 ) -> list[Tile]:
     """Pack jobs into shape-bucketed tiles for the batched solver.
 
     Pairs are grouped by :func:`~repro.kernels.linsys.pair_bucket` of
-    their product-system size, ordered by modeled cost (largest first,
-    deterministic tie-break on indices), and chunked so every tile
-    stays within ``batch_pairs`` pairs *and* ``max_nnz`` stored
-    off-diagonal entries.  The plan depends only on the pair set and
-    these caps — never on the executor's worker count — so serial and
-    pool runs assemble identical buckets and produce identical bits.
-    Tiles are returned largest-first for LPT-style dynamic dispatch,
-    exactly like :func:`plan_tiles`.
+    their product-system size, ordered by stored off-diagonal entries
+    (largest first, deterministic tie-break on indices), and chunked so
+    every tile stays within ``batch_pairs`` pairs *and* ``max_nnz``
+    stored off-diagonal entries.  The plan depends only on the pair set
+    and these caps — never on the executor's worker count (serial and
+    pool runs assemble identical buckets and produce identical bits)
+    and never on hyperparameters: the within-bucket order is by nnz,
+    not modeled cycles, because the cycle model depends on q and a
+    q-dependent order would re-chunk tiles at every sweep point,
+    defeating the structure cache.  Within one shape bucket nnz tracks
+    cost closely (iteration counts are comparable), so LPT quality is
+    unaffected.  Tiles are returned largest-first for LPT-style dynamic
+    dispatch, exactly like :func:`plan_tiles`.
+
+    With ``merge_small`` (sweep mode — set by the engine when solver
+    warm-starting is on), every non-solo pair lands in one shared
+    ``("sparse", BATCH_SPARSE_MAX)`` bucket instead of its shape-pure
+    bucket: block-CSR needs no padding, so mixed sizes stack fine, and
+    with warm-started solves retiring most pairs at iteration zero the
+    per-bucket Python constant dominates the old per-iteration
+    argument for shape purity.
     """
-    from ..kernels.linsys import pair_bucket
+    from ..kernels.linsys import BATCH_SPARSE_MAX, pair_bucket
 
     if not jobs:
         return []
@@ -177,16 +198,23 @@ def plan_bucketed_tiles(
     buckets: dict[tuple[str, int], list[PairJob]] = {}
     for job in jobs:
         key = pair_bucket(X[job.i].n_nodes * Y[job.j].n_nodes)
+        if merge_small and key[0] != "solo":
+            key = ("sparse", BATCH_SPARSE_MAX)
         buckets.setdefault(key, []).append(job)
+
+    def job_nnz_of(job: PairJob) -> int:
+        return 4 * max(1, X[job.i].n_edges) * max(1, Y[job.j].n_edges)
 
     tiles: list[Tile] = []
     for key in sorted(buckets):
-        ordered = sorted(buckets[key], key=lambda j: (-j.cycles, j.i, j.j))
+        ordered = sorted(
+            buckets[key], key=lambda j: (-job_nnz_of(j), j.i, j.j)
+        )
         chunk: list[PairJob] = []
         nnz = 0
         cycles = 0.0
         for job in ordered:
-            job_nnz = 4 * max(1, X[job.i].n_edges) * max(1, Y[job.j].n_edges)
+            job_nnz = job_nnz_of(job)
             if chunk and (
                 len(chunk) >= batch_pairs or nnz + job_nnz > max_nnz
             ):

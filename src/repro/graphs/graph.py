@@ -98,12 +98,15 @@ class Graph:
             self.coords = np.asarray(self.coords, dtype=np.float64)
             if self.coords.shape[0] != n:
                 raise ValueError("coords length mismatch")
-        # Derived-array caches (degrees, flattened edge arrays).  Graphs
-        # are treated as immutable by the whole stack — fingerprinting,
-        # the kernel cache, and these caches all rely on that.
+        # Derived-array caches (degrees, flattened edge arrays, content
+        # fingerprint, RCM node order).  Graphs are treated as immutable
+        # by the whole stack — fingerprinting, the kernel cache, the
+        # structure cache, and these caches all rely on that.
         self._degrees: np.ndarray | None = None
         self._edge_arrays: EdgeArrays | None = None
         self._n_edges: int | None = None
+        self._fingerprint: str | None = None
+        self._rcm_order: np.ndarray | None = None
 
     def __getstate__(self) -> dict:
         # Keep pickled payloads (process-pool datasets, registry stores)
@@ -112,6 +115,8 @@ class Graph:
         state["_degrees"] = None
         state["_edge_arrays"] = None
         state["_n_edges"] = None
+        state["_fingerprint"] = None
+        state["_rcm_order"] = None
         return state
 
     # ------------------------------------------------------------------

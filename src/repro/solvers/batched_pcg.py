@@ -35,8 +35,12 @@ import numpy as np
 from ..kernels.linsys import BatchedProductSystem, _concat_ranges
 
 #: Compact state + operator once the alive fraction of the layout
-#: drops below this (a rebuild costs about one matvec).
-COMPACT_FRACTION = 0.6
+#: drops below this (a rebuild costs about one matvec).  0.35 balances
+#: dead flops against rebuild churn for both trajectories: cold solves
+#: retire in a burst near the end, and warm-started solves retire most
+#: pairs at iteration zero and trickle out the stragglers — a higher
+#: threshold re-compacts on nearly every straggler retirement.
+COMPACT_FRACTION = 0.35
 
 
 @dataclass
@@ -59,14 +63,29 @@ def batched_pcg_solve(
     rtol: float = 1e-9,
     atol: float = 0.0,
     max_iter: int | None = None,
+    x0: np.ndarray | None = None,
+    r0: np.ndarray | None = None,
 ) -> BatchedSolveResult:
     """Diagonal-PCG over every pair of a bucket with masked convergence.
 
     Mirrors :func:`repro.solvers.pcg.pcg_solve` pair for pair,
     including the ``max(64, N)`` default iteration cap (taken per pair
     from its true system size) and the pa <= 0 breakdown exit.
+
+    ``x0`` warm-starts the iteration from a stacked initial guess (the
+    engine seeds it with a residual-minimizing combination of previous
+    sweep points' solutions): the initial residual becomes b − S x0, so
+    pairs whose guess already meets the threshold retire at zero
+    iterations.  Pairs whose x0 segment is zero follow the cold
+    trajectory bitwise — the exact-iteration fallback when no prior
+    solution exists.  Dense-mode padding slots of ``x0`` must be zero.
+    ``r0`` optionally supplies b − S x0 when the seeding already
+    computed it (the CG recurrence tracks r incrementally, so a
+    rounding-level difference from a recomputation is as harmless as
+    CG's own residual drift); ignored when ``x0`` is None.
     """
-    return _batched_krylov(system, rtol, atol, max_iter, precondition=True)
+    return _batched_krylov(system, rtol, atol, max_iter, precondition=True,
+                           x0=x0, r0=r0)
 
 
 def batched_cg_solve(
@@ -74,10 +93,13 @@ def batched_cg_solve(
     rtol: float = 1e-9,
     atol: float = 0.0,
     max_iter: int | None = None,
+    x0: np.ndarray | None = None,
+    r0: np.ndarray | None = None,
 ) -> BatchedSolveResult:
     """Unpreconditioned batched CG (mirrors :func:`repro.solvers.cg.
     cg_solve`, including its ``max(64, 4N)`` default iteration cap)."""
-    return _batched_krylov(system, rtol, atol, max_iter, precondition=False)
+    return _batched_krylov(system, rtol, atol, max_iter, precondition=False,
+                           x0=x0, r0=r0)
 
 
 def _batched_krylov(
@@ -86,6 +108,8 @@ def _batched_krylov(
     atol: float,
     max_iter: int | None,
     precondition: bool,
+    x0: np.ndarray | None = None,
+    r0: np.ndarray | None = None,
 ) -> BatchedSolveResult:
     B = system.batch
     if (system.diag <= 0).any():
@@ -111,12 +135,30 @@ def _batched_krylov(
     pair_of = np.arange(B, dtype=np.int64)
     alive = np.ones(B, dtype=bool)
 
-    x = np.zeros(sysk.total)
-    r = b.copy()  # r = b - S x with x = 0
-    z = r / sysk.diag if precondition else r.copy()
-    p = z.copy()
-    rho = sysk.pair_dots(r, z)
-    rnorm = bnorm.copy()
+    if x0 is None:
+        x = np.zeros(sysk.total)
+        r = b.copy()  # r = b - S x with x = 0
+        rnorm = bnorm.copy()
+    else:
+        x = np.asarray(x0, dtype=np.float64).copy()
+        if x.shape != (sysk.total,):
+            raise ValueError(
+                f"x0 has shape {x.shape}, expected ({sysk.total},)"
+            )
+        if r0 is not None:
+            r = np.asarray(r0, dtype=np.float64).copy()
+        else:
+            # r = b − S x0 = b − (diag·x0 − W x0).  Zero segments keep
+            # the cold r = b exactly (the matvec of zeros is zero).
+            r = b - (sysk.diag * x - sysk.matvec_offdiag(x))
+        rnorm = sysk.pair_norms(r)
+    # The CG state (z, p, ρ) is created only after the zero-iteration
+    # retirements below: a well-seeded warm start can retire most (or
+    # all) of a bucket instantly, and the state is then built on the
+    # compacted survivors — elementwise/per-segment identical to
+    # building it first and compacting after.
+    p = None
+    rho = None
     # Scratch buffers and cached layout arrays, refreshed on compaction.
     t = np.empty_like(x)
     u = np.empty_like(x)
@@ -138,9 +180,11 @@ def _batched_krylov(
         # vanish, so x, r, p stop changing there; ρ = 1 keeps the β
         # division finite (β = ρ_new/ρ = 0/1).
         r[src] = 0.0
-        p[src] = 0.0
-        rho = rho.copy()
-        rho[local_idx] = 1.0
+        if p is not None:
+            p[src] = 0.0
+        if rho is not None:
+            rho = rho.copy()
+            rho[local_idx] = 1.0
 
     def compact() -> None:
         nonlocal sysk, pair_of, alive, x, r, p, rho, rnorm, threshold, caps
@@ -149,10 +193,12 @@ def _batched_krylov(
         gather = _concat_ranges(sysk.offsets[keep], sysk.offsets[keep + 1])
         x = x[gather]
         r = r[gather]
-        p = p[gather]
+        if p is not None:
+            p = p[gather]
+        if rho is not None:
+            rho = rho[keep]
         sysk = sysk.take(keep)
         pair_of = pair_of[keep]
-        rho = rho[keep]
         rnorm = rnorm[keep]
         threshold = threshold[keep]
         caps = caps[keep]
@@ -164,9 +210,27 @@ def _batched_krylov(
 
     done0 = rnorm <= threshold
     if done0.any():
-        retire(np.flatnonzero(done0), 0, True)
+        # Bulk zero-iteration retirement (the common case for a
+        # well-seeded warm start, where most or all of a bucket is
+        # already converged): copying the whole layout into x_out is
+        # safe — every pair retires exactly once, and later retirements
+        # overwrite their own segments — and avoids building gather
+        # ranges over a mostly-retired layout.  Zeroing r/p is
+        # unnecessary here: either nothing stays alive, or compact()
+        # immediately drops the retired segments.
+        idx = np.flatnonzero(done0)
+        pair = pair_of[idx]
+        iters_out[pair] = 0
+        conv_out[pair] = True
+        rnorm_out[pair] = rnorm[idx]
+        x_out[:] = x
+        alive[idx] = False
     if alive.any() and not alive.all():
         compact()
+    if alive.any():
+        z = r / sysk.diag if precondition else r.copy()
+        p = z.copy()
+        rho = sysk.pair_dots(r, z)
 
     it = 0
     while alive.any():

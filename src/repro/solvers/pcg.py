@@ -26,6 +26,7 @@ def pcg_solve(
     rtol: float = 1e-9,
     atol: float = 0.0,
     max_iter: int | None = None,
+    x0: np.ndarray | None = None,
 ) -> SolveResult:
     """Solve (D× V×⁻¹ − A× ∘ E×) x = D× q× with diagonal-PCG.
 
@@ -38,6 +39,10 @@ def pcg_solve(
     max_iter:
         Iteration cap; defaults to the system size (CG's exact-solve
         bound in exact arithmetic).
+    x0:
+        Optional warm-start iterate (e.g. the solution of the same pair
+        at an adjacent hyperparameter point); the default None keeps
+        the classic zero start and its exact iteration trajectory.
     """
     N = system.size
     if max_iter is None:
@@ -49,8 +54,14 @@ def pcg_solve(
     bnorm = float(np.linalg.norm(b))
     threshold = max(rtol * bnorm, atol)
 
-    x = np.zeros(N)
-    r = b.copy()  # r = b - S x with x = 0
+    if x0 is None:
+        x = np.zeros(N)
+        r = b.copy()  # r = b - S x with x = 0
+    else:
+        x = np.asarray(x0, dtype=np.float64).copy()
+        if x.shape != (N,):
+            raise ValueError(f"x0 has shape {x.shape}, expected ({N},)")
+        r = b - system.matvec(x)
     z = r / diag  # M⁻¹ r  (line 5's warm start in the uniform-q case)
     p = z.copy()
     rho = float(r @ z)

@@ -1,0 +1,521 @@
+"""Structure-reuse assembly pipeline — equivalence and invalidation.
+
+The structure cache's contract is layered (ISSUE 5):
+
+* serving a bucket from a cached :class:`StructurePlan` is **bitwise**
+  neutral — plan + numeric fill is one code path, so cached and
+  freshly-planned assemblies produce identical Gram matrices;
+* RCM reordering and solver warm-starting change iteration
+  trajectories, so they agree with the plain path within **rtol 1e-10**
+  (the engine's equivalence budget), never bitwise;
+* cache keys are content-addressed: changing *hyperparameters only*
+  must hit (that is the entire point of the pipeline), while changing
+  graph content or the assembly config must miss;
+* bookkeeping must not lie: pairs served from cached structure still
+  count as solves, `nonconverged_pairs` propagates identically under
+  permutation and warm starts, and structure-cache stats are reported
+  separately from value-cache stats.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import GramEngine, MarginalizedGraphKernel
+from repro.engine.cache import StructureCache, WarmStartStore
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import (
+    KroneckerDelta,
+    SquareExponential,
+    synthetic_kernels,
+)
+from repro.kernels.linsys import (
+    build_batched_system,
+    build_structure_plan,
+    fill_batched_system,
+)
+from repro.solvers.batched_pcg import batched_pcg_solve
+from repro.solvers.pcg import pcg_solve
+
+NK, EK = synthetic_kernels()
+
+#: The engine's equivalence budget for trajectory-changing options.
+RTOL = 1e-10
+
+SEEDS = [0, 3, 7]
+
+
+def mixed_batch(seed: int, n_graphs: int = 12) -> list:
+    """Seeded mixed-size graphs spanning dense and block-CSR buckets."""
+    rng = random.Random(seed)
+    out = [random_labeled_graph(1, density=0.5, seed=rng.randrange(2**31))]
+    for _ in range(n_graphs - 1):
+        out.append(
+            random_labeled_graph(
+                rng.randint(2, 16),
+                density=rng.uniform(0.2, 0.7),
+                weighted=rng.random() < 0.5,
+                seed=rng.randrange(2**31),
+            )
+        )
+    return out
+
+
+def make_engine(graphs_kernel_q=0.05, rtol=1e-11, **engine_kw):
+    mgk = MarginalizedGraphKernel(NK, EK, q=graphs_kernel_q, rtol=rtol)
+    return GramEngine(mgk, cache=False, **engine_kw)
+
+
+# ----------------------------------------------------------------------
+# plan + fill vs. direct assembly
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mode", ["dense", "sparse"])
+def test_fill_from_plan_is_bitwise_identical(seed, mode):
+    graphs = mixed_batch(seed)
+    lo, hi = (2, 64) if mode == "dense" else (65, 512)
+    pairs = [
+        (a, b)
+        for i, a in enumerate(graphs)
+        for b in graphs[i:]
+        if lo <= a.n_nodes * b.n_nodes <= hi
+    ]
+    if not pairs:
+        pytest.skip("no pairs in this bucket for this seed")
+    direct = build_batched_system(pairs, NK, EK, q=0.05, mode=mode)
+    plan = build_structure_plan(pairs, mode=mode)
+    for _ in range(2):  # second fill exercises the base-kernel memos
+        filled = fill_batched_system(plan, NK, EK, q=0.05)
+        assert np.array_equal(filled.diag, direct.diag)
+        assert np.array_equal(filled.rhs, direct.rhs)
+        assert np.array_equal(filled.px, direct.px)
+        v = np.random.default_rng(0).standard_normal(direct.total)
+        assert np.array_equal(
+            filled.matvec_offdiag(v), direct.matvec_offdiag(v)
+        )
+
+
+def test_plan_pickles_without_memos():
+    import pickle
+
+    graphs = mixed_batch(1)
+    pairs = [(graphs[2], graphs[3]), (graphs[4], graphs[5])]
+    plan = build_structure_plan(pairs, mode="sparse")
+    fill_batched_system(plan, NK, EK, q=0.05)  # populate memos
+    assert plan._vx_memo is not None
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone._vx_memo is None and clone._ke_memo is None
+    a = fill_batched_system(plan, NK, EK, q=0.07)
+    b = fill_batched_system(clone, NK, EK, q=0.07)
+    assert np.array_equal(a.diag, b.diag)
+    v = np.random.default_rng(1).standard_normal(a.total)
+    assert np.array_equal(a.matvec_offdiag(v), b.matvec_offdiag(v))
+
+
+def test_plan_nbytes_counts_arrays_and_memos():
+    graphs = mixed_batch(2)
+    plan = build_structure_plan([(graphs[3], graphs[4])], mode="sparse")
+    assert plan.nbytes > 0
+    assert plan.nbytes >= plan.wprod.nbytes + plan.px.nbytes
+    # Fill memos must enter the eviction currency.  Sparse plans
+    # memoize the CSR operator on the first sweep-managed fill...
+    before = plan.nbytes
+    fill_batched_system(plan, NK, EK, q=0.05, reuse_offdiag=True)
+    assert plan._ke_memo[2] is not None
+    assert plan.nbytes > before
+    # ...dense plans only from the second fill (the first goes through
+    # the recycled workspace to keep cold single-shot calls fast).
+    dense = build_structure_plan([(graphs[1], graphs[2])], mode="dense")
+    fill_batched_system(dense, NK, EK, q=0.05, reuse_offdiag=True)
+    assert dense._ke_memo[2] is None
+    after_first = dense.nbytes
+    fill_batched_system(dense, NK, EK, q=0.06, reuse_offdiag=True)
+    assert dense._ke_memo[2] is not None
+    assert dense.nbytes > after_first
+
+
+def test_structure_cache_refreshes_sizes_on_hit():
+    graphs = mixed_batch(2)
+    plan = build_structure_plan([(graphs[3], graphs[4])], mode="sparse")
+    cache = StructureCache()
+    cache.put("k", plan)
+    counted = cache.nbytes
+    fill_batched_system(plan, NK, EK, q=0.05, reuse_offdiag=True)
+    assert cache.get("k") is plan
+    assert cache.nbytes > counted  # memo growth picked up on the hit
+
+
+# ----------------------------------------------------------------------
+# engine-level equivalence: cached / reordered / warm-started
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_structure_cached_gram_is_bitwise_identical(seed):
+    graphs = mixed_batch(seed)
+    plain = make_engine(structure_cache=False).gram(graphs)
+    cache = StructureCache()
+    eng = make_engine(structure_cache=cache)
+    first = eng.gram(graphs)
+    assert np.array_equal(first.matrix, plain.matrix)
+    assert np.array_equal(first.iterations, plain.iterations)
+    assert cache.stats.misses > 0 and cache.stats.hits == 0
+
+    # A different engine (fresh value cache) over the same graphs with
+    # different hyperparameters: pure structural hits, still bitwise
+    # equal to a structure-less run at that q.
+    eng2 = make_engine(graphs_kernel_q=0.11, structure_cache=cache)
+    second = eng2.gram(graphs)
+    assert cache.stats.hits > 0
+    plain2 = make_engine(graphs_kernel_q=0.11, structure_cache=False).gram(
+        graphs
+    )
+    assert np.array_equal(second.matrix, plain2.matrix)
+    assert np.array_equal(second.iterations, plain2.iterations)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rcm_reordered_gram_matches_within_rtol(seed):
+    graphs = mixed_batch(seed)
+    plain = make_engine(structure_cache=False).gram(graphs)
+    reordered = make_engine(reorder=True).gram(graphs)
+    assert np.allclose(reordered.matrix, plain.matrix, rtol=RTOL, atol=0)
+    assert reordered.converged == plain.converged
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_warm_started_sweep_matches_within_rtol(seed):
+    graphs = mixed_batch(seed)
+    qs = [0.05, 0.055, 0.06, 0.066]
+    cache, warm = StructureCache(), WarmStartStore()
+    warm_iters = []
+    for q in qs:
+        eng = make_engine(
+            graphs_kernel_q=q, structure_cache=cache, warm_start=warm,
+            reorder=True,
+        )
+        res = eng.gram(graphs)
+        cold = make_engine(
+            graphs_kernel_q=q, structure_cache=False
+        ).gram(graphs)
+        assert np.allclose(res.matrix, cold.matrix, rtol=RTOL, atol=0)
+        warm_iters.append(int(res.iterations.sum()))
+        if q == qs[0]:
+            cold_iters = int(cold.iterations.sum())
+    # Later sweep points must do strictly less iteration work than a
+    # cold solve (the exact-iteration fallback covers only point 0).
+    assert warm_iters[-1] < cold_iters
+    assert warm.stats.hits > 0
+
+
+def test_warm_start_without_history_is_exact_cold_fallback():
+    graphs = mixed_batch(4)
+    plain = make_engine(structure_cache=False).gram(graphs)
+    res = make_engine(warm_start=True).gram(graphs)
+    # No prior solutions anywhere: every pair runs its exact cold
+    # iteration.  Sweep mode merges buckets into block-CSR systems, so
+    # the comparison with the shape-pure plain path is within the
+    # engine's equivalence budget; determinism of the fallback itself
+    # is bitwise (two fresh warm engines take identical trajectories,
+    # and the solver-level zero-x0 test pins the exact-fallback path).
+    assert np.allclose(res.matrix, plain.matrix, rtol=RTOL, atol=0)
+    assert res.converged == plain.converged
+    repeat = make_engine(warm_start=True).gram(graphs)
+    assert np.array_equal(res.matrix, repeat.matrix)
+    assert np.array_equal(res.iterations, repeat.iterations)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_nonconverged_pairs_propagate_under_reorder_and_warm(seed):
+    graphs = mixed_batch(seed)
+    kw = dict(graphs_kernel_q=0.05, rtol=1e-12)
+
+    def run(**engine_kw):
+        mgk = MarginalizedGraphKernel(NK, EK, q=0.05, rtol=1e-12, max_iter=2)
+        eng = GramEngine(mgk, cache=False, **engine_kw)
+        with pytest.warns(RuntimeWarning):
+            res = eng.gram(graphs)
+        return res
+
+    plain = run(structure_cache=False)
+    reordered = run(reorder=True)
+    warm = run(warm_start=True)
+    assert plain.info["nonconverged_pairs"]
+    assert (
+        reordered.info["nonconverged_pairs"]
+        == plain.info["nonconverged_pairs"]
+    )
+    assert warm.info["nonconverged_pairs"] == plain.info["nonconverged_pairs"]
+    del kw
+
+
+def test_sole_label_kernels_through_plan_fill():
+    # Non-TensorProduct base kernels exercise the plan's sole-label
+    # gather path (name-independent single label per side).
+    graphs = mixed_batch(5)
+    nk, ek = KroneckerDelta(0.5), SquareExponential(1.0)
+    mgk_b = MarginalizedGraphKernel(nk, ek, q=0.05, engine="fused_batched")
+    mgk_f = MarginalizedGraphKernel(nk, ek, q=0.05, engine="fused")
+    Kb = GramEngine(mgk_b, cache=False).gram(graphs).matrix
+    Kf = GramEngine(mgk_f, cache=False).gram(graphs).matrix
+    assert np.allclose(Kb, Kf, rtol=RTOL, atol=0)
+
+
+def test_process_executor_ignores_warm_start():
+    # Process workers are rebuilt per call, so warm history can never
+    # accumulate; the engine must keep the PR-4 tiling (merged sweep
+    # tiles would be a pure pessimization) and produce bitwise the
+    # same result with or without the flag.
+    graphs = mixed_batch(6, n_graphs=8)
+    plain = make_engine(
+        executor="process", max_workers=2, structure_cache=False
+    ).gram(graphs)
+    warm = make_engine(
+        executor="process", max_workers=2, warm_start=True
+    ).gram(graphs)
+    assert np.array_equal(warm.matrix, plain.matrix)
+    assert np.array_equal(warm.iterations, plain.iterations)
+
+
+def test_threads_executor_with_structure_reuse_matches_serial():
+    graphs = mixed_batch(6)
+    serial = make_engine(warm_start=True, reorder=True).gram(graphs)
+    threaded = make_engine(
+        executor="threads", max_workers=2, warm_start=True, reorder=True
+    ).gram(graphs)
+    assert np.allclose(threaded.matrix, serial.matrix, rtol=RTOL, atol=0)
+
+
+# ----------------------------------------------------------------------
+# cache invalidation semantics
+# ----------------------------------------------------------------------
+
+
+def test_hyperparameter_change_hits_structure_cache():
+    graphs = mixed_batch(7)
+    cache = StructureCache()
+    make_engine(graphs_kernel_q=0.05, structure_cache=cache).gram(graphs)
+    built = cache.stats.puts
+    assert built > 0
+    # Changed q and changed solver tolerance: structure unaffected.
+    make_engine(
+        graphs_kernel_q=0.09, rtol=1e-9, structure_cache=cache
+    ).gram(graphs)
+    assert cache.stats.puts == built
+    assert cache.stats.hits >= built
+
+
+def test_mutated_graph_content_misses_structure_cache():
+    graphs = mixed_batch(8)
+    cache = StructureCache()
+    make_engine(structure_cache=cache).gram(graphs)
+    hits0, misses0 = cache.stats.hits, cache.stats.misses
+
+    # Rebuild one graph with one extra edge (graphs are immutable by
+    # convention — content changes arrive as new objects).
+    g = graphs[3]
+    A = g.adjacency.copy()
+    zeros = np.argwhere(np.triu(A == 0, k=1))
+    if len(zeros):
+        i, j = zeros[0]
+        A[i, j] = A[j, i] = 1.0
+    mutated = list(graphs)
+    mutated[3] = type(g)(
+        A, dict(g.node_labels), dict(g.edge_labels), g.coords, g.name
+    )
+    make_engine(structure_cache=cache).gram(mutated)
+    assert cache.stats.misses > misses0
+    del hits0
+
+
+def test_engine_config_change_misses_structure_cache():
+    graphs = mixed_batch(9)
+    cache = StructureCache()
+    make_engine(structure_cache=cache).gram(graphs)
+    built = cache.stats.puts
+    # Same graphs, same hyperparameters — but reordering changes the
+    # structural layout, so plans must not be shared.
+    make_engine(structure_cache=cache, reorder=True).gram(graphs)
+    assert cache.stats.puts > built
+
+
+# ----------------------------------------------------------------------
+# the stores themselves
+# ----------------------------------------------------------------------
+
+
+def test_structure_cache_lru_evicts_by_bytes():
+    class Plan:
+        def __init__(self, nbytes):
+            self.nbytes = nbytes
+
+    cache = StructureCache(max_bytes=100)
+    cache.put("a", Plan(40))
+    cache.put("b", Plan(40))
+    cache.get("a")  # refresh a
+    cache.put("c", Plan(40))  # evicts b (LRU)
+    assert cache.get("a") is not None
+    assert cache.get("b") is None
+    assert cache.get("c") is not None
+    assert cache.nbytes <= 100
+
+
+def test_structure_cache_disk_tier_roundtrip(tmp_path):
+    graphs = mixed_batch(1)
+    disk = str(tmp_path / "structures")
+    c1 = StructureCache(disk_dir=disk)
+    eng = make_engine(structure_cache=c1)
+    first = eng.gram(graphs)
+    assert len(c1) > 0
+
+    # A fresh process (modeled by a fresh cache over the same dir)
+    # promotes plans from disk instead of rebuilding.
+    c2 = StructureCache(disk_dir=disk)
+    eng2 = make_engine(structure_cache=c2)
+    second = eng2.gram(graphs)
+    assert c2.stats.hits > 0 and c2.stats.puts == 0
+    assert np.array_equal(second.matrix, first.matrix)
+    assert np.array_equal(second.iterations, first.iterations)
+
+
+def test_structure_cache_corrupt_disk_entry_degrades_to_miss(tmp_path):
+    disk = str(tmp_path / "structures")
+    graphs = mixed_batch(2)
+    c1 = StructureCache(disk_dir=disk)
+    make_engine(structure_cache=c1).gram(graphs)
+    import glob
+    import os
+
+    for path in glob.glob(os.path.join(disk, "*", "*.pkl")):
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+    c2 = StructureCache(disk_dir=disk)
+    res = make_engine(structure_cache=c2).gram(graphs)
+    assert c2.stats.misses > 0
+    plain = make_engine(structure_cache=False).gram(graphs)
+    assert np.array_equal(res.matrix, plain.matrix)
+
+
+def test_warm_store_history_and_eviction():
+    store = WarmStartStore(max_bytes=1000, history=2)
+    a = np.arange(10.0)
+    store.put("k", a)
+    store.put("k", a + 1)
+    store.put("k", a + 2)
+    vecs = store.get("k")
+    assert len(vecs) == 2
+    assert np.array_equal(vecs[0], a + 2)
+    assert np.array_equal(vecs[1], a + 1)
+    # Evicts whole LRU entries once the byte budget is exceeded.
+    for i in range(20):
+        store.put(f"fill{i}", np.zeros(10))
+    assert store.nbytes <= 1000
+    assert store.get("k") is None
+
+
+def test_warm_store_rejects_bad_args():
+    with pytest.raises(ValueError):
+        WarmStartStore(max_bytes=0)
+    with pytest.raises(ValueError):
+        WarmStartStore(history=0)
+    with pytest.raises(ValueError):
+        StructureCache(max_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# solver warm-start primitives
+# ----------------------------------------------------------------------
+
+
+def test_batched_solver_zero_x0_is_bitwise_cold():
+    graphs = mixed_batch(3)
+    pairs = [
+        (a, b) for i, a in enumerate(graphs) for b in graphs[i:]
+        if a.n_nodes * b.n_nodes >= 2
+    ][:8]
+    system = build_batched_system(pairs, NK, EK, q=0.05)
+    cold = batched_pcg_solve(system, rtol=1e-11)
+    seeded = batched_pcg_solve(
+        system, rtol=1e-11, x0=np.zeros(system.total)
+    )
+    assert np.array_equal(cold.x, seeded.x)
+    assert np.array_equal(cold.iterations, seeded.iterations)
+
+
+def test_batched_solver_exact_x0_retires_at_zero_iterations():
+    graphs = mixed_batch(3)
+    pairs = [
+        (a, b) for i, a in enumerate(graphs) for b in graphs[i:]
+        if a.n_nodes * b.n_nodes >= 2
+    ][:8]
+    system = build_batched_system(pairs, NK, EK, q=0.05)
+    cold = batched_pcg_solve(system, rtol=1e-9)
+    warm = batched_pcg_solve(system, rtol=1e-9, x0=cold.x)
+    assert (warm.iterations == 0).all()
+    assert warm.converged.all()
+    assert np.allclose(warm.x, cold.x, rtol=RTOL, atol=0)
+
+
+def test_pcg_x0_warm_start():
+    g1 = random_labeled_graph(6, density=0.5, seed=1)
+    g2 = random_labeled_graph(7, density=0.5, seed=2)
+    mgk = MarginalizedGraphKernel(NK, EK, q=0.05)
+    system = mgk.build_system(g1, g2)
+    cold = pcg_solve(system, rtol=1e-11)
+    warm = pcg_solve(system, rtol=1e-11, x0=cold.x)
+    assert warm.iterations == 0 and warm.converged
+    bad = np.zeros(system.size + 1)
+    with pytest.raises(ValueError):
+        pcg_solve(system, x0=bad)
+
+
+# ----------------------------------------------------------------------
+# bookkeeping: stats, progress, no undercounting
+# ----------------------------------------------------------------------
+
+
+def test_cache_stats_reports_structure_separately():
+    graphs = mixed_batch(5)
+    eng = make_engine(warm_start=True)
+    eng.gram(graphs)
+    stats = eng.cache_stats()
+    assert "structure" in stats
+    assert set(stats["structure"]) >= {
+        "hits", "misses", "puts", "entries", "bytes",
+    }
+    assert stats["structure"]["puts"] > 0
+    assert stats["structure"]["bytes"] > 0
+    assert "warm_start" in stats
+    # Value-cache counters remain their own block.
+    assert stats["solves"] > 0
+    assert stats["structure"]["puts"] != stats["solves"]
+
+
+def test_progress_does_not_undercount_with_structure_hits():
+    graphs = mixed_batch(6)
+    cache = StructureCache()
+    make_engine(structure_cache=cache).gram(graphs)
+
+    events = []
+    mgk = MarginalizedGraphKernel(NK, EK, q=0.08, rtol=1e-11)
+    eng = GramEngine(
+        mgk, cache=False, structure_cache=cache, progress=events.append
+    )
+    res = eng.gram(graphs)
+    done = events[-1]
+    assert done.phase == "done"
+    n = len(graphs)
+    assert done.pairs_done == done.pairs_total == n * (n + 1) // 2
+    # Structure hits happened, yet every pair still counts as solved
+    # work (the numeric fill + solve really ran).
+    assert done.structure_hits > 0
+    assert done.solves == res.info["solves"]
+    assert done.solves + done.cache_hits == done.pairs_total
+    diag = res.info["diagnostics"]
+    assert diag.structure_hits == done.structure_hits
+    assert "structure cache" in diag.summary()
