@@ -42,6 +42,13 @@ METRICS = [
     ("BENCH_engine.json", "stages.cold.pairs_per_sec", "absolute"),
     ("BENCH_sweep.json", "speedup", "ratio"),
     ("BENCH_sweep.json", "cold_throughput_ratio", "ratio"),
+    # search: recall is machine-independent, the /topk-vs-Gram speedup
+    # is computed within one run — both transfer across hardware.
+    ("BENCH_search.json", "recall_at_10.lsh", "ratio"),
+    ("BENCH_search.json", "recall_at_10.balltree", "ratio"),
+    ("BENCH_search.json", "speedup_vs_gram_10k", "ratio"),
+    ("BENCH_search.json", "qps.exact", "absolute"),
+    ("BENCH_search.json", "qps.lsh", "absolute"),
 ]
 
 #: Ratio metrics derived from one file's fields (numerator / denominator),

@@ -20,8 +20,16 @@ Batch entry points for the common workflows:
   selection strategy);
 * ``serve`` — put a registry model online behind the asyncio
   microbatching inference server (:mod:`repro.serve.server`);
+  ``--index`` additionally loads a registry similarity index and
+  enables the ``/topk`` and ``/update`` routes;
 * ``predict`` — score a dataset against a running server
-  (``--server``) or straight from a registry model (offline).
+  (``--server``) or straight from a registry model (offline);
+* ``index`` — similarity-search index workflows
+  (:mod:`repro.search`): ``index build`` embeds a dataset into
+  Nyström feature space and saves the index to the registry,
+  ``index query`` answers top-k most-similar queries against it, and
+  ``index update`` streams new graphs in (content duplicates are
+  no-ops) and saves the grown index as the next version.
 """
 
 from __future__ import annotations
@@ -347,8 +355,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import KernelServer, ModelRegistry
 
-    model = ModelRegistry(args.registry).load(args.name, version=args.version)
+    registry = ModelRegistry(args.registry)
+    model = registry.load(args.name, version=args.version)
     model.gpr.engine = _build_serving_engine(args, model.kernel)
+    index = None
+    if args.index:
+        loaded = registry.load_index(args.index, version=args.index_version)
+        if (loaded.record.kernel_fingerprint
+                == model.record.kernel_fingerprint):
+            # Same kernel: share the model's engine (and its cache).
+            loaded.index.feature_map.engine = model.gpr.engine
+        else:
+            loaded.index.feature_map.engine = _build_serving_engine(
+                args, loaded.kernel
+            )
+        index = loaded.index
     server = KernelServer(
         model.gpr,
         model_info={
@@ -363,14 +384,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch_graphs=args.max_batch,
         window_s=args.window_ms / 1e3,
         max_queue=args.max_queue,
+        index=index,
     )
 
     async def run() -> None:
         await server.start()
+        routes = "/predict /similarity /healthz /metrics"
+        if index is not None:
+            routes += " /topk /update"
         print(f"serving {model.record.name} v{model.record.version} "
-              f"({len(model.train_graphs)} train graphs) on "
-              f"http://{server.host}:{server.port}  "
-              f"[/predict /similarity /healthz /metrics]",
+              f"({len(model.train_graphs)} train graphs"
+              + (f", index of {len(index)} items" if index is not None
+                 else "")
+              + f") on http://{server.host}:{server.port}  [{routes}]",
               flush=True)
         await server.serve_forever()
 
@@ -437,6 +463,107 @@ def cmd_predict(args: argparse.Namespace) -> int:
         print(f"wrote {len(graphs)} predictions to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    from .graphs.io import load_dataset
+    from .kernels import MarginalizedGraphKernel
+    from .search import index_from_graphs
+    from .serve import ModelRegistry
+
+    graphs = load_dataset(args.dataset)
+    nk, ek = _kernels_for(args.kernels)
+    mgk = MarginalizedGraphKernel(nk, ek, q=args.q)
+    engine = _build_serving_engine(args, mgk)
+    index = index_from_graphs(
+        graphs,
+        engine,
+        n_landmarks=args.landmarks,
+        selection=args.selection,
+        seed=args.seed,
+        metric=args.metric,
+        backend=args.backend,
+        normalize=args.normalize,
+    )
+    record = ModelRegistry(args.registry).save_index(
+        args.name,
+        index,
+        mgk,
+        scheme=args.kernels,
+        metadata={"dataset": args.dataset},
+    )
+    print(f"indexed {len(index)} graphs into {index.dim}-dim feature space "
+          f"({index.feature_map.n_landmarks} landmarks, "
+          f"{args.backend} backend, {index.build_time:.2f} s)")
+    print(f"engine: {engine.solves} solves, {engine.cache_hits} cache hits")
+    print(f"saved {record.name} v{record.version} -> {record.path}")
+    return 0
+
+
+def _load_registry_index(args: argparse.Namespace):
+    from .serve import ModelRegistry
+
+    loaded = ModelRegistry(args.registry).load_index(
+        args.name, version=args.version
+    )
+    loaded.index.feature_map.engine = _build_serving_engine(
+        args, loaded.kernel
+    )
+    return loaded
+
+
+def cmd_index_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .graphs.io import load_dataset
+
+    graphs = load_dataset(args.dataset)
+    loaded = _load_registry_index(args)
+    results = loaded.index.query(graphs, k=args.k)
+    payload = {
+        "index": {"name": loaded.record.name,
+                  "version": loaded.record.version,
+                  "n_items": len(loaded.index)},
+        "results": [
+            {"query": g.name or f"#{i}", "topk": hits}
+            for i, (g, hits) in enumerate(zip(graphs, results))
+        ],
+    }
+    text = json.dumps(payload, indent=1)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote top-{args.k} results for {len(graphs)} queries "
+              f"to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_index_update(args: argparse.Namespace) -> int:
+    from .graphs.io import load_dataset
+    from .serve import ModelRegistry
+
+    graphs = load_dataset(args.dataset)
+    loaded = _load_registry_index(args)
+    added = loaded.index.insert(graphs)
+    loaded.index.rebuild()
+    record = ModelRegistry(args.registry).save_index(
+        args.name,
+        loaded.index,
+        loaded.kernel,
+        scheme=loaded.manifest["kernel_spec"]["scheme"],
+        metadata={
+            **loaded.manifest.get("metadata", {}),
+            "updated_from": loaded.record.version,
+            "update_dataset": args.dataset,
+        },
+    )
+    print(f"inserted {added} new graphs "
+          f"({len(graphs) - added} already indexed); "
+          f"index now holds {len(loaded.index)} items")
+    print(f"saved {record.name} v{record.version} -> {record.path}")
     return 0
 
 
@@ -570,6 +697,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="microbatching window")
     s.add_argument("--max-queue", type=int, default=256,
                    help="queued requests before 503 backpressure")
+    s.add_argument("--index", default=None, metavar="NAME",
+                   help="also load this registry similarity index and "
+                        "enable the /topk and /update routes")
+    s.add_argument("--index-version", type=int, default=None,
+                   help="index version (default: latest)")
     add_engine_opts(s)
     s.set_defaults(func=cmd_serve)
 
@@ -593,6 +725,67 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write predictions JSON here instead of stdout")
     add_engine_opts(q)
     q.set_defaults(func=cmd_predict)
+
+    ix = sub.add_parser(
+        "index", help="similarity-search index workflows (repro.search)"
+    )
+    ixsub = ix.add_subparsers(dest="index_command", required=True)
+
+    ib = ixsub.add_parser(
+        "build", help="embed a dataset and save the index to the registry"
+    )
+    ib.add_argument("dataset", help="input .jsonl path of graphs to index")
+    ib.add_argument("--registry", required=True,
+                    help="registry root directory")
+    ib.add_argument("--name", required=True, help="index name")
+    ib.add_argument("--kernels", default="synthetic",
+                    help="unlabeled|synthetic|protein|molecule")
+    ib.add_argument("--q", type=float, default=0.05)
+    ib.add_argument("--landmarks", type=int, default=16, metavar="M",
+                    help="Nyström landmark count (the feature dimension "
+                         "is at most M)")
+    ib.add_argument("--selection", default="uniform",
+                    choices=["uniform", "leverage", "kcenter"],
+                    help="landmark selection strategy")
+    ib.add_argument("--seed", type=int, default=0,
+                    help="seed folded into landmark selection")
+    ib.add_argument("--metric", default="cosine",
+                    choices=["cosine", "euclidean"])
+    ib.add_argument("--backend", default="exact",
+                    choices=["exact", "balltree", "lsh"],
+                    help="top-k backend (exact is the brute-force "
+                         "reference; balltree/lsh are sublinear)")
+    ib.add_argument("--normalize", action="store_true",
+                    help="embed with the cosine-normalized kernel")
+    add_engine_opts(ib)
+    ib.set_defaults(func=cmd_index_build)
+
+    iq = ixsub.add_parser(
+        "query", help="top-k most-similar indexed items per query graph"
+    )
+    iq.add_argument("dataset", help="input .jsonl path of query graphs")
+    iq.add_argument("--registry", required=True)
+    iq.add_argument("--name", required=True)
+    iq.add_argument("--version", type=int, default=None,
+                    help="index version (default: latest)")
+    iq.add_argument("-k", type=int, default=10,
+                    help="results per query")
+    iq.add_argument("--output", default=None,
+                    help="write results JSON here instead of stdout")
+    add_engine_opts(iq)
+    iq.set_defaults(func=cmd_index_query)
+
+    iu = ixsub.add_parser(
+        "update",
+        help="stream new graphs into an index and save the next version",
+    )
+    iu.add_argument("dataset", help="input .jsonl path of graphs to insert")
+    iu.add_argument("--registry", required=True)
+    iu.add_argument("--name", required=True)
+    iu.add_argument("--version", type=int, default=None,
+                    help="index version to grow (default: latest)")
+    add_engine_opts(iu)
+    iu.set_defaults(func=cmd_index_update)
     return p
 
 

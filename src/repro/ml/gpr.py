@@ -52,6 +52,7 @@ class GaussianProcessRegressor:
     _train_graphs: list | None = field(default=None, repr=False)
     _train_diag: np.ndarray | None = field(default=None, repr=False)
     _normalize_kernel: bool = False
+    _y_raw: np.ndarray | None = field(default=None, repr=False)
 
     def fit(self, K: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
         """Fit from the training Gram matrix K (n x n) and targets y."""
@@ -67,6 +68,7 @@ class GaussianProcessRegressor:
         else:
             self._y_mean, self._y_std = 0.0, 1.0
         yn = (y - self._y_mean) / self._y_std
+        self._y_raw = y.copy()
         A = K + self.alpha * np.eye(K.shape[0])
         try:
             self._L = scipy.linalg.cholesky(A, lower=True)
@@ -187,6 +189,96 @@ class GaussianProcessRegressor:
         return self.predict(K_star, return_std=True, K_test_diag=test_diag)
 
     # ------------------------------------------------------------------
+    # online updates
+    # ------------------------------------------------------------------
+
+    @property
+    def appendable(self) -> bool:
+        """Whether :meth:`append` can run: a graph-level fit with
+        stored raw targets and a live engine.  Lets the server refuse
+        labelled updates *before* mutating any state."""
+        return (
+            self.engine is not None
+            and self._L is not None
+            and self._train_graphs is not None
+            and self._y_raw is not None
+        )
+
+    def append(
+        self, graphs: Sequence, y_new: np.ndarray
+    ) -> "GaussianProcessRegressor":
+        """Absorb new (graph, label) pairs without refitting from scratch.
+
+        Extends the Cholesky factor by a block row instead of
+        refactorizing: with ``L`` the current factor and ``K_x`` /
+        ``K_n`` the cross and self Gram blocks of the m new graphs,
+
+            B = L⁻¹ K_xᵀ,   S = K_n + αI − BᵀB,
+            L' = [[L, 0], [Bᵀ, chol(S)]],
+
+        which costs O(n²m) against the O((n+m)³) of a cold refit.  The
+        dual vector is re-solved against the full (renormalized) target
+        vector, so the updated model matches a cold refit on the
+        concatenated training set to numerical round-off — including
+        under ``normalize_y``, whose mean/std are recomputed over all
+        targets.  Gram entries come through the engine cache, hence the
+        cross block never re-solves pairs the fit already touched.
+        """
+        engine = self._require_engine()
+        self._require_fitted()
+        if self._train_graphs is None or self._y_raw is None:
+            raise NotFittedError(
+                "append() needs a graph-level fit with stored targets; "
+                "call fit_graphs() first (artifacts saved before target "
+                "storage existed cannot be appended to)"
+            )
+        graphs = list(graphs)
+        y_new = np.atleast_1d(np.asarray(y_new, dtype=np.float64))
+        if len(graphs) != y_new.shape[0]:
+            raise ValueError(
+                f"{len(graphs)} graphs but {y_new.shape[0]} targets"
+            )
+        if not graphs:
+            return self
+        K_cross = engine.block(graphs, self._train_graphs).matrix  # m x n
+        K_self = engine.block(graphs, graphs).matrix  # m x m
+        new_diag = np.diagonal(K_self).copy()
+        if self._normalize_kernel:
+            assert self._train_diag is not None
+            K_cross = K_cross / np.sqrt(
+                np.outer(new_diag, self._train_diag)
+            )
+            K_self = K_self / np.sqrt(np.outer(new_diag, new_diag))
+        B = scipy.linalg.solve_triangular(
+            self._L, K_cross.T, lower=True
+        )  # n x m
+        S = K_self + self.alpha * np.eye(len(graphs)) - B.T @ B
+        try:
+            L_S = scipy.linalg.cholesky(S, lower=True)
+        except scipy.linalg.LinAlgError as exc:
+            raise ValueError(
+                "appended block leaves the Gram matrix numerically "
+                "indefinite; increase alpha or rebuild the model"
+            ) from exc
+        n, m = self._L.shape[0], len(graphs)
+        L_full = np.zeros((n + m, n + m))
+        L_full[:n, :n] = self._L
+        L_full[n:, :n] = B.T
+        L_full[n:, n:] = L_S
+        y_all = np.concatenate([self._y_raw, y_new])
+        if self.normalize_y:
+            self._y_mean = float(y_all.mean())
+            self._y_std = float(y_all.std()) or 1.0
+        yn = (y_all - self._y_mean) / self._y_std
+        self._L = L_full
+        self._dual = scipy.linalg.cho_solve((L_full, True), yn)
+        self._y_raw = y_all
+        self._train_graphs = self._train_graphs + graphs
+        if self._train_diag is not None:
+            self._train_diag = np.concatenate([self._train_diag, new_diag])
+        return self
+
+    # ------------------------------------------------------------------
     # persistence (the model-registry payload)
     # ------------------------------------------------------------------
 
@@ -215,6 +307,10 @@ class GaussianProcessRegressor:
         }
         if self._train_diag is not None:
             art["train_diag"] = np.asarray(self._train_diag, dtype=np.float64)
+        if self._y_raw is not None:
+            # Raw targets make restored models appendable (the online
+            # update renormalizes y over the concatenated target vector).
+            art["y_raw"] = np.asarray(self._y_raw, dtype=np.float64)
         return art
 
     @classmethod
@@ -251,6 +347,8 @@ class GaussianProcessRegressor:
             gpr._train_diag = np.asarray(
                 artifact["train_diag"], dtype=np.float64
             )
+        if artifact.get("y_raw") is not None:
+            gpr._y_raw = np.asarray(artifact["y_raw"], dtype=np.float64)
         if train_graphs is not None:
             train_graphs = list(train_graphs)
             if len(train_graphs) != gpr._dual.shape[0]:

@@ -38,7 +38,6 @@ reuses every kernel solve of the larger candidate.
 
 from __future__ import annotations
 
-import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Any, Sequence
@@ -47,40 +46,12 @@ import numpy as np
 import scipy.linalg
 
 from .gpr import NotFittedError
+from .util import content_seed as _content_seed
+from .util import dedupe_by_fingerprint as _dedupe_by_fingerprint
+from .util import nystrom_pseudo_root
 
 #: Landmark-ranking strategies understood by :func:`landmark_order`.
 SELECTION_METHODS = ("uniform", "leverage", "kcenter")
-
-
-def _dedupe_by_fingerprint(graphs: Sequence) -> list[tuple[str, int]]:
-    """(fingerprint, index) of the first occurrence of each distinct
-    graph content, in dataset order."""
-    from ..engine.fingerprint import graph_fingerprint
-
-    seen: set[str] = set()
-    order = []
-    for i, g in enumerate(graphs):
-        fp = graph_fingerprint(g)
-        if fp not in seen:
-            seen.add(fp)
-            order.append((fp, i))
-    return order
-
-
-def _content_seed(graphs: Sequence, seed: int) -> int:
-    """Derive a deterministic RNG seed from graph content + user seed.
-
-    Selection becomes a pure function of *what* the dataset contains:
-    reloading the same graphs in another process (or in a different
-    order of an otherwise identical set) picks the same landmarks.
-    """
-    from ..engine.fingerprint import graph_fingerprint
-
-    h = hashlib.sha256()
-    for fp in sorted(graph_fingerprint(g) for g in graphs):
-        h.update(fp.encode())
-    h.update(str(seed).encode())
-    return int.from_bytes(h.digest()[:8], "big")
 
 
 def landmark_order(
@@ -254,6 +225,16 @@ class LowRankGPR:
     _landmarks: list | None = field(default=None, repr=False)
     _landmark_diag: np.ndarray | None = field(default=None, repr=False)
     _normalize_kernel: bool = False
+    # Online-update state (set by fit, advanced by append).  Together
+    # they let append() renormalize targets exactly without ever
+    # storing the n x r feature matrix: A is the full r x r normal
+    # matrix (including the alpha ridge), _phi_colsum = Φᵀ1 and
+    # _phi_ysum = Φᵀy_raw are the running sums behind
+    # b = (Φᵀy_raw − μ·Φᵀ1)/σ for any (μ, σ).
+    _y_raw: np.ndarray | None = field(default=None, repr=False)
+    _A: np.ndarray | None = field(default=None, repr=False)
+    _phi_colsum: np.ndarray | None = field(default=None, repr=False)
+    _phi_ysum: np.ndarray | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # matrix-level API
@@ -295,21 +276,17 @@ class LowRankGPR:
 
         # Jitter-stabilized pseudo-root of K(Z, Z): PSD by Section
         # II-B, so anything below the floor is numerical noise.
-        lam, U = scipy.linalg.eigh((K_zz + K_zz.T) / 2.0)
-        floor = max(self.jitter, self.jitter * float(lam.max(initial=0.0)))
-        keep = lam > floor
-        r = int(keep.sum())
-        if r == 0:
-            raise ValueError(
-                "K(Z, Z) has no eigenvalue above the jitter floor "
-                f"({floor:.3g}); the landmark set is degenerate"
-            )
-        self._proj = U[:, keep] / np.sqrt(lam[keep])  # m x r
+        self._proj = nystrom_pseudo_root(K_zz, self.jitter)  # m x r
+        r = self._proj.shape[1]
         phi = K_xz @ self._proj  # n x r
         A = phi.T @ phi + self.alpha * np.eye(r)
         self._A_chol = scipy.linalg.cholesky(A, lower=True)
         b = phi.T @ yn
         self._w = scipy.linalg.cho_solve((self._A_chol, True), b)
+        self._y_raw = y.copy()
+        self._A = A
+        self._phi_colsum = phi.sum(axis=0)
+        self._phi_ysum = phi.T @ y
 
         # Log marginal likelihood via the Woodbury/determinant lemmas:
         # y'(ΦΦ'+σ²I)⁻¹y = (y'y − b'A⁻¹b)/σ²,
@@ -483,6 +460,96 @@ class LowRankGPR:
         return self.predict(K_star_z, return_std=True, K_test_diag=test_diag)
 
     # ------------------------------------------------------------------
+    # online updates
+    # ------------------------------------------------------------------
+
+    @property
+    def appendable(self) -> bool:
+        """Whether :meth:`append` can run: a graph-level fit with the
+        online-update running sums and a live engine.  Lets the server
+        refuse labelled updates *before* mutating any state."""
+        return (
+            self.engine is not None
+            and self._w is not None
+            and self._landmarks is not None
+            and self._y_raw is not None
+            and self._A is not None
+            and self._phi_colsum is not None
+            and self._phi_ysum is not None
+        )
+
+    def append(self, graphs: Sequence, y_new: np.ndarray) -> "LowRankGPR":
+        """Absorb new (graph, label) pairs without refitting.
+
+        The landmark set (and hence the projector and feature map) is
+        frozen; the new rows only touch the r × r normal system:
+
+            A  += Φ_newᵀ Φ_new,      (re-factorized: O(r³), free of n)
+            Φᵀ1 += Φ_newᵀ 1,   Φᵀy += Φ_newᵀ y_new,
+
+        after which the weight vector is re-solved against targets
+        renormalized over the *full* raw target vector — so the updated
+        model matches a cold :meth:`fit_graphs` on the concatenated
+        training set **with the same landmark graphs** to the Woodbury
+        round-off (~1e-6 relative; the cold fit sums ΦᵀΦ in a single
+        GEMM, the online path in batches).  Landmarks chosen afresh on
+        the concatenated set would differ — that is a rebuild, not an
+        append.  The log marginal likelihood is recomputed exactly from
+        the stored scalars.
+        """
+        engine = self._require_engine()
+        self._require_fitted()
+        if (
+            self._landmarks is None
+            or self._y_raw is None
+            or self._A is None
+            or self._phi_colsum is None
+            or self._phi_ysum is None
+        ):
+            raise NotFittedError(
+                "append() needs a graph-level fit with online-update "
+                "state; call fit_graphs() first (artifacts saved before "
+                "running-sum storage existed cannot be appended to)"
+            )
+        graphs = list(graphs)
+        y_new = np.atleast_1d(np.asarray(y_new, dtype=np.float64))
+        if len(graphs) != y_new.shape[0]:
+            raise ValueError(
+                f"{len(graphs)} graphs but {y_new.shape[0]} targets"
+            )
+        if not graphs:
+            return self
+        assert self._proj is not None
+        K_nz = engine.block(graphs, self._landmarks).matrix
+        if self._normalize_kernel:
+            assert self._landmark_diag is not None
+            new_diag = engine.diag(graphs)
+            K_nz = K_nz / np.sqrt(
+                np.outer(new_diag, self._landmark_diag)
+            )
+        phi_new = K_nz @ self._proj  # m_new x r
+        self._A = self._A + phi_new.T @ phi_new
+        self._A_chol = scipy.linalg.cholesky(self._A, lower=True)
+        self._phi_colsum = self._phi_colsum + phi_new.sum(axis=0)
+        self._phi_ysum = self._phi_ysum + phi_new.T @ y_new
+        self._y_raw = np.concatenate([self._y_raw, y_new])
+        if self.normalize_y:
+            self._y_mean = float(self._y_raw.mean())
+            self._y_std = float(self._y_raw.std()) or 1.0
+        b = (
+            self._phi_ysum - self._y_mean * self._phi_colsum
+        ) / self._y_std
+        self._w = scipy.linalg.cho_solve((self._A_chol, True), b)
+        yn = (self._y_raw - self._y_mean) / self._y_std
+        n, r = self._y_raw.shape[0], self._proj.shape[1]
+        quad = (float(yn @ yn) - float(b @ self._w)) / self.alpha
+        logdet = 2.0 * float(
+            np.log(np.diagonal(self._A_chol)).sum()
+        ) + (n - r) * np.log(self.alpha)
+        self._lml = float(-0.5 * (quad + logdet + n * np.log(2 * np.pi)))
+        return self
+
+    # ------------------------------------------------------------------
     # persistence (the model-registry payload)
     # ------------------------------------------------------------------
 
@@ -522,6 +589,14 @@ class LowRankGPR:
             art["landmark_diag"] = np.asarray(
                 self._landmark_diag, dtype=np.float64
             )
+        if self._y_raw is not None and self._A is not None:
+            # Online-update state: restored models stay appendable.
+            art["y_raw"] = np.asarray(self._y_raw, dtype=np.float64)
+            art["A"] = np.asarray(self._A, dtype=np.float64)
+            art["phi_colsum"] = np.asarray(
+                self._phi_colsum, dtype=np.float64
+            )
+            art["phi_ysum"] = np.asarray(self._phi_ysum, dtype=np.float64)
         return art
 
     @classmethod
@@ -563,6 +638,15 @@ class LowRankGPR:
         if artifact.get("landmark_diag") is not None:
             model._landmark_diag = np.asarray(
                 artifact["landmark_diag"], dtype=np.float64
+            )
+        if artifact.get("y_raw") is not None and artifact.get("A") is not None:
+            model._y_raw = np.asarray(artifact["y_raw"], dtype=np.float64)
+            model._A = np.asarray(artifact["A"], dtype=np.float64)
+            model._phi_colsum = np.asarray(
+                artifact["phi_colsum"], dtype=np.float64
+            )
+            model._phi_ysum = np.asarray(
+                artifact["phi_ysum"], dtype=np.float64
             )
         if landmarks is not None:
             landmarks = list(landmarks)

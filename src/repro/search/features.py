@@ -1,0 +1,187 @@
+"""Nyström feature extraction — graphs into m-dimensional vectors.
+
+The low-rank layer (:mod:`repro.ml.lowrank`) approximates the kernel as
+
+    K(x, y)  ≈  Φ(x) · Φ(y),      Φ(x) = K(x, Z) · P,
+
+where Z is the landmark set and P the jitter-truncated pseudo-root of
+K(Z, Z).  :class:`NystromFeatureMap` makes Φ a first-class object: a
+frozen (landmarks, projector) pair that turns any graph into an
+r-dimensional feature vector through ``r`` kernel solves — independent
+of corpus size.  It is the substrate of the similarity-search index
+(:mod:`repro.search.index`): similarity queries over a million-graph
+collection cost K(query, Z) plus a vector scan, with **zero** Gram
+solves against the corpus.
+
+Two ways to obtain a map:
+
+* :meth:`NystromFeatureMap.from_lowrank` — lift the feature map out of
+  a fitted :class:`~repro.ml.lowrank.LowRankGPR`, so index and model
+  share one embedding (and the registry can store them side by side);
+* :meth:`NystromFeatureMap.fit` — fit a standalone map on a corpus
+  (landmark selection + pseudo-root), for search without a regression
+  model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..ml.util import nystrom_pseudo_root
+
+
+class NystromFeatureMap:
+    """Graphs → r-dimensional Nyström feature vectors (see module doc).
+
+    Parameters
+    ----------
+    landmarks:
+        The m landmark graphs Z.
+    projector:
+        The m × r pseudo-root P of K(Z, Z) (r ≤ m after jitter
+        truncation).
+    engine:
+        :class:`repro.engine.GramEngine` used to evaluate K(·, Z).
+    normalize:
+        Cosine-normalize kernel rows before projecting (must match how
+        the projector was computed; :meth:`fit` and
+        :meth:`from_lowrank` set it consistently).
+    landmark_diag:
+        Raw self-similarities K(z, z) of the landmarks, required when
+        ``normalize`` is set.
+    """
+
+    def __init__(
+        self,
+        landmarks: Sequence,
+        projector: np.ndarray,
+        engine: Any | None = None,
+        normalize: bool = False,
+        landmark_diag: np.ndarray | None = None,
+    ) -> None:
+        self.landmarks = list(landmarks)
+        self.projector = np.asarray(projector, dtype=np.float64)
+        if self.projector.ndim != 2:
+            raise ValueError("projector must be an m x r matrix")
+        if self.projector.shape[0] != len(self.landmarks):
+            raise ValueError(
+                f"projector has {self.projector.shape[0]} rows but "
+                f"{len(self.landmarks)} landmark graphs were supplied"
+            )
+        self.engine = engine
+        self.normalize = bool(normalize)
+        if normalize:
+            if landmark_diag is None:
+                raise ValueError(
+                    "normalize=True needs the landmark self-similarities "
+                    "(landmark_diag)"
+                )
+            landmark_diag = np.asarray(landmark_diag, dtype=np.float64)
+            if landmark_diag.shape != (len(self.landmarks),):
+                raise ValueError("landmark_diag length mismatch")
+        self.landmark_diag = landmark_diag
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Feature dimension r (the retained Nyström rank)."""
+        return self.projector.shape[1]
+
+    @property
+    def n_landmarks(self) -> int:
+        return len(self.landmarks)
+
+    def _require_engine(self):
+        if self.engine is None:
+            raise RuntimeError(
+                "no engine attached: NystromFeatureMap needs "
+                "engine=GramEngine(kernel) to evaluate K(graphs, Z)"
+            )
+        return self.engine
+
+    def transform(self, graphs: Sequence) -> np.ndarray:
+        """Feature vectors Φ = K(graphs, Z) · P, one row per graph.
+
+        Costs ``len(graphs) · m`` kernel solves through the engine
+        (cache-shared with every other engine call), never anything
+        proportional to a training or corpus size.
+        """
+        engine = self._require_engine()
+        graphs = list(graphs)
+        if not graphs:
+            return np.zeros((0, self.dim))
+        K = engine.block(graphs, self.landmarks).matrix
+        if self.normalize:
+            diag = engine.diag(graphs)
+            K = K / np.sqrt(np.outer(diag, self.landmark_diag))
+        return K @ self.projector
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_lowrank(cls, gpr, engine: Any | None = None) -> "NystromFeatureMap":
+        """The feature map of a fitted :class:`~repro.ml.lowrank.
+        LowRankGPR` — index and model then share one embedding."""
+        proj = gpr._proj
+        if proj is None:
+            raise ValueError(
+                "LowRankGPR is not fitted; fit it (or restore it from the "
+                "registry) before extracting its feature map"
+            )
+        landmark_diag = None
+        if gpr._normalize_kernel:
+            landmark_diag = gpr._landmark_diag
+        return cls(
+            gpr.landmarks,
+            proj,
+            engine=engine if engine is not None else gpr.engine,
+            normalize=gpr._normalize_kernel,
+            landmark_diag=landmark_diag,
+        )
+
+    @classmethod
+    def fit(
+        cls,
+        graphs: Sequence,
+        n_landmarks: int,
+        engine,
+        selection: str = "uniform",
+        seed: int = 0,
+        jitter: float = 1e-10,
+        normalize: bool = False,
+    ) -> "NystromFeatureMap":
+        """Fit a standalone map: select landmarks from ``graphs`` and
+        take the pseudo-root of their Gram block."""
+        from ..ml.lowrank import select_landmarks
+
+        graphs = list(graphs)
+        if not graphs:
+            raise ValueError("cannot fit a feature map on zero graphs")
+        idx = select_landmarks(
+            graphs,
+            min(n_landmarks, len(graphs)),
+            method=selection,
+            seed=seed,
+            engine=engine,
+        )
+        Z = [graphs[i] for i in idx]
+        K_zz = engine.block(Z, Z).matrix
+        landmark_diag = None
+        if normalize:
+            landmark_diag = np.asarray(np.diagonal(K_zz)).copy()
+            K_zz = K_zz / np.sqrt(
+                np.outer(landmark_diag, landmark_diag)
+            )
+        projector = nystrom_pseudo_root(K_zz, jitter)
+        return cls(
+            Z,
+            projector,
+            engine=engine,
+            normalize=normalize,
+            landmark_diag=landmark_diag,
+        )

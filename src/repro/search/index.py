@@ -1,0 +1,407 @@
+"""The streaming similarity-search index over Nyström features.
+
+:class:`FeatureIndex` glues the pieces together: a
+:class:`~repro.search.features.NystromFeatureMap` embeds graphs into
+r-dimensional vectors, a pluggable backend
+(:mod:`repro.search.backends`) answers top-k queries over the stored
+rows, and a **tail buffer** absorbs streaming inserts — new rows are
+brute-force-scanned until a rebuild compaction folds them into the
+backend structure, so inserts are O(r) and queries never miss fresh
+data.  Content fingerprints (:func:`repro.ml.util.dedupe_by_
+fingerprint`'s identity notion) make re-inserting an already-indexed
+graph a no-op.
+
+Query cost is K(query, Z) — r kernel solves — plus a vector scan:
+**zero** Gram solves against the corpus, which is what lets top-k
+"most similar molecules" run over collections the O(n)-per-query
+``/similarity`` route could never serve.
+
+Persistence is arrays-only (:meth:`FeatureIndex.export_arrays` /
+:meth:`FeatureIndex.from_arrays`): features, projector, fingerprints
+and names round-trip through the model registry's checksummed ``index``
+kind (:meth:`repro.serve.registry.ModelRegistry.save_index`), and the
+backend is rebuilt deterministically on load — exact-backend results
+are bit-identical before and after a reload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+from .backends import BACKENDS, METRICS, ExactBackend, _check_metric
+from .features import NystromFeatureMap
+
+#: Tail-buffer size that triggers an automatic rebuild compaction.
+DEFAULT_REBUILD_EVERY = 256
+
+
+class FeatureIndex:
+    """Top-k similarity search with streaming inserts (see module doc).
+
+    Parameters
+    ----------
+    feature_map:
+        The graph embedding (landmarks + projector + engine).
+    metric:
+        ``"cosine"`` (default; scores are similarities, higher better)
+        or ``"euclidean"`` (scores are distances, lower better).
+    backend:
+        ``"exact"`` (default), ``"balltree"``, or ``"lsh"`` — see
+        :data:`repro.search.backends.BACKENDS`.
+    backend_opts:
+        Extra keyword arguments for the backend constructor (e.g.
+        ``{"n_tables": 16, "n_bits": 10}`` for LSH).
+    rebuild_every:
+        Fold the tail buffer into the backend structure once it holds
+        this many rows (``0`` disables auto-compaction; call
+        :meth:`rebuild` manually).
+    """
+
+    def __init__(
+        self,
+        feature_map: NystromFeatureMap,
+        metric: str = "cosine",
+        backend: str = "exact",
+        backend_opts: dict | None = None,
+        rebuild_every: int = DEFAULT_REBUILD_EVERY,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; pick from {sorted(BACKENDS)}"
+            )
+        self.feature_map = feature_map
+        self.metric = _check_metric(metric)
+        self.backend = backend
+        self.backend_opts = dict(backend_opts or {})
+        self.rebuild_every = int(rebuild_every)
+        self._features = np.zeros((0, feature_map.dim))
+        self._fingerprints: list[str] = []
+        self._names: list[str] = []
+        self._fp_to_id: dict[str, int] = {}
+        self._base_n = 0  # rows covered by the built backend structure
+        self._backend_obj = None
+        self._rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._features.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.feature_map.dim
+
+    @property
+    def pending(self) -> int:
+        """Rows in the tail buffer, not yet folded into the backend."""
+        return len(self) - self._base_n
+
+    def name_of(self, item_id: int) -> str:
+        return self._names[item_id]
+
+    def fingerprint_of(self, item_id: int) -> str:
+        return self._fingerprints[item_id]
+
+    def stats(self) -> dict:
+        """JSON-able counters (the ``/metrics`` index block)."""
+        return {
+            "n_items": len(self),
+            "pending": self.pending,
+            "dim": self.dim,
+            "metric": self.metric,
+            "backend": self.backend,
+            "n_landmarks": self.feature_map.n_landmarks,
+            "rebuilds": self._rebuilds,
+        }
+
+    # ------------------------------------------------------------------
+    # inserts + compaction
+    # ------------------------------------------------------------------
+
+    def insert_features(
+        self,
+        features: np.ndarray,
+        fingerprints: Sequence[str],
+        names: Sequence[str],
+    ) -> int:
+        """Bulk-insert precomputed feature rows; returns rows added.
+
+        The registry reload path and large-scale benches feed rows in
+        directly; :meth:`insert` is the graph-level wrapper.  Rows
+        whose fingerprint is already indexed are dropped (streaming
+        re-inserts are no-ops).
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if features.size == 0:
+            return 0
+        if features.shape[1] != self.dim:
+            raise ValueError(
+                f"feature rows have dim {features.shape[1]} but the index "
+                f"embeds into dim {self.dim}"
+            )
+        if not (len(fingerprints) == len(names) == features.shape[0]):
+            raise ValueError("features/fingerprints/names length mismatch")
+        fresh = []
+        for row, (fp, name) in enumerate(zip(fingerprints, names)):
+            if fp in self._fp_to_id:
+                continue
+            self._fp_to_id[fp] = len(self._fingerprints)
+            self._fingerprints.append(str(fp))
+            self._names.append(str(name))
+            fresh.append(row)
+        if not fresh:
+            return 0
+        self._features = np.concatenate(
+            [self._features, features[fresh]], axis=0
+        )
+        if self.rebuild_every and self.pending >= self.rebuild_every:
+            self.rebuild()
+        return len(fresh)
+
+    def insert(self, graphs: Sequence) -> int:
+        """Stream graphs into the index; returns how many were new.
+
+        Within-batch duplicates and graphs whose content is already
+        indexed are skipped *before* featurization, so re-inserting
+        known structures costs no kernel solves at all.
+        """
+        from ..ml.util import dedupe_by_fingerprint
+
+        graphs = list(graphs)
+        unique = [
+            (fp, i)
+            for fp, i in dedupe_by_fingerprint(graphs)
+            if fp not in self._fp_to_id
+        ]
+        if not unique:
+            return 0
+        feats = self.feature_map.transform([graphs[i] for _, i in unique])
+        return self.insert_features(
+            feats,
+            [fp for fp, _ in unique],
+            [getattr(graphs[i], "name", "") or "" for _, i in unique],
+        )
+
+    def build(self, graphs: Sequence) -> "FeatureIndex":
+        """Insert a corpus and compact; the batch construction path."""
+        self.insert(graphs)
+        self.rebuild()
+        return self
+
+    def rebuild(self) -> None:
+        """Fold the tail buffer into a fresh backend structure."""
+        self._backend_obj = BACKENDS[self.backend](
+            self._features, metric=self.metric, **self.backend_opts
+        )
+        self._base_n = len(self)
+        self._rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def query_features(self, Q: np.ndarray, k: int):
+        """Top-k (ids, scores) for feature-space query rows.
+
+        Merges the backend's answer over the compacted rows with an
+        exact scan of the tail buffer.  Both sides rank by the same
+        (score, id) total order, so for exact backends the merge is
+        indistinguishable from a single scan of the whole corpus.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        n = len(self)
+        if not n:
+            return (np.zeros((Q.shape[0], 0), dtype=np.int64),
+                    np.zeros((Q.shape[0], 0)))
+        parts = []
+        if self._base_n and self._backend_obj is not None:
+            parts.append((0, self._backend_obj.query(Q, k)))
+        if self.pending:
+            tail = ExactBackend(
+                self._features[self._base_n:], metric=self.metric
+            )
+            parts.append((self._base_n, tail.query(Q, k)))
+        if not parts:  # rows exist but nothing compacted: scan all
+            parts.append((0, ExactBackend(
+                self._features, metric=self.metric).query(Q, k)))
+        ids = np.concatenate(
+            [off + got_ids for off, (got_ids, _) in parts], axis=1
+        )
+        scores = np.concatenate([s for _, (_, s) in parts], axis=1)
+        k = min(k, ids.shape[1])
+        largest = self.metric == "cosine"
+        out_ids = np.empty((Q.shape[0], k), dtype=np.int64)
+        out_scores = np.empty((Q.shape[0], k))
+        for row in range(Q.shape[0]):
+            keys = -scores[row] if largest else scores[row]
+            order = np.lexsort((ids[row], keys))[:k]
+            out_ids[row] = ids[row][order]
+            out_scores[row] = scores[row][order]
+        return out_ids, out_scores
+
+    def query(self, graphs: Sequence, k: int = 10) -> list[list[dict]]:
+        """Top-k most-similar indexed items for each query graph.
+
+        One ``engine.block`` call featurizes every query (r kernel
+        solves per graph), then the vector scan runs without touching
+        the kernel again.  Returns one best-first list per query of
+        ``{"id", "name", "score"}`` dicts.
+        """
+        Q = self.feature_map.transform(list(graphs))
+        ids, scores = self.query_features(Q, k)
+        return [
+            [
+                {
+                    "id": int(i),
+                    "name": self._names[int(i)],
+                    "score": float(s),
+                }
+                for i, s in zip(row_ids, row_scores)
+            ]
+            for row_ids, row_scores in zip(ids, scores)
+        ]
+
+    # ------------------------------------------------------------------
+    # persistence (the registry ``index`` payload)
+    # ------------------------------------------------------------------
+
+    #: Bumped whenever the array layout changes incompatibly.
+    ARTIFACT_VERSION = 1
+
+    def export_arrays(self) -> dict:
+        """Arrays for the registry's ``arrays.npz`` (landmark graphs
+        ship separately as the version's graphs file)."""
+        art = {
+            "features": np.asarray(self._features, dtype=np.float64),
+            "projector": np.asarray(
+                self.feature_map.projector, dtype=np.float64
+            ),
+            "fingerprints": np.asarray(self._fingerprints, dtype=str),
+            "names": np.asarray(self._names, dtype=str),
+        }
+        if self.feature_map.landmark_diag is not None:
+            art["landmark_diag"] = np.asarray(
+                self.feature_map.landmark_diag, dtype=np.float64
+            )
+        return art
+
+    def export_config(self) -> dict:
+        """JSON-able scalars for the registry manifest."""
+        return {
+            "artifact_version": self.ARTIFACT_VERSION,
+            "metric": self.metric,
+            "backend": self.backend,
+            "backend_opts": dict(self.backend_opts),
+            "rebuild_every": int(self.rebuild_every),
+            "normalize": bool(self.feature_map.normalize),
+            "n_items": len(self),
+            "dim": self.dim,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        config: dict,
+        arrays: dict,
+        landmarks: Sequence,
+        engine: Any | None = None,
+    ) -> "FeatureIndex":
+        """Rebuild an index from :meth:`export_config` +
+        :meth:`export_arrays` output; the backend structure is
+        reconstructed deterministically (same features, same seed →
+        same tables), so exact-backend answers match the saved index
+        bit-for-bit."""
+        version = int(config.get("artifact_version", -1))
+        if version != cls.ARTIFACT_VERSION:
+            raise ValueError(
+                f"unsupported FeatureIndex artifact version {version} "
+                f"(this build reads version {cls.ARTIFACT_VERSION})"
+            )
+        fmap = NystromFeatureMap(
+            landmarks,
+            np.asarray(arrays["projector"], dtype=np.float64),
+            engine=engine,
+            normalize=bool(config.get("normalize", False)),
+            landmark_diag=(
+                np.asarray(arrays["landmark_diag"], dtype=np.float64)
+                if arrays.get("landmark_diag") is not None
+                else None
+            ),
+        )
+        index = cls(
+            fmap,
+            metric=str(config["metric"]),
+            backend=str(config["backend"]),
+            backend_opts=dict(config.get("backend_opts") or {}),
+            rebuild_every=int(config.get("rebuild_every",
+                                         DEFAULT_REBUILD_EVERY)),
+        )
+        feats = np.asarray(arrays["features"], dtype=np.float64)
+        fps = [str(f) for f in np.asarray(arrays["fingerprints"])]
+        names = [str(n) for n in np.asarray(arrays["names"])]
+        if feats.shape[0] != len(fps) or len(fps) != len(names):
+            raise ValueError(
+                "features/fingerprints/names arrays disagree on row count"
+            )
+        if feats.shape[0] != int(config.get("n_items", feats.shape[0])):
+            raise ValueError(
+                f"manifest records {config.get('n_items')} items but the "
+                f"feature matrix holds {feats.shape[0]} rows"
+            )
+        if feats.size:
+            added = index.insert_features(feats, fps, names)
+            if added != feats.shape[0]:
+                raise ValueError(
+                    "stored index contains duplicate fingerprints "
+                    f"({feats.shape[0] - added} collisions)"
+                )
+        index.rebuild()
+        return index
+
+
+def index_from_graphs(
+    graphs: Sequence,
+    engine,
+    n_landmarks: int = 16,
+    selection: str = "uniform",
+    seed: int = 0,
+    metric: str = "cosine",
+    backend: str = "exact",
+    backend_opts: dict | None = None,
+    normalize: bool = False,
+    feature_map: NystromFeatureMap | None = None,
+) -> FeatureIndex:
+    """One-call construction: fit (or reuse) a feature map, embed the
+    corpus, build the backend.  Returns the compacted index."""
+    t0 = time.perf_counter()
+    if feature_map is None:
+        feature_map = NystromFeatureMap.fit(
+            graphs,
+            n_landmarks,
+            engine,
+            selection=selection,
+            seed=seed,
+            normalize=normalize,
+        )
+    index = FeatureIndex(
+        feature_map, metric=metric, backend=backend,
+        backend_opts=backend_opts,
+    )
+    index.build(graphs)
+    index.build_time = time.perf_counter() - t0
+    return index
+
+
+__all__ = [
+    "DEFAULT_REBUILD_EVERY",
+    "FeatureIndex",
+    "METRICS",
+    "index_from_graphs",
+]

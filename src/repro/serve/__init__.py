@@ -10,8 +10,8 @@ model* a managed artifact and puts it online:
   checksummed so a fit survives process restarts intact;
 * :mod:`repro.serve.server`    — :class:`KernelServer`, an asyncio
   HTTP/1.1 server (hand-rolled on ``asyncio.start_server``; stdlib
-  only) exposing ``/predict``, ``/similarity``, ``/healthz`` and
-  ``/metrics``;
+  only) exposing ``/predict``, ``/similarity``, ``/topk``,
+  ``/update``, ``/healthz`` and ``/metrics``;
 * :mod:`repro.serve.batcher`   — :class:`MicroBatcher`, which coalesces
   concurrent predict requests into single engine calls — the online
   counterpart of the engine's tile batching — with a bounded queue for
@@ -32,7 +32,9 @@ from .client import ServeClient, ServeClientError
 from .metrics import ServerMetrics
 from .protocol import ProtocolError
 from .registry import (
+    INDEX_KIND,
     MODEL_KINDS,
+    LoadedIndex,
     LoadedModel,
     ModelRecord,
     ModelRegistry,
@@ -42,7 +44,9 @@ from .registry import (
 from .server import KernelServer, ServerThread
 
 __all__ = [
+    "INDEX_KIND",
     "KernelServer",
+    "LoadedIndex",
     "LoadedModel",
     "MODEL_KINDS",
     "MicroBatcher",

@@ -37,11 +37,17 @@ class QueueFullError(RuntimeError):
 
 @dataclass
 class PredictItem:
-    """One request's share of a microbatch."""
+    """One request's share of a microbatch.
+
+    ``meta`` carries route-specific extras (the top-k route stores the
+    requested ``k``, the update route its per-graph targets) so one
+    batcher implementation serves every coalescable route.
+    """
 
     graphs: list[Graph]
     return_std: bool
     future: asyncio.Future = field(repr=False)
+    meta: dict = field(default_factory=dict)
 
 
 class MicroBatcher:
@@ -110,8 +116,14 @@ class MicroBatcher:
             if not item.future.done():
                 item.future.cancel()
 
-    async def submit(self, graphs: Sequence[Graph], return_std: bool):
-        """Queue one request and await its slice of the batch result."""
+    async def submit(
+        self, graphs: Sequence[Graph], return_std: bool = False, **meta
+    ):
+        """Queue one request and await its slice of the batch result.
+
+        Keyword extras land on the item's ``meta`` dict for the
+        ``run_batch`` callable (e.g. ``k=...`` on the top-k route).
+        """
         if self._queue.qsize() >= self.max_queue:
             if self.metrics is not None:
                 self.metrics.observe_queue_rejection()
@@ -123,6 +135,7 @@ class MicroBatcher:
             graphs=list(graphs),
             return_std=return_std,
             future=asyncio.get_running_loop().create_future(),
+            meta=dict(meta),
         )
         self._queue.put_nowait(item)
         return await item.future

@@ -143,3 +143,52 @@ class ServeClient:
             },
         )
         return np.asarray(obj["values"], dtype=np.float64)
+
+    @staticmethod
+    def _wire_graph_or_smiles(g) -> dict | str:
+        return g if isinstance(g, str) else graph_to_wire(g)
+
+    def topk(
+        self, graphs: Sequence[Graph | str], k: int = 10
+    ) -> list[list[dict]]:
+        """Top-k most-similar indexed items per query graph.
+
+        Queries may be graph objects or bare SMILES strings; each
+        result entry is ``{"id", "name", "score"}``, best first.
+        """
+        obj = self.topk_info(graphs, k)
+        return obj["results"]
+
+    def topk_info(self, graphs: Sequence[Graph | str], k: int = 10) -> dict:
+        """Like :meth:`topk` but returns the raw response dict
+        (``results``, ``batched_with``)."""
+        return self._request(
+            "POST",
+            "/topk",
+            {
+                "graphs": [self._wire_graph_or_smiles(g) for g in graphs],
+                "k": int(k),
+            },
+        )
+
+    def update(
+        self, entries: Sequence[tuple[Graph | str, float | None] | Graph | str]
+    ) -> dict:
+        """Stream entries into the server's index (and model).
+
+        Each entry is a graph/SMILES or a ``(graph, y)`` pair; entries
+        with a target also flow into the model's online update.
+        Returns the response dict (``indexed``, ``absorbed``,
+        ``batched_with``).
+        """
+        wire = []
+        for entry in entries:
+            if isinstance(entry, tuple):
+                g, y = entry
+                item = {"graph": self._wire_graph_or_smiles(g)}
+                if y is not None:
+                    item["y"] = float(y)
+            else:
+                item = {"graph": self._wire_graph_or_smiles(entry)}
+            wire.append(item)
+        return self._request("POST", "/update", {"entries": wire})

@@ -12,8 +12,20 @@ Requests
     ``{"mean": [...], "std": [...]?, "batched_with": <int>}``
 ``POST /similarity``
     ``{"pairs": [[<graph>, <graph>], ...]}`` → ``{"values": [...]}``
+``POST /topk``
+    ``{"graphs": [<graph>|<smiles>, ...], "k": 10}`` →
+    ``{"results": [[{"id", "name", "score"}, ...], ...],
+    "batched_with": <int>}``
+``POST /update``
+    ``{"entries": [{"graph": <graph>|<smiles>, "y": <float>?}, ...]}``
+    → ``{"indexed": <int>, "absorbed": <int>, "batched_with": <int>}``
 ``GET /healthz`` / ``GET /metrics``
     Liveness and counters (see :mod:`repro.serve.metrics`).
+
+The search routes also accept bare SMILES strings wherever a graph
+object is expected — they are parsed server-side with
+:func:`repro.graphs.smiles.graph_from_smiles` (unparseable strings
+answer 400 ``bad_smiles``).
 
 Validation failures raise :class:`ProtocolError`, which carries the
 HTTP status the server answers with: 400 for malformed payloads, 413
@@ -123,3 +135,86 @@ def parse_similarity_request(
             )
         pairs.append((graph_from_wire(entry[0]), graph_from_wire(entry[1])))
     return pairs
+
+
+def _graph_or_smiles_from_wire(obj) -> Graph:
+    """Parse a wire entry that may be a graph dict or a SMILES string."""
+    if isinstance(obj, str):
+        from ..graphs.smiles import MoleculeParseError, graph_from_smiles
+
+        try:
+            return graph_from_smiles(obj, name=obj)
+        except MoleculeParseError as exc:
+            raise ProtocolError(
+                400, "bad_smiles", f"unparseable SMILES {obj!r}: {exc}"
+            )
+    return graph_from_wire(obj)
+
+
+def parse_topk_request(
+    body: bytes, max_graphs: int = MAX_REQUEST_GRAPHS
+) -> tuple[list[Graph], int]:
+    """Validate a ``/topk`` body into (query graphs, k)."""
+    obj = parse_json_body(body)
+    raw = obj.get("graphs")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(
+            400, "bad_request", 'topk needs a non-empty "graphs" list'
+        )
+    if len(raw) > max_graphs:
+        raise ProtocolError(
+            413,
+            "batch_too_large",
+            f"request carries {len(raw)} graphs; this server accepts at "
+            f"most {max_graphs} per request — split the batch",
+        )
+    k = obj.get("k", 10)
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ProtocolError(
+            400, "bad_request", f'"k" must be a positive integer, got {k!r}'
+        )
+    return [_graph_or_smiles_from_wire(g) for g in raw], k
+
+
+def parse_update_request(
+    body: bytes, max_graphs: int = MAX_REQUEST_GRAPHS
+) -> tuple[list[Graph], list[float | None]]:
+    """Validate an ``/update`` body into (graphs, optional targets).
+
+    Each entry is ``{"graph": <graph>|<smiles>, "y": <float>?}``;
+    entries with a ``y`` also flow into the model's online update,
+    entries without only land in the index.
+    """
+    obj = parse_json_body(body)
+    raw = obj.get("entries")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(
+            400, "bad_request", 'update needs a non-empty "entries" list'
+        )
+    if len(raw) > max_graphs:
+        raise ProtocolError(
+            413,
+            "batch_too_large",
+            f"request carries {len(raw)} entries; this server accepts at "
+            f"most {max_graphs} per request — split the batch",
+        )
+    graphs, targets = [], []
+    for entry in raw:
+        if not isinstance(entry, dict) or "graph" not in entry:
+            raise ProtocolError(
+                400,
+                "bad_request",
+                'each update entry must be an object with a "graph" key',
+            )
+        y = entry.get("y")
+        if y is not None and not isinstance(y, (int, float)):
+            raise ProtocolError(
+                400, "bad_request", f'entry "y" must be a number, got {y!r}'
+            )
+        if isinstance(y, bool):
+            raise ProtocolError(
+                400, "bad_request", 'entry "y" must be a number, got a bool'
+            )
+        graphs.append(_graph_or_smiles_from_wire(entry["graph"]))
+        targets.append(None if y is None else float(y))
+    return graphs, targets

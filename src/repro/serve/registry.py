@@ -12,6 +12,15 @@ matrix.  Two model kinds share the layout:
   the m landmark graphs as its graphs file — a registry version of a
   100k-graph fit stays a few hundred kilobytes.
 
+A third kind, ``index`` (:data:`INDEX_KIND`), stores similarity-search
+indexes (:class:`repro.search.FeatureIndex`) through the same layout
+and integrity ladder: landmark graphs as the graphs file, the corpus
+feature matrix + projector + fingerprints in ``arrays.npz``, and the
+backend configuration in the manifest.  :meth:`ModelRegistry.save_index`
+/ :meth:`ModelRegistry.load_index` are the entry points; ``load`` on an
+index version (or ``load_index`` on a model) refuses with a pointer to
+the right call.
+
 The registry lays each save out as
 
 ::
@@ -69,6 +78,11 @@ SCHEMA_VERSION = 1
 #: exact GPR stores one dual weight per train graph, low-rank stores
 #: one projector row per landmark graph.
 MODEL_KINDS = ("gpr", "lowrank")
+
+#: Registry kind of a similarity-search index artifact
+#: (:class:`repro.search.FeatureIndex`); its graphs file holds the
+#: landmark graphs, its arrays file the corpus feature matrix.
+INDEX_KIND = "index"
 
 _VERSION_RE = re.compile(r"^v(\d{4,})$")
 
@@ -165,6 +179,22 @@ class LoadedModel:
         return str(self.manifest.get("model_kind", "gpr"))
 
 
+@dataclass
+class LoadedIndex:
+    """A similarity-search index restored from the registry.
+
+    ``index`` is a rebuilt :class:`repro.search.FeatureIndex` whose
+    exact-backend answers are bit-identical to the index that was
+    saved; ``landmarks`` holds the feature map's landmark graphs.
+    """
+
+    record: ModelRecord
+    index: "object"
+    kernel: MarginalizedGraphKernel
+    landmarks: list[Graph]
+    manifest: dict
+
+
 class ModelRegistry:
     """Save/load fitted models under a root directory (see module doc)."""
 
@@ -201,6 +231,29 @@ class ModelRegistry:
 
     def _version_dir(self, name: str, version: int) -> Path:
         return self.root / name / f"v{version:04d}"
+
+    def _claim_version(self, name: str) -> tuple[int, Path]:
+        """Claim the next version directory of ``name``.
+
+        Next version past *any* existing directory — a crashed save
+        may have left a manifest-less vNNNN that versions() ignores
+        but mkdir would collide with.  mkdir(exist_ok=False) is the
+        claim; on a concurrent-save collision, rescan and retry.
+        """
+        for _attempt in range(16):
+            version = (
+                self._scan_versions(name, complete_only=False) or [0]
+            )[-1] + 1
+            vdir = self._version_dir(name, version)
+            try:
+                vdir.mkdir(parents=True, exist_ok=False)
+                return version, vdir
+            except FileExistsError:
+                continue
+        raise RegistryError(
+            f"could not claim a version directory for {name!r} after "
+            "16 attempts (concurrent savers?)"
+        )
 
     # ------------------------------------------------------------------
     # save
@@ -258,25 +311,7 @@ class ModelRegistry:
                 f"kernels differ from what scheme {scheme!r} constructs — "
                 "saving would produce a model that can never be loaded"
             )
-        # Next version past *any* existing directory — a crashed save
-        # may have left a manifest-less vNNNN that versions() ignores
-        # but mkdir would collide with.  mkdir(exist_ok=False) is the
-        # claim; on a concurrent-save collision, rescan and retry.
-        for _attempt in range(16):
-            version = (
-                self._scan_versions(name, complete_only=False) or [0]
-            )[-1] + 1
-            vdir = self._version_dir(name, version)
-            try:
-                vdir.mkdir(parents=True, exist_ok=False)
-                break
-            except FileExistsError:
-                continue
-        else:
-            raise RegistryError(
-                f"could not claim a version directory for {name!r} after "
-                "16 attempts (concurrent savers?)"
-            )
+        version, vdir = self._claim_version(name)
 
         arrays = {
             k: v for k, v in artifact.items() if isinstance(v, np.ndarray)
@@ -312,6 +347,69 @@ class ModelRegistry:
             kernel_fingerprint=manifest["kernel_fingerprint"],
         )
 
+    def save_index(
+        self,
+        name: str,
+        index,
+        kernel: MarginalizedGraphKernel,
+        scheme: str,
+        metadata: dict | None = None,
+    ) -> ModelRecord:
+        """Persist a :class:`repro.search.FeatureIndex` as the next
+        version of ``name``.
+
+        Same layout and integrity ladder as model saves: the landmark
+        graphs become the version's graphs file, the feature matrix and
+        projector land in ``arrays.npz``, and everything is checksummed
+        in a manifest written last.  The saved corpus fingerprints ride
+        in the arrays file, so reload restores dedup state exactly and
+        streaming re-inserts of indexed graphs stay no-ops.
+        """
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", name):
+            raise RegistryError(
+                f"model name {name!r} must match [A-Za-z0-9._-]+"
+            )
+        landmarks = list(index.feature_map.landmarks)
+        config = index.export_config()
+        arrays = index.export_arrays()
+        spec = kernel_spec(kernel, scheme)
+        want_fp = kernel_fingerprint(kernel)
+        have_fp = kernel_fingerprint(kernel_from_spec(spec))
+        if have_fp != want_fp:
+            raise RegistryError(
+                f"kernel does not round-trip through its spec (fingerprint "
+                f"{want_fp[:12]}… vs rebuilt {have_fp[:12]}…): its base "
+                f"kernels differ from what scheme {scheme!r} constructs — "
+                "saving would produce an index that can never be loaded"
+            )
+        version, vdir = self._claim_version(name)
+        np.savez(vdir / "arrays.npz", **arrays)
+        save_dataset(landmarks, vdir / "graphs.jsonl")
+        manifest = {
+            "schema_version": SCHEMA_VERSION,
+            "model_kind": INDEX_KIND,
+            "name": name,
+            "version": version,
+            "created_unix": time.time(),
+            "kernel_spec": spec,
+            "kernel_fingerprint": want_fp,
+            "graph_fingerprints": [graph_fingerprint(g) for g in landmarks],
+            "n_train": len(landmarks),
+            "index": config,
+            "checksums": {
+                "arrays.npz": _sha256(vdir / "arrays.npz"),
+                "graphs.jsonl": _sha256(vdir / "graphs.jsonl"),
+            },
+            "metadata": dict(metadata or {}),
+        }
+        atomic_write_json(vdir / "manifest.json", manifest, indent=1)
+        return ModelRecord(
+            name=name,
+            version=version,
+            path=str(vdir),
+            kernel_fingerprint=manifest["kernel_fingerprint"],
+        )
+
     # ------------------------------------------------------------------
     # load
     # ------------------------------------------------------------------
@@ -331,6 +429,112 @@ class ModelRegistry:
         built on the *returned* kernel via ``engine`` later, or let the
         caller attach one (the server does).
         """
+        version, vdir, manifest, kernel, train_graphs = self._read_verified(
+            name, version
+        )
+        with np.load(vdir / "arrays.npz") as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        kind = str(manifest.get("model_kind", "gpr"))
+        if kind == INDEX_KIND:
+            raise RegistryError(
+                f"{name} v{version} is a similarity-search index, not a "
+                "model; load it with load_index()"
+            )
+        if kind not in MODEL_KINDS:
+            raise RegistryError(
+                f"{name} v{version} stores model kind {kind!r}; this "
+                f"build reads {MODEL_KINDS}"
+            )
+        try:
+            if kind == "lowrank":
+                gpr = LowRankGPR.from_artifact(
+                    {**manifest["gpr"], **arrays},
+                    landmarks=train_graphs,
+                    engine=engine,
+                )
+            else:
+                gpr = GaussianProcessRegressor.from_artifact(
+                    {**manifest["gpr"], **arrays},
+                    train_graphs=train_graphs,
+                    engine=engine,
+                )
+        except (KeyError, ValueError) as exc:
+            raise RegistryError(
+                f"corrupt {kind} artifact in {name} v{version}: {exc}"
+            ) from exc
+        record = ModelRecord(
+            name=name,
+            version=version,
+            path=str(vdir),
+            kernel_fingerprint=manifest["kernel_fingerprint"],
+        )
+        return LoadedModel(
+            record=record,
+            gpr=gpr,
+            kernel=kernel,
+            train_graphs=train_graphs,
+            manifest=manifest,
+        )
+
+    def load_index(
+        self,
+        name: str,
+        version: int | None = None,
+        engine=None,
+    ) -> LoadedIndex:
+        """Restore a saved similarity-search index (latest by default).
+
+        Runs the same integrity ladder as :meth:`load`; the backend
+        structure is rebuilt deterministically from the verified
+        arrays, so exact-backend answers match the saved index
+        bit-for-bit.  Pass an ``engine`` (or attach one to the returned
+        index's feature map) to enable graph-level queries.
+        """
+        from ..search.index import FeatureIndex
+
+        version, vdir, manifest, kernel, landmarks = self._read_verified(
+            name, version
+        )
+        kind = str(manifest.get("model_kind", "gpr"))
+        if kind != INDEX_KIND:
+            raise RegistryError(
+                f"{name} v{version} stores model kind {kind!r}, not an "
+                "index; load it with load()"
+            )
+        with np.load(vdir / "arrays.npz") as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        try:
+            index = FeatureIndex.from_arrays(
+                manifest.get("index") or {},
+                arrays,
+                landmarks,
+                engine=engine,
+            )
+        except (KeyError, ValueError) as exc:
+            raise RegistryError(
+                f"corrupt index artifact in {name} v{version}: {exc}"
+            ) from exc
+        record = ModelRecord(
+            name=name,
+            version=version,
+            path=str(vdir),
+            kernel_fingerprint=manifest["kernel_fingerprint"],
+        )
+        return LoadedIndex(
+            record=record,
+            index=index,
+            kernel=kernel,
+            landmarks=landmarks,
+            manifest=manifest,
+        )
+
+    def _read_verified(
+        self, name: str, version: int | None
+    ) -> tuple[int, Path, dict, MarginalizedGraphKernel, list[Graph]]:
+        """The shared integrity ladder of :meth:`load` / :meth:`load_index`:
+        resolve the version, verify schema + checksums + kernel
+        fingerprint + graph fingerprints, and return the verified
+        pieces."""
         versions = self.versions(name)
         if not versions:
             raise RegistryError(
@@ -380,49 +584,11 @@ class ModelRegistry:
                 "was saved — refit instead of serving stale weights"
             )
 
-        train_graphs = load_dataset(vdir / "graphs.jsonl")
-        fps = [graph_fingerprint(g) for g in train_graphs]
+        graphs = load_dataset(vdir / "graphs.jsonl")
+        fps = [graph_fingerprint(g) for g in graphs]
         if fps != manifest.get("graph_fingerprints"):
             raise RegistryError(
                 f"train graphs of {name} v{version} do not match their "
                 "recorded fingerprints"
             )
-
-        with np.load(vdir / "arrays.npz") as npz:
-            arrays = {k: npz[k] for k in npz.files}
-        kind = str(manifest.get("model_kind", "gpr"))
-        if kind not in MODEL_KINDS:
-            raise RegistryError(
-                f"{name} v{version} stores model kind {kind!r}; this "
-                f"build reads {MODEL_KINDS}"
-            )
-        try:
-            if kind == "lowrank":
-                gpr = LowRankGPR.from_artifact(
-                    {**manifest["gpr"], **arrays},
-                    landmarks=train_graphs,
-                    engine=engine,
-                )
-            else:
-                gpr = GaussianProcessRegressor.from_artifact(
-                    {**manifest["gpr"], **arrays},
-                    train_graphs=train_graphs,
-                    engine=engine,
-                )
-        except (KeyError, ValueError) as exc:
-            raise RegistryError(
-                f"corrupt {kind} artifact in {name} v{version}: {exc}"
-            ) from exc
-        record = ModelRecord(
-            name=name,
-            version=version,
-            path=str(vdir),
-            kernel_fingerprint=manifest["kernel_fingerprint"],
-        )
-        return LoadedModel(
-            record=record,
-            gpr=gpr,
-            kernel=kernel,
-            train_graphs=train_graphs,
-            manifest=manifest,
-        )
+        return version, vdir, manifest, kernel, graphs

@@ -14,8 +14,19 @@ Routes:
   :class:`~repro.serve.batcher.MicroBatcher` into single engine calls;
 * ``POST /similarity`` — raw kernel values for arbitrary graph pairs
   via the engine's :meth:`~repro.engine.GramEngine.pairs` batch hook;
+* ``POST /topk``       — top-k similarity search against an attached
+  :class:`~repro.search.FeatureIndex`; query featurization is
+  coalesced exactly like prediction;
+* ``POST /update``     — streaming updates: entries land in the index
+  (content-deduplicated), entries carrying a target also flow into the
+  model's online ``append`` update;
 * ``GET /healthz``     — liveness + model identity;
 * ``GET /metrics``     — counters (see :mod:`repro.serve.metrics`).
+
+The search routes answer 404 ``no_index`` unless the server was
+started with an index.  Model/index mutation (``/update``) serializes
+against the read paths through one server-wide lock, so a predict
+batch never observes a half-appended Cholesky factor.
 
 :class:`ServerThread` runs a server on a background event loop for
 tests, the CI smoke check, and notebook use.
@@ -38,11 +49,15 @@ from .protocol import (
     ProtocolError,
     parse_predict_request,
     parse_similarity_request,
+    parse_topk_request,
+    parse_update_request,
 )
 
 #: The served routes; anything else is counted under one sentinel key
 #: so scanners can't grow the metrics Counter without bound.
-KNOWN_ROUTES = frozenset({"/predict", "/similarity", "/healthz", "/metrics"})
+KNOWN_ROUTES = frozenset(
+    {"/predict", "/similarity", "/topk", "/update", "/healthz", "/metrics"}
+)
 
 #: Cap on header lines per request (each line is already length-capped
 #: by the stream limit; this bounds their number too).
@@ -93,12 +108,18 @@ class KernelServer:
         max_queue: int = 256,
         max_request_graphs: int | None = None,
         max_body_bytes: int = MAX_BODY_BYTES,
+        index=None,
     ) -> None:
         if gpr.engine is None:
             raise ValueError("the server needs a gpr with an engine attached")
         self.gpr = gpr
         self.engine = gpr.engine
+        self.index = index
         self.model_info = dict(model_info or {})
+        # /update mutates the model and the index while predict/top-k
+        # batches read them from worker threads; one server-wide lock
+        # keeps every such access atomic per batch.
+        self._state_lock = threading.Lock()
         self.host = host
         self.port = port
         self.max_request_graphs = min(
@@ -108,6 +129,20 @@ class KernelServer:
         self.metrics = ServerMetrics()
         self.batcher = MicroBatcher(
             self._run_predict_batch,
+            max_batch_graphs=max_batch_graphs,
+            window_s=window_s,
+            max_queue=max_queue,
+            metrics=self.metrics,
+        )
+        self.topk_batcher = MicroBatcher(
+            self._run_topk_batch,
+            max_batch_graphs=max_batch_graphs,
+            window_s=window_s,
+            max_queue=max_queue,
+            metrics=self.metrics,
+        )
+        self.update_batcher = MicroBatcher(
+            self._run_update_batch,
             max_batch_graphs=max_batch_graphs,
             window_s=window_s,
             max_queue=max_queue,
@@ -125,6 +160,8 @@ class KernelServer:
 
     async def start(self) -> None:
         self.batcher.start()
+        self.topk_batcher.start()
+        self.update_batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -139,6 +176,8 @@ class KernelServer:
 
     async def stop(self) -> None:
         await self.batcher.stop()
+        await self.topk_batcher.stop()
+        await self.update_batcher.stop()
         if self._server is not None:
             self._server.close()
             for writer in list(self._connections):
@@ -161,13 +200,14 @@ class KernelServer:
         mean pass, so no pair is solved twice.
         """
         graphs = [g for item in items for g in item.graphs]
-        mu = self.gpr.predict_graphs(graphs)
-        std_graphs = [
-            g for item in items if item.return_std for g in item.graphs
-        ]
-        std = None
-        if std_graphs:
-            _, std = self.gpr.predict_graphs(std_graphs, return_std=True)
+        with self._state_lock:
+            mu = self.gpr.predict_graphs(graphs)
+            std_graphs = [
+                g for item in items if item.return_std for g in item.graphs
+            ]
+            std = None
+            if std_graphs:
+                _, std = self.gpr.predict_graphs(std_graphs, return_std=True)
         results, offset, std_offset = [], 0, 0
         for item in items:
             n = len(item.graphs)
@@ -183,6 +223,93 @@ class KernelServer:
             results.append(payload)
             offset += n
         return results
+
+    # ------------------------------------------------------------------
+    # the coalesced search paths
+    # ------------------------------------------------------------------
+
+    def _run_topk_batch(self, items: list[PredictItem]) -> list[dict]:
+        """Worker-thread body: one featurization pass, per-item ranking.
+
+        Featurizing the queries — K(query, Z) through the engine — is
+        the expensive part, so the whole batch goes through one
+        ``transform`` call; the per-item vector scans (which honour
+        each request's own ``k``) are then microseconds.
+        """
+        graphs = [g for item in items for g in item.graphs]
+        with self._state_lock:
+            Q = self.index.feature_map.transform(graphs)
+            results, offset = [], 0
+            for item in items:
+                n = len(item.graphs)
+                ids, scores = self.index.query_features(
+                    Q[offset:offset + n], int(item.meta["k"])
+                )
+                results.append({
+                    "results": [
+                        [
+                            {
+                                "id": int(i),
+                                "name": self.index.name_of(int(i)),
+                                "score": float(s),
+                            }
+                            for i, s in zip(row_ids, row_scores)
+                        ]
+                        for row_ids, row_scores in zip(ids, scores)
+                    ],
+                    "batched_with": len(items),
+                })
+                offset += n
+        return results
+
+    def _run_update_batch(self, items: list[PredictItem]) -> list[dict]:
+        """Worker-thread body: index inserts + one model append.
+
+        Every entry lands in the index (content duplicates are
+        no-ops); entries carrying a target are additionally absorbed
+        into the model through a single coalesced ``append`` call — one
+        Cholesky extension for the whole batch.
+        """
+        labelled, targets, owners = [], [], []
+        for pos, item in enumerate(items):
+            for g, y in zip(item.graphs, item.meta["targets"]):
+                if y is not None:
+                    labelled.append(g)
+                    targets.append(y)
+                    owners.append(pos)
+        if labelled and not getattr(self.gpr, "appendable", False):
+            # Checked before any insert so a rejected batch leaves no
+            # partial state behind.
+            raise ProtocolError(
+                400,
+                "not_appendable",
+                "this model does not support online updates; resubmit "
+                "entries without targets or refit",
+            )
+        with self._state_lock:
+            indexed = [self.index.insert(item.graphs) for item in items]
+            absorbed = [0] * len(items)
+            if labelled:
+                self.gpr.append(labelled, np.asarray(targets))
+                for pos in owners:
+                    absorbed[pos] += 1
+        return [
+            {
+                "indexed": n_idx,
+                "absorbed": n_abs,
+                "batched_with": len(items),
+            }
+            for n_idx, n_abs in zip(indexed, absorbed)
+        ]
+
+    def _require_index(self, route: str) -> None:
+        if self.index is None:
+            raise ProtocolError(
+                404,
+                "no_index",
+                f"{route} needs a similarity index; start the server with "
+                "an index (repro serve --index <name>)",
+            )
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -321,9 +448,13 @@ class KernelServer:
             if path == "/metrics":
                 if method != "GET":
                     raise ProtocolError(405, "bad_method", "use GET /metrics")
-                return 200, json.dumps(
-                    self.metrics.snapshot(self.engine, model=self.model_info)
-                ).encode()
+                snap = self.metrics.snapshot(
+                    self.engine, model=self.model_info
+                )
+                if self.index is not None:
+                    with self._state_lock:
+                        snap["index"] = self.index.stats()
+                return 200, json.dumps(snap).encode()
             if path == "/predict":
                 if method != "POST":
                     raise ProtocolError(405, "bad_method", "use POST /predict")
@@ -346,6 +477,24 @@ class KernelServer:
                 return 200, json.dumps(
                     {"values": np.asarray(values).tolist()}
                 ).encode()
+            if path == "/topk":
+                if method != "POST":
+                    raise ProtocolError(405, "bad_method", "use POST /topk")
+                self._require_index("/topk")
+                graphs, k = parse_topk_request(body, self.max_request_graphs)
+                result = await self.topk_batcher.submit(graphs, k=k)
+                return 200, json.dumps(result).encode()
+            if path == "/update":
+                if method != "POST":
+                    raise ProtocolError(405, "bad_method", "use POST /update")
+                self._require_index("/update")
+                graphs, targets = parse_update_request(
+                    body, self.max_request_graphs
+                )
+                result = await self.update_batcher.submit(
+                    graphs, targets=targets
+                )
+                return 200, json.dumps(result).encode()
             raise ProtocolError(404, "not_found", f"no route {path!r}")
         except ProtocolError as exc:
             return exc.status, exc.body()

@@ -552,3 +552,233 @@ class TestShutdown:
             assert _time.monotonic() - t0 < 10
         finally:
             s.close()
+
+
+# ----------------------------------------------------------------------
+# streaming similarity search over the wire (/topk, /update)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def live_indexed(tmp_path_factory):
+    """A fitted model *and* a feature index behind a running server.
+
+    The fixture exposes the very index object the server mutates, so
+    tests can always compare wire answers against ``index.query`` no
+    matter how earlier tests in the module changed the corpus.
+    """
+    from repro.search import index_from_graphs
+
+    graphs = make_graphs(12, seed0=1300)
+    train, test = graphs[:10], graphs[10:]
+    y = np.array([float(g.degrees.mean()) for g in train])
+    engine = GramEngine(make_kernel())
+    gpr = GaussianProcessRegressor(alpha=1e-6, engine=engine)
+    gpr.fit_graphs(train, y, normalize=True)
+    index = index_from_graphs(train, engine, n_landmarks=6)
+    server = KernelServer(
+        gpr,
+        index=index,
+        window_s=0.15,
+        max_request_graphs=8,
+        max_body_bytes=1 << 16,
+    )
+    with ServerThread(server) as handle:
+        client = ServeClient(port=handle.port)
+        client.wait_ready()
+        yield {
+            "client": client,
+            "server": server,
+            "port": handle.port,
+            "index": index,
+            "gpr": gpr,
+            "train": train,
+            "test": test,
+        }
+
+
+class TestSearchServer:
+    def _raw(self, ctx, method, path, body=b"", headers=None):
+        conn = http.client.HTTPConnection("127.0.0.1", ctx["port"], timeout=30)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read() or b"{}")
+        finally:
+            conn.close()
+
+    def test_topk_matches_offline_index(self, live_indexed):
+        queries = live_indexed["test"]
+        got = live_indexed["client"].topk(queries, k=3)
+        want = live_indexed["index"].query(queries, k=3)
+        assert got == want  # wire round-trip preserves floats exactly
+
+    def test_update_indexes_and_absorbs(self, live_indexed):
+        client = live_indexed["client"]
+        index = live_indexed["index"]
+        n_before = len(index)
+        fresh = make_graphs(3, seed0=8800)
+        resp = client.update(
+            [(fresh[0], float(fresh[0].degrees.mean())),
+             (fresh[1], float(fresh[1].degrees.mean())),
+             fresh[2]]  # index-only entry, no target
+        )
+        assert resp["indexed"] == 3
+        assert resp["absorbed"] == 2
+        assert len(index) == n_before + 3
+        # the new graph is now findable — and is its own best match
+        hits = client.topk([fresh[0]], k=1)
+        assert hits[0][0]["id"] == n_before
+        assert abs(hits[0][0]["score"] - 1.0) < 1e-6
+        # the model absorbed the labelled pair online
+        mu = client.predict([fresh[0]])
+        offline = live_indexed["gpr"].predict_graphs([fresh[0]])
+        assert abs(mu[0] - offline[0]) < 1e-10
+
+    def test_update_duplicate_is_a_noop(self, live_indexed):
+        client = live_indexed["client"]
+        n_before = len(live_indexed["index"])
+        resp = client.update([live_indexed["train"][0]])
+        assert resp["indexed"] == 0
+        assert resp["absorbed"] == 0
+        assert len(live_indexed["index"]) == n_before
+
+    def test_metrics_report_index_stats(self, live_indexed):
+        snap = live_indexed["client"].metrics()
+        assert snap["index"]["n_items"] == len(live_indexed["index"])
+        assert snap["index"]["backend"] == "exact"
+
+    def test_topk_nonpositive_k_is_400(self, live_indexed):
+        from repro.serve.protocol import graph_to_wire
+
+        for bad_k in (0, -3, 1.5, True, "many"):
+            body = json.dumps({
+                "graphs": [graph_to_wire(live_indexed["test"][0])],
+                "k": bad_k,
+            }).encode()
+            status, obj = self._raw(live_indexed, "POST", "/topk", body)
+            assert status == 400, bad_k
+            assert obj["error"]["code"] == "bad_request"
+
+    def test_topk_empty_graph_list_is_400(self, live_indexed):
+        status, obj = self._raw(
+            live_indexed, "POST", "/topk",
+            json.dumps({"graphs": [], "k": 3}).encode(),
+        )
+        assert status == 400
+        assert obj["error"]["code"] == "bad_request"
+
+    def test_topk_bad_smiles_is_400(self, live_indexed):
+        status, obj = self._raw(
+            live_indexed, "POST", "/topk",
+            json.dumps({"graphs": ["not_a_smiles(("], "k": 3}).encode(),
+        )
+        assert status == 400
+        assert obj["error"]["code"] == "bad_smiles"
+
+    def test_update_malformed_entries_are_400(self, live_indexed):
+        for payload in (
+            {"entries": "nope"},
+            {"entries": []},
+            {"entries": [{"y": 1.0}]},          # no graph
+            {"entries": [{"graph": 7}]},        # not graph/SMILES
+        ):
+            status, obj = self._raw(
+                live_indexed, "POST", "/update",
+                json.dumps(payload).encode(),
+            )
+            assert status == 400, payload
+            assert obj["error"]["code"] in ("bad_request", "bad_graph")
+
+    def test_update_nonnumeric_target_is_400(self, live_indexed):
+        from repro.serve.protocol import graph_to_wire
+
+        wire = graph_to_wire(live_indexed["train"][0])
+        for bad_y in ("high", True):
+            status, obj = self._raw(
+                live_indexed, "POST", "/update",
+                json.dumps({"entries": [{"graph": wire, "y": bad_y}]}).encode(),
+            )
+            assert status == 400, bad_y
+            assert obj["error"]["code"] == "bad_request"
+
+    def test_search_routes_405_on_get(self, live_indexed):
+        for path in ("/topk", "/update"):
+            status, obj = self._raw(live_indexed, "GET", path)
+            assert status == 405
+            assert obj["error"]["code"] == "bad_method"
+
+    def test_search_routes_404_without_index(self, live):
+        """A model-only server refuses search routes with a clear code."""
+        from repro.serve.protocol import graph_to_wire
+
+        g = graph_to_wire(make_graphs(1, seed0=9000)[0])
+        for path, payload in (
+            ("/topk", {"graphs": [g], "k": 1}),
+            ("/update", {"entries": [{"graph": g}]}),
+        ):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", live["port"], timeout=30
+            )
+            try:
+                conn.request("POST", path, body=json.dumps(payload).encode())
+                resp = conn.getresponse()
+                status, obj = resp.status, json.loads(resp.read())
+            finally:
+                conn.close()
+            assert status == 404
+            assert obj["error"]["code"] == "no_index"
+
+    def test_update_without_appendable_model_leaves_no_partial_state(self):
+        """Labelled updates against a model that cannot absorb them must
+        fail atomically: 400 and nothing inserted into the index."""
+        from repro.search import index_from_graphs
+
+        graphs = make_graphs(8, seed0=9100)
+        y = np.array([float(g.degrees.mean()) for g in graphs])
+        engine = GramEngine(make_kernel())
+        gpr = GaussianProcessRegressor(alpha=1e-6, engine=engine)
+        gpr.fit_graphs(graphs, y, normalize=True)
+        art = gpr.export_artifact()
+        art.pop("y_raw")  # model from before online updates existed
+        old = GaussianProcessRegressor.from_artifact(
+            art, train_graphs=graphs, engine=engine
+        )
+        index = index_from_graphs(graphs, engine, n_landmarks=4)
+        server = KernelServer(old, index=index, window_s=0.01)
+        with ServerThread(server) as handle:
+            client = ServeClient(port=handle.port)
+            client.wait_ready()
+            fresh = make_graphs(2, seed0=9200)
+            with pytest.raises(ServeClientError) as err:
+                client.update([(fresh[0], 1.0), fresh[1]])
+            assert err.value.status == 400
+            assert err.value.code == "not_appendable"
+            assert len(index) == len(graphs)  # nothing slipped in
+            # unlabelled-only updates still work fine
+            resp = client.update([fresh[1]])
+            assert resp["indexed"] == 1
+
+    def test_concurrent_topk_requests_coalesce(self, live_indexed):
+        client = live_indexed["client"]
+        queries = live_indexed["test"]
+        barrier = threading.Barrier(4)
+
+        def fire(i):
+            barrier.wait(timeout=10)
+            return client.topk_info([queries[i % len(queries)]], k=2)
+
+        with cf.ThreadPoolExecutor(max_workers=4) as pool:
+            responses = list(pool.map(fire, range(4)))
+        assert max(r["batched_with"] for r in responses) > 1
+        want = live_indexed["index"].query(queries, k=2)
+        for i, resp in enumerate(responses):
+            got, ref = resp["results"][0], want[i % len(queries)]
+            # coalesced featurization (one GEMM per batch) may differ
+            # from the offline per-query path in the last ulp
+            assert [h["id"] for h in got] == [h["id"] for h in ref]
+            np.testing.assert_allclose(
+                [h["score"] for h in got],
+                [h["score"] for h in ref],
+                rtol=1e-12,
+            )
