@@ -70,9 +70,22 @@ def run_batched_bench():
     mixed_serial_res, mixed_serial_t = _time_gram("fused", mixed)
     mixed_batched_res, mixed_batched_t = _time_gram("fused_batched", mixed)
 
+    # Stage breakdown from a separate traced rerun of the batched arm:
+    # the timed arms above run with tracing disabled, so the no-op path
+    # is what the speedup numbers see.
+    from repro.obs import (collect_tracer, disable_tracing, enable_tracing,
+                           stage_seconds)
+    enable_tracing()
+    try:
+        _time_gram("fused_batched", frags)
+        stages = stage_seconds(collect_tracer())
+    finally:
+        disable_tracing()
+
     pairs = n * (n + 1) // 2
     mixed_pairs = n_mixed * (n_mixed + 1) // 2
     return {
+        "stage_seconds": stages,
         "n": n,
         "pairs": pairs,
         "serial_t": serial_t,
@@ -100,8 +113,13 @@ def test_batched_speedup(benchmark, request):
           f"{r['mixed_serial_t']:7.2f}s {r['mixed_batched_t']:7.2f}s "
           f"{r['mixed_speedup']:7.2f}x")
     print(f"max |Δ|/|K| vs per-pair: {r['max_rel']:.2e}  (bound {RTOL:g})")
+    st = r["stage_seconds"]
+    print(f"stage breakdown (traced rerun): plan {st['plan']:.2f}s  "
+          f"fill {st['fill']:.2f}s  solve {st['solve']:.2f}s  "
+          f"scatter {st['scatter']:.2f}s")
 
     write_bench_json(request, "batched", {
+        "stage_seconds": r["stage_seconds"],
         "n": r["n"],
         "pairs": r["pairs"],
         "serial_seconds": r["serial_t"],

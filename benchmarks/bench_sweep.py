@@ -135,8 +135,21 @@ def run_sweep_bench():
 
     cold_base, cold_struct = _cold_times(graphs)
 
+    # Stage breakdown from one traced structured sweep point (the timed
+    # arms above run untraced, so tracing never skews the speedup).
+    from repro.obs import (collect_tracer, disable_tracing, enable_tracing,
+                           stage_seconds)
+    enable_tracing()
+    try:
+        shared = (StructureCache(), WarmStartStore())
+        _engine(float(qs[0]), True, shared).gram(graphs)
+        stages = stage_seconds(collect_tracer())
+    finally:
+        disable_tracing()
+
     pairs = n * (n + 1) // 2
     return {
+        "stage_seconds": stages,
         "n": n,
         "points": N_POINTS,
         "pairs": pairs,
@@ -178,8 +191,13 @@ def test_sweep_speedup(benchmark, request):
     print(f"cold single-shot: baseline {1e3 * r['cold_base_t']:.0f} ms, "
           f"structured {1e3 * r['cold_struct_t']:.0f} ms "
           f"(ratio {r['cold_throughput_ratio']:.2f})")
+    st = r["stage_seconds"]
+    print(f"stage breakdown (traced point): plan {st['plan']:.2f}s  "
+          f"fill {st['fill']:.2f}s  solve {st['solve']:.2f}s  "
+          f"scatter {st['scatter']:.2f}s")
 
     write_bench_json(request, "sweep", {
+        "stage_seconds": r["stage_seconds"],
         "n": r["n"],
         "points": r["points"],
         "pairs": r["pairs"],

@@ -29,7 +29,10 @@ Batch entry points for the common workflows:
   Nyström feature space and saves the index to the registry,
   ``index query`` answers top-k most-similar queries against it, and
   ``index update`` streams new graphs in (content duplicates are
-  no-ops) and saves the grown index as the next version.
+  no-ops) and saves the grown index as the next version;
+* ``trace`` — observability workflows (:mod:`repro.obs`): ``trace
+  summarize`` prints the per-stage wall-time breakdown of a trace
+  recorded with ``gram --trace`` or ``serve --trace-dir``.
 """
 
 from __future__ import annotations
@@ -95,6 +98,12 @@ def cmd_gram(args: argparse.Namespace) -> int:
     graphs = load_dataset(args.dataset)
     nk, ek = _kernels_for(args.kernels)
     mgk = MarginalizedGraphKernel(nk, ek, q=args.q, engine=args.engine)
+
+    tracer = None
+    if args.trace:
+        from .obs import enable_tracing
+
+        tracer = enable_tracing()
 
     progress = None
     if args.progress:
@@ -206,6 +215,15 @@ def cmd_gram(args: argparse.Namespace) -> int:
               f"max {tri.max()}")
     print(res.info["diagnostics"].summary())
     print(f"Gram matrix saved to {args.output}")
+    if tracer is not None:
+        from .obs import disable_tracing, format_summary, write_chrome_trace
+
+        spans = tracer.finished()
+        n = write_chrome_trace(spans, args.trace)
+        print(format_summary(spans))
+        print(f"trace with {n} spans saved to {args.trace} "
+              f"(open in Perfetto or chrome://tracing)")
+        disable_tracing()
     return 0 if res.converged else 1
 
 
@@ -352,8 +370,18 @@ def cmd_fit(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import os
 
     from .serve import KernelServer, ModelRegistry
+
+    if args.trace_dir:
+        from .obs import enable_tracing, jsonl_sink
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        trace_path = os.path.join(args.trace_dir, "spans.jsonl")
+        enable_tracing(sink=jsonl_sink(trace_path))
+        print(f"tracing enabled, spans stream to {trace_path} "
+              f"(summarize with: repro trace summarize {trace_path})")
 
     registry = ModelRegistry(args.registry)
     model = registry.load(args.name, version=args.version)
@@ -567,6 +595,21 @@ def cmd_index_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .obs import format_summary, load_spans
+
+    try:
+        spans = load_spans(args.file)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace {args.file!r}: {exc}")
+    if not spans:
+        print(f"no spans in {args.file}")
+        return 1
+    print(f"{len(spans)} spans from {args.file}")
+    print(format_summary(spans))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description=__doc__.splitlines()[0]
@@ -631,6 +674,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "are solved")
     m.add_argument("--progress", action="store_true",
                    help="print per-tile progress lines")
+    m.add_argument("--trace", default=None, metavar="OUT_JSON",
+                   help="record a span trace of the run and save it as "
+                        "Chrome trace-event JSON (Perfetto-loadable); "
+                        "also prints the per-stage wall-time breakdown")
     m.set_defaults(func=cmd_gram)
 
     r = sub.add_parser("reorder", help="tile-sparsity report per ordering")
@@ -702,6 +749,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "enable the /topk and /update routes")
     s.add_argument("--index-version", type=int, default=None,
                    help="index version (default: latest)")
+    s.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="enable tracing and stream finished spans to "
+                        "DIR/spans.jsonl (one JSON object per line)")
     add_engine_opts(s)
     s.set_defaults(func=cmd_serve)
 
@@ -786,6 +836,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="index version to grow (default: latest)")
     add_engine_opts(iu)
     iu.set_defaults(func=cmd_index_update)
+
+    tr = sub.add_parser(
+        "trace", help="inspect recorded span traces (repro.obs)"
+    )
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+    ts = trsub.add_parser(
+        "summarize",
+        help="per-stage wall-time breakdown of a saved trace",
+    )
+    ts.add_argument("file",
+                    help="Chrome trace JSON (gram --trace) or span "
+                         "JSONL (serve --trace-dir)")
+    ts.set_defaults(func=cmd_trace_summarize)
     return p
 
 

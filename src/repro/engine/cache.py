@@ -109,16 +109,36 @@ class CachedPair(NamedTuple):
 
 @dataclass
 class CacheStats:
-    """Hit/miss/write counters, cumulative over the cache's lifetime."""
+    """Hit/miss/write counters, cumulative over the cache's lifetime.
+
+    ``bytes_read``/``bytes_written`` track serialized traffic where the
+    tier has a meaningful byte cost (disk tiers); ``evictions`` counts
+    entries dropped by capacity bounds.  All zero where inapplicable.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly block for diagnostics and ``/metrics``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "evictions": self.evictions,
+        }
 
 
 class LRUCache:
@@ -149,6 +169,7 @@ class LRUCache:
             self.stats.puts += 1
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+                self.stats.evictions += 1
 
     def __len__(self) -> int:
         return len(self._data)
@@ -172,14 +193,16 @@ class DiskCache:
 
     def get(self, key: str) -> CachedPair | None:
         try:
-            with open(self._entry_path(key)) as fh:
-                entry = CachedPair.from_json(json.load(fh))
+            with open(self._entry_path(key), "rb") as fh:
+                raw = fh.read()
+            entry = CachedPair.from_json(json.loads(raw))
         except (OSError, ValueError, KeyError):
             with self._lock:
                 self.stats.misses += 1
             return None
         with self._lock:
             self.stats.hits += 1
+            self.stats.bytes_read += len(raw)
         return entry
 
     def put(self, key: str, entry: CachedPair) -> None:
@@ -188,9 +211,11 @@ class DiskCache:
         # a future miss — not worth an fsync per solved pair.
         target = self._entry_path(key)
         os.makedirs(os.path.dirname(target), exist_ok=True)
-        atomic_write_json(target, entry.to_json(), fsync=False)
+        payload = json.dumps(entry.to_json()).encode()
+        _atomic_write_bytes(target, payload, fsync=False)
         with self._lock:
             self.stats.puts += 1
+            self.stats.bytes_written += len(payload)
 
     def __len__(self) -> int:
         count = 0
@@ -315,6 +340,7 @@ class StructureCache:
         while self._bytes > self.max_bytes and len(self._data) > 1:
             evicted_key, _ = self._data.popitem(last=False)
             self._bytes -= self._sizes.pop(evicted_key, 0)
+            self.stats.evictions += 1
 
     def _insert(self, key: str, plan) -> None:
         old = self._data.pop(key, None)
@@ -341,7 +367,8 @@ class StructureCache:
         if self.disk_dir is not None:
             try:
                 with open(self._disk_path(key), "rb") as fh:
-                    plan = pickle.load(fh)
+                    raw = fh.read()
+                plan = pickle.loads(raw)
             except (OSError, pickle.UnpicklingError, EOFError,
                     AttributeError, ImportError):
                 plan = None
@@ -349,6 +376,7 @@ class StructureCache:
                 with self._lock:
                     self._insert(key, plan)  # promote
                     self.stats.hits += 1
+                    self.stats.bytes_read += len(raw)
                 return plan
         with self._lock:
             self.stats.misses += 1
@@ -361,7 +389,10 @@ class StructureCache:
         if self.disk_dir is not None:
             target = self._disk_path(key)
             os.makedirs(os.path.dirname(target), exist_ok=True)
-            _atomic_write_bytes(target, pickle.dumps(plan, protocol=4))
+            payload = pickle.dumps(plan, protocol=4)
+            _atomic_write_bytes(target, payload)
+            with self._lock:
+                self.stats.bytes_written += len(payload)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -439,6 +470,7 @@ class WarmStartStore:
             while self._bytes > self.max_bytes and len(self._data) > 1:
                 _, evicted = self._data.popitem(last=False)
                 self._bytes -= sum(v.nbytes for v in evicted)
+                self.stats.evictions += 1
 
     def __len__(self) -> int:
         return len(self._data)

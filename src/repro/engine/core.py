@@ -40,6 +40,8 @@ import numpy as np
 from ..graphs.graph import Graph
 from ..kernels.linsys import DEFAULT_RCM_CUTOFF
 from ..kernels.marginalized import GramResult, normalized
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .cache import (
     CachedPair,
     DiskCache,
@@ -74,20 +76,23 @@ def _scatter_entries(
     A 2000-graph sweep point resolves millions of positions; ``fromiter``
     plus two fancy assignments beats a Python assignment loop several-fold.
     """
-    n = len(entries)
-    ii = np.fromiter((p[0] for p in entries), dtype=np.int64, count=n)
-    jj = np.fromiter((p[1] for p in entries), dtype=np.int64, count=n)
-    vals = np.fromiter(
-        (e.value for e in entries.values()), dtype=np.float64, count=n
-    )
-    its = np.fromiter(
-        (e.iterations for e in entries.values()), dtype=np.int64, count=n
-    )
-    K[ii, jj] = vals
-    iters[ii, jj] = its
-    if symmetric:
-        K[jj, ii] = vals
-        iters[jj, ii] = its
+    with get_tracer().span(
+        "engine.scatter", n_entries=len(entries), symmetric=symmetric
+    ):
+        n = len(entries)
+        ii = np.fromiter((p[0] for p in entries), dtype=np.int64, count=n)
+        jj = np.fromiter((p[1] for p in entries), dtype=np.int64, count=n)
+        vals = np.fromiter(
+            (e.value for e in entries.values()), dtype=np.float64, count=n
+        )
+        its = np.fromiter(
+            (e.iterations for e in entries.values()), dtype=np.int64, count=n
+        )
+        K[ii, jj] = vals
+        iters[ii, jj] = its
+        if symmetric:
+            K[jj, ii] = vals
+            iters[jj, ii] = its
 
 
 class GramEngine:
@@ -301,8 +306,33 @@ class GramEngine:
 
         Positions whose content-addressed keys coincide (duplicate
         graphs, symmetric repeats) are deduplicated: one solve fills
-        them all.
+        them all.  The whole call runs under an ``engine.compute_pairs``
+        span (when tracing is on) so tile-lifecycle spans nest under
+        one engine-call root — which in turn nests under the serving
+        layer's batch span when a request triggered it.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._compute_pairs_impl(X, Y, positions)
+        with tracer.span(
+            "engine.compute_pairs",
+            pairs=len(positions),
+            executor=self.executor,
+            batched=self.batched,
+        ) as sp:
+            out, diag = self._compute_pairs_impl(X, Y, positions)
+            sp.set("solves", diag.solves)
+            sp.set("cache_hits", diag.cache_hits)
+            sp.set("tiles", diag.tiles)
+            sp.set("structure_hits", diag.structure_hits)
+            return out, diag
+
+    def _compute_pairs_impl(
+        self,
+        X: Sequence[Graph],
+        Y: Sequence[Graph],
+        positions: list[tuple[int, int]],
+    ) -> tuple[dict[tuple[int, int], CachedPair], Diagnostics]:
         t0 = time.perf_counter()
         kfp = kernel_fingerprint(self.kernel)
         fx = [graph_fingerprint(g) for g in X]
@@ -386,32 +416,38 @@ class GramEngine:
                 tiles = self.structure_cache.get(tkey)
                 runtime.record(tiles is not None)
             if tiles is None:
+                with get_tracer().span(
+                    "engine.plan_tiles", n_pairs=len(reps), batched=True
+                ):
+                    jobs = build_pair_jobs(
+                        X, Y, reps,
+                        q=self.kernel.q,
+                        cost_model=self.cost_model,
+                        edge_kernel=self.kernel.edge_kernel,
+                    )
+                    tiles = plan_bucketed_tiles(
+                        jobs, X, Y,
+                        batch_pairs=self.batch_pairs or default_pairs,
+                        merge_small=merge_small,
+                    )
+                if tkey is not None:
+                    self.structure_cache.put(tkey, tiles)
+        else:
+            with get_tracer().span(
+                "engine.plan_tiles", n_pairs=len(reps), batched=False
+            ):
                 jobs = build_pair_jobs(
                     X, Y, reps,
                     q=self.kernel.q,
                     cost_model=self.cost_model,
                     edge_kernel=self.kernel.edge_kernel,
                 )
-                tiles = plan_bucketed_tiles(
-                    jobs, X, Y,
-                    batch_pairs=self.batch_pairs or default_pairs,
-                    merge_small=merge_small,
+                tiles = plan_tiles(
+                    jobs,
+                    n_tiles=self.n_tiles,
+                    tile_pairs=self.tile_pairs,
+                    workers=self.workers,
                 )
-                if tkey is not None:
-                    self.structure_cache.put(tkey, tiles)
-        else:
-            jobs = build_pair_jobs(
-                X, Y, reps,
-                q=self.kernel.q,
-                cost_model=self.cost_model,
-                edge_kernel=self.kernel.edge_kernel,
-            )
-            tiles = plan_tiles(
-                jobs,
-                n_tiles=self.n_tiles,
-                tile_pairs=self.tile_pairs,
-                workers=self.workers,
-            )
 
         # This call's structure traffic comes from the per-call runtime
         # counters — the shared cache's global stats cannot attribute
@@ -491,6 +527,8 @@ class GramEngine:
             ),
             structure_hits=s_hits,
             structure_misses=s_misses,
+            cache_tiers=self._cache_tier_stats(),
+            hw_counters=get_registry().values_with_prefix("vgpu_"),
         )
         if self.progress is not None:
             self.progress(
@@ -657,34 +695,61 @@ class GramEngine:
         }
         stats = getattr(self.cache, "stats", None)
         if stats is not None:
-            out["cache"] = {
-                "hits": stats.hits,
-                "misses": stats.misses,
-                "puts": stats.puts,
-                "hit_rate": stats.hit_rate,
-            }
+            out["cache"] = stats.as_dict()
         # Structure-cache economics, deliberately separate from the
         # value-cache block: a structure hit still runs a numeric fill
         # and solve, so conflating the two would misstate both.
         if self.structure_cache is not None:
-            sstats = self.structure_cache.stats
-            out["structure"] = {
-                "hits": sstats.hits,
-                "misses": sstats.misses,
-                "puts": sstats.puts,
-                "hit_rate": sstats.hit_rate,
-                "entries": len(self.structure_cache),
-                "bytes": self.structure_cache.nbytes,
-            }
+            sblock = self.structure_cache.stats.as_dict()
+            sblock["entries"] = len(self.structure_cache)
+            sblock["bytes"] = self.structure_cache.nbytes
+            out["structure"] = sblock
         if self.warm_store is not None:
-            wstats = self.warm_store.stats
-            out["warm_start"] = {
-                "hits": wstats.hits,
-                "misses": wstats.misses,
-                "entries": len(self.warm_store),
-                "bytes": self.warm_store.nbytes,
-            }
+            wblock = self.warm_store.stats.as_dict()
+            wblock["entries"] = len(self.warm_store)
+            wblock["bytes"] = self.warm_store.nbytes
+            out["warm_start"] = wblock
+        out["tiers"] = self._cache_tier_stats()
         return out
+
+    def _cache_tier_stats(self) -> dict:
+        """Per-tier cache stats — one block per tier that keeps counters.
+
+        ``value`` is the front-door value cache (whatever ``self.cache``
+        is); when that is a :class:`TieredCache`, ``value_memory`` and
+        ``value_disk`` break out the in-memory and on-disk tiers so the
+        byte counters (disk reads/writes) are attributable.  Runs on
+        every metrics scrape, so it only reads counters — no store
+        walks.
+        """
+        tiers: dict[str, dict] = {}
+        stats = getattr(self.cache, "stats", None)
+        if stats is not None:
+            block = stats.as_dict()
+            counted = getattr(self.cache, "memory", self.cache)
+            block["entries"] = len(counted) if counted is not None else 0
+            tiers["value"] = block
+        memory = getattr(self.cache, "memory", None)
+        mstats = getattr(memory, "stats", None)
+        if mstats is not None:
+            block = mstats.as_dict()
+            block["entries"] = len(memory)
+            tiers["value_memory"] = block
+        disk = getattr(self.cache, "disk", None)
+        dstats = getattr(disk, "stats", None)
+        if dstats is not None:
+            tiers["value_disk"] = dstats.as_dict()
+        if self.structure_cache is not None:
+            block = self.structure_cache.stats.as_dict()
+            block["entries"] = len(self.structure_cache)
+            block["bytes"] = self.structure_cache.nbytes
+            tiers["structure"] = block
+        if self.warm_store is not None:
+            block = self.warm_store.stats.as_dict()
+            block["entries"] = len(self.warm_store)
+            block["bytes"] = self.warm_store.nbytes
+            tiers["warm_start"] = block
+        return tiers
 
     def diag(self, graphs: Sequence[Graph]) -> np.ndarray:
         """Self-similarities K(G, G), reusing any cached Gram entries."""

@@ -15,6 +15,7 @@ tile's pair-index list.
 
 from __future__ import annotations
 
+import contextvars
 import hashlib
 import os
 import threading
@@ -24,6 +25,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from .tiles import Tile
 
 EXECUTORS = ("serial", "threads", "process")
@@ -276,42 +278,55 @@ def solve_pairs_batched(
     cache = runtime.structure_cache if runtime is not None else None
     warm = runtime.warm_store if runtime is not None else None
     rcm_cutoff = runtime.rcm_cutoff if runtime is not None else None
+    tracer = get_tracer()
     for key in sorted(buckets):
         members = buckets[key]
         if len(members) < 2 or key[0] == "solo":
             # Nothing to amortize (singleton) or compute-bound giants:
             # the per-pair path is as fast or faster.
-            out.extend(solve_pairs(kernel, X, Y, members))
+            with tracer.span("tile.solve", mode="solo",
+                             n_pairs=len(members)):
+                out.extend(solve_pairs(kernel, X, Y, members))
             continue
         pair_graphs = [(X[i], Y[j]) for i, j in members]
         plan = None
         skey = None
         if cache is not None or warm is not None:
             skey = structure_key(pair_graphs, key, rcm_cutoff)
-        if cache is not None:
-            plan = cache.get(skey)
-            runtime.record(plan is not None)
-        if plan is None:
-            plan = build_structure_plan(
-                pair_graphs, mode=key[0], rcm_cutoff=rcm_cutoff
-            )
+        with tracer.span("tile.plan", mode=key[0],
+                         n_pairs=len(members)) as sp:
             if cache is not None:
-                cache.put(skey, plan)
-        system = fill_batched_system(
-            plan,
-            kernel.node_kernel,
-            kernel.edge_kernel,
-            q=kernel.q,
-            workspace=_thread_workspace(),
-            reuse_offdiag=cache is not None,
-        )
-        x0 = r0 = None
-        if warm is not None:
-            x0, r0 = _seed_warm_start(warm, skey, system, rtol=kernel.rtol)
-        res = solve(system, x0=x0, r0=r0, **kwargs)
-        if warm is not None:
-            # res.x is freshly allocated per solve — safe to retain.
-            warm.put(skey, res.x)
+                plan = cache.get(skey)
+                runtime.record(plan is not None)
+                sp.set("structure_hit", plan is not None)
+            if plan is None:
+                plan = build_structure_plan(
+                    pair_graphs, mode=key[0], rcm_cutoff=rcm_cutoff
+                )
+                if cache is not None:
+                    cache.put(skey, plan)
+        with tracer.span("tile.fill", mode=key[0], n_pairs=len(members)):
+            system = fill_batched_system(
+                plan,
+                kernel.node_kernel,
+                kernel.edge_kernel,
+                q=kernel.q,
+                workspace=_thread_workspace(),
+                reuse_offdiag=cache is not None,
+            )
+        with tracer.span("tile.solve", mode=key[0],
+                         n_pairs=len(members)) as sp:
+            x0 = r0 = None
+            if warm is not None:
+                x0, r0 = _seed_warm_start(
+                    warm, skey, system, rtol=kernel.rtol
+                )
+                sp.set("warm_seeded", x0 is not None)
+            res = solve(system, x0=x0, r0=r0, **kwargs)
+            if warm is not None:
+                # res.x is freshly allocated per solve — safe to retain.
+                warm.put(skey, res.x)
+            sp.set("iterations", int(res.iterations.sum()))
         values = system.kernel_values(res.x)
         out.extend(
             (i, j, float(values[b]), int(res.iterations[b]),
@@ -383,13 +398,19 @@ def run_tiles(
     workers = max_workers or default_workers()
     if executor == "threads":
         pool = ThreadPoolExecutor(max_workers=workers)
+        # Each task runs under a copy of the caller's context, so the
+        # tracer's current-span contextvar propagates into the pool and
+        # tile spans keep their engine-call parent.  copy_context() is
+        # a few hundred nanoseconds per tile — noise next to a solve.
         if batched:
             submit = lambda tile: pool.submit(
-                solve_pairs_batched, kernel, X, Y, tile.pairs, runtime
+                contextvars.copy_context().run,
+                solve_pairs_batched, kernel, X, Y, tile.pairs, runtime,
             )
         else:
             submit = lambda tile: pool.submit(
-                solve_pairs, kernel, X, Y, tile.pairs
+                contextvars.copy_context().run,
+                solve_pairs, kernel, X, Y, tile.pairs,
             )
     else:
         pool = ProcessPoolExecutor(

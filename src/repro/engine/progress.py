@@ -84,6 +84,13 @@ class Diagnostics:
     #: distinct from ``cache_hits``, which counts skipped *solves*.
     structure_hits: int = 0
     structure_misses: int = 0
+    #: Per-tier cache counters (value/value_memory/value_disk/structure/
+    #: warm_start), cumulative over the engine's lifetime at the time of
+    #: the call — includes byte and eviction counts for disk tiers.
+    cache_tiers: dict = field(default_factory=dict)
+    #: Simulated-hardware pipeline counters (``vgpu_*`` totals from the
+    #: metric registry), cumulative across the process.
+    hw_counters: dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:

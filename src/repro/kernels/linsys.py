@@ -66,6 +66,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graphs.graph import Graph
+from ..obs.trace import current_span, get_tracer
 from .basekernels import Constant, MicroKernel, TensorProduct
 
 
@@ -986,7 +987,8 @@ def fill_batched_system(
     # diagonal arithmetic plus one gather.
     nsig = microkernel_signature(node_kernel)
     memo = plan._vx_memo
-    if memo is not None and memo[0] == nsig:
+    vx_hit = memo is not None and memo[0] == nsig
+    if vx_hit:
         vx = memo[1]
     else:
         vx = _gathered_base_values(
@@ -1059,6 +1061,13 @@ def fill_batched_system(
         esig, U, offdiag if (reuse_offdiag and persistent) else None
     )
 
+    sp_cur = current_span()
+    sp_cur.set("fill.mode", plan.mode)
+    sp_cur.set("fill.batch", plan.batch)
+    sp_cur.set("fill.nnz", int(plan.nnz))
+    sp_cur.set("fill.vx_memo_hit", bool(vx_hit))
+    sp_cur.set("fill.offdiag_memo_hit", seen)
+
     return BatchedProductSystem(
         n=plan.n,
         m=plan.m,
@@ -1112,8 +1121,13 @@ def build_batched_system(
     rcm_cutoff:
         Forwarded to :func:`build_structure_plan`.
     """
+    tracer = get_tracer()
     if plan is None:
-        plan = build_structure_plan(pairs, mode=mode, rcm_cutoff=rcm_cutoff)
-    return fill_batched_system(
-        plan, node_kernel, edge_kernel, q=q, workspace=workspace
-    )
+        with tracer.span("tile.plan", mode=mode, n_pairs=len(pairs)):
+            plan = build_structure_plan(
+                pairs, mode=mode, rcm_cutoff=rcm_cutoff
+            )
+    with tracer.span("tile.fill", mode=plan.mode, n_pairs=plan.batch):
+        return fill_batched_system(
+            plan, node_kernel, edge_kernel, q=q, workspace=workspace
+        )

@@ -45,6 +45,7 @@ from typing import Sequence
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..obs.metrics import record_vgpu_counters
 from ..solvers.cg import cg_solve
 from ..solvers.direct import direct_solve
 from ..solvers.fixed_point import fixed_point_solve
@@ -223,6 +224,7 @@ class MarginalizedGraphKernel:
             info["counters"] = pipe.counters.copy()
             info["launches"] = pipe.launch_count
             info["tile_stats"] = pipe.tile_stats()
+            record_vgpu_counters(info["counters"])
         if "W_nnz" in system.info:
             info["W_nnz"] = system.info["W_nnz"]
         return PairResult(

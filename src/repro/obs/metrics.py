@@ -1,0 +1,311 @@
+"""Counters, gauges, and histograms (the metrics half of ``repro.obs``).
+
+A :class:`MetricRegistry` holds named metrics, snapshots them as a
+JSON-friendly dict, and renders the Prometheus text exposition format
+(version 0.0.4, what ``/metrics`` serves under content negotiation).
+Everything is stdlib-only and thread-safe: the serving layer mutates
+metrics from the event loop *and* from batch worker threads.
+
+Label support is deliberately minimal — one label name per metric
+(``route``, ``status``, ``tier``), which covers every consumer here
+without the cardinality-explosion foot-guns of a full label product.
+
+The process-wide default registry (:func:`get_registry`) is where
+layers without their own registry record — e.g. the virtual-GPU
+counters aggregate into ``vgpu_*_total`` counters there, and the
+engine's Diagnostics block reads them back.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """Prometheus-legal metric name (invalid chars become ``_``)."""
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _fmt(value: float) -> str:
+    """Prometheus float formatting (integers without trailing .0)."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared plumbing: name, help text, optional single label."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 label: str | None = None) -> None:
+        self.name = _sanitize(name)
+        self.help = help
+        self.label = label
+        self._lock = threading.Lock()
+
+    def _series(self):  # -> list[(label_value | None, sample_lines_value)]
+        raise NotImplementedError
+
+    def to_prometheus(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for label_value, value in self._series():
+            if label_value is None:
+                lines.append(f"{self.name} {_fmt(value)}")
+            else:
+                lines.append(
+                    f'{self.name}{{{self.label}="{label_value}"}} '
+                    f"{_fmt(value)}"
+                )
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally split by one label."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 label: str | None = None) -> None:
+        super().__init__(name, help, label)
+        self._values: dict[str | None, float] = {}
+
+    def inc(self, value: float = 1.0, label_value: str | None = None) -> None:
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = str(label_value) if label_value is not None else None
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, label_value: str | None = None) -> float:
+        key = str(label_value) if label_value is not None else None
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._values.values())
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            if self._values.keys() == {None}:
+                return {"value": self._values[None]}
+            return {k: v for k, v in sorted(
+                self._values.items(), key=lambda kv: str(kv[0])
+            ) if k is not None}
+
+    def _series(self):
+        with self._lock:
+            items = sorted(self._values.items(), key=lambda kv: str(kv[0]))
+        return [(k, v) for k, v in items] or [(None, 0.0)]
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, inflight requests)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 label: str | None = None) -> None:
+        super().__init__(name, help, label)
+        self._values: dict[str | None, float] = {}
+
+    def set(self, value: float, label_value: str | None = None) -> None:
+        key = str(label_value) if label_value is not None else None
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, value: float = 1.0, label_value: str | None = None) -> None:
+        key = str(label_value) if label_value is not None else None
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
+
+    def dec(self, value: float = 1.0, label_value: str | None = None) -> None:
+        self.inc(-value, label_value)
+
+    def value(self, label_value: str | None = None) -> float:
+        key = str(label_value) if label_value is not None else None
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def _series(self):
+        with self._lock:
+            items = sorted(self._values.items(), key=lambda kv: str(kv[0]))
+        return [(k, v) for k, v in items] or [(None, 0.0)]
+
+
+class Histogram(_Metric):
+    """Explicit-bucket histogram (cumulative ``le`` buckets + sum/count).
+
+    ``buckets`` are the finite upper bounds; a ``+Inf`` bucket is
+    implicit.  Observations also accumulate into ``sum`` and ``count``
+    so rates and means fall out of the exposition the standard way.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: tuple[float, ...],
+                 help: str = "") -> None:
+        super().__init__(name, help, None)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            cumulative = 0
+            buckets = {}
+            for bound, n in zip(self.buckets, self._counts):
+                cumulative += n
+                buckets[_fmt(bound)] = cumulative
+            buckets["+Inf"] = cumulative + self._counts[-1]
+            return {"buckets": buckets, "sum": self._sum,
+                    "count": self._count}
+
+    def to_prometheus(self) -> list[str]:
+        d = self.as_dict()
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} histogram")
+        for bound, cumulative in d["buckets"].items():
+            lines.append(f'{self.name}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f"{self.name}_sum {_fmt(d['sum'])}")
+        lines.append(f"{self.name}_count {d['count']}")
+        return lines
+
+
+class MetricRegistry:
+    """Named metrics with get-or-create accessors and two exports.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: the first call
+    creates the metric, later calls return the same instance (a
+    mismatched re-declaration raises, catching accidental reuse).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, *args, **kwargs):
+        name = _sanitize(name)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                label: str | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, label)
+
+    def gauge(self, name: str, help: str = "",
+              label: str | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label)
+
+    def histogram(self, name: str, buckets: tuple[float, ...],
+                  help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, buckets, help)
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(_sanitize(name))
+
+    def snapshot(self) -> dict:
+        """All metrics as one JSON-friendly dict keyed by metric name."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out = {}
+        for m in metrics:
+            if isinstance(m, Histogram):
+                out[m.name] = m.as_dict()
+            elif isinstance(m, (Counter, Gauge)):
+                series = m._series()
+                if len(series) == 1 and series[0][0] is None:
+                    out[m.name] = series[0][1]
+                else:
+                    out[m.name] = dict(series)
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        lines: list[str] = []
+        for m in metrics:
+            lines.extend(m.to_prometheus())
+        return "\n".join(lines) + "\n"
+
+    def values_with_prefix(self, prefix: str) -> dict:
+        """Flat {name: total} over counters/gauges whose name matches."""
+        with self._lock:
+            metrics = [m for m in self._metrics.values()
+                       if m.name.startswith(prefix)]
+        out = {}
+        for m in metrics:
+            if isinstance(m, Counter):
+                out[m.name] = m.total()
+            elif isinstance(m, Gauge):
+                out[m.name] = m.value()
+        return out
+
+
+#: Process-wide default registry (vgpu counters, ad-hoc producers).
+_REGISTRY = MetricRegistry()
+
+
+def get_registry() -> MetricRegistry:
+    return _REGISTRY
+
+
+def set_registry(registry: MetricRegistry) -> MetricRegistry:
+    global _REGISTRY
+    _REGISTRY = registry
+    return registry
+
+
+def record_vgpu_counters(counters) -> None:
+    """Aggregate one :class:`repro.vgpu.counters.Counters` block (or a
+    plain field dict) into the default registry as ``vgpu_<field>_total``
+    counters."""
+    registry = get_registry()
+    items = counters.as_dict() if hasattr(counters, "as_dict") else counters
+    for name, value in items.items():
+        if value:
+            registry.counter(
+                f"vgpu_{name}_total",
+                help="virtual-GPU simulated hardware counter",
+            ).inc(float(value))

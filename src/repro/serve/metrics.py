@@ -3,11 +3,19 @@
 Tracks what an operator needs to see the microbatcher working: request
 counts per route and status, the coalesced-batch-size histogram (a
 healthy loaded server shows mass above 1), request-latency quantiles
-from a bounded reservoir, and the engine's cache economics
+from a bounded reservoir, the in-flight request gauge, and the
+engine's cache economics
 (:meth:`repro.engine.GramEngine.cache_stats`).
 
-All mutation happens on the server's event loop, but a lock keeps the
-snapshot safe to read from the thread-based test/CLI helpers too.
+Every observation also lands in a :class:`repro.obs.MetricRegistry`
+(counters, gauges, explicit-bucket histograms), which is what renders
+the Prometheus text exposition when ``/metrics`` is scraped with
+``Accept: text/plain``.  The JSON snapshot keeps its historical shape;
+the registry is the typed, exportable view of the same numbers.
+
+All mutation happens on the server's event loop (plus the batch worker
+threads), and a lock keeps the snapshot safe to read from the
+thread-based test/CLI helpers too.
 """
 
 from __future__ import annotations
@@ -16,11 +24,20 @@ from collections import Counter, deque
 from threading import Lock
 import time
 
+from ..obs.metrics import MetricRegistry, get_registry
+
 
 class ServerMetrics:
     """Aggregates and snapshots serving counters (see module doc)."""
 
-    def __init__(self, latency_window: int = 4096) -> None:
+    #: Request-latency histogram bounds, seconds.
+    LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                       0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+    #: Coalesced-batch-size histogram bounds (requests per batch).
+    BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+    def __init__(self, latency_window: int = 4096,
+                 registry: MetricRegistry | None = None) -> None:
         self._lock = Lock()
         self.started_unix = time.time()
         self.requests_total = 0
@@ -28,7 +45,41 @@ class ServerMetrics:
         self.by_status: Counter[int] = Counter()
         self.batch_sizes: Counter[int] = Counter()
         self.queue_rejections = 0
+        self.inflight = 0
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        self.registry = registry if registry is not None else MetricRegistry()
+        r = self.registry
+        self._m_requests = r.counter(
+            "server_requests_total", "HTTP requests by route", label="route")
+        self._m_status = r.counter(
+            "server_responses_total", "HTTP responses by status code",
+            label="status")
+        self._m_rejections = r.counter(
+            "server_queue_rejections_total",
+            "requests shed because the microbatch queue was full")
+        self._m_batches = r.counter(
+            "server_batches_total", "dispatched microbatches")
+        self._m_batch_size = r.histogram(
+            "server_batch_size", self.BATCH_BUCKETS,
+            "coalesced requests per microbatch")
+        self._m_latency = r.histogram(
+            "server_request_latency_seconds", self.LATENCY_BUCKETS,
+            "request wall time, framing rejects excluded")
+        self._m_inflight = r.gauge(
+            "server_inflight_requests", "requests currently being handled")
+        self._m_uptime = r.gauge(
+            "server_uptime_seconds", "seconds since server start")
+
+    def request_started(self) -> None:
+        """One request entered handling (pairs with ``request_finished``)."""
+        with self._lock:
+            self.inflight += 1
+        self._m_inflight.inc()
+
+    def request_finished(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+        self._m_inflight.dec()
 
     def observe_request(
         self, route: str, status: int, latency: float | None
@@ -42,15 +93,22 @@ class ServerMetrics:
             self.by_status[status] += 1
             if latency is not None:
                 self._latencies.append(latency)
+        self._m_requests.inc(label_value=route)
+        self._m_status.inc(label_value=str(status))
+        if latency is not None:
+            self._m_latency.observe(latency)
 
     def observe_batch(self, n_requests: int) -> None:
         """Record one dispatched microbatch of ``n_requests`` requests."""
         with self._lock:
             self.batch_sizes[n_requests] += 1
+        self._m_batches.inc()
+        self._m_batch_size.observe(float(n_requests))
 
     def observe_queue_rejection(self) -> None:
         with self._lock:
             self.queue_rejections += 1
+        self._m_rejections.inc()
 
     @staticmethod
     def _percentile(values: list[float], p: float) -> float:
@@ -63,6 +121,8 @@ class ServerMetrics:
     def snapshot(self, engine=None, model: dict | None = None) -> dict:
         """The ``/metrics`` JSON payload."""
         with self._lock:
+            # Copy the reservoir under the lock; sorting happens on the
+            # copy so a concurrent append can't race the percentile scan.
             lat = list(self._latencies)
             out = {
                 "uptime_s": time.time() - self.started_unix,
@@ -72,6 +132,7 @@ class ServerMetrics:
                     str(k): v for k, v in self.by_status.items()
                 },
                 "queue_rejections": self.queue_rejections,
+                "inflight": self.inflight,
                 "batch_size_histogram": {
                     str(k): v for k, v in sorted(self.batch_sizes.items())
                 },
@@ -88,3 +149,36 @@ class ServerMetrics:
         if model is not None:
             out["model"] = model
         return out
+
+    def _sync_engine(self, engine) -> None:
+        """Mirror the engine's cache economics into gauges (pull-based:
+        runs only at scrape time, never on the request path)."""
+        stats = engine.cache_stats()
+        r = self.registry
+        r.gauge("engine_solves_total",
+                "kernel pair solves over the engine lifetime"
+                ).set(stats["solves"])
+        r.gauge("engine_cache_hits_total",
+                "pair evaluations served from the value cache"
+                ).set(stats["cache_hits"])
+        r.gauge("engine_cache_entries",
+                "entries in the in-memory value-cache tier"
+                ).set(stats["cache_entries"])
+        for tier, block in stats.get("tiers", {}).items():
+            for key, val in block.items():
+                if isinstance(val, (int, float)):
+                    r.gauge(f"engine_cache_{key}",
+                            "per-tier cache counter", label="tier"
+                            ).set(float(val), label_value=tier)
+
+    def to_prometheus(self, engine=None) -> str:
+        """The full Prometheus text exposition: serving metrics, the
+        engine's cache gauges, and any process-global metrics (e.g. the
+        ``vgpu_*_total`` hardware counters)."""
+        self._m_uptime.set(time.time() - self.started_unix)
+        if engine is not None:
+            self._sync_engine(engine)
+        text = self.registry.to_prometheus()
+        if get_registry() is not self.registry:
+            text += get_registry().to_prometheus()
+        return text

@@ -38,9 +38,11 @@ import asyncio
 import json
 import threading
 import time
+import uuid
 
 import numpy as np
 
+from ..obs.trace import current_span, get_tracer
 from .batcher import MicroBatcher, PredictItem, QueueFullError
 from .metrics import ServerMetrics
 from .protocol import (
@@ -189,6 +191,25 @@ class KernelServer:
     # the coalesced predict path
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _batch_span(name: str, items: list[PredictItem]):
+        """A span for one coalesced batch, parented on the first traced
+        request that fed it (worker threads don't inherit the event
+        loop's context, so the link travels through ``item.meta``).
+        The ids of *every* member request ride along as an attribute,
+        so one trace still reaches every batched-with request.
+        """
+        parent = next(
+            (it.meta.get("trace_ctx") for it in items
+             if it.meta.get("trace_ctx")), None,
+        )
+        return get_tracer().span(
+            name, parent=parent,
+            n_requests=len(items),
+            n_graphs=sum(len(it.graphs) for it in items),
+            request_ids=[it.meta.get("request_id") for it in items],
+        )
+
     def _run_predict_batch(self, items: list[PredictItem]) -> list[dict]:
         """Worker-thread body: one engine call for the whole batch.
 
@@ -200,7 +221,7 @@ class KernelServer:
         mean pass, so no pair is solved twice.
         """
         graphs = [g for item in items for g in item.graphs]
-        with self._state_lock:
+        with self._batch_span("batch.predict", items), self._state_lock:
             mu = self.gpr.predict_graphs(graphs)
             std_graphs = [
                 g for item in items if item.return_std for g in item.graphs
@@ -237,7 +258,7 @@ class KernelServer:
         each request's own ``k``) are then microseconds.
         """
         graphs = [g for item in items for g in item.graphs]
-        with self._state_lock:
+        with self._batch_span("batch.topk", items), self._state_lock:
             Q = self.index.feature_map.transform(graphs)
             results, offset = [], 0
             for item in items:
@@ -286,7 +307,7 @@ class KernelServer:
                 "this model does not support online updates; resubmit "
                 "entries without targets or refit",
             )
-        with self._state_lock:
+        with self._batch_span("batch.update", items), self._state_lock:
             indexed = [self.index.insert(item.graphs) for item in items]
             absorbed = [0] * len(items)
             if labelled:
@@ -392,15 +413,39 @@ class KernelServer:
                     break
                 body = await reader.readexactly(length) if length else b""
 
+                # One id per request: honoured from the client's
+                # X-Request-Id header when present, minted otherwise.
+                # It becomes the trace id, so the request's span tree
+                # (http.request -> batch.* -> engine/tile spans) is
+                # addressable by the id the client saw.
+                request_id = (
+                    headers.get("x-request-id")
+                    or f"req-{uuid.uuid4().hex[:16]}"
+                )
                 t0 = time.perf_counter()
-                status, payload = await self._route(method, path, body)
+                self.metrics.request_started()
+                tracer = get_tracer()
+                try:
+                    with tracer.span(
+                        "http.request", trace_id=request_id,
+                        method=method, path=path, request_id=request_id,
+                    ) as sp:
+                        status, payload, ctype = await self._route(
+                            method, path, body, headers, request_id
+                        )
+                        sp.set("status", status)
+                finally:
+                    self.metrics.request_finished()
                 keep_alive = headers.get("connection", "").lower() != "close"
                 self.metrics.observe_request(
                     path if path in KNOWN_ROUTES else "<other>",
                     status,
                     time.perf_counter() - t0,
                 )
-                await self._respond(writer, status, payload, keep_alive)
+                await self._respond(
+                    writer, status, payload, keep_alive,
+                    content_type=ctype, request_id=request_id,
+                )
                 if not keep_alive:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError,
@@ -420,11 +465,15 @@ class KernelServer:
         status: int,
         payload: bytes,
         keep_alive: bool,
+        content_type: str = "application/json",
+        request_id: str | None = None,
     ) -> None:
+        rid = f"X-Request-Id: {request_id}\r\n" if request_id else ""
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{rid}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
@@ -435,34 +484,58 @@ class KernelServer:
     # routing
     # ------------------------------------------------------------------
 
+    def _trace_meta(self, request_id: str | None) -> dict:
+        """The batcher-submit extras that tie a batch back to this
+        request: the id always, the live span context when tracing."""
+        meta: dict = {"request_id": request_id}
+        if get_tracer().enabled:
+            meta["trace_ctx"] = current_span().context
+        return meta
+
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, bytes]:
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+        request_id: str | None = None,
+    ) -> tuple[int, bytes, str]:
+        headers = headers or {}
+        json_t = "application/json"
         try:
             if path == "/healthz":
                 if method != "GET":
                     raise ProtocolError(405, "bad_method", "use GET /healthz")
                 return 200, json.dumps(
                     {"status": "ok", "model": self.model_info}
-                ).encode()
+                ).encode(), json_t
             if path == "/metrics":
                 if method != "GET":
                     raise ProtocolError(405, "bad_method", "use GET /metrics")
+                accept = headers.get("accept", "")
+                if "text/plain" in accept or "openmetrics" in accept:
+                    # Prometheus scrape: text exposition format 0.0.4.
+                    text = self.metrics.to_prometheus(self.engine)
+                    return 200, text.encode(), (
+                        "text/plain; version=0.0.4; charset=utf-8"
+                    )
                 snap = self.metrics.snapshot(
                     self.engine, model=self.model_info
                 )
                 if self.index is not None:
                     with self._state_lock:
                         snap["index"] = self.index.stats()
-                return 200, json.dumps(snap).encode()
+                return 200, json.dumps(snap).encode(), json_t
             if path == "/predict":
                 if method != "POST":
                     raise ProtocolError(405, "bad_method", "use POST /predict")
                 graphs, return_std = parse_predict_request(
                     body, self.max_request_graphs
                 )
-                result = await self.batcher.submit(graphs, return_std)
-                return 200, json.dumps(result).encode()
+                result = await self.batcher.submit(
+                    graphs, return_std, **self._trace_meta(request_id)
+                )
+                return 200, json.dumps(result).encode(), json_t
             if path == "/similarity":
                 if method != "POST":
                     raise ProtocolError(
@@ -476,14 +549,16 @@ class KernelServer:
                 )
                 return 200, json.dumps(
                     {"values": np.asarray(values).tolist()}
-                ).encode()
+                ).encode(), json_t
             if path == "/topk":
                 if method != "POST":
                     raise ProtocolError(405, "bad_method", "use POST /topk")
                 self._require_index("/topk")
                 graphs, k = parse_topk_request(body, self.max_request_graphs)
-                result = await self.topk_batcher.submit(graphs, k=k)
-                return 200, json.dumps(result).encode()
+                result = await self.topk_batcher.submit(
+                    graphs, k=k, **self._trace_meta(request_id)
+                )
+                return 200, json.dumps(result).encode(), json_t
             if path == "/update":
                 if method != "POST":
                     raise ProtocolError(405, "bad_method", "use POST /update")
@@ -492,18 +567,21 @@ class KernelServer:
                     body, self.max_request_graphs
                 )
                 result = await self.update_batcher.submit(
-                    graphs, targets=targets
+                    graphs, targets=targets,
+                    **self._trace_meta(request_id)
                 )
-                return 200, json.dumps(result).encode()
+                return 200, json.dumps(result).encode(), json_t
             raise ProtocolError(404, "not_found", f"no route {path!r}")
         except ProtocolError as exc:
-            return exc.status, exc.body()
+            return exc.status, exc.body(), json_t
         except QueueFullError as exc:
-            return 503, ProtocolError(503, "overloaded", str(exc)).body()
+            return 503, ProtocolError(
+                503, "overloaded", str(exc)
+            ).body(), json_t
         except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
             return 500, ProtocolError(
                 500, "internal", f"{type(exc).__name__}: {exc}"
-            ).body()
+            ).body(), json_t
 
 
 class ServerThread:

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..kernels.linsys import BatchedProductSystem, _concat_ranges
+from ..obs.trace import get_tracer
 
 #: Compact state + operator once the alive fraction of the layout
 #: drops below this (a rebuild costs about one matvec).  0.35 balances
@@ -110,6 +111,45 @@ def _batched_krylov(
     precondition: bool,
     x0: np.ndarray | None = None,
     r0: np.ndarray | None = None,
+) -> BatchedSolveResult:
+    """Traced entry: a ``pcg.batch`` span carrying iteration/retirement
+    stats wraps the solve when tracing is on; the disabled path calls
+    straight through with no stats bookkeeping at all."""
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _batched_krylov_impl(
+            system, rtol, atol, max_iter, precondition, x0, r0, None
+        )
+    stats = {"compactions": 0, "breakdowns": 0, "zero_iter_retired": 0}
+    with tracer.span(
+        "pcg.batch",
+        batch=system.batch,
+        total_unknowns=int(system.total),
+        preconditioned=precondition,
+        warm_started=x0 is not None,
+    ) as sp:
+        res = _batched_krylov_impl(
+            system, rtol, atol, max_iter, precondition, x0, r0, stats
+        )
+        iters = res.iterations
+        sp.set("iterations_total", int(iters.sum()))
+        sp.set("iterations_max", int(iters.max()) if len(iters) else 0)
+        sp.set("converged", int(res.converged.sum()))
+        sp.set("nonconverged", int((~res.converged).sum()))
+        for key, value in stats.items():
+            sp.set(key, value)
+    return res
+
+
+def _batched_krylov_impl(
+    system: BatchedProductSystem,
+    rtol: float,
+    atol: float,
+    max_iter: int | None,
+    precondition: bool,
+    x0: np.ndarray | None,
+    r0: np.ndarray | None,
+    stats: dict | None,
 ) -> BatchedSolveResult:
     B = system.batch
     if (system.diag <= 0).any():
@@ -189,6 +229,8 @@ def _batched_krylov(
     def compact() -> None:
         nonlocal sysk, pair_of, alive, x, r, p, rho, rnorm, threshold, caps
         nonlocal t, u, starts, seglen
+        if stats is not None:
+            stats["compactions"] += 1
         keep = np.flatnonzero(alive)
         gather = _concat_ranges(sysk.offsets[keep], sysk.offsets[keep + 1])
         x = x[gather]
@@ -219,6 +261,8 @@ def _batched_krylov(
         # unnecessary here: either nothing stays alive, or compact()
         # immediately drops the retired segments.
         idx = np.flatnonzero(done0)
+        if stats is not None:
+            stats["zero_iter_retired"] = len(idx)
         pair = pair_of[idx]
         iters_out[pair] = 0
         conv_out[pair] = True
@@ -247,6 +291,8 @@ def _batched_krylov(
         # at its pre-update iterate, exactly like the scalar solver.
         broken = alive & (pa <= 0)
         if broken.any():
+            if stats is not None:
+                stats["breakdowns"] += int(broken.sum())
             retire(np.flatnonzero(broken), it - 1, False)
             if not alive.any():
                 break

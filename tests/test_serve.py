@@ -782,3 +782,92 @@ class TestSearchServer:
                 [h["score"] for h in ref],
                 rtol=1e-12,
             )
+
+
+# ----------------------------------------------------------------------
+# observability: inflight gauge, Prometheus exposition, trace linkage
+# ----------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_metrics_report_inflight(self, live):
+        snap = live["client"].metrics()
+        # the scrape itself is in flight while the snapshot is taken
+        assert snap["inflight"] >= 1
+
+    def test_metrics_prometheus_content_negotiation(self, live):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", live["port"], timeout=30
+        )
+        try:
+            conn.request("GET", "/metrics",
+                         headers={"Accept": "text/plain"})
+            resp = conn.getresponse()
+            text = resp.read().decode()
+        finally:
+            conn.close()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type").startswith("text/plain")
+        assert "# TYPE server_requests_total counter" in text
+        assert "# TYPE server_inflight_requests gauge" in text
+        assert ('server_request_latency_seconds_bucket{le="+Inf"}'
+                in text)
+        assert "server_request_latency_seconds_count" in text
+        # engine cache economics ride along as per-tier gauges
+        assert 'engine_cache_hits{tier="value"}' in text
+        # the default (no Accept preference) stays JSON
+        snap = live["client"].metrics()
+        assert "requests_total" in snap and "latency_ms" in snap
+
+    def test_request_id_propagates_through_batcher(self, fitted, live):
+        from repro.obs import disable_tracing, enable_tracing
+        from repro.serve.protocol import graph_to_wire
+
+        tracer = enable_tracing()
+        try:
+            body = json.dumps(
+                {"graphs": [graph_to_wire(fitted["test"][0])]}
+            )
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", live["port"], timeout=60
+            )
+            try:
+                conn.request(
+                    "POST", "/predict", body=body,
+                    headers={"Content-Type": "application/json",
+                             "X-Request-Id": "req-obs-1"},
+                )
+                resp = conn.getresponse()
+                resp.read()
+            finally:
+                conn.close()
+            assert resp.status == 200
+            # the id is echoed back to the client...
+            assert resp.getheader("X-Request-Id") == "req-obs-1"
+            # ...and is the trace id of the whole span tree
+            spans = [s for s in tracer.finished()
+                     if s.trace_id == "req-obs-1"]
+            names = {s.name for s in spans}
+            assert {"http.request", "batch.predict",
+                    "engine.compute_pairs"} <= names
+            req = next(s for s in spans if s.name == "http.request")
+            batch = next(s for s in spans if s.name == "batch.predict")
+            assert batch.parent_id == req.span_id
+            assert "req-obs-1" in batch.attrs["request_ids"]
+            assert req.attrs["status"] == 200
+            assert req.attrs["path"] == "/predict"
+        finally:
+            disable_tracing()
+
+    def test_request_id_minted_when_absent(self, live):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", live["port"], timeout=30
+        )
+        try:
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            resp.read()
+        finally:
+            conn.close()
+        rid = resp.getheader("X-Request-Id")
+        assert rid and rid.startswith("req-")
