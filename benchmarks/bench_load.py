@@ -1,0 +1,552 @@
+"""Open-loop load harness: the multi-worker deployment under fire.
+
+The serving claim of this PR has three legs, and this bench measures
+all of them against a real ``repro serve`` deployment (worker
+subprocesses spawned through :class:`repro.serve.WorkerPool`, traffic
+through the :class:`repro.serve.Router`):
+
+1. **Fault isolation** — deterministic "poison volleys" (one
+   wrong-label-vocabulary graph barrier-fired together with 7 clean
+   requests, so they coalesce into one microbatch) must answer 400
+   ``unsupported_graph`` for the poison and 200 for every sibling.
+2. **Scale-out latency** — the same open-loop Poisson arrival stream
+   (unique query graphs, so the engine cache cannot make repeats
+   free; ~1% poison; a /topk slice mixed in) is offered to one worker
+   and to a router + 4 workers at a rate calibrated to oversubscribe
+   the single worker.  On a multi-core machine the 4-worker arm must
+   hold a better p99; on a single core, scale-out has no CPU to scale
+   onto (4 processes time-slice one core and forfeit batching
+   amortization), so the gate degrades to *bounded* router+pool
+   overhead.  Either way: **zero hung requests** in both arms.
+3. **Shared artifacts** — the pooled workers load the registry with
+   ``--mmap``; summed PSS of 4 workers must stay well under 4x the
+   single worker's PSS (proportional accounting splits shared pages,
+   which is exactly where the sharing shows).
+
+Open-loop means arrivals fire at their scheduled times whether or not
+earlier requests completed — the discipline that actually reveals
+queueing collapse (a closed loop self-throttles and hides it).
+
+Run as a pytest bench (writes ``BENCH_load.json``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_load.py \
+        --benchmark-only --json /tmp/bench
+
+or as a standalone smoke probe against an already-running server::
+
+    PYTHONPATH=src python benchmarks/bench_load.py \
+        --host 127.0.0.1 --port 8077 --rate 12 --duration 5 --poison 50
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import os
+import random
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.engine import GramEngine
+from repro.graphs.generators import random_labeled_graph
+from repro.graphs.io import graph_from_dict, graph_to_dict
+from repro.kernels.basekernels import synthetic_kernels
+from repro.kernels.marginalized import MarginalizedGraphKernel
+from repro.ml import GaussianProcessRegressor
+from repro.search import index_from_graphs
+from repro.serve import ModelRegistry, ServeClient, ServeClientError
+from repro.serve.router import WorkerPool, default_worker_argv, free_port
+
+N_TRAIN = 10
+GRAPH_NODES = 6
+#: Graphs per clean open-loop request — heavy enough that a calibrated
+#: 2x-oversubscription rate stays inside the clamp on fast machines.
+GRAPHS_PER_REQUEST = 8
+N_CORES = os.cpu_count() or 1
+#: With 2+ cores, extra worker processes buy real parallelism and the
+#: bench demands a p99 *win*; on one core they can only buy isolation,
+#: so the latency gate is "bounded overhead", not "faster".
+SCALE_OUT_CAPABLE = N_CORES >= 2
+
+
+def clean_graph(seed: int):
+    """A unique well-formed query graph (unique => no engine-cache
+    freebies across requests)."""
+    return random_labeled_graph(
+        GRAPH_NODES, density=0.5, weighted=True, seed=seed
+    )
+
+
+def poison_graph(seed: int):
+    """A graph that passes wire validation but cannot be evaluated:
+    its node-label vocabulary doesn't match the model's kernel, so the
+    failure only surfaces *inside* the coalesced engine call — the
+    exact shape of poison that used to 500 a whole microbatch."""
+    d = graph_to_dict(clean_graph(seed))
+    d["node_labels"] = {"mislabeled": d["node_labels"]["label"]}
+    return graph_from_dict(d)
+
+
+def build_registry(root: str) -> None:
+    """Fit a small model + similarity index and save both under one
+    registry, for worker subprocesses to load."""
+    train = [clean_graph(900 + i) for i in range(N_TRAIN)]
+    y = np.array([float(g.degrees.mean()) for g in train])
+    nk, ek = synthetic_kernels()
+    mgk = MarginalizedGraphKernel(nk, ek, q=0.2)
+    engine = GramEngine(mgk)
+    gpr = GaussianProcessRegressor(alpha=1e-6, engine=engine)
+    gpr.fit_graphs(train, y)
+    registry = ModelRegistry(root)
+    registry.save(
+        "load-model", gpr, mgk, train, scheme="synthetic",
+        metadata={"bench": "load"},
+    )
+    index = index_from_graphs(train, engine, n_landmarks=4, seed=0)
+    registry.save_index(
+        "load-index", index, mgk, scheme="synthetic",
+        metadata={"bench": "load"},
+    )
+
+
+def make_pool(n_workers: int, registry_root: str,
+              window_ms: float = 25.0, adaptive: bool = True) -> WorkerPool:
+    serve_args = [
+        "--registry", registry_root, "--name", "load-model",
+        "--index", "load-index", "--mmap",
+        "--max-batch", "64", "--window-ms", str(window_ms),
+        "--max-queue", "512",
+    ]
+    if adaptive:
+        serve_args += [
+            "--adaptive-window", "--window-min-ms", "2",
+            "--window-max-ms", "50",
+        ]
+    return WorkerPool(n_workers, default_worker_argv(serve_args))
+
+
+# ----------------------------------------------------------------------
+# traffic
+# ----------------------------------------------------------------------
+
+
+def open_loop(
+    host: str,
+    port: int,
+    rate_rps: float,
+    duration_s: float,
+    poison_every: int = 100,
+    topk_every: int = 5,
+    seed: int = 0,
+    timeout_s: float = 30.0,
+) -> dict:
+    """Offer a Poisson arrival stream; return latency/outcome stats.
+
+    Every arrival fires at its pre-scheduled time regardless of
+    earlier completions (open loop).  A request is **hung** when the
+    server accepted it but never answered within ``timeout_s`` —
+    exactly the failure mode the submit-during-stop and poison-fanout
+    bugs produced.
+    """
+    rng = random.Random(seed)
+    arrivals, t = [], 0.0
+    while t < duration_s:
+        arrivals.append(t)
+        t += rng.expovariate(rate_rps)
+    # Pre-build every request's graphs so client-side generation cost
+    # never competes with the servers during the timed run.
+    payloads = []
+    for idx in range(len(arrivals)):
+        is_poison = poison_every and idx % poison_every == poison_every // 2
+        is_topk = not is_poison and topk_every and idx % topk_every == 0
+        if is_poison:
+            payloads.append(("poison", [poison_graph(10_000 + idx)]))
+        elif is_topk:
+            payloads.append(("topk", [clean_graph(500_000 + idx)]))
+        else:
+            base = 10_000 + GRAPHS_PER_REQUEST * idx
+            payloads.append(("predict", [
+                clean_graph(base + j) for j in range(GRAPHS_PER_REQUEST)
+            ]))
+    client = ServeClient(host, port, timeout=timeout_s)
+    lock = threading.Lock()
+    stats = {
+        "sent": 0, "ok": 0, "poison_sent": 0, "poison_rejected": 0,
+        "shed": 0, "errors": 0, "hung": 0,
+    }
+    latencies: list[float] = []
+    start = time.perf_counter() + 0.25  # let the pool spin up
+
+    def fire(idx: int, at: float) -> None:
+        delay = start + at - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        kind, graphs = payloads[idx]
+        is_poison = kind == "poison"
+        t0 = time.perf_counter()
+        outcome = "ok"
+        try:
+            if kind == "poison":
+                client.predict(graphs)
+                outcome = "poison_not_rejected"
+            elif kind == "topk":
+                client.topk(graphs, k=3)
+            else:
+                client.predict(graphs)
+        except ServeClientError as exc:
+            if is_poison and exc.status == 400:
+                outcome = "poison_rejected"
+            elif exc.status in (429, 503):
+                outcome = "shed"
+            else:
+                outcome = "error"
+        except socket.timeout:
+            outcome = "hung"
+        except OSError:
+            outcome = "error"
+        dt = time.perf_counter() - t0
+        with lock:
+            stats["sent"] += 1
+            if is_poison:
+                stats["poison_sent"] += 1
+            if outcome == "ok":
+                stats["ok"] += 1
+                latencies.append(dt)
+            elif outcome == "poison_rejected":
+                stats["poison_rejected"] += 1
+            elif outcome == "shed":
+                stats["shed"] += 1
+            elif outcome == "hung":
+                stats["hung"] += 1
+            else:
+                stats["errors"] += 1
+
+    n_threads = min(384, int(4 * rate_rps) + 32)
+    with cf.ThreadPoolExecutor(max_workers=n_threads) as pool:
+        futs = [pool.submit(fire, i, at) for i, at in enumerate(arrivals)]
+        for f in futs:
+            f.result()
+
+    lat = np.sort(np.asarray(latencies)) if latencies else np.zeros(1)
+    n_clean = stats["sent"] - stats["poison_sent"]
+    return {
+        **stats,
+        "offered_rps": rate_rps,
+        "duration_s": duration_s,
+        "ok_rate": stats["ok"] / max(1, n_clean),
+        "p50_ms": 1e3 * float(lat[int(0.50 * (len(lat) - 1))]),
+        "p99_ms": 1e3 * float(lat[int(0.99 * (len(lat) - 1))]),
+        "max_ms": 1e3 * float(lat[-1]),
+    }
+
+
+def poison_volleys(host: str, port: int, n_volleys: int = 4,
+                   volley_size: int = 8) -> dict:
+    """Deterministic containment check: barrier-fire 1 poison + N-1
+    clean requests so they land in one microbatch, and demand the
+    blast radius is exactly one request."""
+    client = ServeClient(host, port, timeout=30.0)
+    out = {"volleys": n_volleys, "sibling_total": 0, "sibling_ok": 0,
+           "poison_total": 0, "poison_rejected": 0}
+    for v in range(n_volleys):
+        barrier = threading.Barrier(volley_size)
+
+        def task(i: int, v: int = v):
+            barrier.wait()
+            seed = 50_000 + 100 * v + i
+            try:
+                if i == 0:
+                    client.predict([poison_graph(seed)])
+                    return ("poison", "not_rejected")
+                client.predict([clean_graph(seed)])
+                return ("clean", "ok")
+            except ServeClientError as exc:
+                kind = "poison" if i == 0 else "clean"
+                return (kind, f"{exc.status}/{exc.code}")
+
+        with cf.ThreadPoolExecutor(max_workers=volley_size) as pool:
+            results = [
+                f.result()
+                for f in [pool.submit(task, i) for i in range(volley_size)]
+            ]
+        for kind, status in results:
+            if kind == "poison":
+                out["poison_total"] += 1
+                if status == "400/unsupported_graph":
+                    out["poison_rejected"] += 1
+            else:
+                out["sibling_total"] += 1
+                if status == "ok":
+                    out["sibling_ok"] += 1
+    out["sibling_success_rate"] = (
+        out["sibling_ok"] / max(1, out["sibling_total"])
+    )
+    out["poison_rejected_rate"] = (
+        out["poison_rejected"] / max(1, out["poison_total"])
+    )
+    return out
+
+
+def calibrate_rate(host: str, port: int, n_probe: int = 10) -> float:
+    """Estimate one worker's serial service rate (requests/s) from a
+    closed-loop probe of bench-sized unique predicts."""
+    client = ServeClient(host, port, timeout=30.0)
+    t0 = time.perf_counter()
+    for i in range(n_probe):
+        base = 90_000 + GRAPHS_PER_REQUEST * i
+        client.predict(
+            [clean_graph(base + j) for j in range(GRAPHS_PER_REQUEST)]
+        )
+    per_req = (time.perf_counter() - t0) / n_probe
+    return 1.0 / max(per_req, 1e-4)
+
+
+def _sum_or_none(values):
+    vals = [v for v in values if v is not None]
+    return sum(vals) if vals and len(vals) == len(values) else None
+
+
+def spawn_cli_deployment(
+    registry_root: str, n_workers: int, port: int
+) -> subprocess.Popen:
+    """The real thing: ``repro serve --serve-workers N`` in its own
+    process (router + worker pool), exactly as an operator runs it."""
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--registry", registry_root, "--name", "load-model",
+        "--index", "load-index", "--mmap",
+        "--max-batch", "64", "--window-ms", "25", "--max-queue", "512",
+        "--adaptive-window", "--window-min-ms", "2", "--window-max-ms", "50",
+        "--serve-workers", str(n_workers), "--port", str(port),
+    ]
+    return subprocess.Popen(argv)
+
+
+def child_worker_pids(pid: int) -> list[int]:
+    """The worker processes the CLI deployment spawned (linux /proc)."""
+    try:
+        with open(f"/proc/{pid}/task/{pid}/children") as fh:
+            return [int(x) for x in fh.read().split()]
+    except OSError:
+        return []
+
+
+# ----------------------------------------------------------------------
+# the bench
+# ----------------------------------------------------------------------
+
+
+def run_load_workload() -> dict:
+    from conftest import SCALE
+
+    result: dict = {}
+    with tempfile.TemporaryDirectory(prefix="bench-load-") as tmp:
+        build_registry(tmp)
+
+        # --- arm 1: containment (one worker, window wide enough that a
+        # barrier-fired volley always coalesces into one batch) -------
+        with make_pool(1, tmp, window_ms=60.0, adaptive=False) as pool:
+            pool.wait_ready()
+            host, port = pool.replicas[0]
+            result["poison"] = poison_volleys(host, port)
+            snap = ServeClient(host, port).metrics()
+            result["poison"]["poison_batches_metric"] = snap["poison_batches"]
+            result["poison"]["isolated_items_metric"] = snap.get(
+                "isolated_items", {}
+            )
+
+        # --- arm 2: one worker under 4x-oversubscribing open load -----
+        duration = 6.0 * max(1.0, SCALE)
+        with make_pool(1, tmp) as pool:
+            pool.wait_ready()
+            host, port = pool.replicas[0]
+            capacity = calibrate_rate(host, port)
+            # Oversubscribe one worker ~3x (adaptive batching lifts
+            # sustained capacity above the serial estimate) so queueing
+            # actually bites; clamp to keep CI request counts sane.  On
+            # one core every extra rps also lands on the only CPU the
+            # servers have, so press less hard.
+            factor = 3.0 if SCALE_OUT_CAPABLE else 1.5
+            rate = float(np.clip(factor * capacity, 8.0, 80.0))
+            single_pss = _sum_or_none(pool.pss_bytes())
+            single_rss = _sum_or_none(pool.rss_bytes())
+            result["single"] = open_loop(host, port, rate, duration, seed=1)
+            result["single"]["capacity_est_rps"] = capacity
+
+        # --- arm 3: the real CLI deployment (router + 4 workers in
+        # their own processes), same offered load ----------------------
+        rport = free_port()
+        deployment = spawn_cli_deployment(tmp, 4, rport)
+        try:
+            ServeClient("127.0.0.1", rport).wait_ready(timeout=300)
+            # Memory sampled at the same lifecycle point as the single
+            # arm (freshly ready), so the mmap/page sharing is what
+            # differs — not load-dependent heap growth.
+            workers = child_worker_pids(deployment.pid)
+            multi_pss = _sum_or_none([
+                WorkerPool._proc_field(f"/proc/{p}/smaps_rollup", "Pss")
+                for p in workers
+            ]) if workers else None
+            multi_rss = _sum_or_none([
+                WorkerPool._proc_field(f"/proc/{p}/status", "VmRSS")
+                for p in workers
+            ]) if workers else None
+            result["multi"] = open_loop(
+                "127.0.0.1", rport, rate, duration, seed=2
+            )
+            rsnap = ServeClient("127.0.0.1", rport).metrics()
+            result["router"] = {
+                "n_workers": len(workers),
+                "replicas_healthy": sum(
+                    1 for r in rsnap["replicas"].values()
+                    if r["state"]["healthy"]
+                ),
+                "counters": rsnap["router"],
+            }
+        finally:
+            deployment.terminate()  # SIGTERM -> graceful pool teardown
+            try:
+                deployment.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                deployment.kill()
+                deployment.wait(timeout=10)
+
+    result["memory"] = {
+        "single_pss_bytes": single_pss,
+        "single_rss_bytes": single_rss,
+        "multi_pss_total_bytes": multi_pss,
+        "multi_rss_total_bytes": multi_rss,
+        "pss_sublinearity": (
+            multi_pss / (4.0 * single_pss)
+            if multi_pss is not None and single_pss else None
+        ),
+    }
+    result["p99_gain_vs_single"] = (
+        result["single"]["p99_ms"] / max(result["multi"]["p99_ms"], 1e-9)
+    )
+    result["n_cores"] = N_CORES
+    result["scale_out_capable"] = SCALE_OUT_CAPABLE
+    return result
+
+
+def test_load_harness(benchmark, request):
+    from conftest import banner, write_bench_json
+
+    r = benchmark.pedantic(run_load_workload, rounds=1, iterations=1)
+    banner("Load — open-loop Poisson, poison containment, 4-worker scale-out")
+    p = r["poison"]
+    print(f"poison volleys: {p['sibling_ok']}/{p['sibling_total']} siblings "
+          f"ok, {p['poison_rejected']}/{p['poison_total']} poisons 400'd, "
+          f"{p['poison_batches_metric']} isolation events")
+    s, m = r["single"], r["multi"]
+    print(f"offered {s['offered_rps']:.1f} rps against one worker's "
+          f"~{s['capacity_est_rps']:.1f} rps serial capacity:")
+    print(f"  1 worker : p50 {s['p50_ms']:7.1f} ms  p99 {s['p99_ms']:7.1f} "
+          f"ms  ok {s['ok_rate']:.3f}  shed {s['shed']}  hung {s['hung']}")
+    print(f"  4 workers: p50 {m['p50_ms']:7.1f} ms  p99 {m['p99_ms']:7.1f} "
+          f"ms  ok {m['ok_rate']:.3f}  shed {m['shed']}  hung {m['hung']}")
+    print(f"p99 gain vs single: {r['p99_gain_vs_single']:.2f}x "
+          f"({r['n_cores']} core{'s' if r['n_cores'] != 1 else ''}; "
+          f"gate: {'win' if r['scale_out_capable'] else 'bounded overhead'})")
+    mem = r["memory"]
+    if mem["pss_sublinearity"] is not None:
+        print(f"PSS: single {mem['single_pss_bytes'] / 1e6:.1f} MB, "
+              f"4-pool total {mem['multi_pss_total_bytes'] / 1e6:.1f} MB "
+              f"({mem['pss_sublinearity']:.2f}x of 4 singles)")
+
+    write_bench_json(request, "load", {
+        "poison": {
+            "sibling_success_rate": p["sibling_success_rate"],
+            "poison_rejected_rate": p["poison_rejected_rate"],
+            "volleys": p["volleys"],
+        },
+        "single": {k: s[k] for k in
+                   ("offered_rps", "p50_ms", "p99_ms", "ok_rate",
+                    "shed", "hung", "sent")},
+        "multi": {k: m[k] for k in
+                  ("offered_rps", "p50_ms", "p99_ms", "ok_rate",
+                   "shed", "hung", "sent")},
+        "p99_gain_vs_single": r["p99_gain_vs_single"],
+        "n_cores": r["n_cores"],
+        "memory": mem,
+    })
+
+    # Containment: the poison's blast radius is exactly itself.
+    assert p["sibling_success_rate"] == 1.0, p
+    assert p["poison_rejected_rate"] == 1.0, p
+    assert p["poison_batches_metric"] >= 1, p
+    # Open loop: nothing may hang, in either arm.
+    assert s["hung"] == 0 and m["hung"] == 0, (s, m)
+    # Scale-out: with real cores to spread over, 4 workers must beat 1
+    # at the same oversubscribing rate.  On a single core that is
+    # physics, not engineering — four processes time-slice one CPU —
+    # so demand bounded router+pool overhead instead of a win.
+    if r["scale_out_capable"]:
+        assert r["p99_gain_vs_single"] > 1.0, r
+    else:
+        assert m["p99_ms"] <= max(2500.0, 8.0 * s["p99_ms"]), (s, m)
+    assert m["ok_rate"] >= 0.98, m
+    assert m["errors"] == 0, m
+    # Shared artifacts: 4 mmap'd workers cost measurably less than 4
+    # singles on proportional (PSS) accounting.
+    if mem["pss_sublinearity"] is not None:
+        assert mem["pss_sublinearity"] < 0.95, mem
+
+
+# ----------------------------------------------------------------------
+# standalone smoke mode (CI drives the real CLI deployment with this)
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    import argparse
+    import json
+
+    ap = argparse.ArgumentParser(
+        description="open-loop load smoke against a running server/router"
+    )
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--rate", type=float, default=12.0)
+    ap.add_argument("--duration", type=float, default=5.0)
+    ap.add_argument("--poison", type=int, default=50,
+                    help="inject one poison request every N (0 = none)")
+    ap.add_argument("--topk", type=int, default=0,
+                    help="mix in one /topk request every N (0 = none; "
+                    "needs an index-loaded server)")
+    ap.add_argument("--p99-budget-ms", type=float, default=None,
+                    help="fail if p99 exceeds this many milliseconds")
+    args = ap.parse_args()
+
+    ServeClient(args.host, args.port).wait_ready(timeout=60)
+    stats = open_loop(
+        args.host, args.port, args.rate, args.duration,
+        poison_every=args.poison, topk_every=args.topk, seed=7,
+    )
+    print(json.dumps(stats, indent=1))
+    if stats["hung"]:
+        print(f"FAIL: {stats['hung']} hung requests")
+        return 1
+    if stats["errors"]:
+        print(f"FAIL: {stats['errors']} unexpected errors")
+        return 1
+    if stats["poison_sent"] and (
+            stats["poison_rejected"] != stats["poison_sent"]):
+        print("FAIL: poison requests were not all rejected with 400")
+        return 1
+    if (args.p99_budget_ms is not None
+            and stats["p99_ms"] > args.p99_budget_ms):
+        print(f"FAIL: p99 {stats['p99_ms']:.1f} ms over the "
+              f"{args.p99_budget_ms:.1f} ms budget")
+        return 1
+    print("load smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,13 @@ METRICS = [
     ("BENCH_search.json", "speedup_vs_gram_10k", "ratio"),
     ("BENCH_search.json", "qps.exact", "absolute"),
     ("BENCH_search.json", "qps.lsh", "absolute"),
+    # load: containment and success rates are machine-independent hard
+    # gates; the scale-out gain (which flips sign on single-core
+    # machines) only warns.
+    ("BENCH_load.json", "poison.sibling_success_rate", "ratio"),
+    ("BENCH_load.json", "poison.poison_rejected_rate", "ratio"),
+    ("BENCH_load.json", "multi.ok_rate", "ratio"),
+    ("BENCH_load.json", "p99_gain_vs_single", "absolute"),
 ]
 
 #: Ratio metrics derived from one file's fields (numerator / denominator),

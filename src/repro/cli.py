@@ -368,11 +368,104 @@ def cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _worker_serve_args(args: argparse.Namespace) -> list[str]:
+    """Re-serialize the serve flags a worker process must inherit
+    (everything except host/port, which the pool assigns, and the
+    router-only admission/worker-count flags)."""
+    argv = ["--registry", args.registry, "--name", args.name]
+    if args.version is not None:
+        argv += ["--version", str(args.version)]
+    argv += [
+        "--max-batch", str(args.max_batch),
+        "--window-ms", str(args.window_ms),
+        "--max-queue", str(args.max_queue),
+    ]
+    if args.index:
+        argv += ["--index", args.index]
+    if args.index_version is not None:
+        argv += ["--index-version", str(args.index_version)]
+    if args.mmap:
+        argv += ["--mmap"]
+    if args.adaptive_window:
+        argv += [
+            "--adaptive-window",
+            "--window-min-ms", str(args.window_min_ms),
+            "--window-max-ms", str(args.window_max_ms),
+        ]
+    argv += ["--executor", args.executor]
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    return argv
+
+
+def _cmd_serve_multi(args: argparse.Namespace) -> int:
+    """The ``--serve-workers N`` deployment: N worker processes behind
+    a health-aware router, artifacts shared via ``--mmap``."""
+    import asyncio
+    import os
+    import signal
+    import sys
+
+    from .serve.router import Router, WorkerPool
+
+    # SIGTERM must tear down the worker processes too, not orphan them;
+    # route it through the KeyboardInterrupt path below.
+    signal.signal(signal.SIGTERM, signal.default_int_handler)
+
+    base = _worker_serve_args(args)
+
+    def worker_argv(host: str, port: int) -> list[str]:
+        argv = [
+            sys.executable, "-m", "repro.cli", "serve",
+            *base, "--host", host, "--port", str(port),
+        ]
+        if args.trace_dir:
+            # One spans.jsonl per worker; a shared file would interleave.
+            argv += ["--trace-dir",
+                     os.path.join(args.trace_dir, f"worker-{port}")]
+        return argv
+
+    pool = WorkerPool(args.serve_workers, worker_argv)
+    pool.start()
+    try:
+        pool.wait_ready(timeout=300)
+        router = Router(
+            pool.replicas,
+            host=args.host,
+            port=args.port,
+            rate_rps=args.rate_limit,
+            burst=args.burst,
+        )
+
+        async def run() -> None:
+            await router.start()
+            print(f"routing {args.name} across {args.serve_workers} workers "
+                  f"(ports {pool.ports}) on "
+                  f"http://{router.host}:{router.port}"
+                  + (f", admission {args.rate_limit:g} rps"
+                     if args.rate_limit > 0 else ""),
+                  flush=True)
+            await router.serve_forever()
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("shutting down")
+    finally:
+        pool.terminate()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
 
-    from .serve import KernelServer, ModelRegistry
+    from .serve import AdaptiveWindow, KernelServer, ModelRegistry
+
+    if args.serve_workers > 1:
+        return _cmd_serve_multi(args)
 
     if args.trace_dir:
         from .obs import enable_tracing, jsonl_sink
@@ -384,11 +477,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"(summarize with: repro trace summarize {trace_path})")
 
     registry = ModelRegistry(args.registry)
-    model = registry.load(args.name, version=args.version)
+    model = registry.load(args.name, version=args.version, mmap=args.mmap)
     model.gpr.engine = _build_serving_engine(args, model.kernel)
     index = None
     if args.index:
-        loaded = registry.load_index(args.index, version=args.index_version)
+        loaded = registry.load_index(
+            args.index, version=args.index_version, mmap=args.mmap
+        )
         if (loaded.record.kernel_fingerprint
                 == model.record.kernel_fingerprint):
             # Same kernel: share the model's engine (and its cache).
@@ -398,6 +493,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 args, loaded.kernel
             )
         index = loaded.index
+    adaptive = None
+    if args.adaptive_window:
+        adaptive = AdaptiveWindow(
+            min_s=args.window_min_ms / 1e3,
+            max_s=args.window_max_ms / 1e3,
+            initial_s=args.window_ms / 1e3,
+        )
     server = KernelServer(
         model.gpr,
         model_info={
@@ -413,6 +515,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         window_s=args.window_ms / 1e3,
         max_queue=args.max_queue,
         index=index,
+        adaptive_window=adaptive,
+        rate_rps=args.rate_limit,
+        rate_burst=args.burst,
     )
 
     async def run() -> None:
@@ -752,6 +857,28 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--trace-dir", default=None, metavar="DIR",
                    help="enable tracing and stream finished spans to "
                         "DIR/spans.jsonl (one JSON object per line)")
+    s.add_argument("--serve-workers", type=int, default=1, metavar="N",
+                   help="run N worker processes behind a health-aware "
+                        "router on --port (1 = single in-process server; "
+                        "distinct from --workers, the engine thread/"
+                        "process pool inside each worker)")
+    s.add_argument("--mmap", action="store_true",
+                   help="memory-map model/index arrays read-only so "
+                        "worker processes share one physical copy")
+    s.add_argument("--adaptive-window", action="store_true",
+                   help="let each batcher's window track its queue depth "
+                        "(grow under sustained load, shrink when idle) "
+                        "between --window-min-ms and --window-max-ms")
+    s.add_argument("--window-min-ms", type=float, default=2.0,
+                   help="adaptive-window floor")
+    s.add_argument("--window-max-ms", type=float, default=100.0,
+                   help="adaptive-window ceiling")
+    s.add_argument("--rate-limit", type=float, default=0.0, metavar="RPS",
+                   help="token-bucket admission control: shed load with "
+                        "429 beyond RPS requests/s (0 = off; /healthz "
+                        "and /metrics are always admitted)")
+    s.add_argument("--burst", type=float, default=None,
+                   help="token-bucket burst capacity (default: RPS)")
     add_engine_opts(s)
     s.set_defaults(func=cmd_serve)
 

@@ -21,13 +21,23 @@ model* a managed artifact and puts it online:
 * :mod:`repro.serve.protocol`  — the JSON request/response schema and
   its validation errors;
 * :mod:`repro.serve.client`    — :class:`ServeClient`, the blocking
-  client the CLI's ``repro predict --server`` uses.
+  client the CLI's ``repro predict --server`` uses;
+* :mod:`repro.serve.router`    — scale-out: :class:`Router` (health-
+  aware front proxy with retry-on-replica-death and token-bucket
+  admission control), :class:`WorkerPool` (N ``repro serve``
+  subprocesses sharing mmap'd artifacts), :class:`TokenBucket`.
 
-CLI entry points: ``repro fit`` (train + save), ``repro serve``,
+CLI entry points: ``repro fit`` (train + save), ``repro serve``
+(``--serve-workers N`` for the router + worker-pool deployment),
 ``repro predict --server``.
 """
 
-from .batcher import MicroBatcher, QueueFullError
+from .batcher import (
+    AdaptiveWindow,
+    BatcherClosedError,
+    MicroBatcher,
+    QueueFullError,
+)
 from .client import ServeClient, ServeClientError
 from .metrics import ServerMetrics
 from .protocol import ProtocolError
@@ -41,9 +51,12 @@ from .registry import (
     RegistryError,
     kernel_from_spec,
 )
+from .router import Router, TokenBucket, WorkerPool
 from .server import KernelServer, ServerThread
 
 __all__ = [
+    "AdaptiveWindow",
+    "BatcherClosedError",
     "INDEX_KIND",
     "KernelServer",
     "LoadedIndex",
@@ -55,9 +68,12 @@ __all__ = [
     "ProtocolError",
     "QueueFullError",
     "RegistryError",
+    "Router",
     "ServeClient",
     "ServeClientError",
     "ServerMetrics",
     "ServerThread",
+    "TokenBucket",
+    "WorkerPool",
     "kernel_from_spec",
 ]

@@ -10,7 +10,8 @@ content-addressed cache), and the results are split back per request.
 
 Mechanics:
 
-* a bounded queue provides **backpressure** — when it is full,
+* a bounded queue provides **backpressure** — when it is full
+  (counting the carry slot, which also holds one admitted request),
   :meth:`MicroBatcher.submit` raises :class:`QueueFullError`
   immediately (the server answers 503) instead of letting latency grow
   without bound;
@@ -19,7 +20,20 @@ Mechanics:
   ``max_batch_graphs``;
 * the batch runs in a worker thread so the event loop keeps accepting
   (and queueing) requests *during* compute — which is exactly what
-  makes the next batch larger under load.
+  makes the next batch larger under load;
+* batching couples requests on the happy path only — **failures are
+  contained per item**.  ``run_batch`` may return an ``Exception``
+  instance in any result slot (only that request's future fails), and
+  if the joint call raises, every member is re-run as a singleton so
+  one poison request cannot 500 its batch siblings;
+* :meth:`MicroBatcher.stop` **closes** the queue before sweeping it:
+  a submit racing shutdown gets :class:`BatcherClosedError` (a
+  :class:`QueueFullError`, so the server's 503 path already handles
+  it) instead of landing on the queue after the sweep and hanging
+  forever;
+* with an :class:`AdaptiveWindow` attached, the batching window is
+  SLO-driven: sustained queue depth grows it (bigger batches, better
+  amortization), idleness shrinks it back toward the latency floor.
 """
 
 from __future__ import annotations
@@ -33,6 +47,86 @@ from ..graphs.graph import Graph
 
 class QueueFullError(RuntimeError):
     """The batcher's bounded queue is full; shed load (HTTP 503)."""
+
+
+class BatcherClosedError(QueueFullError):
+    """The batcher is shutting down; new submissions are refused.
+
+    Subclasses :class:`QueueFullError` so every 503 load-shedding path
+    also covers the shutdown race — a request that would otherwise
+    land on the queue *after* the stop() sweep (and hang forever) is
+    rejected immediately instead.
+    """
+
+
+class AdaptiveWindow:
+    """SLO-driven microbatch window: grow under load, shrink when idle.
+
+    After every dispatched batch the policy observes the queue depth
+    left behind.  ``sustain`` consecutive deep observations
+    (``depth >= high_depth``) multiply the window by ``grow`` — more
+    arrivals per batch, better fixed-cost amortization exactly when
+    the queue proves demand exists.  A shallow queue
+    (``depth <= low_depth``) multiplies by ``shrink`` immediately, so
+    an idle server converges back to the latency floor ``min_s``.
+    The window never leaves ``[min_s, max_s]``.
+    """
+
+    def __init__(
+        self,
+        min_s: float = 0.002,
+        max_s: float = 0.1,
+        initial_s: float | None = None,
+        grow: float = 1.5,
+        shrink: float = 0.6,
+        high_depth: int = 4,
+        low_depth: int = 0,
+        sustain: int = 2,
+    ) -> None:
+        if not (0 < min_s <= max_s):
+            raise ValueError("need 0 < min_s <= max_s")
+        if grow < 1.0 or not (0 < shrink <= 1.0):
+            raise ValueError("need grow >= 1 and 0 < shrink <= 1")
+        if sustain < 1:
+            raise ValueError("sustain must be >= 1")
+        self.min_s = float(min_s)
+        self.max_s = float(max_s)
+        self.grow = float(grow)
+        self.shrink = float(shrink)
+        self.high_depth = int(high_depth)
+        self.low_depth = int(low_depth)
+        self.sustain = int(sustain)
+        self.current = float(initial_s) if initial_s is not None else self.min_s
+        self.current = min(max(self.current, self.min_s), self.max_s)
+        self._deep_streak = 0
+
+    def clone(self) -> "AdaptiveWindow":
+        """A fresh policy with the same parameters (each batcher gets
+        its own state — predict and top-k load are independent)."""
+        return AdaptiveWindow(
+            min_s=self.min_s,
+            max_s=self.max_s,
+            initial_s=self.current,
+            grow=self.grow,
+            shrink=self.shrink,
+            high_depth=self.high_depth,
+            low_depth=self.low_depth,
+            sustain=self.sustain,
+        )
+
+    def after_batch(self, queue_depth: int) -> float:
+        """Observe post-dispatch queue depth; return the new window."""
+        if queue_depth >= self.high_depth:
+            self._deep_streak += 1
+            if self._deep_streak >= self.sustain:
+                self.current = min(self.max_s, self.current * self.grow)
+                self._deep_streak = 0
+        elif queue_depth <= self.low_depth:
+            self._deep_streak = 0
+            self.current = max(self.min_s, self.current * self.shrink)
+        else:
+            self._deep_streak = 0
+        return self.current
 
 
 @dataclass
@@ -57,18 +151,32 @@ class MicroBatcher:
     ----------
     run_batch:
         ``callable(items) -> list`` executed in a worker thread; must
-        return one result per item, in order.
+        return one result per item, in order.  A result slot may be an
+        ``Exception`` instance — that item's awaiter gets the
+        exception, its batch siblings their results.  If the call
+        itself raises on a multi-item batch, every item is re-run as a
+        singleton batch so the failure is attributed per item.
     max_batch_graphs:
         Dispatch a batch once it holds this many graphs (requests are
         never split, so a batch can end slightly under the cap).
     window_s:
         How long the drain task waits for more arrivals after the
-        first item of a batch.
+        first item of a batch (the starting point when ``adaptive``
+        is set).
     max_queue:
-        Bound on requests waiting to enter a batch (backpressure).
+        Bound on requests waiting to enter a batch — including the
+        carry slot, which holds one admitted request that did not fit
+        the previous batch (backpressure).
     metrics:
         Optional :class:`repro.serve.metrics.ServerMetrics` receiving
-        the per-dispatch batch sizes.
+        the per-dispatch batch sizes, queue depth, rejection reasons,
+        and failure-isolation counts.
+    name:
+        Label for this batcher's metrics series (one server runs
+        several batchers: predict / topk / update).
+    adaptive:
+        Optional :class:`AdaptiveWindow` policy; when set, the
+        batching window follows it instead of the fixed ``window_s``.
     """
 
     def __init__(
@@ -78,25 +186,52 @@ class MicroBatcher:
         window_s: float = 0.01,
         max_queue: int = 256,
         metrics=None,
+        name: str = "predict",
+        adaptive: AdaptiveWindow | None = None,
     ) -> None:
         if max_batch_graphs < 1 or max_queue < 1:
             raise ValueError("max_batch_graphs and max_queue must be >= 1")
         self.run_batch = run_batch
         self.max_batch_graphs = max_batch_graphs
-        self.window_s = window_s
+        self._window_s = window_s
         self.max_queue = max_queue
         self.metrics = metrics
+        self.name = name
+        self.adaptive = adaptive
+        if adaptive is not None:
+            adaptive.current = min(
+                max(window_s, adaptive.min_s), adaptive.max_s
+            )
         self._queue: asyncio.Queue[PredictItem] = asyncio.Queue()
         self._carry: PredictItem | None = None
         self._task: asyncio.Task | None = None
+        self._closed = False
 
     # ------------------------------------------------------------------
 
+    @property
+    def window_s(self) -> float:
+        """The live batching window (policy-driven when adaptive)."""
+        if self.adaptive is not None:
+            return self.adaptive.current
+        return self._window_s
+
+    @property
+    def depth(self) -> int:
+        """Requests waiting to enter a batch, carry slot included."""
+        return self._queue.qsize() + (1 if self._carry is not None else 0)
+
     def start(self) -> None:
+        if self._closed:
+            raise RuntimeError("cannot restart a stopped MicroBatcher")
         if self._task is None:
             self._task = asyncio.get_running_loop().create_task(self._drain())
 
     async def stop(self) -> None:
+        # Close *before* sweeping: a submit racing shutdown must be
+        # rejected, not parked on the queue after the sweep (where no
+        # drain task will ever serve it).
+        self._closed = True
         if self._task is not None:
             self._task.cancel()
             try:
@@ -115,6 +250,7 @@ class MicroBatcher:
         for item in leftovers:
             if not item.future.done():
                 item.future.cancel()
+        self._observe_depth()
 
     async def submit(
         self, graphs: Sequence[Graph], return_std: bool = False, **meta
@@ -124,11 +260,17 @@ class MicroBatcher:
         Keyword extras land on the item's ``meta`` dict for the
         ``run_batch`` callable (e.g. ``k=...`` on the top-k route).
         """
-        if self._queue.qsize() >= self.max_queue:
+        if self._closed:
             if self.metrics is not None:
-                self.metrics.observe_queue_rejection()
+                self.metrics.observe_queue_rejection("closed")
+            raise BatcherClosedError(
+                "the batcher is shutting down; retry against another replica"
+            )
+        if self.depth >= self.max_queue:
+            if self.metrics is not None:
+                self.metrics.observe_queue_rejection("full")
             raise QueueFullError(
-                f"{self._queue.qsize()} requests already queued "
+                f"{self.depth} requests already queued "
                 f"(max_queue={self.max_queue}); retry later"
             )
         item = PredictItem(
@@ -138,9 +280,14 @@ class MicroBatcher:
             meta=dict(meta),
         )
         self._queue.put_nowait(item)
+        self._observe_depth()
         return await item.future
 
     # ------------------------------------------------------------------
+
+    def _observe_depth(self) -> None:
+        if self.metrics is not None:
+            self.metrics.observe_queue_depth(self.name, self.depth)
 
     async def _next_item(self, timeout: float | None) -> PredictItem | None:
         if self._carry is not None:
@@ -152,6 +299,42 @@ class MicroBatcher:
             return await asyncio.wait_for(self._queue.get(), timeout)
         except asyncio.TimeoutError:
             return None
+
+    @staticmethod
+    def _deliver(item: PredictItem, result) -> bool:
+        """Resolve one item with a result-or-error; True if it was ok."""
+        if isinstance(result, Exception):
+            if not item.future.done():
+                item.future.set_exception(result)
+            return False
+        if not item.future.done():
+            item.future.set_result(result)
+        return True
+
+    async def _isolate(self, loop, batch: list[PredictItem]) -> None:
+        """The joint call failed on a multi-item batch: re-run every
+        member as a singleton so blame lands on the poison request
+        alone and its siblings still complete."""
+        if self.metrics is not None:
+            self.metrics.observe_poison_batch(len(batch))
+        for item in batch:
+            try:
+                rerun = await loop.run_in_executor(
+                    None, self.run_batch, [item]
+                )
+                result = rerun[0] if rerun else RuntimeError(
+                    "run_batch returned no result for a singleton batch"
+                )
+            except asyncio.CancelledError:
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.cancel()
+                raise
+            except Exception as exc:  # noqa: BLE001 - per-item blame
+                result = exc
+            ok = self._deliver(item, result)
+            if self.metrics is not None:
+                self.metrics.observe_isolation("ok" if ok else "error")
 
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
@@ -181,14 +364,24 @@ class MicroBatcher:
                         f"{len(batch)} requests"
                     )
                 for item, result in zip(batch, results):
-                    if not item.future.done():
-                        item.future.set_result(result)
+                    self._deliver(item, result)
             except asyncio.CancelledError:
                 for item in batch:
                     if not item.future.done():
                         item.future.cancel()
                 raise
-            except Exception as exc:  # noqa: BLE001 - fan failure out
-                for item in batch:
-                    if not item.future.done():
-                        item.future.set_exception(exc)
+            except Exception as exc:  # noqa: BLE001 - contain per item
+                if len(batch) == 1:
+                    if self.metrics is not None:
+                        self.metrics.observe_poison_batch(1)
+                    self._deliver(batch[0], exc)
+                else:
+                    await self._isolate(loop, batch)
+            finally:
+                if self.adaptive is not None:
+                    self.adaptive.after_batch(self.depth)
+                    if self.metrics is not None:
+                        self.metrics.observe_window(
+                            self.name, self.adaptive.current
+                        )
+                self._observe_depth()

@@ -38,19 +38,42 @@ class ServeClientError(RuntimeError):
         self.message = message
 
 
+#: Statuses worth a client-side retry: admission shedding (429), queue
+#: backpressure / shutdown (503), and a dead replica behind a router
+#: (502).  Everything else is the request's own fault.
+RETRYABLE_STATUSES = frozenset({429, 502, 503})
+
+
 class ServeClient:
-    """Talk to one inference server (see module doc)."""
+    """Talk to one inference server or router (see module doc).
+
+    ``retries`` (default 0: exactly today's behavior) re-sends
+    *idempotent* requests that failed with a retryable status (429
+    rate-limited, 503 overloaded/shutting-down, 502 dead replica) or a
+    connection error, sleeping ``retry_backoff_s`` · 2^attempt between
+    tries.  Non-idempotent ``/update`` calls are never retried — the
+    server may have applied them before the connection died.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8077, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        timeout: float = 60.0,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = int(retries)
+        self.retry_backoff_s = float(retry_backoff_s)
 
     # ------------------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _request_once(
+        self, method: str, path: str, payload: dict | None = None
+    ):
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -76,6 +99,23 @@ class ServeClient:
                 err.get("message", raw.decode("utf-8", "replace")),
             )
         return obj
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        attempts = 1 + (self.retries if path != "/update" else 0)
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+            try:
+                return self._request_once(method, path, payload)
+            except ServeClientError as exc:
+                if exc.status not in RETRYABLE_STATUSES:
+                    raise
+                last = exc
+            except (OSError, socket.timeout, http.client.HTTPException) as exc:
+                last = exc
+        assert last is not None
+        raise last
 
     # ------------------------------------------------------------------
 

@@ -45,6 +45,12 @@ class ServerMetrics:
         self.by_status: Counter[int] = Counter()
         self.batch_sizes: Counter[int] = Counter()
         self.queue_rejections = 0
+        self.rejections_by_reason: Counter[str] = Counter()
+        self.queue_depth: dict[str, int] = {}
+        self.window_s: dict[str, float] = {}
+        self.poison_batches = 0
+        self.isolated_items: Counter[str] = Counter()
+        self.rate_limited = 0
         self.inflight = 0
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self.registry = registry if registry is not None else MetricRegistry()
@@ -56,7 +62,25 @@ class ServerMetrics:
             label="status")
         self._m_rejections = r.counter(
             "server_queue_rejections_total",
-            "requests shed because the microbatch queue was full")
+            "requests shed at the microbatch queue, by reason "
+            "(full=backpressure, closed=shutdown race)", label="reason")
+        self._m_rate_limited = r.counter(
+            "server_rate_limited_total",
+            "requests shed by token-bucket admission control")
+        self._m_queue_depth = r.gauge(
+            "server_queue_depth",
+            "requests waiting to enter a batch (carry slot included)",
+            label="batcher")
+        self._m_window = r.gauge(
+            "server_batch_window_seconds",
+            "live microbatch window (SLO-adaptive when enabled)",
+            label="batcher")
+        self._m_poison_batches = r.counter(
+            "server_poison_batches_total",
+            "joint batch failures contained by per-item isolation")
+        self._m_isolated = r.counter(
+            "server_isolated_items_total",
+            "per-item outcomes of isolation re-runs", label="outcome")
         self._m_batches = r.counter(
             "server_batches_total", "dispatched microbatches")
         self._m_batch_size = r.histogram(
@@ -105,10 +129,43 @@ class ServerMetrics:
         self._m_batches.inc()
         self._m_batch_size.observe(float(n_requests))
 
-    def observe_queue_rejection(self) -> None:
+    def observe_queue_rejection(self, reason: str = "full") -> None:
+        """One request shed at the batcher queue (``full`` is classic
+        backpressure, ``closed`` the submit-during-stop race)."""
         with self._lock:
             self.queue_rejections += 1
-        self._m_rejections.inc()
+            self.rejections_by_reason[reason] += 1
+        self._m_rejections.inc(label_value=reason)
+
+    def observe_rate_limited(self) -> None:
+        """One request shed by token-bucket admission control (429)."""
+        with self._lock:
+            self.rate_limited += 1
+        self._m_rate_limited.inc()
+
+    def observe_queue_depth(self, batcher: str, depth: int) -> None:
+        """Track a batcher's live queue depth (carry slot included)."""
+        with self._lock:
+            self.queue_depth[batcher] = depth
+        self._m_queue_depth.set(float(depth), label_value=batcher)
+
+    def observe_window(self, batcher: str, seconds: float) -> None:
+        """Track a batcher's live (possibly adaptive) batching window."""
+        with self._lock:
+            self.window_s[batcher] = seconds
+        self._m_window.set(seconds, label_value=batcher)
+
+    def observe_poison_batch(self, n_items: int) -> None:
+        """One joint batch failure handled by per-item isolation."""
+        with self._lock:
+            self.poison_batches += 1
+        self._m_poison_batches.inc()
+
+    def observe_isolation(self, outcome: str) -> None:
+        """Outcome of one isolation re-run (``ok`` or ``error``)."""
+        with self._lock:
+            self.isolated_items[outcome] += 1
+        self._m_isolated.inc(label_value=outcome)
 
     @staticmethod
     def _percentile(values: list[float], p: float) -> float:
@@ -132,6 +189,12 @@ class ServerMetrics:
                     str(k): v for k, v in self.by_status.items()
                 },
                 "queue_rejections": self.queue_rejections,
+                "queue_rejections_by_reason": dict(self.rejections_by_reason),
+                "queue_depth": dict(self.queue_depth),
+                "window_s": dict(self.window_s),
+                "poison_batches": self.poison_batches,
+                "isolated_items": dict(self.isolated_items),
+                "rate_limited": self.rate_limited,
                 "inflight": self.inflight,
                 "batch_size_histogram": {
                     str(k): v for k, v in sorted(self.batch_sizes.items())

@@ -46,6 +46,19 @@ MAX_BODY_BYTES = 8 << 20
 #: Default cap on graphs (or pairs) per single request.
 MAX_REQUEST_GRAPHS = 64
 
+#: Reason phrases for every status this stack emits (server + router).
+STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
 
 class ProtocolError(ValueError):
     """A request failed validation; ``status`` is the HTTP answer."""

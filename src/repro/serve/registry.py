@@ -91,6 +91,35 @@ class RegistryError(RuntimeError):
     """A registry save/load failed an integrity or compatibility check."""
 
 
+def _load_arrays(vdir: Path, mmap: bool) -> dict:
+    """Arrays from ``arrays.npz`` — copied into memory by default, or
+    memory-mapped read-only for cross-process sharing.
+
+    ``np.load(mmap_mode=...)`` cannot map members of a zip archive, so
+    the first mmap load materializes each array as a plain ``.npy``
+    file under ``arrays.mmap/`` (derived from the checksum-verified
+    npz, written via atomic rename so concurrent workers race safely);
+    every load after that maps those files.  N worker processes then
+    share one page-cache copy of the dual vectors / Cholesky factors /
+    feature matrices instead of N private copies.
+    """
+    if not mmap:
+        with np.load(vdir / "arrays.npz") as npz:
+            return {k: npz[k] for k in npz.files}
+    mdir = vdir / "arrays.mmap"
+    mdir.mkdir(exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    with np.load(vdir / "arrays.npz") as npz:
+        for key in npz.files:
+            path = mdir / f"{key}.npy"
+            if not path.exists():
+                tmp = mdir / f".{key}.{os.getpid()}.tmp.npy"
+                np.save(tmp, npz[key])
+                os.replace(tmp, path)
+            arrays[key] = np.load(path, mmap_mode="r")
+    return arrays
+
+
 def kernel_spec(mgk: MarginalizedGraphKernel, scheme: str) -> dict:
     """JSON-able description of a kernel built from a named scheme.
 
@@ -419,6 +448,7 @@ class ModelRegistry:
         name: str,
         version: int | None = None,
         engine=None,
+        mmap: bool = False,
     ) -> LoadedModel:
         """Restore a saved model (latest version by default).
 
@@ -427,13 +457,15 @@ class ModelRegistry:
         fingerprints — and raises :class:`RegistryError` naming the
         first failed rung.  Pass a :class:`repro.engine.GramEngine`
         built on the *returned* kernel via ``engine`` later, or let the
-        caller attach one (the server does).
+        caller attach one (the server does).  With ``mmap=True`` the
+        model arrays are memory-mapped read-only so N worker processes
+        share one physical copy (see :func:`_load_arrays`); online
+        ``append`` still works — it builds fresh in-memory arrays.
         """
         version, vdir, manifest, kernel, train_graphs = self._read_verified(
             name, version
         )
-        with np.load(vdir / "arrays.npz") as npz:
-            arrays = {k: npz[k] for k in npz.files}
+        arrays = _load_arrays(vdir, mmap)
         kind = str(manifest.get("model_kind", "gpr"))
         if kind == INDEX_KIND:
             raise RegistryError(
@@ -481,6 +513,7 @@ class ModelRegistry:
         name: str,
         version: int | None = None,
         engine=None,
+        mmap: bool = False,
     ) -> LoadedIndex:
         """Restore a saved similarity-search index (latest by default).
 
@@ -488,7 +521,10 @@ class ModelRegistry:
         structure is rebuilt deterministically from the verified
         arrays, so exact-backend answers match the saved index
         bit-for-bit.  Pass an ``engine`` (or attach one to the returned
-        index's feature map) to enable graph-level queries.
+        index's feature map) to enable graph-level queries.  With
+        ``mmap=True`` the corpus feature matrix is memory-mapped
+        read-only and shared across worker processes; inserts build
+        fresh arrays, so updates still work per process.
         """
         from ..search.index import FeatureIndex
 
@@ -501,8 +537,7 @@ class ModelRegistry:
                 f"{name} v{version} stores model kind {kind!r}, not an "
                 "index; load it with load()"
             )
-        with np.load(vdir / "arrays.npz") as npz:
-            arrays = {k: npz[k] for k in npz.files}
+        arrays = _load_arrays(vdir, mmap)
         try:
             index = FeatureIndex.from_arrays(
                 manifest.get("index") or {},

@@ -43,11 +43,13 @@ import uuid
 import numpy as np
 
 from ..obs.trace import current_span, get_tracer
-from .batcher import MicroBatcher, PredictItem, QueueFullError
+from .batcher import AdaptiveWindow, MicroBatcher, PredictItem, QueueFullError
 from .metrics import ServerMetrics
+from .router import TokenBucket
 from .protocol import (
     MAX_BODY_BYTES,
     MAX_REQUEST_GRAPHS,
+    STATUS_TEXT,
     ProtocolError,
     parse_predict_request,
     parse_similarity_request,
@@ -65,15 +67,7 @@ KNOWN_ROUTES = frozenset(
 #: by the stream limit; this bounds their number too).
 MAX_HEADERS = 100
 
-_STATUS_TEXT = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
+_STATUS_TEXT = STATUS_TEXT
 
 
 class KernelServer:
@@ -97,6 +91,14 @@ class KernelServer:
         :class:`~repro.serve.batcher.MicroBatcher`.
     max_request_graphs / max_body_bytes:
         Per-request admission limits (HTTP 413 beyond them).
+    adaptive_window:
+        Optional :class:`~repro.serve.batcher.AdaptiveWindow` template;
+        each batcher gets its own clone, so the batching window tracks
+        that route's queue depth (grow under load, shrink when idle).
+    rate_rps / rate_burst:
+        Token-bucket admission control (HTTP 429 beyond it); 0
+        disables.  ``/healthz`` and ``/metrics`` are always admitted,
+        so probes and scrapes survive overload.
     """
 
     def __init__(
@@ -111,6 +113,9 @@ class KernelServer:
         max_request_graphs: int | None = None,
         max_body_bytes: int = MAX_BODY_BYTES,
         index=None,
+        adaptive_window: AdaptiveWindow | None = None,
+        rate_rps: float = 0.0,
+        rate_burst: float | None = None,
     ) -> None:
         if gpr.engine is None:
             raise ValueError("the server needs a gpr with an engine attached")
@@ -129,27 +134,27 @@ class KernelServer:
         )
         self.max_body_bytes = max_body_bytes
         self.metrics = ServerMetrics()
-        self.batcher = MicroBatcher(
-            self._run_predict_batch,
-            max_batch_graphs=max_batch_graphs,
-            window_s=window_s,
-            max_queue=max_queue,
-            metrics=self.metrics,
-        )
-        self.topk_batcher = MicroBatcher(
-            self._run_topk_batch,
-            max_batch_graphs=max_batch_graphs,
-            window_s=window_s,
-            max_queue=max_queue,
-            metrics=self.metrics,
-        )
-        self.update_batcher = MicroBatcher(
-            self._run_update_batch,
-            max_batch_graphs=max_batch_graphs,
-            window_s=window_s,
-            max_queue=max_queue,
-            metrics=self.metrics,
-        )
+        self.bucket = TokenBucket(rate_rps, rate_burst)
+
+        def _batcher(name, run):
+            # Each batcher clones the adaptive-window template: predict
+            # and top-k load are independent, so their windows are too.
+            return MicroBatcher(
+                run,
+                max_batch_graphs=max_batch_graphs,
+                window_s=window_s,
+                max_queue=max_queue,
+                metrics=self.metrics,
+                name=name,
+                adaptive=(
+                    adaptive_window.clone()
+                    if adaptive_window is not None else None
+                ),
+            )
+
+        self.batcher = _batcher("predict", self._run_predict_batch)
+        self.topk_batcher = _batcher("topk", self._run_topk_batch)
+        self.update_batcher = _batcher("update", self._run_update_batch)
         self._server: asyncio.base_events.Server | None = None
         # Open keep-alive connections; stop() must close these or (on
         # Python >= 3.12) Server.wait_closed() waits on their handlers
@@ -526,6 +531,16 @@ class KernelServer:
                     with self._state_lock:
                         snap["index"] = self.index.stats()
                 return 200, json.dumps(snap).encode(), json_t
+            # Operator routes above are exempt from admission control;
+            # everything else spends a token or is shed with 429 while
+            # the queues are still healthy.
+            if not self.bucket.allow():
+                self.metrics.observe_rate_limited()
+                raise ProtocolError(
+                    429, "rate_limited",
+                    "request rate exceeds the configured admission "
+                    "limit; back off and retry",
+                )
             if path == "/predict":
                 if method != "POST":
                     raise ProtocolError(405, "bad_method", "use POST /predict")
@@ -577,6 +592,15 @@ class KernelServer:
         except QueueFullError as exc:
             return 503, ProtocolError(
                 503, "overloaded", str(exc)
+            ).body(), json_t
+        except KeyError as exc:
+            # A graph that parsed on the wire but whose label vocabulary
+            # the kernel cannot evaluate surfaces as a KeyError inside
+            # the batch.  Isolation pins it to this request alone; it is
+            # the client's payload that is wrong, so answer 4xx.
+            return 400, ProtocolError(
+                400, "unsupported_graph",
+                f"the model cannot evaluate this graph: {exc}",
             ).body(), json_t
         except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
             return 500, ProtocolError(
@@ -631,6 +655,7 @@ class ServerThread:
     def stop(self) -> None:
         if self._loop is not None and self._stop is not None:
             self._loop.call_soon_threadsafe(self._stop.set)
+            self._loop = None  # idempotent: a second stop() is a no-op
         if self._thread is not None:
             self._thread.join(timeout=30)
             self._thread = None

@@ -28,16 +28,23 @@ from repro.engine import DiskCache, CachedPair
 from repro.graphs.generators import random_labeled_graph
 from repro.kernels.basekernels import synthetic_kernels
 from repro.ml import GaussianProcessRegressor, NotFittedError
+from repro.graphs.io import graph_from_dict, graph_to_dict
 from repro.serve import (
+    AdaptiveWindow,
+    BatcherClosedError,
     KernelServer,
     MicroBatcher,
     ModelRegistry,
     QueueFullError,
     RegistryError,
+    Router,
     ServeClient,
     ServeClientError,
     ServerThread,
+    TokenBucket,
 )
+from repro.serve.batcher import PredictItem
+from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import ProtocolError, parse_predict_request
 
 NK, EK = synthetic_kernels()
@@ -871,3 +878,485 @@ class TestObservability:
             conn.close()
         rid = resp.getheader("X-Request-Id")
         assert rid and rid.startswith("req-")
+
+
+# ----------------------------------------------------------------------
+# failure containment, adaptive batching, admission control (ISSUE 8)
+# ----------------------------------------------------------------------
+
+
+def poison_wire_graph(seed=4242):
+    """Parses on the wire, fails inside the engine: the node-label
+    vocabulary doesn't match the model's kernel."""
+    d = graph_to_dict(make_graphs(1, seed0=seed)[0])
+    d["node_labels"] = {"mislabeled": d["node_labels"]["label"]}
+    return graph_from_dict(d)
+
+
+class TestBatcherIsolation:
+    def test_joint_failure_isolates_poison_from_siblings(self):
+        """A run_batch that dies on the coalesced call must be re-run
+        per item: siblings resolve, only the poison request fails."""
+        async def scenario():
+            calls = []
+
+            def run_batch(items):
+                calls.append(len(items))
+                if any(i.meta.get("poison") for i in items):
+                    if len(items) > 1:
+                        raise RuntimeError("joint batch exploded")
+                    raise ValueError("poison request")
+                return [len(i.graphs) for i in items]
+
+            b = MicroBatcher(run_batch, window_s=0.2, max_batch_graphs=100)
+            b.start()
+            results = await asyncio.gather(
+                b.submit(["g"], False),
+                b.submit(["g"], False, poison=True),
+                b.submit(["g"], False),
+                return_exceptions=True,
+            )
+            await b.stop()
+            return calls, results
+
+        calls, results = asyncio.run(scenario())
+        assert results[0] == 1 and results[2] == 1  # siblings served
+        assert isinstance(results[1], ValueError)  # blame on the poison
+        # one joint attempt, then one singleton re-run per member
+        assert calls[0] == 3 and calls[1:] == [1, 1, 1]
+
+    def test_run_batch_may_return_exceptions_per_slot(self):
+        """results-or-errors contract: an Exception instance in a slot
+        fails only that item's future."""
+        async def scenario():
+            def run_batch(items):
+                return [
+                    ValueError("bad slot") if i.meta.get("bad") else "ok"
+                    for i in items
+                ]
+
+            b = MicroBatcher(run_batch, window_s=0.2, max_batch_graphs=100)
+            b.start()
+            results = await asyncio.gather(
+                b.submit(["g"], False),
+                b.submit(["g"], False, bad=True),
+                return_exceptions=True,
+            )
+            await b.stop()
+            return results
+
+        good, bad = asyncio.run(scenario())
+        assert good == "ok"
+        assert isinstance(bad, ValueError)
+
+    def test_isolation_metrics_counted(self):
+        async def scenario():
+            metrics = ServerMetrics()
+
+            def run_batch(items):
+                if len(items) > 1:
+                    raise RuntimeError("joint failure")
+                if items[0].meta.get("poison"):
+                    raise ValueError("poison")
+                return ["ok"]
+
+            b = MicroBatcher(run_batch, window_s=0.2,
+                             max_batch_graphs=100, metrics=metrics)
+            b.start()
+            await asyncio.gather(
+                b.submit(["g"], False),
+                b.submit(["g"], False, poison=True),
+                return_exceptions=True,
+            )
+            await b.stop()
+            return metrics.snapshot()
+
+        snap = asyncio.run(scenario())
+        assert snap["poison_batches"] == 1
+        assert snap["isolated_items"] == {"ok": 1, "error": 1}
+
+
+class TestBatcherBackpressure:
+    def test_carry_slot_counts_toward_backpressure(self):
+        """The carry slot holds one admitted request; with it occupied
+        a full queue must shed, not over-admit (the old bug admitted
+        max_queue + 1)."""
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            b = MicroBatcher(lambda items: [None] * len(items), max_queue=2)
+            # not started: nothing drains.  Occupy the carry slot the
+            # way _drain does (an oversized arrival that didn't fit).
+            b._carry = PredictItem(
+                graphs=["g"], return_std=False,
+                future=loop.create_future(), meta={},
+            )
+            task = loop.create_task(b.submit(["g"], False))
+            await asyncio.sleep(0)
+            assert b.depth == 2  # carry + 1 queued == max_queue
+            with pytest.raises(QueueFullError):
+                await b.submit(["g"], False)
+            task.cancel()
+            b._carry.future.cancel()
+
+        asyncio.run(scenario())
+
+    def test_queue_depth_gauge_tracks_submissions(self):
+        async def scenario():
+            metrics = ServerMetrics()
+            b = MicroBatcher(lambda items: [None] * len(items),
+                             metrics=metrics, name="predict")
+            task = asyncio.get_running_loop().create_task(
+                b.submit(["g"], False)
+            )
+            await asyncio.sleep(0)
+            depth = metrics.snapshot()["queue_depth"]["predict"]
+            task.cancel()
+            return depth
+
+        assert asyncio.run(scenario()) == 1
+
+
+class TestBatcherClose:
+    def test_submit_after_stop_is_rejected_not_hung(self):
+        async def scenario():
+            b = MicroBatcher(lambda items: ["ok"] * len(items),
+                             window_s=0.01)
+            b.start()
+            assert await b.submit(["g"], False) == "ok"
+            await b.stop()
+            with pytest.raises(BatcherClosedError):
+                await b.submit(["g"], False)
+
+        asyncio.run(scenario())
+
+    def test_closed_error_is_queue_full_subclass(self):
+        # the server's existing 503 path catches QueueFullError; the
+        # shutdown race must ride it
+        assert issubclass(BatcherClosedError, QueueFullError)
+
+    def test_submits_racing_stop_all_resolve(self):
+        """No submitter may hang across shutdown: each gets a result,
+        a cancellation, or BatcherClosedError — within a deadline."""
+        async def scenario():
+            started = threading.Event()
+            release = threading.Event()
+
+            def slow_batch(items):
+                started.set()
+                release.wait(timeout=10)
+                return ["ok"] * len(items)
+
+            b = MicroBatcher(slow_batch, window_s=0.001, max_batch_graphs=1)
+            b.start()
+            tasks = [
+                asyncio.get_running_loop().create_task(
+                    b.submit(["g"], False)
+                )
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0)
+            await asyncio.get_running_loop().run_in_executor(
+                None, started.wait, 10
+            )
+            stopper = asyncio.get_running_loop().create_task(b.stop())
+            await asyncio.sleep(0)
+            # a straggler arriving mid-shutdown is refused outright
+            with pytest.raises(BatcherClosedError):
+                await b.submit(["g"], False)
+            release.set()
+            await stopper
+            done, pending = await asyncio.wait(tasks, timeout=10)
+            assert not pending
+            outcomes = []
+            for t in done:
+                try:
+                    outcomes.append(t.result())
+                except (asyncio.CancelledError, BatcherClosedError):
+                    outcomes.append("cancelled")
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert len(outcomes) == 5  # nobody hung
+
+
+class TestAdaptiveWindow:
+    def test_grows_only_after_sustained_depth(self):
+        w = AdaptiveWindow(min_s=0.01, max_s=0.08, initial_s=0.02,
+                           high_depth=4, sustain=2, grow=2.0, shrink=0.5)
+        assert w.after_batch(5) == 0.02  # one deep observation: hold
+        assert w.after_batch(6) == 0.04  # sustained: grow
+        assert w.after_batch(2) == 0.04  # middling depth: hold
+        assert w.after_batch(0) == 0.02  # idle: shrink immediately
+
+    def test_clamped_to_bounds(self):
+        w = AdaptiveWindow(min_s=0.01, max_s=0.03, initial_s=0.02,
+                           sustain=1, grow=10.0, shrink=0.01)
+        assert w.after_batch(10) == 0.03  # ceiling
+        assert w.after_batch(0) == 0.01  # floor
+
+    def test_middling_depth_resets_streak(self):
+        w = AdaptiveWindow(min_s=0.01, max_s=0.08, initial_s=0.02,
+                           high_depth=4, sustain=2, grow=2.0)
+        w.after_batch(5)
+        w.after_batch(2)  # streak broken
+        assert w.after_batch(5) == 0.02  # needs sustain again
+
+    def test_clone_is_independent(self):
+        w = AdaptiveWindow(min_s=0.01, max_s=0.08, initial_s=0.02,
+                           sustain=1, grow=2.0)
+        c = w.clone()
+        assert c.current == w.current
+        w.after_batch(10)
+        assert w.current == 0.04 and c.current == 0.02
+
+    def test_batcher_window_follows_policy(self):
+        b = MicroBatcher(
+            lambda items: [None] * len(items),
+            window_s=0.02,
+            adaptive=AdaptiveWindow(min_s=0.01, max_s=0.08, sustain=1,
+                                    grow=2.0),
+        )
+        assert b.window_s == 0.02  # seeded from window_s
+        b.adaptive.after_batch(10)
+        assert b.window_s == 0.04  # live view of the policy
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveWindow(min_s=0.1, max_s=0.01)
+        with pytest.raises(ValueError):
+            AdaptiveWindow(grow=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveWindow(sustain=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        b = TokenBucket(rate_rps=1.0, burst=2)
+        assert b.allow() and b.allow()
+        assert not b.allow()  # bucket drained
+
+    def test_refills_over_time(self):
+        b = TokenBucket(rate_rps=200.0, burst=1)
+        assert b.allow()
+        assert not b.allow()
+        deadline = __import__("time").monotonic() + 2.0
+        while not b.allow():
+            assert __import__("time").monotonic() < deadline
+            __import__("time").sleep(0.005)
+
+    def test_zero_rate_disables(self):
+        b = TokenBucket(rate_rps=0.0)
+        assert all(b.allow() for _ in range(1000))
+
+
+# ----------------------------------------------------------------------
+# router: replica selection, failover, admission control
+# ----------------------------------------------------------------------
+
+
+def _make_server(fitted, window_s=0.05):
+    gpr = fitted["gpr"]
+    return KernelServer(gpr, model_info={"name": "routed", "version": 1},
+                        window_s=window_s)
+
+
+@pytest.fixture()
+def routed(fitted):
+    """Two live replicas behind a Router, all in-process."""
+    s1, s2 = _make_server(fitted), _make_server(fitted)
+    with ServerThread(s1) as h1, ServerThread(s2) as h2:
+        router = Router(
+            [("127.0.0.1", h1.port), ("127.0.0.1", h2.port)],
+            probe_interval_s=0.2,
+            max_retries=2,
+        )
+        with ServerThread(router) as hr:
+            client = ServeClient(port=hr.port)
+            client.wait_ready()
+            yield {
+                "client": client, "router": router,
+                "servers": [s1, s2], "handles": [h1, h2],
+                "port": hr.port,
+            }
+
+
+class TestRouter:
+    def test_routed_predict_matches_offline(self, fitted, routed):
+        mu = routed["client"].predict(fitted["test"])
+        offline = fitted["gpr"].predict_graphs(fitted["test"])
+        np.testing.assert_allclose(mu, offline, atol=1e-10)
+
+    def test_healthz_reports_replicas(self, routed):
+        h = routed["client"].healthz()
+        assert h["replicas_healthy"] == 2
+        assert h["status"] == "ok"
+
+    def test_failover_on_dead_replica(self, fitted, routed):
+        """Kill one replica; requests keep succeeding via the other."""
+        routed["handles"][0].stop()  # replica 1 is now a dead port
+        client = routed["client"]
+        for i in range(6):
+            mu = client.predict([fitted["test"][i % 2]])
+            assert np.isfinite(mu).all()
+        snap = client.metrics()
+        healthy = [r["state"]["healthy"]
+                   for r in snap["replicas"].values()
+                   if "state" in r]
+        # the prober (0.2s cadence) or the failed forward has marked it
+        assert sum(bool(h) for h in healthy) <= 2
+
+    def test_all_replicas_dead_is_503(self, fitted):
+        # ports from closed listeners: nothing is behind them
+        import socket as _socket
+        dead = []
+        for _ in range(2):
+            s = _socket.socket()
+            s.bind(("127.0.0.1", 0))
+            dead.append(s.getsockname()[1])
+            s.close()
+        router = Router([("127.0.0.1", p) for p in dead],
+                        probe_interval_s=0.2, request_timeout_s=2.0)
+        with ServerThread(router) as hr:
+            conn = http.client.HTTPConnection("127.0.0.1", hr.port,
+                                              timeout=10)
+            body = json.dumps(
+                {"graphs": [graph_to_dict(fitted["test"][0])]}
+            )
+            conn.request("POST", "/predict", body=body,
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            payload = json.loads(resp.read())
+            conn.close()
+        assert resp.status == 503
+        assert payload["error"]["code"] == "no_replicas"
+
+    def test_rate_limit_sheds_429_but_healthz_exempt(self, fitted):
+        server = _make_server(fitted)
+        with ServerThread(server) as h:
+            router = Router([("127.0.0.1", h.port)],
+                            rate_rps=0.001, burst=1)
+            with ServerThread(router) as hr:
+                client = ServeClient(port=hr.port)
+                client.wait_ready()
+                g = [fitted["test"][0]]
+                client.predict(g)  # consumes the single burst token
+                with pytest.raises(ServeClientError) as ei:
+                    client.predict(g)
+                assert ei.value.status == 429
+                assert ei.value.code == "rate_limited"
+                # load-shed never starves the health/metrics plane
+                assert client.healthz()["status"] == "ok"
+                snap = client.metrics()
+                assert snap["router"]["router_rate_limited_total"] >= 1
+
+    def test_metrics_json_aggregates_replicas(self, routed):
+        snap = routed["client"].metrics()
+        assert {"router", "replicas"} <= set(snap)
+        assert len(snap["replicas"]) == 2
+        for rep in snap["replicas"].values():
+            assert rep["state"]["healthy"]
+            assert "requests_total" in rep["metrics"]
+
+    def test_metrics_prometheus_format(self, routed):
+        conn = http.client.HTTPConnection("127.0.0.1", routed["port"],
+                                          timeout=10)
+        conn.request("GET", "/metrics",
+                     headers={"Accept": "text/plain"})
+        resp = conn.getresponse()
+        text = resp.read().decode()
+        conn.close()
+        assert resp.status == 200
+        assert "router_requests_total" in text
+        assert "router_replica_healthy" in text
+
+    def test_client_retries_through_transient_429(self, fitted):
+        server = _make_server(fitted)
+        with ServerThread(server) as h:
+            router = Router([("127.0.0.1", h.port)],
+                            rate_rps=50.0, burst=1)
+            with ServerThread(router) as hr:
+                client = ServeClient(port=hr.port, retries=3,
+                                     retry_backoff_s=0.05)
+                client.wait_ready()
+                g = [fitted["test"][0]]
+                client.predict(g)
+                # bucket is empty; the retrying client rides refill
+                assert np.isfinite(client.predict(g)).all()
+
+
+class TestServerPoisonContainment:
+    def test_poisoned_batch_answers_400_siblings_200(self, fitted, live):
+        """End to end: a wrong-vocabulary graph coalesced with clean
+        requests must 400 alone while every sibling gets its answer."""
+        client = live["client"]
+        poison = poison_wire_graph()
+        barrier = threading.Barrier(4)
+
+        def fire(i):
+            barrier.wait(timeout=10)
+            if i == 0:
+                try:
+                    client.predict([poison])
+                    return ("poison", None)
+                except ServeClientError as exc:
+                    return ("poison", exc)
+            return ("clean", client.predict([fitted["test"][i % 2]]))
+
+        with cf.ThreadPoolExecutor(max_workers=4) as pool:
+            results = [f.result() for f in
+                       [pool.submit(fire, i) for i in range(4)]]
+        offline = fitted["gpr"].predict_graphs(fitted["test"])
+        for kind, value in results:
+            if kind == "poison":
+                assert isinstance(value, ServeClientError)
+                assert value.status == 400
+                assert value.code == "unsupported_graph"
+            else:
+                assert abs(value[0] - offline[int(np.argmin(
+                    [abs(value[0] - o) for o in offline]))]) < 1e-10
+        snap = client.metrics()
+        assert snap["poison_batches"] >= 1
+        assert snap["isolated_items"].get("ok", 0) >= 1
+
+
+class TestRegistryMmap:
+    def test_mmap_load_matches_and_materializes_arrays(
+            self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.save("mm", fitted["gpr"], fitted["kernel"], fitted["train"],
+                 scheme="synthetic")
+        plain = reg.load("mm")
+        plain.gpr.engine = GramEngine(plain.kernel)
+        mapped = reg.load("mm", mmap=True)
+        mapped.gpr.engine = GramEngine(mapped.kernel)
+        np.testing.assert_allclose(
+            mapped.gpr.predict_graphs(fitted["test"]),
+            plain.gpr.predict_graphs(fitted["test"]),
+            atol=0,
+        )
+        vdir = tmp_path / "mm" / "v0001"
+        assert (vdir / "arrays.mmap").is_dir()
+        assert any((vdir / "arrays.mmap").glob("*.npy"))
+
+    def test_mmap_arrays_are_read_only_views(self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.save("mm2", fitted["gpr"], fitted["kernel"], fitted["train"],
+                 scheme="synthetic")
+        mapped = reg.load("mm2", mmap=True)
+        arr = mapped.gpr._dual  # any model array will do
+        if isinstance(arr, np.memmap):
+            with pytest.raises(ValueError):
+                arr[0] = 0.0
+
+    def test_second_mmap_load_reuses_materialized_arrays(
+            self, fitted, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.save("mm3", fitted["gpr"], fitted["kernel"], fitted["train"],
+                 scheme="synthetic")
+        reg.load("mm3", mmap=True)
+        vdir = tmp_path / "mm3" / "v0001" / "arrays.mmap"
+        stamps = {p.name: p.stat().st_mtime_ns for p in vdir.glob("*.npy")}
+        reg.load("mm3", mmap=True)
+        assert stamps == {
+            p.name: p.stat().st_mtime_ns for p in vdir.glob("*.npy")
+        }
