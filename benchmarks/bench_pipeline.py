@@ -1,0 +1,208 @@
+"""Pipelined out-of-core Gram engine bench (ISSUE 9).
+
+Three claims, three arms, one engine configuration apart:
+
+1. **Overlap wins wall clock** — the software-pipelined executor
+   (plan/fill of upcoming tiles on dedicated threads while the current
+   tile solves) beats the barrier engine on the same workload.  On a
+   multi-core machine the gate is a real speedup (>= 1.25x) with the
+   solve stage kept busy (bubble fraction < 0.25); on a single core
+   there is no second CPU for the prep threads, so the gate degrades
+   to *bounded* overhead (>= 0.6x) — the same machine-dependent gate
+   shape as ``bench_load``.
+2. **Bitwise identity** — the pipelined arm's matrix and iteration
+   counts must equal the barrier arm's bit for bit.  Not allclose:
+   ``array_equal``.  This is the acceptance criterion that makes the
+   pipeline an executor change rather than a numerics change.
+3. **Out-of-core completion** — with a spill directory and an in-RAM
+   result budget smaller than the Gram matrix, the run must complete
+   with a memory-mapped result (bitwise equal again), persist one
+   block per tile, and a rerun must serve every block back with zero
+   numeric solves (crash-recovery economics).
+
+The committed baseline (``benchmarks/baselines/BENCH_pipeline.json``)
+hard-gates the machine-independent ratios PR over PR: bitwise
+identity, rerun served fraction, solve occupancy (1 - bubble), and the
+pipelined-vs-barrier speedup.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py \
+        --benchmark-only --json /tmp/bench
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from conftest import SCALE, banner, write_bench_json
+from repro.engine import GramEngine
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.kernels.marginalized import MarginalizedGraphKernel
+from repro.obs.metrics import get_registry
+
+N_CORES = os.cpu_count() or 1
+#: With 2+ cores the prep threads run on real CPUs and the pipeline
+#: must win; on one core the threads time-slice the solve's core and
+#: the gate degrades to bounded overhead.
+SCALE_OUT_CAPABLE = N_CORES >= 2
+
+#: Single-core floor is "bounded overhead", not a win: the prep
+#: threads and the solve chunking (cooperative GIL yields) cost real
+#: time when everything shares one CPU, and short runs are noisy.
+MIN_SPEEDUP = 1.25 if SCALE_OUT_CAPABLE else 0.60
+MAX_BUBBLE = 0.25 if SCALE_OUT_CAPABLE else 0.60
+
+#: Pairs per tile: small enough that an n~60 Gram makes dozens of
+#: tiles (the pipeline needs tiles to overlap), large enough that the
+#: batched solver still amortizes its per-bucket constant.
+BATCH_PAIRS = 24
+
+
+def make_graphs(n: int, seed0: int = 4000) -> list:
+    # Mixed sizes: several shape buckets per tile plan, plus solo
+    # stragglers — the workload shape the pipeline must not deadlock on.
+    return [
+        random_labeled_graph(4 + (k % 5), density=0.55, weighted=True,
+                             seed=seed0 + k)
+        for k in range(n)
+    ]
+
+
+def make_engine(**kw):
+    nk, ek = synthetic_kernels()
+    mgk = MarginalizedGraphKernel(nk, ek, q=0.1, engine="fused_batched",
+                                  solver="pcg")
+    kw.setdefault("cache", False)
+    kw.setdefault("batch_pairs", BATCH_PAIRS)
+    return GramEngine(mgk, **kw)
+
+
+def run_pipeline_bench():
+    n = int(56 * max(1.0, SCALE) ** 0.5)
+    graphs = make_graphs(n)
+    pairs = n * (n + 1) // 2
+
+    # Arm 1: barrier engine (the PR-5 execution model).
+    t0 = time.perf_counter()
+    barrier = make_engine().gram(graphs)
+    barrier_t = time.perf_counter() - t0
+
+    # Arm 2: pipelined engine, same workload.
+    t0 = time.perf_counter()
+    pipelined = make_engine(pipeline=True).gram(graphs)
+    pipelined_t = time.perf_counter() - t0
+    vals = get_registry().values_with_prefix("pipeline_")
+    bubble = float(vals.get("pipeline_bubble_fraction", 0.0))
+    overlap = float(vals.get("pipeline_overlap_ratio", 0.0))
+    depth = int(vals.get("pipeline_depth", 0))
+
+    bitwise = bool(
+        np.array_equal(barrier.matrix, pipelined.matrix)
+        and np.array_equal(barrier.iterations, pipelined.iterations)
+    )
+
+    # Arm 3: out-of-core — result budget far below the matrix size, so
+    # the Gram must assemble in a memmap; then a rerun from the spilled
+    # blocks alone.
+    spill = tempfile.mkdtemp(prefix="bench-pipeline-spill-")
+    try:
+        eng = make_engine(pipeline=True, spill_dir=spill,
+                          spill_bytes=max(1024, n * n))  # << n*n*8
+        t0 = time.perf_counter()
+        ooc = eng.gram(graphs)
+        ooc_t = time.perf_counter() - t0
+        ooc_diag = ooc.info["diagnostics"]
+        eng.close()
+        ooc_bitwise = bool(
+            isinstance(ooc.matrix, np.memmap)
+            and np.array_equal(barrier.matrix, np.asarray(ooc.matrix))
+        )
+
+        eng2 = make_engine(pipeline=True, spill_dir=spill,
+                           spill_bytes=max(1024, n * n))
+        t0 = time.perf_counter()
+        rerun = eng2.gram(graphs)
+        rerun_t = time.perf_counter() - t0
+        rerun_diag = rerun.info["diagnostics"]
+        eng2.close()
+        rerun_bitwise = bool(
+            np.array_equal(barrier.matrix, np.asarray(rerun.matrix))
+        )
+    finally:
+        shutil.rmtree(spill, ignore_errors=True)
+
+    return {
+        "n": n,
+        "pairs": pairs,
+        "tiles": barrier.info["diagnostics"].tiles,
+        "multi_core": SCALE_OUT_CAPABLE,
+        "n_cores": N_CORES,
+        "barrier_t": barrier_t,
+        "pipelined_t": pipelined_t,
+        "speedup": barrier_t / pipelined_t,
+        "bubble_fraction": bubble,
+        "solve_occupancy": 1.0 - bubble,
+        "overlap_ratio": overlap,
+        "depth": depth,
+        "bitwise_identical": float(bitwise),
+        "pairs_per_sec_pipelined": pairs / pipelined_t,
+        "pairs_per_sec_barrier": pairs / barrier_t,
+        "out_of_core": {
+            "spill_bytes_budget": max(1024, n * n),
+            "result_bytes": n * n * 8,
+            "wall_t": ooc_t,
+            "memmap_bitwise": float(ooc_bitwise),
+            "blocks_written": ooc_diag.blocks_written,
+        },
+        "rerun": {
+            "wall_t": rerun_t,
+            "solves": rerun_diag.solves,
+            "blocks_served": rerun_diag.blocks_served,
+            "served_fraction": (
+                rerun_diag.blocks_served / ooc_diag.blocks_written
+                if ooc_diag.blocks_written else 0.0
+            ),
+            "bitwise": float(rerun_bitwise),
+        },
+    }
+
+
+def test_pipeline_speedup(benchmark, request):
+    r = benchmark.pedantic(run_pipeline_bench, rounds=1, iterations=1)
+    banner("Pipelined Gram engine — overlap plan/fill/solve across tiles")
+    print(f"{r['n']} graphs, {r['pairs']} pairs, {r['tiles']} tiles "
+          f"({r['n_cores']} cores, depth {r['depth']})")
+    print(f"{'arm':>24s} {'wall':>9s} {'pairs/s':>9s}")
+    print(f"{'barrier (PR-5)':>24s} {r['barrier_t']:8.2f}s "
+          f"{r['pairs_per_sec_barrier']:9.0f}")
+    print(f"{'pipelined':>24s} {r['pipelined_t']:8.2f}s "
+          f"{r['pairs_per_sec_pipelined']:9.0f}")
+    print(f"speedup {r['speedup']:.2f}x (gate >= {MIN_SPEEDUP:.2f}x), "
+          f"bubble {100 * r['bubble_fraction']:.1f}% "
+          f"(gate < {100 * MAX_BUBBLE:.0f}%), "
+          f"overlap ratio {r['overlap_ratio']:.2f}")
+    ooc, rr = r["out_of_core"], r["rerun"]
+    print(f"out-of-core: {ooc['result_bytes']} B result under "
+          f"{ooc['spill_bytes_budget']} B budget -> memmap in "
+          f"{ooc['wall_t']:.2f}s, {ooc['blocks_written']} blocks")
+    print(f"rerun from blocks: {rr['blocks_served']} served, "
+          f"{rr['solves']} solves, {rr['wall_t']:.2f}s")
+
+    # Shape criteria (machine-dependent gates degrade on single core).
+    assert r["bitwise_identical"] == 1.0, \
+        "pipelined result differs from barrier result"
+    assert r["speedup"] >= MIN_SPEEDUP
+    assert r["bubble_fraction"] < MAX_BUBBLE
+    assert ooc["memmap_bitwise"] == 1.0
+    assert rr["bitwise"] == 1.0
+    assert rr["solves"] == 0, "rerun should be served entirely from blocks"
+    assert rr["served_fraction"] == 1.0
+
+    write_bench_json(request, "pipeline", r)

@@ -124,6 +124,8 @@ def cmd_gram(args: argparse.Namespace) -> int:
     engine_kw = {}
     if args.reorder_cutoff is not None:
         engine_kw["reorder_cutoff"] = args.reorder_cutoff
+    if args.pipeline_depth is not None:
+        engine_kw["pipeline_depth"] = args.pipeline_depth
     eng = GramEngine(
         mgk,
         executor=args.executor,
@@ -135,6 +137,8 @@ def cmd_gram(args: argparse.Namespace) -> int:
         structure_cache_dir=args.structure_cache_dir,
         warm_start=args.warm_start,
         reorder=args.reorder_products,
+        pipeline=args.pipeline,
+        spill_dir=args.spill_dir,
         progress=progress,
         **engine_kw,
     )
@@ -215,6 +219,7 @@ def cmd_gram(args: argparse.Namespace) -> int:
               f"max {tri.max()}")
     print(res.info["diagnostics"].summary())
     print(f"Gram matrix saved to {args.output}")
+    eng.close()  # flush pending out-of-core block writes
     if tracer is not None:
         from .obs import disable_tracing, format_summary, write_chrome_trace
 
@@ -701,7 +706,12 @@ def cmd_index_update(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
-    from .obs import format_summary, load_spans
+    from .obs import (
+        format_pipeline_report,
+        format_summary,
+        load_spans,
+        pipeline_report,
+    )
 
     try:
         spans = load_spans(args.file)
@@ -711,6 +721,14 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
         print(f"no spans in {args.file}")
         return 1
     print(f"{len(spans)} spans from {args.file}")
+    if args.pipeline:
+        report = pipeline_report(spans)
+        if report is None:
+            print("no engine.pipeline spans in this trace (barrier-path "
+                  "run, or recorded before pipelining was enabled)")
+            return 1
+        print(format_pipeline_report(report))
+        return 0
     print(format_summary(spans))
     return 0
 
@@ -773,6 +791,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="graphs above N nodes keep the identity order "
                         "under --reorder-products (default 512; resolved "
                         "lazily so the CLI stays import-light)")
+    m.add_argument("--pipeline", action="store_true",
+                   help="software-pipeline the batched tile stages: "
+                        "plan and fill of upcoming tiles overlap the "
+                        "running solve (results bitwise identical)")
+    m.add_argument("--pipeline-depth", type=int, default=None, metavar="D",
+                   help="stage lookahead for --pipeline (default: "
+                        "auto from the prep/solve cost ratio)")
+    m.add_argument("--spill-dir", default=None, metavar="DIR",
+                   help="out-of-core root: per-tile result blocks are "
+                        "persisted here (a rerun after a crash recomputes "
+                        "only missing tiles) and oversized result "
+                        "matrices are memory-mapped instead of held in "
+                        "RAM")
     m.add_argument("--extend", default=None, metavar="OLD_NPY",
                    help="previously saved unnormalized Gram over the "
                         "first N dataset graphs; only new rows/columns "
@@ -975,6 +1006,9 @@ def build_parser() -> argparse.ArgumentParser:
     ts.add_argument("file",
                     help="Chrome trace JSON (gram --trace) or span "
                          "JSONL (serve --trace-dir)")
+    ts.add_argument("--pipeline", action="store_true",
+                    help="per-stage occupancy and bubble-time view of "
+                         "pipelined engine runs (gram --pipeline traces)")
     ts.set_defaults(func=cmd_trace_summarize)
     return p
 

@@ -22,6 +22,7 @@ its ``__call__`` and ``diag`` here; construct an explicit engine to
 choose an executor, share a disk cache, or extend Grams incrementally.
 """
 
+from .block_store import GramBlockStore
 from .cache import (
     CachedPair,
     CacheStats,
@@ -33,7 +34,9 @@ from .cache import (
 )
 from .core import GramEngine
 from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
-from .progress import Diagnostics, ProgressEvent
+from .offload import AsyncOffloader
+from .pipeline import run_tiles_pipelined
+from .progress import Diagnostics, ProgressAggregator, ProgressEvent
 from .tiles import (
     DEFAULT_BATCH_PAIRS,
     Tile,
@@ -43,13 +46,16 @@ from .tiles import (
 )
 
 __all__ = [
+    "AsyncOffloader",
     "CachedPair",
     "CacheStats",
     "DEFAULT_BATCH_PAIRS",
     "Diagnostics",
     "DiskCache",
+    "GramBlockStore",
     "GramEngine",
     "LRUCache",
+    "ProgressAggregator",
     "ProgressEvent",
     "StructureCache",
     "TieredCache",
@@ -61,4 +67,5 @@ __all__ = [
     "pair_key",
     "plan_bucketed_tiles",
     "plan_tiles",
+    "run_tiles_pipelined",
 ]

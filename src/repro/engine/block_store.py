@@ -1,0 +1,176 @@
+"""Out-of-core Gram block storage: mmap ``.npy`` blocks, merge-on-read.
+
+A :class:`GramBlockStore` holds one block per solved tile under a
+spill directory.  A block is a ``(k, 6)`` float64 array — one row
+``(i, j, value, iterations, converged, residual_norm)`` per pair — in
+NumPy's ``.npy`` format so reads can be memory-mapped: assembling an
+out-of-core Gram matrix streams each block straight from the page
+cache into the result memmap without a heap copy.
+
+Integrity and crash safety:
+
+* **atomic replace** — blocks are published with the same temp-file +
+  ``os.replace`` primitive as every other store in the engine; a block
+  either exists complete or not at all.
+* **checksums** — each block carries a SHA-1 sidecar written *after*
+  the data file.  A crash between the two leaves a block without a
+  valid sidecar, which reads as absent; external corruption flips the
+  digest, which also reads as absent.  Either way the engine recomputes
+  exactly the missing tiles — partial-spill crash recovery for free.
+
+Keys are content-addressed by the engine (kernel fingerprint + the
+tile's pair fingerprints), so a rerun after a crash finds precisely
+the blocks whose inputs are unchanged, and a hyperparameter change
+misses everything — the same contract as the pair-value cache, at tile
+granularity and ~1000x fewer files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+
+import numpy as np
+
+from .cache import CacheStats, _atomic_write_bytes
+
+#: Columns of a block row.
+BLOCK_COLUMNS = ("i", "j", "value", "iterations", "converged",
+                 "residual_norm")
+
+
+class GramBlockStore:
+    """Per-tile result blocks under ``root`` (two-level fan-out)."""
+
+    def __init__(self, root: str | os.PathLike, mmap: bool = True) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.mmap = mmap
+        self.stats = CacheStats()
+
+    # -- paths ---------------------------------------------------------
+
+    def _block_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".npy")
+
+    def _digest_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".sha1")
+
+    # -- write ---------------------------------------------------------
+
+    def put(self, key: str, rows: np.ndarray) -> int:
+        """Publish one tile's outcome rows; returns bytes written.
+
+        Data first, sidecar second: a crash in between leaves an
+        unverifiable (= absent) block, never a wrong one.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != len(BLOCK_COLUMNS):
+            raise ValueError(
+                f"block rows must be (k, {len(BLOCK_COLUMNS)}), "
+                f"got {rows.shape}"
+            )
+        buf = io.BytesIO()
+        np.save(buf, rows, allow_pickle=False)
+        payload = buf.getvalue()
+        target = self._block_path(key)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        _atomic_write_bytes(target, payload)
+        digest = hashlib.sha1(payload).hexdigest()
+        _atomic_write_bytes(self._digest_path(key), digest.encode())
+        self.stats.puts += 1
+        self.stats.bytes_written += len(payload)
+        return len(payload)
+
+    # -- read ----------------------------------------------------------
+
+    def _verify(self, key: str) -> bytes | None:
+        """The block's raw bytes if present and digest-valid, else None."""
+        try:
+            with open(self._digest_path(key)) as fh:
+                want = fh.read().strip()
+            with open(self._block_path(key), "rb") as fh:
+                payload = fh.read()
+        except OSError:
+            return None
+        if hashlib.sha1(payload).hexdigest() != want:
+            return None
+        return payload
+
+    def get(self, key: str) -> np.ndarray | None:
+        """The block's rows, or None if absent/torn/corrupt.
+
+        Verification reads the file once sequentially (cheap, warms the
+        page cache); the returned array is then a read-only memmap of
+        the same file, so merge-on-read assembly never holds more than
+        the OS chooses to cache.
+        """
+        payload = self._verify(key)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(payload)
+        if self.mmap:
+            rows = np.load(self._block_path(key), mmap_mode="r",
+                           allow_pickle=False)
+        else:
+            rows = np.load(io.BytesIO(payload), allow_pickle=False)
+        if rows.ndim != 2 or rows.shape[1] != len(BLOCK_COLUMNS):
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+        return rows
+
+    def has(self, key: str) -> bool:
+        return self._verify(key) is not None
+
+    # -- maintenance ---------------------------------------------------
+
+    def keys(self) -> list[str]:
+        out = []
+        for _, _, files in os.walk(self.root):
+            out.extend(f[:-4] for f in files if f.endswith(".npy"))
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for root, _, files in os.walk(self.root):
+            for f in files:
+                if f.endswith(".npy"):
+                    try:
+                        total += os.path.getsize(os.path.join(root, f))
+                    except OSError:
+                        pass
+        return total
+
+    def clear(self) -> None:
+        for root, _, files in os.walk(self.root):
+            for f in files:
+                if f.endswith((".npy", ".sha1")):
+                    try:
+                        os.unlink(os.path.join(root, f))
+                    except OSError:
+                        pass
+
+
+def outcomes_to_rows(outcomes) -> np.ndarray:
+    """Pack ``(i, j, value, iters, conv, rnorm)`` tuples into block rows."""
+    rows = np.empty((len(outcomes), len(BLOCK_COLUMNS)), dtype=np.float64)
+    for r, (i, j, value, iters, conv, rnorm) in enumerate(outcomes):
+        rows[r] = (i, j, value, iters, 1.0 if conv else 0.0, rnorm)
+    return rows
+
+
+def rows_to_outcomes(rows: np.ndarray) -> list:
+    """Inverse of :func:`outcomes_to_rows` (exact float round-trip)."""
+    return [
+        (int(r[0]), int(r[1]), float(r[2]), int(r[3]),
+         bool(r[4]), float(r[5]))
+        for r in rows
+    ]

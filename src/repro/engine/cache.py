@@ -292,13 +292,17 @@ class StructureCache:
     """
 
     def __init__(self, max_bytes: int = 256 << 20,
-                 disk_dir: str | os.PathLike | None = None) -> None:
+                 disk_dir: str | os.PathLike | None = None,
+                 offloader=None) -> None:
         if max_bytes < 1:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = max_bytes
         self.disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
         if self.disk_dir is not None:
             os.makedirs(self.disk_dir, exist_ok=True)
+        #: Optional :class:`~repro.engine.offload.AsyncOffloader`: disk
+        #: puts run on its worker thread instead of the hot plan thread.
+        self.offloader = offloader
         self.stats = CacheStats()
         self._data: OrderedDict[str, object] = OrderedDict()
         #: Size snapshot per key, taken at insert and refreshed on hit:
@@ -382,17 +386,27 @@ class StructureCache:
             self.stats.misses += 1
         return None
 
+    def _disk_put(self, key: str, plan) -> None:
+        target = self._disk_path(key)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        payload = pickle.dumps(plan, protocol=4)
+        _atomic_write_bytes(target, payload)
+        with self._lock:
+            self.stats.bytes_written += len(payload)
+
     def put(self, key: str, plan) -> None:
         with self._lock:
             self._insert(key, plan)
             self.stats.puts += 1
         if self.disk_dir is not None:
-            target = self._disk_path(key)
-            os.makedirs(os.path.dirname(target), exist_ok=True)
-            payload = pickle.dumps(plan, protocol=4)
-            _atomic_write_bytes(target, payload)
-            with self._lock:
-                self.stats.bytes_written += len(payload)
+            # Plans pickle without their fill memos (__getstate__), so
+            # deferring the write never races the memo growth on the
+            # fill thread.
+            if self.offloader is not None and self.offloader.submit(
+                self._disk_put, key, plan
+            ):
+                return
+            self._disk_put(key, plan)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -430,13 +444,23 @@ class WarmStartStore:
     close, to save iterations).  Thread-safe.
     """
 
-    def __init__(self, max_bytes: int = 64 << 20, history: int = 5) -> None:
+    def __init__(self, max_bytes: int = 64 << 20, history: int = 5,
+                 spill_dir: str | os.PathLike | None = None,
+                 offloader=None) -> None:
         if max_bytes < 1:
             raise ValueError("max_bytes must be positive")
         if history < 1:
             raise ValueError("history must be positive")
         self.max_bytes = max_bytes
         self.history = history
+        #: Optional disk spill tier: evicted histories land here instead
+        #: of vanishing, and a memory miss falls back to disk (async via
+        #: ``offloader`` when set, so eviction never blocks the solve
+        #: stage on a write).
+        self.spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
+        if self.spill_dir is not None:
+            os.makedirs(self.spill_dir, exist_ok=True)
+        self.offloader = offloader
         self.stats = CacheStats()
         self._data: OrderedDict[str, tuple[np.ndarray, ...]] = OrderedDict()
         self._bytes = 0
@@ -446,16 +470,67 @@ class WarmStartStore:
     def nbytes(self) -> int:
         return self._bytes
 
+    def _spill_path(self, key: str) -> str:
+        return os.path.join(self.spill_dir, key[:2], key + ".pkl")
+
+    def _spill_write(self, key: str, vecs: tuple[np.ndarray, ...]) -> None:
+        target = self._spill_path(key)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        payload = pickle.dumps(vecs, protocol=4)
+        _atomic_write_bytes(target, payload)
+        with self._lock:
+            self.stats.bytes_written += len(payload)
+
+    def _spill(self, key: str, vecs: tuple[np.ndarray, ...]) -> None:
+        if self.offloader is not None and self.offloader.submit(
+            self._spill_write, key, vecs
+        ):
+            return
+        self._spill_write(key, vecs)
+
     def get(self, key: str) -> tuple[np.ndarray, ...] | None:
         """Stored solutions for a pair, most-recent first (None: miss)."""
         with self._lock:
             vecs = self._data.get(key)
-            if vecs is None:
-                self.stats.misses += 1
-                return None
-            self._data.move_to_end(key)
-            self.stats.hits += 1
-            return vecs
+            if vecs is not None:
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return vecs
+        if self.spill_dir is not None:
+            try:
+                with open(self._spill_path(key), "rb") as fh:
+                    raw = fh.read()
+                vecs = pickle.loads(raw)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                vecs = None
+            if vecs is not None:
+                spills = []
+                with self._lock:
+                    # Promote; the insert may evict others to disk.
+                    self._data[key] = vecs
+                    self._data.move_to_end(key)
+                    self._bytes += sum(v.nbytes for v in vecs)
+                    self.stats.hits += 1
+                    self.stats.bytes_read += len(raw)
+                    spills = self._evict_locked()
+                for k, v in spills:
+                    self._spill(k, v)
+                return vecs
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def _evict_locked(self) -> list[tuple[str, tuple[np.ndarray, ...]]]:
+        """Enforce the byte bound; returns entries to spill (call the
+        spill writes *outside* the lock)."""
+        spills = []
+        while self._bytes > self.max_bytes and len(self._data) > 1:
+            evicted_key, evicted = self._data.popitem(last=False)
+            self._bytes -= sum(v.nbytes for v in evicted)
+            self.stats.evictions += 1
+            if self.spill_dir is not None:
+                spills.append((evicted_key, evicted))
+        return spills
 
     def put(self, key: str, x: np.ndarray) -> None:
         """Push a pair's newest solution, keeping ``history`` vectors."""
@@ -467,10 +542,9 @@ class WarmStartStore:
             self._data[key] = vecs
             self._bytes += sum(v.nbytes for v in vecs)
             self.stats.puts += 1
-            while self._bytes > self.max_bytes and len(self._data) > 1:
-                _, evicted = self._data.popitem(last=False)
-                self._bytes -= sum(v.nbytes for v in evicted)
-                self.stats.evictions += 1
+            spills = self._evict_locked()
+        for k, v in spills:
+            self._spill(k, v)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -479,3 +553,11 @@ class WarmStartStore:
         with self._lock:
             self._data.clear()
             self._bytes = 0
+        if self.spill_dir is not None:
+            for root, _, files in os.walk(self.spill_dir):
+                for f in files:
+                    if f.endswith(".pkl"):
+                        try:
+                            os.unlink(os.path.join(root, f))
+                        except OSError:
+                            pass

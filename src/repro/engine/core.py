@@ -30,6 +30,8 @@ loop actually needs:
 from __future__ import annotations
 
 import hashlib
+import itertools
+import os
 import time
 import warnings
 from threading import Lock
@@ -42,6 +44,8 @@ from ..kernels.linsys import DEFAULT_RCM_CUTOFF
 from ..kernels.marginalized import GramResult, normalized
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from ..scheduler.balance import pipeline_order, suggest_pipeline_depth
+from .block_store import GramBlockStore, outcomes_to_rows, rows_to_outcomes
 from .cache import (
     CachedPair,
     DiskCache,
@@ -58,14 +62,30 @@ from .executors import (
     run_tiles,
 )
 from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
-from .progress import Diagnostics, ProgressCallback, ProgressEvent, iteration_histogram
+from .offload import AsyncOffloader
+from .pipeline import run_tiles_pipelined
+from .progress import (
+    Diagnostics,
+    ProgressAggregator,
+    ProgressCallback,
+    ProgressEvent,
+    iteration_histogram,
+)
 from .tiles import (
     DEFAULT_BATCH_PAIRS,
     MERGED_BATCH_PAIRS,
     build_pair_jobs,
     plan_bucketed_tiles,
     plan_tiles,
+    tile_stage_costs,
 )
+
+#: Result matrices above this many bytes are allocated as on-disk
+#: memmaps when a spill directory is configured (out-of-core Gram).
+DEFAULT_SPILL_BYTES = 256 << 20
+
+#: Monotone id for out-of-core result files within a process.
+_memmap_ids = itertools.count()
 
 
 def _scatter_entries(
@@ -160,6 +180,34 @@ class GramEngine:
     cost_model:
         ``"edges"`` (O(1) per pair, default) or ``"vgpu"`` (full
         tile-pipeline cost pass) — see :mod:`repro.engine.tiles`.
+    pipeline:
+        Software-pipeline the batched tile stages: tile T+1's structure
+        planning and numeric fill run on dedicated threads while tile T
+        is in the batched solve (:mod:`repro.engine.pipeline`).  Tiles
+        are sequenced by Johnson's rule over per-stage cost estimates
+        (:func:`repro.scheduler.balance.pipeline_order`) to minimize
+        pipeline bubbles.  Results are bitwise identical to the
+        barrier path.  No effect on the per-pair path or the process
+        executor (which overlap differently already).
+    pipeline_depth:
+        Stage lookahead (inter-stage queue bound).  ``None`` (default)
+        picks a depth from the prep/solve cost ratio
+        (:func:`repro.scheduler.balance.suggest_pipeline_depth`).
+    spill_dir:
+        Root directory for out-of-core state.  Enables (a) a
+        :class:`~repro.engine.block_store.GramBlockStore` of per-tile
+        result blocks — written asynchronously as tiles complete, and
+        served on reruns so a crashed or repeated Gram recomputes only
+        missing tiles; (b) disk spill of evicted warm-start histories
+        (when ``warm_start=True``); (c) allocation of result matrices
+        above ``spill_bytes`` as on-disk memmaps, so a Gram larger than
+        RAM completes.  All spill writes ride an
+        :class:`~repro.engine.offload.AsyncOffloader` thread, keeping
+        disk traffic off the solve path.
+    spill_bytes:
+        In-RAM budget for one result matrix (default 256 MiB); larger
+        results are memory-mapped under ``spill_dir``.  Ignored without
+        ``spill_dir``.
     progress:
         Optional callback receiving :class:`~repro.engine.progress.
         ProgressEvent` after every completed tile.
@@ -185,6 +233,10 @@ class GramEngine:
         reorder: bool = False,
         reorder_cutoff: int = DEFAULT_RCM_CUTOFF,
         cost_model: str = "edges",
+        pipeline: bool = False,
+        pipeline_depth: int | None = None,
+        spill_dir: str | os.PathLike | None = None,
+        spill_bytes: int = DEFAULT_SPILL_BYTES,
         progress: ProgressCallback | None = None,
     ) -> None:
         if executor not in EXECUTORS:
@@ -195,6 +247,10 @@ class GramEngine:
             raise ValueError("batch_pairs must be >= 0 (0 disables batching)")
         if reorder_cutoff < 1:
             raise ValueError("reorder_cutoff must be positive")
+        if pipeline_depth is not None and pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if spill_bytes < 1:
+            raise ValueError("spill_bytes must be positive")
         self.kernel = kernel
         self.executor = executor
         self.max_workers = max_workers
@@ -209,16 +265,41 @@ class GramEngine:
             self.cache = TieredCache(memory=LRUCache(), disk=DiskCache(cache_dir))
         else:
             self.cache = LRUCache()
+        # Out-of-core tier: block store + one async offload thread that
+        # every spill-capable cache shares.  Built before the caches so
+        # the engine-owned ones can be wired to it (instances passed in
+        # by the caller are left untouched — they may be shared).
+        self.pipeline = bool(pipeline)
+        self.pipeline_depth = pipeline_depth
+        self.spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
+        self.spill_bytes = spill_bytes
+        if self.spill_dir is not None:
+            os.makedirs(self.spill_dir, exist_ok=True)
+            self.offloader = AsyncOffloader(name="engine-offload")
+            self.block_store = GramBlockStore(
+                os.path.join(self.spill_dir, "blocks")
+            )
+        else:
+            self.offloader = None
+            self.block_store = None
         if structure_cache is False:
             self.structure_cache = None
         elif structure_cache is not None:
             self.structure_cache = structure_cache
         else:
-            self.structure_cache = StructureCache(disk_dir=structure_cache_dir)
+            self.structure_cache = StructureCache(
+                disk_dir=structure_cache_dir, offloader=self.offloader
+            )
         if warm_start is False or warm_start is None:
             self.warm_store = None
         elif warm_start is True:
-            self.warm_store = WarmStartStore()
+            self.warm_store = WarmStartStore(
+                spill_dir=(
+                    os.path.join(self.spill_dir, "warm")
+                    if self.spill_dir is not None else None
+                ),
+                offloader=self.offloader,
+            )
         else:
             self.warm_store = warm_start
         self.reorder_cutoff = reorder_cutoff if reorder else None
@@ -257,6 +338,46 @@ class GramEngine:
         h.update(";".join(parts).encode())
         return h.hexdigest()
 
+    @staticmethod
+    def _block_key(kfp: str, fx, fy, pairs) -> str:
+        """Content address of one tile's result block.
+
+        Covers the kernel hyperparameters, every solved position, and
+        the graph content at those positions — positions matter because
+        block rows carry (i, j) indices.  A rerun after a crash hits
+        exactly the blocks whose tile inputs are unchanged.
+        """
+        h = hashlib.sha1()
+        h.update(f"block-v1|{kfp}".encode())
+        for i, j in pairs:
+            h.update(f"|{i},{j},{fx[i]},{fy[j]}".encode())
+        return h.hexdigest()
+
+    def _alloc_result(self, shape: tuple[int, int]):
+        """Zeroed (values, iterations) result matrices.
+
+        Above the ``spill_bytes`` budget (and with a spill directory
+        configured) both are ``.npy`` memmaps under ``spill_dir/gram``,
+        so a Gram matrix larger than RAM assembles out of core: the
+        scatter writes land in the page cache and the OS pages them
+        out as needed.
+        """
+        nbytes = int(np.prod(shape)) * 8
+        if self.spill_dir is None or nbytes <= self.spill_bytes:
+            return np.zeros(shape), np.zeros(shape, dtype=int)
+        root = os.path.join(self.spill_dir, "gram")
+        os.makedirs(root, exist_ok=True)
+        uid = f"{os.getpid()}-{next(_memmap_ids)}"
+        K = np.lib.format.open_memmap(
+            os.path.join(root, f"K-{uid}.npy"),
+            mode="w+", dtype=np.float64, shape=shape,
+        )
+        iters = np.lib.format.open_memmap(
+            os.path.join(root, f"iters-{uid}.npy"),
+            mode="w+", dtype=np.int64, shape=shape,
+        )
+        return K, iters
+
     def reset_counters(self) -> None:
         with self._counter_lock:
             self.solves = 0
@@ -265,6 +386,21 @@ class GramEngine:
     def clear_cache(self) -> None:
         if self.cache is not None:
             self.cache.clear()
+
+    def close(self) -> None:
+        """Flush pending spill writes and stop the offload thread.
+
+        Only needed with ``spill_dir``; safe to call anytime (the
+        engine keeps working, falling back to synchronous spills).
+        """
+        if self.offloader is not None:
+            self.offloader.close()
+
+    def __enter__(self) -> "GramEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def workers(self) -> int:
@@ -325,6 +461,9 @@ class GramEngine:
             sp.set("cache_hits", diag.cache_hits)
             sp.set("tiles", diag.tiles)
             sp.set("structure_hits", diag.structure_hits)
+            if diag.blocks_served or diag.blocks_written:
+                sp.set("blocks_served", diag.blocks_served)
+                sp.set("blocks_written", diag.blocks_written)
             return out, diag
 
     def _compute_pairs_impl(
@@ -365,6 +504,7 @@ class GramEngine:
         reps = [rep for _, rep in missing]
         batched = self.batched
         runtime = None
+        tiles_cached = False
         if batched:
             # Shape-bucketed tiles for the batched solver.  The plan is
             # independent of the worker count, so every executor
@@ -415,6 +555,7 @@ class GramEngine:
                 tkey = self._tiles_key(fx, fy, reps, merge_small)
                 tiles = self.structure_cache.get(tkey)
                 runtime.record(tiles is not None)
+                tiles_cached = tiles is not None
             if tiles is None:
                 with get_tracer().span(
                     "engine.plan_tiles", n_pairs=len(reps), batched=True
@@ -466,42 +607,113 @@ class GramEngine:
         pairs_done = n_hit_positions
         tiles_done = 0
         solves = 0
-        for tile, outcomes in run_tiles(
-            self.executor, self.kernel, X, Y, tiles, self.max_workers,
-            batched=batched, runtime=runtime,
-        ):
+        blocks_served = 0
+        blocks_written = 0
+        # Serialize + order-guard progress delivery: executors complete
+        # tiles concurrently, and the callback must never see regressing
+        # cumulative counters.
+        emit = (
+            ProgressAggregator(self.progress)
+            if self.progress is not None else None
+        )
+        tiles_total = len(tiles)
+
+        def absorb(outcomes, solved: bool) -> None:
+            nonlocal solves, pairs_done
             for i, j, value, iters, converged, resnorm in outcomes:
                 entry = CachedPair(value, iters, converged, resnorm)
                 key = key_of[(i, j)]
                 resolved[key] = entry
                 if self.cache is not None:
                     self.cache.put(key, entry)
-                solves += 1
+                if solved:
+                    solves += 1
                 pairs_done += len(by_key[key])
+
+        def emit_tile() -> None:
+            nonlocal tiles_done
             tiles_done += 1
-            if self.progress is not None:
+            if emit is not None:
                 s_hits, s_misses = structure_delta()
-                self.progress(
+                emit(
                     ProgressEvent(
                         phase="tile",
                         tiles_done=tiles_done,
-                        tiles_total=len(tiles),
+                        tiles_total=tiles_total,
                         pairs_done=pairs_done,
                         pairs_total=n_total,
                         solves=solves,
                         # same definition as the final event/Diagnostics:
                         # every resolved position that was not a solve
-                        # (cache hits and content-duplicate fills).  A
-                        # bucket served from the *structure* cache is
-                        # still numerically solved, so its pairs count
-                        # as solves here — never as cache hits — and
-                        # the structure reuse is reported separately.
+                        # (cache hits, content-duplicate fills, and
+                        # block-store recoveries).  A bucket served from
+                        # the *structure* cache is still numerically
+                        # solved, so its pairs count as solves here —
+                        # never as cache hits — and the structure reuse
+                        # is reported separately.
                         cache_hits=pairs_done - solves,
                         elapsed=time.perf_counter() - t0,
                         structure_hits=s_hits,
                         structure_misses=s_misses,
                     )
                 )
+
+        # Crash recovery / rerun reuse: serve any tile whose result
+        # block already sits (whole and digest-valid) in the spill
+        # store, and remember the keys to record the rest under.
+        block_keys: dict[int, str] = {}
+        todo = tiles
+        if self.block_store is not None and tiles:
+            # Make earlier async block writes visible before scanning.
+            self.offloader.flush(timeout=60.0)
+            todo = []
+            for tile in tiles:
+                bkey = self._block_key(kfp, fx, fy, tile.pairs)
+                rows = self.block_store.get(bkey)
+                if rows is not None:
+                    absorb(rows_to_outcomes(rows), solved=False)
+                    blocks_served += 1
+                    emit_tile()
+                else:
+                    block_keys[id(tile)] = bkey
+                    todo.append(tile)
+
+        use_pipeline = (
+            self.pipeline and batched
+            and self.executor != "process"
+            and len(todo) > 1
+        )
+        if use_pipeline:
+            # Sequence tiles to minimize pipeline bubbles (Johnson's
+            # rule on per-stage cost estimates) and size the lookahead
+            # from the prep/solve ratio.  Scatter order is fixed by
+            # position, so tile order never changes result bits.
+            costs = tile_stage_costs(todo, X, Y, structure_hot=tiles_cached)
+            todo = [todo[k] for k in pipeline_order(costs)]
+            depth = self.pipeline_depth or suggest_pipeline_depth(costs)
+            runner = run_tiles_pipelined(
+                self.executor, self.kernel, X, Y, todo, self.max_workers,
+                batched=batched, runtime=runtime, depth=depth,
+            )
+        else:
+            runner = run_tiles(
+                self.executor, self.kernel, X, Y, todo, self.max_workers,
+                batched=batched, runtime=runtime,
+            )
+        for tile, outcomes in runner:
+            absorb(outcomes, solved=True)
+            if self.block_store is not None:
+                self.offloader.submit(
+                    self.block_store.put,
+                    block_keys[id(tile)],
+                    outcomes_to_rows(outcomes),
+                )
+                blocks_written += 1
+            emit_tile()
+        if self.offloader is not None and blocks_written:
+            # Durability point: every block of this call is on disk (or
+            # counted as a failed spill) before results are assembled.
+            self.offloader.flush(timeout=60.0)
 
         out = {
             pos: resolved[key] for key, posns in by_key.items() for pos in posns
@@ -514,7 +726,7 @@ class GramEngine:
         diag = Diagnostics(
             executor=self.executor,
             workers=self.workers,
-            tiles=len(tiles),
+            tiles=tiles_total,
             pairs=n_total,
             solves=solves,
             cache_hits=hits,
@@ -527,15 +739,17 @@ class GramEngine:
             ),
             structure_hits=s_hits,
             structure_misses=s_misses,
+            blocks_served=blocks_served,
+            blocks_written=blocks_written,
             cache_tiers=self._cache_tier_stats(),
             hw_counters=get_registry().values_with_prefix("vgpu_"),
         )
-        if self.progress is not None:
-            self.progress(
+        if emit is not None:
+            emit(
                 ProgressEvent(
                     phase="done",
-                    tiles_done=len(tiles),
-                    tiles_total=len(tiles),
+                    tiles_done=tiles_total,
+                    tiles_total=tiles_total,
                     pairs_done=n_total,
                     pairs_total=n_total,
                     solves=solves,
@@ -591,8 +805,7 @@ class GramEngine:
                 (i, j) for i in range(len(X)) for j in range(i, len(X))
             ]
             entries, diag = self._compute_pairs(X, X, positions)
-            K = np.zeros((len(X), len(X)))
-            iters = np.zeros((len(X), len(X)), dtype=int)
+            K, iters = self._alloc_result((len(X), len(X)))
             _scatter_entries(entries, K, iters, symmetric=True)
             if normalize:
                 K = normalized(K)
@@ -629,8 +842,7 @@ class GramEngine:
         t0 = time.perf_counter()
         rows = list(rows)
         cols = list(cols)
-        K = np.zeros((len(rows), len(cols)))
-        iters = np.zeros((len(rows), len(cols)), dtype=int)
+        K, iters = self._alloc_result((len(rows), len(cols)))
         if not rows or not cols:
             return GramResult(
                 matrix=K, iterations=iters, converged=True,
@@ -790,9 +1002,8 @@ class GramEngine:
             (i, j) for j in range(N, N + M) for i in range(j + 1)
         ]
         entries, diag = self._compute_pairs(X, X, positions)
-        K = np.zeros((N + M, N + M))
+        K, iters = self._alloc_result((N + M, N + M))
         K[:N, :N] = K_old
-        iters = np.zeros((N + M, N + M), dtype=int)
         _scatter_entries(entries, K, iters, symmetric=True)
         if normalize:
             K = normalized(K)

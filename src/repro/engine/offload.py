@@ -1,0 +1,111 @@
+"""Async offload of cold-path work: one daemon thread, bounded queue.
+
+The pipelined engine keeps its hot threads (plan / fill / solve) free
+of disk traffic by pushing spill work — structure-plan pickles, Gram
+block writes, warm-start history spills — onto an
+:class:`AsyncOffloader`.  The queue is bounded: a producer that
+outruns the disk blocks briefly instead of buffering without limit
+(backpressure, not amnesia).  Errors inside offloaded jobs never
+propagate into the engine; they are counted and the last one kept for
+diagnostics — a failed spill degrades to a future cache miss or an
+in-RAM retry, exactly like the synchronous tiers treat unreadable
+entries.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+#: Default bound on queued offload jobs.
+DEFAULT_QUEUE_SIZE = 64
+
+_STOP = object()
+
+
+class AsyncOffloader:
+    """A single worker thread draining a bounded job queue.
+
+    ``submit(fn, *args, **kwargs)`` enqueues a callable (blocking while
+    the queue is full); :meth:`flush` waits until everything submitted
+    so far has run; :meth:`close` flushes and stops the worker.  Usable
+    as a context manager.  Thread-safe.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_QUEUE_SIZE,
+                 name: str = "offload") -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self._q: queue.Queue = queue.Queue(maxsize=maxsize)
+        self._pending = 0
+        self._cond = threading.Condition()
+        self._closed = False
+        self.errors = 0
+        self.last_error: BaseException | None = None
+        self.completed = 0
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            job = self._q.get()
+            if job is _STOP:
+                return
+            fn, args, kwargs = job
+            try:
+                fn(*args, **kwargs)
+            except BaseException as exc:  # never kill the worker
+                with self._cond:
+                    self.errors += 1
+                    self.last_error = exc
+            finally:
+                with self._cond:
+                    self._pending -= 1
+                    self.completed += 1
+                    self._cond.notify_all()
+
+    def submit(self, fn, *args, **kwargs) -> bool:
+        """Enqueue ``fn(*args, **kwargs)``; False if already closed."""
+        with self._cond:
+            if self._closed:
+                return False
+            self._pending += 1
+        try:
+            self._q.put((fn, args, kwargs))
+        except BaseException:
+            with self._cond:
+                self._pending -= 1
+                self._cond.notify_all()
+            raise
+        return True
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return self._pending
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Wait until every submitted job has run; False on timeout."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._pending == 0, timeout=timeout
+            )
+
+    def close(self, timeout: float | None = 10.0) -> bool:
+        """Flush, then stop the worker thread.  Idempotent."""
+        with self._cond:
+            if self._closed:
+                return True
+            self._closed = True
+        ok = self.flush(timeout=timeout)
+        self._q.put(_STOP)
+        self._thread.join(timeout=timeout)
+        return ok and not self._thread.is_alive()
+
+    def __enter__(self) -> "AsyncOffloader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,296 @@
+"""Software-pipelined tile execution: overlap plan / fill / solve.
+
+:func:`run_tiles_pipelined` is a drop-in alternative to
+:func:`repro.engine.executors.run_tiles` that runs the three batched
+stages of consecutive tiles concurrently instead of as a per-tile
+barrier: while tile T sits in the batched solve on the caller's
+thread, tile T+1 is in numeric fill on the fill thread and tile T+2 in
+structure planning on the plan thread — the zero-bubble
+pipeline-parallelism schedule with tiles in place of microbatches.
+Stage lookahead is bounded by ``depth`` (each inter-stage queue holds
+at most ``depth`` tiles), so peak memory stays a small multiple of the
+barrier path's.
+
+**Bitwise identity.**  The pipeline runs the *same* stage functions
+(:func:`~repro.engine.executors.plan_bucket` /
+:func:`~repro.engine.executors.fill_bucket` /
+:func:`~repro.engine.executors.solve_bucket`) over the same
+:func:`~repro.engine.executors.bucket_tasks` list, solves tiles in the
+given order, and workspaces are zeroed at checkout — so every pair's
+value is bit-for-bit the value the barrier path computes.  Structure
+plans are content-addressed and deterministic to rebuild, and warm
+starts are seeded on the (in-order) solve stage, so running prep ahead
+cannot perturb any solve.  Only cache hit *counters* may differ (a
+tile planned ahead can miss an entry the barrier schedule would have
+hit).
+
+The per-pair (non-batched) body and the process executor have no
+stages to split — both delegate to the barrier ``run_tiles`` (the
+process pool already overlaps whole tiles across workers).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import queue
+import threading
+import time
+from typing import Iterator, Sequence
+
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from .executors import (
+    BATCHED_SOLVERS,
+    BatchRuntime,
+    PairOutcome,
+    bucket_tasks,
+    fill_bucket,
+    plan_bucket,
+    run_tiles,
+    solve_bucket,
+)
+from .tiles import Tile
+
+#: Default per-queue lookahead (tiles each stage may run ahead).
+DEFAULT_PIPELINE_DEPTH = 2
+
+#: CG iterations per cooperative yield on the solve stage: the solve
+#: thread briefly drops the GIL between chunks so the plan/fill threads
+#: schedule promptly even on a single core.
+SOLVE_STEP_CHUNK = 32
+
+_DONE = object()
+
+
+class _PipelineStats:
+    """Per-stage busy seconds and the solve stage's busy window."""
+
+    def __init__(self) -> None:
+        self.busy = {"plan": 0.0, "fill": 0.0, "solve": 0.0}
+        self.solve_start: float | None = None
+        self.solve_end: float = 0.0
+        self.tiles = 0
+
+    def timed(self, stage: str, fn, *args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            t1 = time.perf_counter()
+            self.busy[stage] += t1 - t0
+            if stage == "solve":
+                if self.solve_start is None:
+                    self.solve_start = t0
+                self.solve_end = t1
+
+    def bubble_fraction(self) -> float:
+        """Idle share of the solve stage's busy window: 1 − busy/window.
+
+        The window runs from the first solve start to the last solve
+        end, so pipeline warm-up (the first tile's plan+fill, which
+        nothing can overlap) is excluded — the metric isolates how well
+        prep kept up, not how long the pipeline took to prime.
+        """
+        if self.solve_start is None:
+            return 0.0
+        window = self.solve_end - self.solve_start
+        if window <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy["solve"] / window)
+
+    def overlap_ratio(self) -> float:
+        """Total stage-busy seconds over the solve window: > 1 means
+        stages genuinely ran concurrently."""
+        if self.solve_start is None:
+            return 0.0
+        window = self.solve_end - self.solve_start
+        if window <= 0:
+            return 0.0
+        return sum(self.busy.values()) / window
+
+    def publish(self, depth: int) -> None:
+        reg = get_registry()
+        reg.gauge(
+            "pipeline_bubble_fraction",
+            help="solve-stage idle share within its busy window",
+        ).set(self.bubble_fraction())
+        reg.gauge(
+            "pipeline_overlap_ratio",
+            help="stage busy seconds over solve window (>1 = overlap)",
+        ).set(self.overlap_ratio())
+        reg.gauge("pipeline_depth", help="configured lookahead").set(depth)
+        reg.counter(
+            "pipeline_tiles_total", help="tiles executed pipelined"
+        ).inc(self.tiles)
+
+
+def _put(q: queue.Queue, item, abort: threading.Event) -> bool:
+    while not abort.is_set():
+        try:
+            q.put(item, timeout=0.05)
+            return True
+        except queue.Full:
+            continue
+    return False
+
+
+def _get(q: queue.Queue, abort: threading.Event):
+    while True:
+        try:
+            return q.get(timeout=0.05)
+        except queue.Empty:
+            if abort.is_set():
+                return _DONE
+
+
+def run_tiles_pipelined(
+    executor: str,
+    kernel,
+    X,
+    Y,
+    tiles: Sequence[Tile],
+    max_workers: int | None = None,
+    batched: bool = True,
+    runtime: BatchRuntime | None = None,
+    depth: int = DEFAULT_PIPELINE_DEPTH,
+) -> Iterator[tuple[Tile, list[PairOutcome]]]:
+    """Execute tiles with plan/fill running ahead of the solve stage.
+
+    Yields ``(tile, outcomes)`` in **tile order** (unlike the barrier
+    pools' completion order — the engine accepts either).  ``depth``
+    bounds each inter-stage queue.  Falls back to the barrier
+    :func:`run_tiles` when there is nothing to pipeline: the per-pair
+    body, non-batchable solvers, or the process executor.
+    """
+    if depth < 1:
+        raise ValueError("pipeline depth must be >= 1")
+    if (
+        not batched
+        or kernel.solver not in BATCHED_SOLVERS
+        or executor == "process"
+        or len(tiles) <= 1
+    ):
+        yield from run_tiles(
+            executor, kernel, X, Y, tiles,
+            max_workers=max_workers, batched=batched, runtime=runtime,
+        )
+        return
+
+    # Flatten tiles into per-bucket stage tasks up front (cheap: pure
+    # Python grouping).  work[k] = (tile position, task) for the plan
+    # thread; solo tasks skip the pipeline and run on the solve stage.
+    tile_tasks = [bucket_tasks(kernel, X, Y, t.pairs, runtime) for t in tiles]
+    work = [
+        (pos, task)
+        for pos, tasks in enumerate(tile_tasks)
+        for task in tasks
+        if not task.solo
+    ]
+
+    stats = _PipelineStats()
+    abort = threading.Event()
+    failure: list[BaseException] = []
+    fill_q: queue.Queue = queue.Queue(maxsize=depth)
+    solve_q: queue.Queue = queue.Queue(maxsize=depth)
+
+    def plan_loop() -> None:
+        try:
+            for item in work:
+                if abort.is_set():
+                    return
+                stats.timed("plan", plan_bucket, item[1], X, Y, runtime)
+                if not _put(fill_q, item, abort):
+                    return
+        except BaseException as exc:  # propagate to the consumer
+            failure.append(exc)
+            abort.set()
+        finally:
+            _put(fill_q, _DONE, abort)
+
+    def fill_loop() -> None:
+        # Rotate workspaces over depth + 2 slots per bucket shape: the
+        # filled system aliases its workspace's buffers, and at most
+        # depth (queued) + 1 (being solved) + 1 (being filled) systems
+        # are in flight — by the time a slot comes around again, the
+        # solve_q bound forces its previous system to have retired.
+        slots = depth + 2
+        counts: dict = {}
+        try:
+            while True:
+                item = _get(fill_q, abort)
+                if item is _DONE:
+                    return
+                key = item[1].key
+                slot = counts.get(key, 0)
+                counts[key] = slot + 1
+                stats.timed(
+                    "fill", fill_bucket, item[1], kernel, runtime,
+                    ws_slot=slot % slots,
+                )
+                if not _put(solve_q, item, abort):
+                    return
+        except BaseException as exc:
+            failure.append(exc)
+            abort.set()
+        finally:
+            _put(solve_q, _DONE, abort)
+
+    # Each stage thread runs under its own copy of the caller's context
+    # so tile.plan/tile.fill spans keep their engine-call parent (one
+    # Context object cannot be entered by two threads at once).
+    threads = [
+        threading.Thread(
+            target=contextvars.copy_context().run, args=(loop,),
+            name=f"pipeline-{stage}", daemon=True,
+        )
+        for stage, loop in (("plan", plan_loop), ("fill", fill_loop))
+    ]
+
+    def solve_hook(_handle) -> None:
+        # Drop the GIL between CG chunks so prep threads schedule
+        # promptly; a no-op for the numbers the solve produces.
+        time.sleep(0)
+
+    tracer = get_tracer()
+    with tracer.span("engine.pipeline", depth=depth,
+                     n_tiles=len(tiles)) as sp:
+        for t in threads:
+            t.start()
+        try:
+            for pos, tile in enumerate(tiles):
+                outcomes: list[PairOutcome] = []
+                for task in tile_tasks[pos]:
+                    if task.solo:
+                        outcomes.extend(stats.timed(
+                            "solve", solve_bucket,
+                            task, kernel, X, Y, runtime,
+                        ))
+                        continue
+                    item = _get(solve_q, abort)
+                    if item is _DONE:
+                        if failure:
+                            raise failure[0]
+                        raise RuntimeError(
+                            "pipeline stages exited before finishing"
+                        )
+                    assert item[1] is task, "pipeline order violated"
+                    outcomes.extend(stats.timed(
+                        "solve", solve_bucket,
+                        item[1], kernel, X, Y, runtime,
+                        step_hook=solve_hook, step_chunk=SOLVE_STEP_CHUNK,
+                    ))
+                    # Free the stacked system as soon as it is solved;
+                    # lookahead keeps at most ~2*depth systems alive.
+                    item[1].system = None
+                    item[1].plan = None
+                stats.tiles += 1
+                yield tile, outcomes
+        finally:
+            abort.set()
+            for t in threads:
+                t.join(timeout=5.0)
+            stats.publish(depth)
+            sp.set("bubble_fraction", round(stats.bubble_fraction(), 4))
+            sp.set("overlap_ratio", round(stats.overlap_ratio(), 4))
+            for stage, busy in stats.busy.items():
+                sp.set(f"{stage}_busy_s", round(busy, 6))

@@ -10,7 +10,8 @@ on ``GramResult.info["diagnostics"]``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from threading import Lock
 from typing import Callable
 
 import numpy as np
@@ -43,6 +44,81 @@ class ProgressEvent:
     @property
     def fraction(self) -> float:
         return self.pairs_done / self.pairs_total if self.pairs_total else 1.0
+
+
+class ProgressAggregator:
+    """Serialize, order, and monotonize tile progress events.
+
+    The engine's executors complete tiles concurrently: the threads pool
+    yields in completion order, and the pipelined path's stage threads
+    can finish bookkeeping while the consumer is mid-solve.  Handing
+    those events straight to a user callback has two failure modes:
+
+    * **interleaving** — two events in flight at once reach a callback
+      that is not thread-safe, or arrive with ``tiles_done`` going
+      backwards (tile 5's event before tile 4's);
+    * **undercounting** — a cumulative field (``pairs_done``,
+      ``structure_hits``) regresses because a stale event overtakes a
+      fresher one, briefly reporting buckets served from the structure
+      cache as never having happened.
+
+    The aggregator fixes both: a lock serializes delivery, a reorder
+    buffer holds early events until their predecessors (by
+    ``tiles_done``) have been delivered, and every cumulative field is
+    clamped to its running maximum so no delivered event ever
+    undercounts work already reported.  The terminal ``"done"`` event
+    flushes any stragglers (in order) before being forwarded.
+
+    One aggregator serves one engine call; it is cheap enough that the
+    engine wraps every call's callback unconditionally.
+    """
+
+    #: Cumulative event fields that must never decrease across delivery.
+    _MONOTONE = (
+        "tiles_done", "pairs_done", "solves", "cache_hits",
+        "structure_hits", "structure_misses", "elapsed",
+    )
+
+    def __init__(self, callback: ProgressCallback) -> None:
+        self.callback = callback
+        self._lock = Lock()
+        self._pending: dict[int, ProgressEvent] = {}
+        self._next_tile = 1
+        self._floor: dict[str, float] = {}
+        self.delivered = 0
+        self.reordered = 0
+        self.clamped = 0
+
+    def _deliver(self, event: ProgressEvent) -> None:
+        fixes = {}
+        for name in self._MONOTONE:
+            value = getattr(event, name)
+            floor = self._floor.get(name)
+            if floor is not None and value < floor:
+                fixes[name] = floor
+            else:
+                self._floor[name] = value
+        if fixes:
+            self.clamped += 1
+            event = replace(event, **fixes)
+        self.delivered += 1
+        self.callback(event)
+
+    def __call__(self, event: ProgressEvent) -> None:
+        with self._lock:
+            if event.phase != "tile":
+                # Terminal event: flush any buffered stragglers first so
+                # the callback sees every tile, in order, before "done".
+                for k in sorted(self._pending):
+                    self._deliver(self._pending.pop(k))
+                self._deliver(event)
+                return
+            self._pending[event.tiles_done] = event
+            if event.tiles_done != self._next_tile:
+                self.reordered += 1
+            while self._next_tile in self._pending:
+                self._deliver(self._pending.pop(self._next_tile))
+                self._next_tile += 1
 
 
 def iteration_histogram(iterations: np.ndarray) -> dict[str, int]:
@@ -84,6 +160,11 @@ class Diagnostics:
     #: distinct from ``cache_hits``, which counts skipped *solves*.
     structure_hits: int = 0
     structure_misses: int = 0
+    #: Out-of-core block-store traffic of this call: tiles served whole
+    #: from spilled result blocks (crash recovery / reruns) and tiles
+    #: whose blocks were written this call.
+    blocks_served: int = 0
+    blocks_written: int = 0
     #: Per-tier cache counters (value/value_memory/value_disk/structure/
     #: warm_start), cumulative over the engine's lifetime at the time of
     #: the call — includes byte and eviction counts for disk tiers.
@@ -110,5 +191,10 @@ class Diagnostics:
             line += (
                 f"; structure cache: {self.structure_hits} reused, "
                 f"{self.structure_misses} built"
+            )
+        if self.blocks_served or self.blocks_written:
+            line += (
+                f"; blocks: {self.blocks_served} served, "
+                f"{self.blocks_written} written"
             )
         return line

@@ -138,6 +138,53 @@ def plan_tiles(
     return tiles
 
 
+#: Stage-cost coefficients for :func:`tile_stage_costs`, in touches per
+#: stored off-diagonal entry: plan walks the product topology about
+#: twice (edge pairing + layout), fill writes each entry once plus the
+#: node terms.  Only the *ratios* matter to the pipeline schedule.
+PLAN_COST_PER_NNZ = 2.0
+FILL_COST_PER_NNZ = 1.0
+#: Plan cost multiplier when the structure cache is expected to serve
+#: the tile (a fetch + deserialize instead of a topology build).
+PLAN_HOT_FACTOR = 0.1
+
+
+def tile_stage_costs(
+    tiles: Sequence[Tile],
+    X: Sequence[Graph],
+    Y: Sequence[Graph],
+    structure_hot: bool = False,
+):
+    """Per-stage cost estimates for the pipelined executor's schedule.
+
+    Returns one :class:`~repro.scheduler.balance.StageCost` per tile
+    (same order).  ``solve`` reuses the tile's LPT cycle estimate;
+    ``plan``/``fill`` scale with the tile's stored off-diagonal entries.
+    ``structure_hot`` discounts the plan stage when the engine expects
+    structure-cache hits (sweep mode), shifting Johnson's rule toward
+    fill/solve balance.
+    """
+    from ..scheduler.balance import StageCost
+
+    out = []
+    # Positional indices (not Tile.index): the engine schedules over
+    # arbitrary sublists (e.g. tiles left after block-store recovery).
+    for k, tile in enumerate(tiles):
+        nnz = float(sum(
+            4 * max(1, X[i].n_edges) * max(1, Y[j].n_edges)
+            for i, j in tile.pairs
+        ))
+        plan = PLAN_COST_PER_NNZ * nnz
+        if structure_hot:
+            plan *= PLAN_HOT_FACTOR
+        solve = tile.cycles if tile.cycles > 0 else nnz
+        out.append(StageCost(
+            index=k, plan=plan,
+            fill=FILL_COST_PER_NNZ * nnz, solve=float(solve),
+        ))
+    return out
+
+
 #: Default pair count per batched tile: large enough to amortize the
 #: per-bucket Python constant over ~a hundred pairs, small enough that
 #: buckets of big molecules stay within tens of MB of stacked operands.

@@ -24,9 +24,11 @@ or ``repro serve --trace-dir DIR`` turn it on.
 from .export import (
     STAGE_SPANS,
     collect_tracer,
+    format_pipeline_report,
     format_summary,
     jsonl_sink,
     load_spans,
+    pipeline_report,
     stage_seconds,
     summarize_spans,
     to_chrome_trace,
@@ -64,6 +66,7 @@ __all__ = [
     "current_span",
     "disable_tracing",
     "enable_tracing",
+    "format_pipeline_report",
     "format_summary",
     "get_registry",
     "get_tracer",
@@ -72,6 +75,7 @@ __all__ = [
     "record_vgpu_counters",
     "set_registry",
     "set_tracer",
+    "pipeline_report",
     "stage_seconds",
     "summarize_spans",
     "to_chrome_trace",

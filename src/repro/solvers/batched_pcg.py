@@ -66,6 +66,8 @@ def batched_pcg_solve(
     max_iter: int | None = None,
     x0: np.ndarray | None = None,
     r0: np.ndarray | None = None,
+    step_hook=None,
+    step_chunk: int = 32,
 ) -> BatchedSolveResult:
     """Diagonal-PCG over every pair of a bucket with masked convergence.
 
@@ -86,7 +88,8 @@ def batched_pcg_solve(
     CG's own residual drift); ignored when ``x0`` is None.
     """
     return _batched_krylov(system, rtol, atol, max_iter, precondition=True,
-                           x0=x0, r0=r0)
+                           x0=x0, r0=r0, step_hook=step_hook,
+                           step_chunk=step_chunk)
 
 
 def batched_cg_solve(
@@ -96,11 +99,14 @@ def batched_cg_solve(
     max_iter: int | None = None,
     x0: np.ndarray | None = None,
     r0: np.ndarray | None = None,
+    step_hook=None,
+    step_chunk: int = 32,
 ) -> BatchedSolveResult:
     """Unpreconditioned batched CG (mirrors :func:`repro.solvers.cg.
     cg_solve`, including its ``max(64, 4N)`` default iteration cap)."""
     return _batched_krylov(system, rtol, atol, max_iter, precondition=False,
-                           x0=x0, r0=r0)
+                           x0=x0, r0=r0, step_hook=step_hook,
+                           step_chunk=step_chunk)
 
 
 def _batched_krylov(
@@ -111,6 +117,8 @@ def _batched_krylov(
     precondition: bool,
     x0: np.ndarray | None = None,
     r0: np.ndarray | None = None,
+    step_hook=None,
+    step_chunk: int = 32,
 ) -> BatchedSolveResult:
     """Traced entry: a ``pcg.batch`` span carrying iteration/retirement
     stats wraps the solve when tracing is on; the disabled path calls
@@ -118,7 +126,8 @@ def _batched_krylov(
     tracer = get_tracer()
     if not tracer.enabled:
         return _batched_krylov_impl(
-            system, rtol, atol, max_iter, precondition, x0, r0, None
+            system, rtol, atol, max_iter, precondition, x0, r0, None,
+            step_hook=step_hook, step_chunk=step_chunk,
         )
     stats = {"compactions": 0, "breakdowns": 0, "zero_iter_retired": 0}
     with tracer.span(
@@ -129,7 +138,8 @@ def _batched_krylov(
         warm_started=x0 is not None,
     ) as sp:
         res = _batched_krylov_impl(
-            system, rtol, atol, max_iter, precondition, x0, r0, stats
+            system, rtol, atol, max_iter, precondition, x0, r0, stats,
+            step_hook=step_hook, step_chunk=step_chunk,
         )
         iters = res.iterations
         sp.set("iterations_total", int(iters.sum()))
@@ -150,200 +160,287 @@ def _batched_krylov_impl(
     x0: np.ndarray | None,
     r0: np.ndarray | None,
     stats: dict | None,
+    step_hook=None,
+    step_chunk: int = 32,
 ) -> BatchedSolveResult:
-    B = system.batch
-    if (system.diag <= 0).any():
-        raise ValueError("system diagonal must be positive (check base kernels)")
-    b = system.rhs
-    bnorm = system.pair_norms(b)
-    threshold = np.maximum(rtol * bnorm, atol)
-    if max_iter is None:
-        caps = np.maximum(64, (1 if precondition else 4) * system.sizes)
+    handle = BatchedSolveHandle(
+        system, rtol=rtol, atol=atol, max_iter=max_iter,
+        precondition=precondition, x0=x0, r0=r0, stats=stats,
+    )
+    if step_hook is None:
+        handle.step()
     else:
-        caps = np.full(B, int(max_iter), dtype=np.int64)
+        # Chunked advance: the hook runs between iteration chunks (the
+        # pipelined executor's cooperative yield point).  The iteration
+        # sequence is identical to the one-shot run.
+        while not handle.done:
+            handle.step(step_chunk)
+            step_hook(handle)
+    return handle.result()
 
-    # Full-layout outputs, written back as pairs retire.
-    x_out = np.zeros(system.total)
-    iters_out = np.zeros(B, dtype=np.int64)
-    conv_out = np.zeros(B, dtype=bool)
-    rnorm_out = np.zeros(B)
 
-    # Active layout: ``sysk`` is the (possibly compacted) system;
-    # ``pair_of`` maps its batch axis to input pair indices; ``alive``
-    # marks layout slots whose pair has not retired yet.
-    sysk = system
-    pair_of = np.arange(B, dtype=np.int64)
-    alive = np.ones(B, dtype=bool)
+class BatchedSolveHandle:
+    """A resumable batched Krylov solve.
 
-    if x0 is None:
-        x = np.zeros(sysk.total)
-        r = b.copy()  # r = b - S x with x = 0
-        rnorm = bnorm.copy()
-    else:
-        x = np.asarray(x0, dtype=np.float64).copy()
-        if x.shape != (sysk.total,):
+    The constructor performs the setup phase of the solve (initial
+    residual, zero-iteration warm-start retirements, CG state);
+    :meth:`step` advances by a bounded number of CG iterations and
+    returns how many were taken; :attr:`done` reports completion; and
+    :meth:`result` wraps up the outputs.  Running ``step()`` with no
+    bound until :attr:`done` performs exactly the same elementwise
+    NumPy operations, in the same order, as the one-shot entry points —
+    the split exists so a pipelined executor can interleave solve
+    iterations with the plan/fill stages of other tiles without
+    changing any numerics.
+    """
+
+    def __init__(
+        self,
+        system: BatchedProductSystem,
+        rtol: float = 1e-9,
+        atol: float = 0.0,
+        max_iter: int | None = None,
+        precondition: bool = True,
+        x0: np.ndarray | None = None,
+        r0: np.ndarray | None = None,
+        stats: dict | None = None,
+    ) -> None:
+        B = system.batch
+        if (system.diag <= 0).any():
             raise ValueError(
-                f"x0 has shape {x.shape}, expected ({sysk.total},)"
+                "system diagonal must be positive (check base kernels)"
             )
-        if r0 is not None:
-            r = np.asarray(r0, dtype=np.float64).copy()
+        self.system = system
+        self.precondition = precondition
+        self.stats = stats
+        b = system.rhs
+        bnorm = system.pair_norms(b)
+        self.threshold = np.maximum(rtol * bnorm, atol)
+        if max_iter is None:
+            self.caps = np.maximum(
+                64, (1 if precondition else 4) * system.sizes
+            )
         else:
-            # r = b − S x0 = b − (diag·x0 − W x0).  Zero segments keep
-            # the cold r = b exactly (the matvec of zeros is zero).
-            r = b - (sysk.diag * x - sysk.matvec_offdiag(x))
-        rnorm = sysk.pair_norms(r)
-    # The CG state (z, p, ρ) is created only after the zero-iteration
-    # retirements below: a well-seeded warm start can retire most (or
-    # all) of a bucket instantly, and the state is then built on the
-    # compacted survivors — elementwise/per-segment identical to
-    # building it first and compacting after.
-    p = None
-    rho = None
-    # Scratch buffers and cached layout arrays, refreshed on compaction.
-    t = np.empty_like(x)
-    u = np.empty_like(x)
-    starts = sysk.offsets[:-1]
-    seglen = sysk.seg_lengths
+            self.caps = np.full(B, int(max_iter), dtype=np.int64)
 
-    def retire(local_idx: np.ndarray, iters, ok: bool) -> None:
+        # Full-layout outputs, written back as pairs retire.
+        self.x_out = np.zeros(system.total)
+        self.iters_out = np.zeros(B, dtype=np.int64)
+        self.conv_out = np.zeros(B, dtype=bool)
+        self.rnorm_out = np.zeros(B)
+
+        # Active layout: ``sysk`` is the (possibly compacted) system;
+        # ``pair_of`` maps its batch axis to input pair indices;
+        # ``alive`` marks layout slots whose pair has not retired yet.
+        self.sysk = system
+        self.pair_of = np.arange(B, dtype=np.int64)
+        self.alive = np.ones(B, dtype=bool)
+
+        if x0 is None:
+            self.x = np.zeros(self.sysk.total)
+            self.r = b.copy()  # r = b - S x with x = 0
+            self.rnorm = bnorm.copy()
+        else:
+            self.x = np.asarray(x0, dtype=np.float64).copy()
+            if self.x.shape != (self.sysk.total,):
+                raise ValueError(
+                    f"x0 has shape {self.x.shape}, "
+                    f"expected ({self.sysk.total},)"
+                )
+            if r0 is not None:
+                self.r = np.asarray(r0, dtype=np.float64).copy()
+            else:
+                # r = b − S x0 = b − (diag·x0 − W x0).  Zero segments
+                # keep the cold r = b exactly (the matvec of zeros is
+                # zero).
+                self.r = b - (
+                    self.sysk.diag * self.x
+                    - self.sysk.matvec_offdiag(self.x)
+                )
+            self.rnorm = self.sysk.pair_norms(self.r)
+        # The CG state (z, p, ρ) is created only after the
+        # zero-iteration retirements below: a well-seeded warm start
+        # can retire most (or all) of a bucket instantly, and the state
+        # is then built on the compacted survivors — elementwise/
+        # per-segment identical to building it first and compacting
+        # after.
+        self.p = None
+        self.rho = None
+        # Scratch buffers and cached layout arrays, refreshed on
+        # compaction.
+        self.t = np.empty_like(self.x)
+        self.u = np.empty_like(self.x)
+        self.starts = self.sysk.offsets[:-1]
+        self.seglen = self.sysk.seg_lengths
+
+        done0 = self.rnorm <= self.threshold
+        if done0.any():
+            # Bulk zero-iteration retirement (the common case for a
+            # well-seeded warm start, where most or all of a bucket is
+            # already converged): copying the whole layout into x_out
+            # is safe — every pair retires exactly once, and later
+            # retirements overwrite their own segments — and avoids
+            # building gather ranges over a mostly-retired layout.
+            # Zeroing r/p is unnecessary here: either nothing stays
+            # alive, or _compact() immediately drops the retired
+            # segments.
+            idx = np.flatnonzero(done0)
+            if stats is not None:
+                stats["zero_iter_retired"] = len(idx)
+            pair = self.pair_of[idx]
+            self.iters_out[pair] = 0
+            self.conv_out[pair] = True
+            self.rnorm_out[pair] = self.rnorm[idx]
+            self.x_out[:] = self.x
+            self.alive[idx] = False
+        if self.alive.any() and not self.alive.all():
+            self._compact()
+        if self.alive.any():
+            z = self.r / self.sysk.diag if precondition else self.r.copy()
+            self.p = z.copy()
+            self.rho = self.sysk.pair_dots(self.r, z)
+
+        self.it = 0
+
+    @property
+    def done(self) -> bool:
+        return not self.alive.any()
+
+    def _retire(self, local_idx: np.ndarray, iters, ok: bool) -> None:
         """Write back results and freeze the retiring layout slots."""
-        nonlocal rho
-        pair = pair_of[local_idx]
-        iters_out[pair] = iters
-        conv_out[pair] = ok
-        rnorm_out[pair] = rnorm[local_idx]
-        src = _concat_ranges(sysk.offsets[local_idx], sysk.offsets[local_idx + 1])
-        dst = _concat_ranges(system.offsets[pair], system.offsets[pair + 1])
-        x_out[dst] = x[src]
-        alive[local_idx] = False
+        pair = self.pair_of[local_idx]
+        self.iters_out[pair] = iters
+        self.conv_out[pair] = ok
+        self.rnorm_out[pair] = self.rnorm[local_idx]
+        src = _concat_ranges(
+            self.sysk.offsets[local_idx], self.sysk.offsets[local_idx + 1]
+        )
+        dst = _concat_ranges(
+            self.system.offsets[pair], self.system.offsets[pair + 1]
+        )
+        self.x_out[dst] = self.x[src]
+        self.alive[local_idx] = False
         # Freeze the retired segments: r = p = 0 makes their α and β
         # vanish, so x, r, p stop changing there; ρ = 1 keeps the β
         # division finite (β = ρ_new/ρ = 0/1).
-        r[src] = 0.0
-        if p is not None:
-            p[src] = 0.0
-        if rho is not None:
-            rho = rho.copy()
-            rho[local_idx] = 1.0
+        self.r[src] = 0.0
+        if self.p is not None:
+            self.p[src] = 0.0
+        if self.rho is not None:
+            self.rho = self.rho.copy()
+            self.rho[local_idx] = 1.0
 
-    def compact() -> None:
-        nonlocal sysk, pair_of, alive, x, r, p, rho, rnorm, threshold, caps
-        nonlocal t, u, starts, seglen
-        if stats is not None:
-            stats["compactions"] += 1
-        keep = np.flatnonzero(alive)
-        gather = _concat_ranges(sysk.offsets[keep], sysk.offsets[keep + 1])
-        x = x[gather]
-        r = r[gather]
-        if p is not None:
-            p = p[gather]
-        if rho is not None:
-            rho = rho[keep]
-        sysk = sysk.take(keep)
-        pair_of = pair_of[keep]
-        rnorm = rnorm[keep]
-        threshold = threshold[keep]
-        caps = caps[keep]
-        alive = np.ones(len(keep), dtype=bool)
-        t = np.empty_like(x)
-        u = np.empty_like(x)
-        starts = sysk.offsets[:-1]
-        seglen = sysk.seg_lengths
+    def _compact(self) -> None:
+        if self.stats is not None:
+            self.stats["compactions"] += 1
+        keep = np.flatnonzero(self.alive)
+        gather = _concat_ranges(
+            self.sysk.offsets[keep], self.sysk.offsets[keep + 1]
+        )
+        self.x = self.x[gather]
+        self.r = self.r[gather]
+        if self.p is not None:
+            self.p = self.p[gather]
+        if self.rho is not None:
+            self.rho = self.rho[keep]
+        self.sysk = self.sysk.take(keep)
+        self.pair_of = self.pair_of[keep]
+        self.rnorm = self.rnorm[keep]
+        self.threshold = self.threshold[keep]
+        self.caps = self.caps[keep]
+        self.alive = np.ones(len(keep), dtype=bool)
+        self.t = np.empty_like(self.x)
+        self.u = np.empty_like(self.x)
+        self.starts = self.sysk.offsets[:-1]
+        self.seglen = self.sysk.seg_lengths
 
-    done0 = rnorm <= threshold
-    if done0.any():
-        # Bulk zero-iteration retirement (the common case for a
-        # well-seeded warm start, where most or all of a bucket is
-        # already converged): copying the whole layout into x_out is
-        # safe — every pair retires exactly once, and later retirements
-        # overwrite their own segments — and avoids building gather
-        # ranges over a mostly-retired layout.  Zeroing r/p is
-        # unnecessary here: either nothing stays alive, or compact()
-        # immediately drops the retired segments.
-        idx = np.flatnonzero(done0)
-        if stats is not None:
-            stats["zero_iter_retired"] = len(idx)
-        pair = pair_of[idx]
-        iters_out[pair] = 0
-        conv_out[pair] = True
-        rnorm_out[pair] = rnorm[idx]
-        x_out[:] = x
-        alive[idx] = False
-    if alive.any() and not alive.all():
-        compact()
-    if alive.any():
-        z = r / sysk.diag if precondition else r.copy()
-        p = z.copy()
-        rho = sysk.pair_dots(r, z)
-
-    it = 0
-    while alive.any():
-        it += 1
+    def _iterate(self) -> None:
+        """One CG iteration over the alive layout (the loop body of the
+        original one-shot solve, verbatim)."""
+        sysk = self.sysk
+        self.it += 1
+        it = self.it
         # a = S p (lines 9-10), computed into scratch: u = diag·p − Wp.
-        a = sysk.matvec_offdiag(p)
-        np.multiply(sysk.diag, p, out=u)
-        u -= a
-        a = u
-        np.multiply(p, a, out=t)
-        pa = np.add.reduceat(t, starts)
+        a = sysk.matvec_offdiag(self.p)
+        np.multiply(sysk.diag, self.p, out=self.u)
+        self.u -= a
+        a = self.u
+        np.multiply(self.p, a, out=self.t)
+        pa = np.add.reduceat(self.t, self.starts)
 
         # Breakdown — loss of positive definiteness retires the pair
         # at its pre-update iterate, exactly like the scalar solver.
-        broken = alive & (pa <= 0)
+        broken = self.alive & (pa <= 0)
         if broken.any():
-            if stats is not None:
-                stats["breakdowns"] += int(broken.sum())
-            retire(np.flatnonzero(broken), it - 1, False)
-            if not alive.any():
-                break
-            compact()
-            a = sysk.matvec_offdiag(p)
-            np.multiply(sysk.diag, p, out=u)
-            u -= a
-            a = u
-            np.multiply(p, a, out=t)
-            pa = np.add.reduceat(t, starts)
+            if self.stats is not None:
+                self.stats["breakdowns"] += int(broken.sum())
+            self._retire(np.flatnonzero(broken), it - 1, False)
+            if not self.alive.any():
+                return
+            self._compact()
+            sysk = self.sysk
+            a = sysk.matvec_offdiag(self.p)
+            np.multiply(sysk.diag, self.p, out=self.u)
+            self.u -= a
+            a = self.u
+            np.multiply(self.p, a, out=self.t)
+            pa = np.add.reduceat(self.t, self.starts)
 
         # Retired slots have p = 0 hence pa = 0; mask the division so
         # they get α = 0 without a divide-by-zero evaluation.
-        alpha = np.zeros(len(alive))
-        np.divide(rho, pa, out=alpha, where=alive)
-        alpha_s = np.repeat(alpha, seglen)
-        np.multiply(alpha_s, p, out=t)
-        x += t
-        np.multiply(alpha_s, a, out=t)
-        r -= t
-        np.multiply(r, r, out=t)
-        rnorm = np.sqrt(np.add.reduceat(t, starts))
+        alpha = np.zeros(len(self.alive))
+        np.divide(self.rho, pa, out=alpha, where=self.alive)
+        alpha_s = np.repeat(alpha, self.seglen)
+        np.multiply(alpha_s, self.p, out=self.t)
+        self.x += self.t
+        np.multiply(alpha_s, a, out=self.t)
+        self.r -= self.t
+        np.multiply(self.r, self.r, out=self.t)
+        self.rnorm = np.sqrt(np.add.reduceat(self.t, self.starts))
 
-        conv = alive & (rnorm <= threshold)
+        conv = self.alive & (self.rnorm <= self.threshold)
         if conv.any():
-            retire(np.flatnonzero(conv), it, True)
-        capped = alive & (it >= caps)
+            self._retire(np.flatnonzero(conv), it, True)
+        capped = self.alive & (it >= self.caps)
         if capped.any():
-            retire(np.flatnonzero(capped), caps[capped], False)
-        n_alive = int(alive.sum())
+            self._retire(np.flatnonzero(capped), self.caps[capped], False)
+        n_alive = int(self.alive.sum())
         if n_alive == 0:
-            break
-        if n_alive <= COMPACT_FRACTION * len(alive):
-            compact()
+            return
+        if n_alive <= COMPACT_FRACTION * len(self.alive):
+            self._compact()
 
-        if precondition:
-            z = np.divide(r, sysk.diag, out=u)
+        sysk = self.sysk
+        if self.precondition:
+            z = np.divide(self.r, sysk.diag, out=self.u)
         else:
-            z = r
-        np.multiply(r, z, out=t)
-        rho_new = np.add.reduceat(t, starts)
-        beta = np.zeros(len(alive))
-        np.divide(rho_new, rho, out=beta, where=alive)
-        beta_s = np.repeat(beta, seglen)
-        p *= beta_s
-        p += z
-        rho = np.where(alive, rho_new, 1.0)
+            z = self.r
+        np.multiply(self.r, z, out=self.t)
+        rho_new = np.add.reduceat(self.t, self.starts)
+        beta = np.zeros(len(self.alive))
+        np.divide(rho_new, self.rho, out=beta, where=self.alive)
+        beta_s = np.repeat(beta, self.seglen)
+        self.p *= beta_s
+        self.p += z
+        self.rho = np.where(self.alive, rho_new, 1.0)
 
-    return BatchedSolveResult(
-        x=x_out,
-        iterations=iters_out,
-        converged=conv_out,
-        residual_norms=rnorm_out,
-    )
+    def step(self, max_steps: int | None = None) -> int:
+        """Advance by up to ``max_steps`` CG iterations (all remaining
+        when None); returns the number of iterations taken."""
+        steps = 0
+        while self.alive.any() and (max_steps is None or steps < max_steps):
+            self._iterate()
+            steps += 1
+        return steps
+
+    def result(self) -> BatchedSolveResult:
+        if not self.done:
+            raise RuntimeError(
+                "solve not finished: call step() until done before result()"
+            )
+        return BatchedSolveResult(
+            x=self.x_out,
+            iterations=self.iters_out,
+            converged=self.conv_out,
+            residual_norms=self.rnorm_out,
+        )

@@ -1,0 +1,586 @@
+"""Pipelined out-of-core Gram engine tests (ISSUE 9 acceptance).
+
+The load-bearing properties:
+
+* the software-pipelined executor is **bitwise identical** to the
+  barrier path — across executors, caching modes, and depths — because
+  it runs the same stage functions over the same bucket tasks and only
+  overlaps their execution;
+* the mmap block store round-trips tile outcomes exactly, detects
+  corruption and torn writes (reads them as absent), and the engine's
+  rerun path recomputes exactly the missing tiles;
+* progress events stay ordered and monotone under concurrent tile
+  completion;
+* the stage-cost scheduler (Johnson order, bounded-buffer simulation,
+  depth suggestion) is deterministic and sane.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import GramEngine, ProgressAggregator
+from repro.engine.block_store import (
+    GramBlockStore,
+    outcomes_to_rows,
+    rows_to_outcomes,
+)
+from repro.engine.executors import (
+    _thread_workspace,
+    bucket_tasks,
+    fill_bucket,
+    plan_bucket,
+    solve_bucket,
+)
+from repro.engine.offload import AsyncOffloader
+from repro.engine.pipeline import run_tiles_pipelined
+from repro.engine.progress import ProgressEvent
+from repro.engine.tiles import tile_stage_costs
+from repro.graphs.generators import random_labeled_graph
+from repro.kernels.basekernels import synthetic_kernels
+from repro.kernels.marginalized import MarginalizedGraphKernel
+from repro.scheduler.balance import (
+    StageCost,
+    pipeline_order,
+    simulate_pipeline,
+    suggest_pipeline_depth,
+)
+from repro.solvers.batched_pcg import BatchedSolveHandle, batched_pcg_solve
+
+NK, EK = synthetic_kernels()
+
+
+def make_graphs(n, seed0=100):
+    # Mixed sizes so bucketing produces several shape buckets (dense,
+    # sparse, and solo tails) — the pipeline must handle all three.
+    return [
+        random_labeled_graph(4 + (k % 4), density=0.6, weighted=True,
+                             seed=seed0 + k)
+        for k in range(n)
+    ]
+
+
+def make_kernel(q=0.2, solver="pcg"):
+    return MarginalizedGraphKernel(
+        NK, EK, q=q, engine="fused_batched", solver=solver
+    )
+
+
+def make_engine(**kw):
+    kw.setdefault("batch_pairs", 16)  # force a multi-tile plan
+    return GramEngine(make_kernel(), **kw)
+
+
+GRAPHS = make_graphs(18)
+
+
+@pytest.fixture(scope="module")
+def barrier_result():
+    return make_engine().gram(GRAPHS)
+
+
+def assert_bitwise(res, ref):
+    assert np.array_equal(np.asarray(res.matrix), np.asarray(ref.matrix))
+    assert np.array_equal(
+        np.asarray(res.iterations), np.asarray(ref.iterations)
+    )
+
+
+# ---------------------------------------------------------------------------
+# bitwise identity: pipelined vs barrier
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineBitwise:
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    @pytest.mark.parametrize("cache", [None, False])
+    def test_executors_and_cache_modes(self, barrier_result, executor, cache):
+        eng = make_engine(pipeline=True, executor=executor, cache=cache,
+                          max_workers=2)
+        assert_bitwise(eng.gram(GRAPHS), barrier_result)
+
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_depths(self, barrier_result, depth):
+        eng = make_engine(pipeline=True, pipeline_depth=depth)
+        assert_bitwise(eng.gram(GRAPHS), barrier_result)
+
+    def test_warm_start_pipelined_matches_warm_barrier(self):
+        # Warm-started values are tolerance-equal to cold ones, but the
+        # pipeline must reproduce the *warm barrier* run bit for bit:
+        # seeding happens on the in-order solve stage either way.
+        kw = dict(warm_start=True)
+        a = make_engine(**kw)
+        b = make_engine(pipeline=True, **kw)
+        for _ in range(2):  # second sweep actually consumes histories
+            ra = a.gram(GRAPHS)
+            rb = b.gram(GRAPHS)
+        assert_bitwise(rb, ra)
+
+    def test_process_executor_falls_back(self, barrier_result):
+        eng = make_engine(pipeline=True, executor="process", max_workers=2)
+        res = eng.gram(GRAPHS)
+        assert np.allclose(res.matrix, barrier_result.matrix)
+
+    def test_structure_cached_second_call_bitwise(self, barrier_result):
+        eng = make_engine(pipeline=True)
+        eng.gram(GRAPHS)
+        res = eng.gram(GRAPHS)  # tiles + plans now structure-cached
+        assert_bitwise(res, barrier_result)
+
+    def test_run_tiles_pipelined_rejects_bad_depth(self):
+        with pytest.raises(ValueError, match="depth"):
+            list(run_tiles_pipelined(
+                "serial", make_kernel(), [], [], [], depth=0
+            ))
+
+    def test_engine_rejects_bad_pipeline_depth(self):
+        with pytest.raises(ValueError, match="pipeline_depth"):
+            make_engine(pipeline_depth=0)
+
+    def test_stage_failure_propagates(self):
+        # A poisoned kernel makes the fill stage raise; the consumer
+        # must re-raise rather than hang or truncate.
+        eng = make_engine(pipeline=True)
+        orig = eng.kernel.edge_kernel
+
+        class Boom:
+            def __getattr__(self, name):
+                raise RuntimeError("poisoned edge kernel")
+
+        eng.kernel.edge_kernel = Boom()
+        try:
+            with pytest.raises(Exception):
+                eng.gram(GRAPHS)
+        finally:
+            eng.kernel.edge_kernel = orig
+
+
+# ---------------------------------------------------------------------------
+# block store
+# ---------------------------------------------------------------------------
+
+
+OUTCOMES = [
+    (0, 1, 0.123456789123456789, 7, True, 3.2e-13),
+    (2, 5, -1.0 / 3.0, 0, True, 0.0),
+    (3, 3, 1.7976931348623157e308, 12345, False, np.pi),
+]
+
+
+class TestBlockStore:
+    def test_rows_roundtrip_exact(self):
+        back = rows_to_outcomes(outcomes_to_rows(OUTCOMES))
+        assert back == OUTCOMES
+        for orig, rt in zip(OUTCOMES, back):
+            assert isinstance(rt[0], int) and isinstance(rt[3], int)
+            assert isinstance(rt[4], bool)
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = GramBlockStore(tmp_path)
+        rows = outcomes_to_rows(OUTCOMES)
+        store.put("ab" + "0" * 38, rows)
+        got = store.get("ab" + "0" * 38)
+        assert np.array_equal(np.asarray(got), rows)
+        assert isinstance(got, np.memmap)  # merge-on-read path
+        assert store.has("ab" + "0" * 38)
+        assert len(store) == 1 and store.nbytes > 0
+
+    def test_get_absent(self, tmp_path):
+        store = GramBlockStore(tmp_path)
+        assert store.get("ff" + "0" * 38) is None
+        assert store.stats.misses == 1
+
+    def test_corruption_detected(self, tmp_path):
+        store = GramBlockStore(tmp_path)
+        key = "cd" + "0" * 38
+        store.put(key, outcomes_to_rows(OUTCOMES))
+        path = store._block_path(key)
+        with open(path, "r+b") as fh:
+            fh.seek(90)
+            fh.write(b"\x99")
+        assert store.get(key) is None  # digest mismatch -> absent
+
+    def test_torn_write_reads_as_absent(self, tmp_path):
+        # A crash between data and sidecar leaves no sidecar: absent.
+        store = GramBlockStore(tmp_path)
+        key = "ee" + "0" * 38
+        store.put(key, outcomes_to_rows(OUTCOMES))
+        os.unlink(store._digest_path(key))
+        assert store.get(key) is None
+        assert not store.has(key)
+
+    def test_rejects_bad_shape(self, tmp_path):
+        store = GramBlockStore(tmp_path)
+        with pytest.raises(ValueError, match=r"\(k, 6\)"):
+            store.put("aa" + "0" * 38, np.zeros((3, 4)))
+
+    def test_clear(self, tmp_path):
+        store = GramBlockStore(tmp_path)
+        store.put("ab" + "0" * 38, outcomes_to_rows(OUTCOMES))
+        store.clear()
+        assert len(store) == 0
+
+
+class TestEngineSpill:
+    def test_rerun_serves_all_blocks(self, tmp_path, barrier_result):
+        e1 = make_engine(spill_dir=str(tmp_path))
+        r1 = e1.gram(GRAPHS)
+        d1 = r1.info["diagnostics"]
+        assert d1.blocks_written == d1.tiles > 0
+        e1.close()
+
+        e2 = make_engine(spill_dir=str(tmp_path), cache=False)
+        r2 = e2.gram(GRAPHS)
+        d2 = r2.info["diagnostics"]
+        e2.close()
+        assert d2.solves == 0
+        assert d2.blocks_served == d1.tiles
+        assert_bitwise(r2, barrier_result)
+
+    def test_partial_spill_crash_recovery(self, tmp_path, barrier_result):
+        e1 = make_engine(spill_dir=str(tmp_path))
+        d1 = e1.gram(GRAPHS).info["diagnostics"]
+        e1.close()
+        # Simulate a crash mid-spill: one block torn (no sidecar), one
+        # corrupted in place.
+        npys = sorted(glob.glob(str(tmp_path / "blocks" / "*" / "*.npy")))
+        assert len(npys) >= 2
+        os.unlink(npys[0][:-4] + ".sha1")
+        with open(npys[1], "r+b") as fh:
+            fh.seek(100)
+            fh.write(b"\xff")
+
+        e2 = make_engine(spill_dir=str(tmp_path), cache=False,
+                         pipeline=True)
+        r2 = e2.gram(GRAPHS)
+        d2 = r2.info["diagnostics"]
+        e2.close()
+        assert d2.blocks_served == d1.tiles - 2  # only the damaged two
+        assert d2.blocks_written == 2            # ...are recomputed
+        assert_bitwise(r2, barrier_result)
+
+    def test_out_of_core_result_matrix(self, tmp_path, barrier_result):
+        eng = make_engine(spill_dir=str(tmp_path), spill_bytes=64)
+        res = eng.gram(GRAPHS)
+        eng.close()
+        assert isinstance(res.matrix, np.memmap)
+        assert isinstance(res.iterations, np.memmap)
+        assert_bitwise(res, barrier_result)
+
+    def test_small_results_stay_in_ram(self, tmp_path):
+        eng = make_engine(spill_dir=str(tmp_path))
+        res = eng.gram(GRAPHS)
+        eng.close()
+        assert not isinstance(res.matrix, np.memmap)
+
+    def test_context_manager_closes_offloader(self, tmp_path):
+        with make_engine(spill_dir=str(tmp_path)) as eng:
+            eng.gram(GRAPHS[:4])
+            off = eng.offloader
+        assert off.pending == 0
+        assert not off._thread.is_alive()
+
+
+# ---------------------------------------------------------------------------
+# async offloader
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncOffloader:
+    def test_runs_jobs_and_flushes(self):
+        seen = []
+        with AsyncOffloader() as off:
+            for k in range(20):
+                assert off.submit(seen.append, k)
+            assert off.flush(timeout=5.0)
+            assert seen == list(range(20))
+        assert off.completed == 20
+
+    def test_errors_counted_not_raised(self):
+        def boom():
+            raise ValueError("spill failed")
+
+        with AsyncOffloader() as off:
+            off.submit(boom)
+            off.flush(timeout=5.0)
+            assert off.errors == 1
+            assert isinstance(off.last_error, ValueError)
+
+    def test_submit_after_close_refused(self):
+        off = AsyncOffloader()
+        assert off.close()
+        assert not off.submit(print, "late")
+        assert off.close()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# progress ordering under concurrent completion
+# ---------------------------------------------------------------------------
+
+
+def _tile_event(k, pairs_done, structure_hits=0):
+    return ProgressEvent(
+        phase="tile", tiles_done=k, tiles_total=8, pairs_done=pairs_done,
+        pairs_total=100, solves=pairs_done, cache_hits=0,
+        elapsed=float(k), structure_hits=structure_hits,
+    )
+
+
+class TestProgressAggregator:
+    def test_reorders_out_of_order_events(self):
+        got = []
+        agg = ProgressAggregator(got.append)
+        for k in (2, 1, 4, 3):
+            agg(_tile_event(k, pairs_done=10 * k))
+        assert [e.tiles_done for e in got] == [1, 2, 3, 4]
+        assert agg.reordered > 0
+
+    def test_monotone_counters_never_undercount(self):
+        got = []
+        agg = ProgressAggregator(got.append)
+        # Tile 2's event carries *staler* cumulative counters than tile
+        # 1's (a racing emitter snapshotted early): delivery must clamp
+        # to the running floor, never report structure work undone.
+        agg(_tile_event(1, pairs_done=50, structure_hits=3))
+        agg(_tile_event(2, pairs_done=40, structure_hits=1))
+        assert [e.pairs_done for e in got] == [50, 50]
+        assert [e.structure_hits for e in got] == [3, 3]
+        assert agg.clamped == 1
+
+    def test_done_flushes_stragglers_in_order(self):
+        got = []
+        agg = ProgressAggregator(got.append)
+        agg(_tile_event(1, 10))
+        agg(_tile_event(4, 40))  # 2 and 3 never arrive in order
+        agg(_tile_event(3, 30))
+        agg(ProgressEvent(
+            phase="done", tiles_done=8, tiles_total=8, pairs_done=100,
+            pairs_total=100, solves=100, cache_hits=0, elapsed=9.0,
+        ))
+        assert [e.tiles_done for e in got] == [1, 3, 4, 8]
+        assert got[-1].phase == "done"
+
+    def test_threaded_emission_serializes(self):
+        got = []
+        agg = ProgressAggregator(got.append)
+        events = [_tile_event(k, 10 * k) for k in range(1, 33)]
+        rng = np.random.default_rng(0)
+        chunks = [events[k::4] for k in range(4)]
+        for c in chunks:
+            rng.shuffle(c)
+        threads = [
+            threading.Thread(target=lambda c=c: [agg(e) for e in c])
+            for c in chunks
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        agg(ProgressEvent(
+            phase="done", tiles_done=32, tiles_total=8, pairs_done=320,
+            pairs_total=100, solves=320, cache_hits=0, elapsed=99.0,
+        ))
+        tiles = [e.tiles_done for e in got if e.phase == "tile"]
+        assert tiles == sorted(tiles)
+        pairs = [e.pairs_done for e in got]
+        assert pairs == sorted(pairs)
+
+    def test_engine_events_ordered_and_monotone(self):
+        events = []
+        eng = make_engine(pipeline=True, progress=events.append)
+        eng.gram(GRAPHS)
+        assert events[-1].phase == "done"
+        tiles = [e.tiles_done for e in events]
+        assert tiles == sorted(tiles)
+        pairs = [e.pairs_done for e in events]
+        assert pairs == sorted(pairs)
+        assert events[-1].pairs_done == events[-1].pairs_total
+
+
+# ---------------------------------------------------------------------------
+# stage-cost scheduling
+# ---------------------------------------------------------------------------
+
+
+class TestStageScheduling:
+    COSTS = [
+        StageCost(0, plan=1.0, fill=1.0, solve=8.0),
+        StageCost(1, plan=4.0, fill=4.0, solve=1.0),
+        StageCost(2, plan=0.5, fill=0.5, solve=2.0),
+        StageCost(3, plan=2.0, fill=2.0, solve=4.0),
+    ]
+
+    def test_johnson_order_deterministic(self):
+        order = pipeline_order(self.COSTS)
+        assert order == pipeline_order(list(self.COSTS))
+        assert sorted(order) == [0, 1, 2, 3]
+        # short-prep/long-solve tiles lead; long-prep/short-solve trail
+        assert order[0] == 2 and order[-1] == 1
+
+    def test_simulation_bubble_shrinks_with_order(self):
+        shuffled = [self.COSTS[k] for k in (1, 3, 0, 2)]
+        ordered = [self.COSTS[k] for k in pipeline_order(self.COSTS)]
+        sim_bad = simulate_pipeline(shuffled, depth=2)
+        sim_good = simulate_pipeline(ordered, depth=2)
+        assert sim_good["makespan"] <= sim_bad["makespan"] + 1e-12
+        assert 0.0 <= sim_good["bubble_fraction"] <= 1.0
+
+    def test_depth_suggestion_clamped(self):
+        assert 2 <= suggest_pipeline_depth(self.COSTS) <= 8
+        prep_heavy = [StageCost(0, plan=50.0, fill=50.0, solve=1.0)]
+        assert suggest_pipeline_depth(prep_heavy) == 8
+        assert suggest_pipeline_depth([]) == 2
+
+    def test_tile_stage_costs_cover_all_tiles(self, barrier_result):
+        eng = make_engine()
+        # plan real tiles through the engine's own path
+        from repro.engine.tiles import build_pair_jobs, plan_bucketed_tiles
+        reps = [(i, j) for i in range(6) for j in range(i, 6)]
+        jobs = build_pair_jobs(GRAPHS[:6], GRAPHS[:6], reps,
+                               q=eng.kernel.q,
+                               edge_kernel=eng.kernel.edge_kernel)
+        tiles = plan_bucketed_tiles(jobs, GRAPHS[:6], GRAPHS[:6],
+                                    batch_pairs=8)
+        costs = tile_stage_costs(tiles, GRAPHS[:6], GRAPHS[:6])
+        assert len(costs) == len(tiles)
+        assert all(c.plan > 0 and c.fill > 0 and c.solve > 0 for c in costs)
+        hot = tile_stage_costs(tiles, GRAPHS[:6], GRAPHS[:6],
+                               structure_hot=True)
+        assert all(h.plan < c.plan for h, c in zip(hot, costs))
+
+
+# ---------------------------------------------------------------------------
+# stage split + workspace keying
+# ---------------------------------------------------------------------------
+
+
+class TestStageSplit:
+    def test_workspace_keyed_by_bucket_and_slot(self):
+        ws_a = _thread_workspace((("dense", 30), 0))
+        ws_b = _thread_workspace((("dense", 30), 1))
+        ws_c = _thread_workspace((("sparse", 30), 0))
+        assert ws_a is not ws_b and ws_a is not ws_c
+        assert _thread_workspace((("dense", 30), 0)) is ws_a
+
+    def test_stage_functions_compose_to_solve(self):
+        kernel = make_kernel()
+        X = GRAPHS[:6]
+        reps = [(i, j) for i in range(6) for j in range(i, 6)]
+        tasks = bucket_tasks(kernel, X, X, reps)
+        direct = {}
+        for t in tasks:
+            if t.solo:
+                out = solve_bucket(t, kernel, X, X)
+            else:
+                plan_bucket(t, X, X)
+                fill_bucket(t, kernel)
+                out = solve_bucket(t, kernel, X, X)
+            for i, j, value, *_ in out:
+                direct[(i, j)] = value
+        ref = make_engine(cache=False, batch_pairs=None).gram(X)
+        for (i, j), v in direct.items():
+            assert v == ref.matrix[i, j]
+
+
+# ---------------------------------------------------------------------------
+# resumable solve handle
+# ---------------------------------------------------------------------------
+
+
+def _toy_system():
+    kernel = make_kernel()
+    X = GRAPHS[:6]
+    reps = [(i, j) for i in range(6) for j in range(i, 6)]
+    tasks = [t for t in bucket_tasks(kernel, X, X, reps) if not t.solo]
+    assert tasks
+    t = tasks[0]
+    plan_bucket(t, X, X)
+    fill_bucket(t, kernel)
+    return t.system
+
+
+class TestSolveHandle:
+    def test_chunked_stepping_bitwise(self):
+        sys1 = _toy_system()
+        ref = batched_pcg_solve(sys1)
+        sys2 = _toy_system()
+        hook_calls = []
+        res = batched_pcg_solve(sys2, step_hook=hook_calls.append,
+                                step_chunk=1)
+        assert np.array_equal(res.x, ref.x)
+        assert np.array_equal(res.iterations, ref.iterations)
+        assert np.array_equal(res.residual_norms, ref.residual_norms)
+        assert len(hook_calls) >= 1
+
+    def test_handle_resume_matches_one_shot(self):
+        ref = batched_pcg_solve(_toy_system())
+        handle = BatchedSolveHandle(_toy_system())
+        steps = 0
+        while not handle.done:
+            steps += handle.step(2)
+        res = handle.result()
+        assert np.array_equal(res.x, ref.x)
+        assert np.array_equal(res.iterations, ref.iterations)
+        assert steps == int(ref.iterations.max())
+
+    def test_result_before_done_raises(self):
+        handle = BatchedSolveHandle(_toy_system())
+        if not handle.done:
+            with pytest.raises(RuntimeError, match="not finished"):
+                handle.result()
+
+
+# ---------------------------------------------------------------------------
+# observability: bubble metrics + trace report
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineObservability:
+    def test_metrics_published(self):
+        from repro.obs.metrics import get_registry
+
+        eng = make_engine(pipeline=True)
+        eng.gram(make_graphs(18, seed0=500))
+        vals = get_registry().values_with_prefix("pipeline_")
+        assert 0.0 <= vals["pipeline_bubble_fraction"] <= 1.0
+        assert vals["pipeline_overlap_ratio"] > 0.0
+        assert vals["pipeline_depth"] >= 1
+        assert vals["pipeline_tiles_total"] > 0
+
+    def test_trace_pipeline_report(self):
+        from repro.obs import (
+            disable_tracing,
+            enable_tracing,
+            format_pipeline_report,
+            pipeline_report,
+        )
+
+        tracer = enable_tracing()
+        try:
+            make_engine(pipeline=True).gram(make_graphs(18, seed0=700))
+            spans = tracer.finished()
+        finally:
+            disable_tracing()
+        report = pipeline_report(spans)
+        assert report is not None
+        assert report["runs"] == 1
+        assert report["stages"]["solve"]["busy_s"] > 0.0
+        assert 0.0 <= report["bubble_fraction"] <= 1.0
+        text = format_pipeline_report(report)
+        assert "solve window" in text and "occupancy" in text
+
+    def test_barrier_trace_has_no_pipeline_report(self):
+        from repro.obs import disable_tracing, enable_tracing, pipeline_report
+
+        tracer = enable_tracing()
+        try:
+            make_engine().gram(make_graphs(10, seed0=900))
+            spans = tracer.finished()
+        finally:
+            disable_tracing()
+        assert pipeline_report(spans) is None
