@@ -67,6 +67,17 @@ METRICS = [
     ("BENCH_pipeline.json", "solve_occupancy", "ratio"),
     ("BENCH_pipeline.json", "speedup", "ratio"),
     ("BENCH_pipeline.json", "pairs_per_sec_pipelined", "absolute"),
+    # chaos: recovery correctness is machine-independent — bitwise
+    # identity under seeded kills, the chaos actually firing, and
+    # poison containment are hard 1.0 gates; the supervision and
+    # recovery overheads are wall-clock-dependent and only warn.
+    ("BENCH_chaos.json", "completed", "ratio"),
+    ("BENCH_chaos.json", "kill_bitwise_identical", "ratio"),
+    ("BENCH_chaos.json", "chaos_fired", "ratio"),
+    ("BENCH_chaos.json", "quarantine_contained", "ratio"),
+    ("BENCH_chaos.json", "process_bitwise_identical", "ratio"),
+    ("BENCH_chaos.json", "supervision_overhead", "absolute"),
+    ("BENCH_chaos.json", "recovery_overhead", "absolute"),
 ]
 
 #: Ratio metrics derived from one file's fields (numerator / denominator),

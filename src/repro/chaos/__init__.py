@@ -1,0 +1,35 @@
+"""Deterministic chaos-injection layer (fault plans for robustness tests).
+
+Seeded :class:`FaultPlan` rules — worker kills, stage hangs, torn spill
+writes, transient I/O errors — whose decisions are pure functions of
+the work item's identity, so every run (and every subprocess) injects
+exactly the same faults.  See :mod:`repro.chaos.plan` for the spec
+grammar and :mod:`repro.engine.supervisor` for the consumer that turns
+these faults into retries instead of job death.
+"""
+
+from .plan import (
+    ACTIONS,
+    ENV_VAR,
+    KILL_EXIT_CODE,
+    FaultPlan,
+    FaultRule,
+    active,
+    clear,
+    get_plan,
+    install,
+    install_from_env,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ENV_VAR",
+    "KILL_EXIT_CODE",
+    "FaultPlan",
+    "FaultRule",
+    "active",
+    "clear",
+    "get_plan",
+    "install",
+    "install_from_env",
+]

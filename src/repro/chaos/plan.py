@@ -1,0 +1,276 @@
+"""Deterministic fault injection: seeded plans, hash-addressed decisions.
+
+Robustness claims are only testable if the faults are *reproducible*:
+"the run survived three worker kills" must mean the same three kills
+every time, on every machine, in every process.  A :class:`FaultPlan`
+therefore never consumes a shared RNG stream — each injection decision
+is a pure function of ``(seed, action, site, token, attempt)``, hashed
+to a uniform draw in [0, 1).  Two consequences:
+
+* decisions are independent of execution order, thread interleaving,
+  and which worker happens to pick up a tile — only the *identity* of
+  the work (its token) matters;
+* a subprocess reconstructs the exact same plan from a spec string
+  (shipped explicitly or via the ``REPRO_CHAOS`` environment variable)
+  and makes the exact same decisions as its parent would.
+
+Spec grammar (the CLI's ``--chaos`` argument)::
+
+    spec    := rule (";" rule)*
+    rule    := action [":" param ("," param)*]
+    param   := key "=" value
+    action  := "kill-worker" | "hang" | "torn-block" | "io-error"
+
+Keys: ``p`` (probability, default 1), ``seed`` (plan seed, default 0,
+last one written wins), ``attempts`` (inject only while the work
+item's attempt number is below this; default 1, so retries of a
+killed tile run clean and a chaos run is guaranteed to terminate),
+``stage`` (restrict hang/io-error to one site), ``s`` (hang duration
+in seconds).  Example::
+
+    kill-worker:p=0.3,seed=7;hang:stage=worker,p=0.1,s=0.5
+
+Injection sites live in the product code behind a module-global plan
+(:func:`install` / :func:`get_plan` / :func:`clear`): the fast path is
+one ``None`` check, so an uninstrumented run pays nothing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import struct
+import time
+from dataclasses import dataclass
+
+#: Environment variable workers read to reconstruct the active plan.
+ENV_VAR = "REPRO_CHAOS"
+
+#: Exit code of a chaos-killed worker (mirrors SIGKILL's 128+9, so a
+#: supervisor cannot tell an injected kill from a real OOM kill).
+KILL_EXIT_CODE = 137
+
+ACTIONS = ("kill-worker", "hang", "torn-block", "io-error")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule of a plan."""
+
+    action: str
+    p: float = 1.0
+    #: Inject only while ``attempt < attempts`` — the default of 1
+    #: faults only the first try of any work item, so bounded-retry
+    #: supervision always converges (and bitwise-identity gates hold).
+    attempts: int = 1
+    #: Restrict to one site (``None`` matches every site).
+    stage: str | None = None
+    #: Sleep duration for ``hang`` rules.
+    delay_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; pick from {ACTIONS}"
+            )
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], got {self.p}")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.delay_s < 0:
+            raise ValueError("delay seconds must be >= 0")
+
+    def to_spec(self) -> str:
+        parts = [f"p={self.p:g}", f"attempts={self.attempts}"]
+        if self.stage is not None:
+            parts.append(f"stage={self.stage}")
+        if self.action == "hang":
+            parts.append(f"s={self.delay_s:g}")
+        return f"{self.action}:{','.join(parts)}"
+
+
+def _hash01(seed: int, idx: int, action: str, stage: str, token: str,
+            attempt: int) -> float:
+    """Uniform draw in [0, 1), a pure function of the decision identity."""
+    digest = hashlib.sha256(
+        f"{seed}|{idx}|{action}|{stage}|{token}|{attempt}".encode()
+    ).digest()
+    return struct.unpack(">Q", digest[:8])[0] / 2.0**64
+
+
+def _count_injected(action: str) -> None:
+    """Best-effort ``engine_fault_injected_total`` bump (parent-side
+    sites; a killed worker's counter dies with it, by design)."""
+    try:
+        from ..obs.metrics import get_registry
+
+        get_registry().counter(
+            "engine_fault_injected_total",
+            help="chaos faults actually injected, by action",
+            label="action",
+        ).inc(label_value=action)
+    except Exception:
+        pass
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s with deterministic decisions."""
+
+    def __init__(self, rules, seed: int = 0) -> None:
+        self.rules: tuple[FaultRule, ...] = tuple(rules)
+        self.seed = int(seed)
+
+    # -- spec round-trip ----------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse the ``--chaos`` grammar (see module docstring)."""
+        rules: list[FaultRule] = []
+        seed = 0
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            action, _, params = chunk.partition(":")
+            action = action.strip()
+            kw: dict = {}
+            for param in filter(None, (p.strip() for p in params.split(","))):
+                key, eq, value = param.partition("=")
+                if not eq:
+                    raise ValueError(
+                        f"malformed chaos param {param!r} (want key=value)"
+                    )
+                key = key.strip()
+                value = value.strip()
+                if key == "p":
+                    kw["p"] = float(value)
+                elif key == "seed":
+                    seed = int(value)
+                elif key == "attempts":
+                    kw["attempts"] = int(value)
+                elif key == "stage":
+                    kw["stage"] = value
+                elif key == "s":
+                    kw["delay_s"] = float(value)
+                else:
+                    raise ValueError(
+                        f"unknown chaos param {key!r} in {chunk!r} "
+                        "(valid: p, seed, attempts, stage, s)"
+                    )
+            rules.append(FaultRule(action=action, **kw))
+        if not rules:
+            raise ValueError(f"chaos spec {spec!r} contains no rules")
+        return cls(rules, seed=seed)
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`from_spec` (decision-identical round-trip)."""
+        out = []
+        for k, rule in enumerate(self.rules):
+            text = rule.to_spec()
+            if k == 0:
+                text += f",seed={self.seed}"
+            out.append(text)
+        return ";".join(out)
+
+    # -- decisions -----------------------------------------------------
+
+    def decide(self, action: str, token: str, attempt: int = 0,
+               stage: str | None = None) -> FaultRule | None:
+        """The first matching rule that fires for this identity, or None."""
+        for idx, rule in enumerate(self.rules):
+            if rule.action != action:
+                continue
+            if rule.stage is not None and stage is not None \
+                    and rule.stage != stage:
+                continue
+            if attempt >= rule.attempts:
+                continue
+            if _hash01(self.seed, idx, action, rule.stage or "", token,
+                       attempt) < rule.p:
+                return rule
+        return None
+
+    # -- injection helpers (the product-code entry points) -------------
+
+    def maybe_kill(self, token: str, attempt: int = 0) -> None:
+        """Die like a SIGKILLed/OOMed worker: no cleanup, no result."""
+        if self.decide("kill-worker", token, attempt) is not None:
+            os._exit(KILL_EXIT_CODE)
+
+    def maybe_delay(self, stage: str, token: str, attempt: int = 0) -> float:
+        """Sleep per a matching ``hang`` rule; returns seconds slept."""
+        rule = self.decide("hang", token, attempt, stage=stage)
+        if rule is None or rule.delay_s <= 0:
+            return 0.0
+        _count_injected("hang")
+        time.sleep(rule.delay_s)
+        return rule.delay_s
+
+    def maybe_io_error(self, site: str, token: str) -> None:
+        """Raise a transient ``OSError`` per a matching ``io-error`` rule."""
+        if self.decide("io-error", token, stage=site) is not None:
+            _count_injected("io-error")
+            raise OSError(f"chaos: injected transient I/O error at {site}")
+
+    def torn_write(self, token: str) -> bool:
+        """Whether this spill write should be torn (truncated payload)."""
+        if self.decide("torn-block", token) is not None:
+            _count_injected("torn-block")
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.to_spec()!r})"
+
+
+# ----------------------------------------------------------------------
+# process-global activation
+# ----------------------------------------------------------------------
+
+_PLAN: FaultPlan | None = None
+
+
+def install(plan: FaultPlan | str | None) -> FaultPlan | None:
+    """Activate ``plan`` process-globally (a spec string is parsed).
+
+    Returns the installed plan.  ``None`` deactivates (= :func:`clear`).
+    """
+    global _PLAN
+    if isinstance(plan, str):
+        plan = FaultPlan.from_spec(plan)
+    _PLAN = plan
+    return plan
+
+
+def get_plan() -> FaultPlan | None:
+    """The active plan, or None — the one check every site pays."""
+    return _PLAN
+
+
+def clear() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def install_from_env(environ=None) -> FaultPlan | None:
+    """Activate the plan named by ``REPRO_CHAOS``, if any.
+
+    Worker entry points call this so subprocess faults reproduce even
+    under spawn-style start methods where globals are not inherited.
+    """
+    spec = (environ or os.environ).get(ENV_VAR)
+    if not spec:
+        return None
+    return install(FaultPlan.from_spec(spec))
+
+
+@contextlib.contextmanager
+def active(plan: FaultPlan | str):
+    """Scoped installation (tests): install on entry, restore on exit."""
+    previous = _PLAN
+    install(plan)
+    try:
+        yield get_plan()
+    finally:
+        install(previous)

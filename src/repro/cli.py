@@ -121,14 +121,34 @@ def cmd_gram(args: argparse.Namespace) -> int:
                   f"(solved {ev.solves}, cached {ev.cache_hits}"
                   f"{struct}, {ev.elapsed:.2f} s)")
 
+    executor = args.executor
+    if args.supervised:
+        executor = "process_supervised"
     engine_kw = {}
     if args.reorder_cutoff is not None:
         engine_kw["reorder_cutoff"] = args.reorder_cutoff
     if args.pipeline_depth is not None:
         engine_kw["pipeline_depth"] = args.pipeline_depth
+    if args.max_tile_retries is not None:
+        engine_kw["max_tile_retries"] = args.max_tile_retries
+    if args.tile_timeout is not None:
+        engine_kw["tile_timeout_s"] = args.tile_timeout
+    if args.chaos:
+        engine_kw["chaos"] = args.chaos
+    if args.shard:
+        try:
+            idx, _, total = args.shard.partition("/")
+            engine_kw["shard"] = (int(idx), int(total))
+        except ValueError:
+            raise SystemExit(
+                f"--shard must be I/N (e.g. 0/4), got {args.shard!r}"
+            )
+        if args.spill_dir is None:
+            raise SystemExit("--shard requires --spill-dir (shards "
+                             "exchange results through the block store)")
     eng = GramEngine(
         mgk,
-        executor=args.executor,
+        executor=executor,
         max_workers=args.workers,
         tile_pairs=args.tile_pairs,
         batch_pairs=args.batch_pairs,
@@ -217,7 +237,17 @@ def cmd_gram(args: argparse.Namespace) -> int:
     if len(tri):
         print(f"CG iterations: min {tri.min()}, mean {tri.mean():.1f}, "
               f"max {tri.max()}")
-    print(res.info["diagnostics"].summary())
+    diag = res.info["diagnostics"]
+    print(diag.summary())
+    if args.diag_json:
+        with open(args.diag_json, "w") as fh:
+            json.dump(diag.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"diagnostics saved to {args.diag_json}")
+    if diag.pending_pairs:
+        print(f"NOTE: {diag.pending_pairs} pairs are pending on other "
+              f"shards (NaN in the saved matrix); run the remaining "
+              f"shards over the same --spill-dir, then an unsharded pass "
+              f"to merge")
     print(f"Gram matrix saved to {args.output}")
     eng.close()  # flush pending out-of-core block writes
     if tracer is not None:
@@ -759,7 +789,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["fused_batched", "fused", "dense", "vgpu"])
     m.add_argument("--normalize", action="store_true")
     m.add_argument("--executor", default="serial",
-                   choices=["serial", "threads", "process"],
+                   choices=["serial", "threads", "process",
+                            "process_supervised"],
                    help="tile execution backend")
     m.add_argument("--workers", type=int, default=None,
                    help="pool size for threads/process executors")
@@ -804,6 +835,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "only missing tiles) and oversized result "
                         "matrices are memory-mapped instead of held in "
                         "RAM")
+    m.add_argument("--supervised", action="store_true",
+                   help="shorthand for --executor process_supervised: "
+                        "fault-tolerant worker pool with per-tile "
+                        "deadlines, retry, respawn, and poison-tile "
+                        "quarantine")
+    m.add_argument("--shard", default=None, metavar="I/N",
+                   help="compute only this engine's share of the pair "
+                        "space (tiles are routed by content key); "
+                        "requires --spill-dir shared by all N shards. "
+                        "Foreign pairs are NaN until an unsharded merge "
+                        "pass over the same spill dir")
+    m.add_argument("--max-tile-retries", type=int, default=None,
+                   metavar="K",
+                   help="supervised executor: failures a tile may "
+                        "accumulate before quarantine (default 2)")
+    m.add_argument("--tile-timeout", type=float, default=None,
+                   metavar="S",
+                   help="supervised executor: per-tile deadline in "
+                        "seconds; a worker past it is killed and its "
+                        "tile re-dispatched (default: none)")
+    m.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="deterministic fault injection for testing, "
+                        "e.g. 'kill-worker:p=0.3,seed=7' or "
+                        "'hang:p=0.2,s=30;torn-block:p=0.1' (actions: "
+                        "kill-worker, hang, torn-block, io-error)")
+    m.add_argument("--diag-json", default=None, metavar="OUT_JSON",
+                   help="write the run's Diagnostics (solves, retries, "
+                        "respawns, quarantined pairs, ...) as JSON")
     m.add_argument("--extend", default=None, metavar="OLD_NPY",
                    help="previously saved unnormalized Gram over the "
                         "first N dataset graphs; only new rows/columns "

@@ -10,6 +10,8 @@ numerical one.  This package is the single entry point for it:
 * :mod:`repro.engine.tiles`       — cost-balanced decomposition of the
   pair space, priced by the scheduler's cycle model;
 * :mod:`repro.engine.executors`   — serial / threads / process backends;
+* :mod:`repro.engine.supervisor`  — fault-tolerant supervised worker
+  pool (retry, respawn, deadlines, poison-tile quarantine);
 * :mod:`repro.engine.cache`       — in-memory LRU, on-disk, and tiered
   kernel-value caches;
 * :mod:`repro.engine.fingerprint` — content-addressed identities for
@@ -33,10 +35,12 @@ from .cache import (
     WarmStartStore,
 )
 from .core import GramEngine
+from .executors import EngineAborted
 from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
 from .offload import AsyncOffloader
 from .pipeline import run_tiles_pipelined
 from .progress import Diagnostics, ProgressAggregator, ProgressEvent
+from .supervisor import SupervisedPool, SupervisorStats, run_tiles_supervised
 from .tiles import (
     DEFAULT_BATCH_PAIRS,
     Tile,
@@ -52,12 +56,15 @@ __all__ = [
     "DEFAULT_BATCH_PAIRS",
     "Diagnostics",
     "DiskCache",
+    "EngineAborted",
     "GramBlockStore",
     "GramEngine",
     "LRUCache",
     "ProgressAggregator",
     "ProgressEvent",
     "StructureCache",
+    "SupervisedPool",
+    "SupervisorStats",
     "TieredCache",
     "Tile",
     "WarmStartStore",
@@ -68,4 +75,5 @@ __all__ = [
     "plan_bucketed_tiles",
     "plan_tiles",
     "run_tiles_pipelined",
+    "run_tiles_supervised",
 ]

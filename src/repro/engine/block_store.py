@@ -64,19 +64,34 @@ class GramBlockStore:
 
         Data first, sidecar second: a crash in between leaves an
         unverifiable (= absent) block, never a wrong one.
+
+        Chaos hooks (active only under an installed
+        :class:`repro.chaos.FaultPlan`): an ``io-error`` rule raises a
+        transient OSError before anything is written; a ``torn-block``
+        rule truncates the data payload while the sidecar keeps the
+        full digest — exactly the on-disk state a mid-write crash
+        leaves, which :meth:`get` must read as absent.
         """
+        from ..chaos import get_plan
+
         rows = np.ascontiguousarray(rows, dtype=np.float64)
         if rows.ndim != 2 or rows.shape[1] != len(BLOCK_COLUMNS):
             raise ValueError(
                 f"block rows must be (k, {len(BLOCK_COLUMNS)}), "
                 f"got {rows.shape}"
             )
+        plan = get_plan()
+        if plan is not None:
+            plan.maybe_io_error("spill-write", key)
         buf = io.BytesIO()
         np.save(buf, rows, allow_pickle=False)
         payload = buf.getvalue()
         target = self._block_path(key)
         os.makedirs(os.path.dirname(target), exist_ok=True)
-        _atomic_write_bytes(target, payload)
+        if plan is not None and plan.torn_write(key):
+            _atomic_write_bytes(target, payload[: len(payload) // 2])
+        else:
+            _atomic_write_bytes(target, payload)
         digest = hashlib.sha1(payload).hexdigest()
         _atomic_write_bytes(self._digest_path(key), digest.encode())
         self.stats.puts += 1

@@ -34,11 +34,14 @@ import itertools
 import os
 import time
 import warnings
-from threading import Lock
+from threading import Event, Lock
 from typing import Sequence
 
 import numpy as np
 
+from ..chaos import clear as chaos_clear
+from ..chaos import get_plan as chaos_get_plan
+from ..chaos import install as chaos_install
 from ..graphs.graph import Graph
 from ..kernels.linsys import DEFAULT_RCM_CUTOFF
 from ..kernels.marginalized import GramResult, normalized
@@ -60,6 +63,11 @@ from .executors import (
     BatchRuntime,
     default_workers,
     run_tiles,
+)
+from .supervisor import (
+    DEFAULT_MAX_TILE_RETRIES,
+    DEFAULT_RETRY_BACKOFF_S,
+    SupervisedPool,
 )
 from .fingerprint import graph_fingerprint, kernel_fingerprint, pair_key
 from .offload import AsyncOffloader
@@ -208,6 +216,27 @@ class GramEngine:
         In-RAM budget for one result matrix (default 256 MiB); larger
         results are memory-mapped under ``spill_dir``.  Ignored without
         ``spill_dir``.
+    max_tile_retries / tile_timeout_s / retry_backoff_s:
+        Fault-tolerance knobs of the ``"process_supervised"`` executor
+        (:mod:`repro.engine.supervisor`): retry budget per tile before
+        poison quarantine, per-attempt wall-time deadline (None = no
+        deadline), and the base of the exponential retry backoff.
+        Ignored by the other executors.
+    shard:
+        ``(i, n)``: this engine owns the ``i``-th of ``n`` shards of
+        the tile space (requires ``spill_dir``).  Tiles are routed by
+        content key — blocks any shard already spilled are served,
+        owned missing tiles are computed, and *foreign* missing tiles
+        are skipped: their positions resolve to NaN placeholders and
+        are counted in ``Diagnostics.pending_pairs``.  Run one engine
+        per shard over a shared ``spill_dir``, then a final unsharded
+        pass (``shard=None``) to merge: it serves every block from the
+        store and computes nothing.
+    chaos:
+        A :class:`repro.chaos.FaultPlan` or spec string, installed
+        process-globally for deterministic fault injection (and
+        exported to supervised workers via the ``REPRO_CHAOS`` env
+        var).  Testing/benchmark hook — never set in production.
     progress:
         Optional callback receiving :class:`~repro.engine.progress.
         ProgressEvent` after every completed tile.
@@ -237,6 +266,11 @@ class GramEngine:
         pipeline_depth: int | None = None,
         spill_dir: str | os.PathLike | None = None,
         spill_bytes: int = DEFAULT_SPILL_BYTES,
+        max_tile_retries: int = DEFAULT_MAX_TILE_RETRIES,
+        tile_timeout_s: float | None = None,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        shard: tuple[int, int] | None = None,
+        chaos=None,
         progress: ProgressCallback | None = None,
     ) -> None:
         if executor not in EXECUTORS:
@@ -251,6 +285,21 @@ class GramEngine:
             raise ValueError("pipeline_depth must be >= 1")
         if spill_bytes < 1:
             raise ValueError("spill_bytes must be positive")
+        if max_tile_retries < 0:
+            raise ValueError("max_tile_retries must be >= 0")
+        if tile_timeout_s is not None and tile_timeout_s <= 0:
+            raise ValueError("tile_timeout_s must be positive")
+        if shard is not None:
+            i, n = shard
+            if not (0 <= i < n):
+                raise ValueError(
+                    f"shard must be (i, n) with 0 <= i < n, got {shard}"
+                )
+            if spill_dir is None:
+                raise ValueError(
+                    "shard requires spill_dir: shards exchange tile "
+                    "blocks through the shared block store"
+                )
         self.kernel = kernel
         self.executor = executor
         self.max_workers = max_workers
@@ -304,6 +353,19 @@ class GramEngine:
             self.warm_store = warm_start
         self.reorder_cutoff = reorder_cutoff if reorder else None
         self.cost_model = cost_model
+        self.max_tile_retries = max_tile_retries
+        self.tile_timeout_s = tile_timeout_s
+        self.retry_backoff_s = retry_backoff_s
+        self.shard = tuple(shard) if shard is not None else None
+        # Deterministic fault injection (tests/benchmarks): install the
+        # plan process-globally so parent-side sites (block-store torn
+        # writes, offload I/O errors) see it; supervised workers get it
+        # via the REPRO_CHAOS env var.  close() uninstalls it.
+        self._chaos_plan = chaos_install(chaos) if chaos is not None else None
+        self._chaos_spec = (
+            self._chaos_plan.to_spec() if self._chaos_plan is not None
+            else None
+        )
         self.progress = progress
         self.solves = 0
         self.cache_hits = 0
@@ -311,6 +373,11 @@ class GramEngine:
         # engine from several executor threads (/predict batches and
         # /similarity calls) concurrently.
         self._counter_lock = Lock()
+        # Abort events of in-flight compute calls; close() sets them so
+        # supervised/pooled/pipelined runs cancel promptly (terminating
+        # worker processes and joining stage threads) instead of
+        # grinding on after a ^C or shutdown.
+        self._active_aborts: set[Event] = set()
 
     # ------------------------------------------------------------------
 
@@ -388,11 +455,23 @@ class GramEngine:
             self.cache.clear()
 
     def close(self) -> None:
-        """Flush pending spill writes and stop the offload thread.
+        """Abort in-flight runs, flush spill writes, stop the offloader.
 
-        Only needed with ``spill_dir``; safe to call anytime (the
-        engine keeps working, falling back to synchronous spills).
+        Any compute call currently running (supervised pool, process
+        pool, pipelined stages) sees its abort event, terminates its
+        workers / joins its threads, and raises
+        :class:`~repro.engine.executors.EngineAborted` to its caller.
+        Safe to call anytime (the engine keeps working afterwards,
+        falling back to synchronous spills).
         """
+        with self._counter_lock:
+            aborts = list(self._active_aborts)
+        for event in aborts:
+            event.set()
+        if self._chaos_plan is not None and (
+            chaos_get_plan() is self._chaos_plan
+        ):
+            chaos_clear()
         if self.offloader is not None:
             self.offloader.close()
 
@@ -407,6 +486,12 @@ class GramEngine:
         if self.executor == "serial":
             return 1
         return self.max_workers or default_workers()
+
+    @property
+    def _process_like(self) -> bool:
+        """Executors whose workers live in separate processes (fresh
+        per call): in-memory warm/structure state cannot carry over."""
+        return self.executor in ("process", "process_supervised")
 
     @property
     def batched(self) -> bool:
@@ -526,7 +611,7 @@ class GramEngine:
             # therefore a serial/threads feature, and workers get the
             # structure cache only through its disk tier.  Tile-plan
             # caching below is unaffected — it runs in this process.
-            if self.executor == "process":
+            if self._process_like:
                 worker_warm = None
                 worker_cache = (
                     self.structure_cache
@@ -609,6 +694,12 @@ class GramEngine:
         solves = 0
         blocks_served = 0
         blocks_written = 0
+        quarantined_pos = 0
+        pending_pos = 0
+        # Positions resolved by NaN placeholders (quarantined tiles,
+        # foreign-shard tiles): excluded from the non-convergence
+        # warning — they were never solved, diverged or otherwise.
+        placeholder_pos: set = set()
         # Serialize + order-guard progress delivery: executors complete
         # tiles concurrently, and the callback must never see regressing
         # cumulative counters.
@@ -618,16 +709,22 @@ class GramEngine:
         )
         tiles_total = len(tiles)
 
-        def absorb(outcomes, solved: bool) -> None:
-            nonlocal solves, pairs_done
+        def absorb(outcomes, solved: bool, quarantined: bool = False) -> None:
+            # Quarantined outcomes are NaN fallbacks, not results: they
+            # resolve positions so assembly completes, but must never
+            # enter the value cache (a rerun has to recompute them).
+            nonlocal solves, pairs_done, quarantined_pos
             for i, j, value, iters, converged, resnorm in outcomes:
                 entry = CachedPair(value, iters, converged, resnorm)
                 key = key_of[(i, j)]
                 resolved[key] = entry
-                if self.cache is not None:
+                if self.cache is not None and not quarantined:
                     self.cache.put(key, entry)
                 if solved:
                     solves += 1
+                if quarantined:
+                    quarantined_pos += len(by_key[key])
+                    placeholder_pos.update(by_key[key])
                 pairs_done += len(by_key[key])
 
         def emit_tile() -> None:
@@ -660,7 +757,12 @@ class GramEngine:
 
         # Crash recovery / rerun reuse: serve any tile whose result
         # block already sits (whole and digest-valid) in the spill
-        # store, and remember the keys to record the rest under.
+        # store, and remember the keys to record the rest under.  With
+        # ``shard=(i, n)`` the same scan routes tiles across engine
+        # processes: tile ownership hashes off the content key, blocks
+        # any shard already spilled are served, and foreign missing
+        # tiles are skipped — their positions resolve to NaN
+        # placeholders counted as pending.
         block_keys: dict[int, str] = {}
         todo = tiles
         if self.block_store is not None and tiles:
@@ -674,16 +776,45 @@ class GramEngine:
                     absorb(rows_to_outcomes(rows), solved=False)
                     blocks_served += 1
                     emit_tile()
+                elif self.shard is not None and (
+                    int(bkey[:8], 16) % self.shard[1] != self.shard[0]
+                ):
+                    for pos in tile.pairs:
+                        key = key_of[pos]
+                        if key not in resolved:
+                            resolved[key] = CachedPair(
+                                float("nan"), 0, False, float("inf")
+                            )
+                            pending_pos += len(by_key[key])
+                            placeholder_pos.update(by_key[key])
+                    emit_tile()
                 else:
                     block_keys[id(tile)] = bkey
                     todo.append(tile)
 
+        abort = Event()
+        with self._counter_lock:
+            self._active_aborts.add(abort)
+        supervisor = None
         use_pipeline = (
             self.pipeline and batched
-            and self.executor != "process"
+            and not self._process_like
             and len(todo) > 1
         )
-        if use_pipeline:
+        if self.executor == "process_supervised":
+            supervisor = SupervisedPool(
+                self.kernel, X, Y, todo,
+                max_workers=self.max_workers,
+                batched=batched,
+                runtime_cfg=runtime.config() if runtime is not None else None,
+                max_tile_retries=self.max_tile_retries,
+                tile_timeout_s=self.tile_timeout_s,
+                retry_backoff_s=self.retry_backoff_s,
+                abort=abort,
+                chaos_spec=self._chaos_spec,
+            )
+            runner = supervisor.run()
+        elif use_pipeline:
             # Sequence tiles to minimize pipeline bubbles (Johnson's
             # rule on per-stage cost estimates) and size the lookahead
             # from the prep/solve ratio.  Scatter order is fixed by
@@ -693,23 +824,35 @@ class GramEngine:
             depth = self.pipeline_depth or suggest_pipeline_depth(costs)
             runner = run_tiles_pipelined(
                 self.executor, self.kernel, X, Y, todo, self.max_workers,
-                batched=batched, runtime=runtime, depth=depth,
+                batched=batched, runtime=runtime, depth=depth, abort=abort,
             )
         else:
             runner = run_tiles(
                 self.executor, self.kernel, X, Y, todo, self.max_workers,
-                batched=batched, runtime=runtime,
+                batched=batched, runtime=runtime, abort=abort,
             )
-        for tile, outcomes in runner:
-            absorb(outcomes, solved=True)
-            if self.block_store is not None:
-                self.offloader.submit(
-                    self.block_store.put,
-                    block_keys[id(tile)],
-                    outcomes_to_rows(outcomes),
-                )
-                blocks_written += 1
-            emit_tile()
+        try:
+            for item in runner:
+                if supervisor is not None:
+                    tile, outcomes, quarantined = item
+                else:
+                    (tile, outcomes), quarantined = item, False
+                absorb(outcomes, solved=not quarantined,
+                       quarantined=quarantined)
+                if self.block_store is not None and not quarantined:
+                    # Quarantined NaN fallbacks never reach the block
+                    # store either — a spilled poison block would be
+                    # served as truth on every rerun.
+                    self.offloader.submit(
+                        self.block_store.put,
+                        block_keys[id(tile)],
+                        outcomes_to_rows(outcomes),
+                    )
+                    blocks_written += 1
+                emit_tile()
+        finally:
+            with self._counter_lock:
+                self._active_aborts.discard(abort)
         if self.offloader is not None and blocks_written:
             # Durability point: every block of this call is on disk (or
             # counted as a failed spill) before results are assembled.
@@ -718,11 +861,14 @@ class GramEngine:
         out = {
             pos: resolved[key] for key, posns in by_key.items() for pos in posns
         }
-        hits = n_total - solves
+        # NaN placeholders (quarantined tiles, foreign shard tiles) are
+        # neither solves nor cache hits.
+        hits = n_total - solves - quarantined_pos - pending_pos
         with self._counter_lock:
             self.solves += solves
             self.cache_hits += hits
         s_hits, s_misses = structure_delta()
+        sup_stats = supervisor.stats if supervisor is not None else None
         diag = Diagnostics(
             executor=self.executor,
             workers=self.workers,
@@ -735,12 +881,21 @@ class GramEngine:
                 np.array([e.iterations for e in out.values()], dtype=int)
             ),
             nonconverged_pairs=sorted(
-                pos for pos, e in out.items() if not e.converged
+                pos for pos, e in out.items()
+                if not e.converged and pos not in placeholder_pos
             ),
             structure_hits=s_hits,
             structure_misses=s_misses,
             blocks_served=blocks_served,
             blocks_written=blocks_written,
+            retries=sup_stats.retries if sup_stats else 0,
+            respawns=sup_stats.respawns if sup_stats else 0,
+            timeouts=sup_stats.timeouts if sup_stats else 0,
+            quarantined_pairs=quarantined_pos,
+            pending_pairs=pending_pos,
+            offload_errors=(
+                self.offloader.errors if self.offloader is not None else 0
+            ),
             cache_tiers=self._cache_tier_stats(),
             hw_counters=get_registry().values_with_prefix("vgpu_"),
         )
@@ -921,6 +1076,10 @@ class GramEngine:
             wblock["entries"] = len(self.warm_store)
             wblock["bytes"] = self.warm_store.nbytes
             out["warm_start"] = wblock
+        if self.offloader is not None:
+            oblock = self.offloader.stats()
+            out["offload"] = oblock
+            out["offload_errors"] = oblock["errors"]
         out["tiers"] = self._cache_tier_stats()
         return out
 

@@ -28,10 +28,14 @@ import numpy as np
 from ..obs.trace import get_tracer
 from .tiles import Tile
 
-EXECUTORS = ("serial", "threads", "process")
+EXECUTORS = ("serial", "threads", "process", "process_supervised")
 
 #: One solved pair: (i, j, value, iterations, converged, residual_norm).
 PairOutcome = tuple[int, int, float, int, bool, float]
+
+
+class EngineAborted(RuntimeError):
+    """An engine run was cancelled via its abort event (close(), ^C)."""
 
 # Per-process worker state, installed by _init_worker in each pool child.
 _WORKER_STATE: dict = {}
@@ -471,25 +475,47 @@ def run_tiles(
     max_workers: int | None = None,
     batched: bool = False,
     runtime: BatchRuntime | None = None,
+    abort=None,
 ) -> Iterator[tuple[Tile, list[PairOutcome]]]:
     """Execute tiles on the chosen backend, yielding in completion order.
 
-    ``executor`` is ``"serial"``, ``"threads"``, or ``"process"``.
-    Tiles should arrive largest-first (see :func:`~repro.engine.tiles.
-    plan_tiles`); with a pool backend that ordering makes the natural
-    work-queue dispatch approximate LPT scheduling.  With
-    ``batched=True`` every tile runs the batched task body
-    (:func:`solve_pairs_batched`) instead of the per-pair loop — the
-    backends are oblivious to the difference.  ``runtime`` carries the
-    structure cache / warm store / reordering config; serial and
-    threads backends share the caller's instances, the process backend
-    rebuilds per-worker equivalents from the picklable config (the
+    ``executor`` is ``"serial"``, ``"threads"``, ``"process"``, or
+    ``"process_supervised"`` (the fault-tolerant pool of
+    :mod:`repro.engine.supervisor`, run here with its default retry
+    budget — the engine passes richer knobs when it drives the
+    supervisor directly).  Tiles should arrive largest-first (see
+    :func:`~repro.engine.tiles.plan_tiles`); with a pool backend that
+    ordering makes the natural work-queue dispatch approximate LPT
+    scheduling.  With ``batched=True`` every tile runs the batched task
+    body (:func:`solve_pairs_batched`) instead of the per-pair loop —
+    the backends are oblivious to the difference.  ``runtime`` carries
+    the structure cache / warm store / reordering config; serial and
+    threads backends share the caller's instances, the process backends
+    rebuild per-worker equivalents from the picklable config (the
     disk tier, when configured, is what crosses the process boundary).
+
+    ``abort`` (a :class:`threading.Event`) cancels the run between
+    tiles: the generator raises :class:`EngineAborted`, after first
+    terminating pool workers so a ^C or ``GramEngine.close()`` never
+    leaves orphan processes grinding on a dead computation.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; pick from {EXECUTORS}")
+    if executor == "process_supervised":
+        from .supervisor import SupervisedPool
+
+        pool = SupervisedPool(
+            kernel, X, Y, tiles, max_workers=max_workers, batched=batched,
+            runtime_cfg=runtime.config() if runtime is not None else None,
+            abort=abort,
+        )
+        for tile, outcomes, _quarantined in pool.run():
+            yield tile, outcomes
+        return
     if executor == "serial" or len(tiles) <= 1 or (max_workers or 2) == 1:
         for tile in tiles:
+            if abort is not None and abort.is_set():
+                raise EngineAborted("engine run aborted")
             if batched:
                 yield tile, solve_pairs_batched(
                     kernel, X, Y, tile.pairs, runtime=runtime
@@ -526,10 +552,26 @@ def run_tiles(
         )
         submit = lambda tile: pool.submit(_worker_solve_tile, tile.pairs, batched)
 
-    with pool:
+    try:
         futures = {submit(tile): tile for tile in tiles}
         pending = set(futures)
         while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            if abort is not None and abort.is_set():
+                raise EngineAborted("engine run aborted")
+            done, pending = wait(
+                pending, timeout=0.1 if abort is not None else None,
+                return_when=FIRST_COMPLETED,
+            )
             for fut in done:
                 yield futures[fut], fut.result()
+        pool.shutdown(wait=True)
+    except BaseException:
+        # Abort / ^C / consumer close: drop queued work and kill pool
+        # processes instead of letting shutdown block on doomed tiles.
+        # (Thread workers cannot be killed; their queued work is
+        # cancelled and running tasks are left to finish detached.)
+        pool.shutdown(wait=False, cancel_futures=True)
+        procs = getattr(pool, "_processes", None)
+        for proc in list((procs or {}).values()):
+            proc.terminate()
+        raise

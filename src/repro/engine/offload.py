@@ -16,9 +16,15 @@ from __future__ import annotations
 
 import queue
 import threading
+import warnings
 
 #: Default bound on queued offload jobs.
 DEFAULT_QUEUE_SIZE = 64
+
+#: Errors tolerated silently before a RuntimeWarning is emitted: a
+#: stray failed spill is routine (disk pressure, a chaos-injected
+#: OSError), a steady stream means the spill tier is effectively off.
+DEFAULT_WARN_AFTER = 8
 
 _STOP = object()
 
@@ -28,14 +34,20 @@ class AsyncOffloader:
 
     ``submit(fn, *args, **kwargs)`` enqueues a callable (blocking while
     the queue is full); :meth:`flush` waits until everything submitted
-    so far has run; :meth:`close` flushes and stops the worker.  Usable
+    so far has run and returns the cumulative error count (so callers
+    at durability points can *see* silent spill failures); :meth:`close`
+    flushes and stops the worker.  Once ``errors`` crosses
+    ``warn_after`` a :class:`RuntimeWarning` is emitted (once).  Usable
     as a context manager.  Thread-safe.
     """
 
     def __init__(self, maxsize: int = DEFAULT_QUEUE_SIZE,
-                 name: str = "offload") -> None:
+                 name: str = "offload",
+                 warn_after: int = DEFAULT_WARN_AFTER) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
+        if warn_after < 1:
+            raise ValueError("warn_after must be positive")
         self._q: queue.Queue = queue.Queue(maxsize=maxsize)
         self._pending = 0
         self._cond = threading.Condition()
@@ -43,6 +55,9 @@ class AsyncOffloader:
         self.errors = 0
         self.last_error: BaseException | None = None
         self.completed = 0
+        self.warn_after = warn_after
+        self._warned = False
+        self.name = name
         self._thread = threading.Thread(
             target=self._run, name=name, daemon=True
         )
@@ -60,6 +75,20 @@ class AsyncOffloader:
                 with self._cond:
                     self.errors += 1
                     self.last_error = exc
+                    warn_now = (
+                        self.errors >= self.warn_after and not self._warned
+                    )
+                    if warn_now:
+                        self._warned = True
+                if warn_now:
+                    warnings.warn(
+                        f"offloader {self.name!r} has dropped "
+                        f"{self.errors} spill writes (last: "
+                        f"{type(exc).__name__}: {exc}); the disk tier "
+                        "is degrading to cache misses",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
             finally:
                 with self._cond:
                     self._pending -= 1
@@ -86,12 +115,33 @@ class AsyncOffloader:
         with self._cond:
             return self._pending
 
-    def flush(self, timeout: float | None = None) -> bool:
+    def _drain(self, timeout: float | None = None) -> bool:
         """Wait until every submitted job has run; False on timeout."""
         with self._cond:
             return self._cond.wait_for(
                 lambda: self._pending == 0, timeout=timeout
             )
+
+    def flush(self, timeout: float | None = None) -> int:
+        """Wait for every submitted job, then return the cumulative
+        error count — 0 means every spill so far actually landed.
+        (On timeout the count still reflects whatever has run.)"""
+        self._drain(timeout=timeout)
+        with self._cond:
+            return self.errors
+
+    def stats(self) -> dict:
+        """JSON-friendly counters (surfaced via ``cache_stats()``)."""
+        with self._cond:
+            return {
+                "pending": self._pending,
+                "completed": self.completed,
+                "errors": self.errors,
+                "last_error": (
+                    f"{type(self.last_error).__name__}: {self.last_error}"
+                    if self.last_error is not None else None
+                ),
+            }
 
     def close(self, timeout: float | None = 10.0) -> bool:
         """Flush, then stop the worker thread.  Idempotent."""
@@ -99,7 +149,7 @@ class AsyncOffloader:
             if self._closed:
                 return True
             self._closed = True
-        ok = self.flush(timeout=timeout)
+        ok = self._drain(timeout=timeout)
         self._q.put(_STOP)
         self._thread.join(timeout=timeout)
         return ok and not self._thread.is_alive()

@@ -42,6 +42,7 @@ from ..obs.trace import get_tracer
 from .executors import (
     BATCHED_SOLVERS,
     BatchRuntime,
+    EngineAborted,
     PairOutcome,
     bucket_tasks,
     fill_bucket,
@@ -153,6 +154,7 @@ def run_tiles_pipelined(
     batched: bool = True,
     runtime: BatchRuntime | None = None,
     depth: int = DEFAULT_PIPELINE_DEPTH,
+    abort: threading.Event | None = None,
 ) -> Iterator[tuple[Tile, list[PairOutcome]]]:
     """Execute tiles with plan/fill running ahead of the solve stage.
 
@@ -160,19 +162,25 @@ def run_tiles_pipelined(
     pools' completion order — the engine accepts either).  ``depth``
     bounds each inter-stage queue.  Falls back to the barrier
     :func:`run_tiles` when there is nothing to pipeline: the per-pair
-    body, non-batchable solvers, or the process executor.
+    body, non-batchable solvers, or the process executors.
+
+    ``abort`` (an external :class:`threading.Event`, e.g. from
+    ``GramEngine.close()``) cancels the run: stage threads drain and
+    join, and the generator raises
+    :class:`~repro.engine.executors.EngineAborted`.
     """
     if depth < 1:
         raise ValueError("pipeline depth must be >= 1")
     if (
         not batched
         or kernel.solver not in BATCHED_SOLVERS
-        or executor == "process"
+        or executor in ("process", "process_supervised")
         or len(tiles) <= 1
     ):
         yield from run_tiles(
             executor, kernel, X, Y, tiles,
             max_workers=max_workers, batched=batched, runtime=runtime,
+            abort=abort,
         )
         return
 
@@ -188,7 +196,11 @@ def run_tiles_pipelined(
     ]
 
     stats = _PipelineStats()
-    abort = threading.Event()
+    # One event serves both roles: stage failure propagation (internal)
+    # and external cancellation — when the caller's event fires, every
+    # blocked _put/_get unblocks and the stage threads drain out.
+    abort = abort if abort is not None else threading.Event()
+    externally_aborted = abort.is_set  # no failure recorded -> external
     failure: list[BaseException] = []
     fill_q: queue.Queue = queue.Queue(maxsize=depth)
     solve_q: queue.Queue = queue.Queue(maxsize=depth)
@@ -258,6 +270,10 @@ def run_tiles_pipelined(
             t.start()
         try:
             for pos, tile in enumerate(tiles):
+                if externally_aborted() and not failure:
+                    raise EngineAborted(
+                        "pipelined run aborted (engine closed)"
+                    )
                 outcomes: list[PairOutcome] = []
                 for task in tile_tasks[pos]:
                     if task.solo:
@@ -270,6 +286,10 @@ def run_tiles_pipelined(
                     if item is _DONE:
                         if failure:
                             raise failure[0]
+                        if externally_aborted():
+                            raise EngineAborted(
+                                "pipelined run aborted (engine closed)"
+                            )
                         raise RuntimeError(
                             "pipeline stages exited before finishing"
                         )

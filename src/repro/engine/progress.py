@@ -165,6 +165,22 @@ class Diagnostics:
     #: whose blocks were written this call.
     blocks_served: int = 0
     blocks_written: int = 0
+    #: Fault-tolerance events of this call (``"process_supervised"``
+    #: executor): tile attempts retried after a worker crash, workers
+    #: respawned, attempts killed at their deadline.
+    retries: int = 0
+    respawns: int = 0
+    timeouts: int = 0
+    #: Positions resolved to NaN fallbacks: quarantined (their tile
+    #: exhausted its retry budget) or pending (owned by another shard
+    #: and not yet in the shared block store).  Neither enters any
+    #: cache — reruns recompute them.
+    quarantined_pairs: int = 0
+    pending_pairs: int = 0
+    #: Async spill writes that failed over the offloader's lifetime
+    #: (cumulative at the time of this call); each is a future cache
+    #: miss, not a correctness problem.
+    offload_errors: int = 0
     #: Per-tier cache counters (value/value_memory/value_disk/structure/
     #: warm_start), cumulative over the engine's lifetime at the time of
     #: the call — includes byte and eviction counts for disk tiers.
@@ -197,4 +213,40 @@ class Diagnostics:
                 f"; blocks: {self.blocks_served} served, "
                 f"{self.blocks_written} written"
             )
+        if self.retries or self.respawns or self.timeouts:
+            line += (
+                f"; faults: {self.retries} retries, "
+                f"{self.respawns} respawns, {self.timeouts} timeouts"
+            )
+        if self.quarantined_pairs:
+            line += f"; {self.quarantined_pairs} pairs quarantined (NaN)"
+        if self.pending_pairs:
+            line += f"; {self.pending_pairs} pairs pending (other shards)"
+        if self.offload_errors:
+            line += f"; {self.offload_errors} offload errors"
         return line
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (what ``repro gram --diag-json`` writes)."""
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "tiles": self.tiles,
+            "pairs": self.pairs,
+            "solves": self.solves,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "wall_time": self.wall_time,
+            "iteration_histogram": dict(self.iteration_histogram),
+            "nonconverged_pairs": [list(p) for p in self.nonconverged_pairs],
+            "structure_hits": self.structure_hits,
+            "structure_misses": self.structure_misses,
+            "blocks_served": self.blocks_served,
+            "blocks_written": self.blocks_written,
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "timeouts": self.timeouts,
+            "quarantined_pairs": self.quarantined_pairs,
+            "pending_pairs": self.pending_pairs,
+            "offload_errors": self.offload_errors,
+        }

@@ -92,29 +92,70 @@ class TokenBucket:
 
 
 class ReplicaState:
-    """One backend worker as the router sees it."""
+    """One backend worker as the router sees it.
 
-    def __init__(self, host: str, port: int) -> None:
+    Health transitions have **hysteresis**: ``unhealthy_after``
+    consecutive failures (probe or forward) eject a replica from the
+    rotation, and ``healthy_after`` consecutive successful probes
+    re-admit it.  One dropped packet therefore never flaps a healthy
+    replica out, and a replica that is crash-looping does not bounce
+    back into the rotation off a single lucky probe.
+    ``marked_unhealthy`` / ``readmitted`` count the transitions, so a
+    flapping backend is visible in ``/healthz`` long after it settles.
+    """
+
+    #: Default hysteresis thresholds (K failures out, M successes in).
+    UNHEALTHY_AFTER = 3
+    HEALTHY_AFTER = 2
+
+    def __init__(self, host: str, port: int,
+                 unhealthy_after: int | None = None,
+                 healthy_after: int | None = None) -> None:
         self.host = host
         self.port = int(port)
+        self.unhealthy_after = (
+            self.UNHEALTHY_AFTER if unhealthy_after is None
+            else int(unhealthy_after)
+        )
+        self.healthy_after = (
+            self.HEALTHY_AFTER if healthy_after is None
+            else int(healthy_after)
+        )
+        if self.unhealthy_after < 1 or self.healthy_after < 1:
+            raise ValueError("hysteresis thresholds must be >= 1")
         self.healthy = True
         self.inflight = 0
-        self.failures = 0  # consecutive, reset on success
+        self.failures = 0   # consecutive, reset on success
+        self.successes = 0  # consecutive, reset on failure
+        self.marked_unhealthy = 0
+        self.readmitted = 0
         self.last_error: str | None = None
 
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
 
-    def mark_ok(self) -> None:
-        self.healthy = True
+    def mark_ok(self) -> bool:
+        """Record one success; True if this re-admitted the replica."""
         self.failures = 0
+        self.successes += 1
         self.last_error = None
+        if not self.healthy and self.successes >= self.healthy_after:
+            self.healthy = True
+            self.readmitted += 1
+            return True
+        return False
 
-    def mark_failed(self, exc: BaseException) -> None:
+    def mark_failed(self, exc: BaseException) -> bool:
+        """Record one failure; True if this ejected the replica."""
+        self.successes = 0
         self.failures += 1
-        self.healthy = False
         self.last_error = f"{type(exc).__name__}: {exc}"
+        if self.healthy and self.failures >= self.unhealthy_after:
+            self.healthy = False
+            self.marked_unhealthy += 1
+            return True
+        return False
 
     def describe(self) -> dict:
         return {
@@ -122,6 +163,9 @@ class ReplicaState:
             "healthy": self.healthy,
             "inflight": self.inflight,
             "consecutive_failures": self.failures,
+            "consecutive_successes": self.successes,
+            "marked_unhealthy": self.marked_unhealthy,
+            "readmitted": self.readmitted,
             "last_error": self.last_error,
         }
 
@@ -159,6 +203,10 @@ class Router:
     max_retries:
         Extra replicas tried after a failed attempt (idempotent
         routes; an /update that was fully sent answers 502 instead).
+    unhealthy_after / healthy_after:
+        Health hysteresis: consecutive failures before a replica
+        leaves the rotation, and consecutive successful probes before
+        it rejoins (defaults 3 and 2) — see :class:`ReplicaState`.
     """
 
     def __init__(
@@ -172,10 +220,16 @@ class Router:
         request_timeout_s: float = 60.0,
         max_retries: int = 2,
         max_body_bytes: int = 8 << 20,
+        unhealthy_after: int | None = None,
+        healthy_after: int | None = None,
     ) -> None:
         if not replicas:
             raise ValueError("a router needs at least one replica")
-        self.replicas = [ReplicaState(h, p) for h, p in replicas]
+        self.replicas = [
+            ReplicaState(h, p, unhealthy_after=unhealthy_after,
+                         healthy_after=healthy_after)
+            for h, p in replicas
+        ]
         self.host = host
         self.port = port
         self.bucket = TokenBucket(rate_rps, burst)
@@ -201,6 +255,14 @@ class Router:
             "requests that found no healthy replica")
         self._m_healthy = r.gauge(
             "router_replica_healthy", "1 when the replica passes probes",
+            label="replica")
+        self._m_ejected = r.counter(
+            "router_replica_marked_unhealthy_total",
+            "replicas ejected after consecutive failures (hysteresis)",
+            label="replica")
+        self._m_readmitted = r.counter(
+            "router_replica_readmitted_total",
+            "replicas re-admitted after consecutive healthy probes",
             label="replica")
         self._m_inflight = r.gauge(
             "router_replica_inflight", "requests in flight per replica",
@@ -255,6 +317,16 @@ class Router:
     # health probing + replica selection
     # ------------------------------------------------------------------
 
+    def _note_transition(self, replica: ReplicaState, ejected: bool,
+                         readmitted: bool) -> None:
+        if ejected:
+            self._m_ejected.inc(label_value=replica.address)
+        if readmitted:
+            self._m_readmitted.inc(label_value=replica.address)
+        self._m_healthy.set(
+            1.0 if replica.healthy else 0.0, label_value=replica.address
+        )
+
     async def _probe_one(self, replica: ReplicaState) -> None:
         try:
             status, _, _ = await asyncio.wait_for(
@@ -262,18 +334,15 @@ class Router:
                 timeout=min(5.0, self.request_timeout_s),
             )
             if status == 200:
-                replica.mark_ok()
+                self._note_transition(replica, False, replica.mark_ok())
             else:
-                replica.mark_failed(
+                self._note_transition(replica, replica.mark_failed(
                     RuntimeError(f"healthz answered {status}")
-                )
+                ), False)
         except (_ProxyFailure, asyncio.TimeoutError) as exc:
-            replica.mark_failed(
+            self._note_transition(replica, replica.mark_failed(
                 exc.cause if isinstance(exc, _ProxyFailure) else exc
-            )
-        self._m_healthy.set(
-            1.0 if replica.healthy else 0.0, label_value=replica.address
-        )
+            ), False)
 
     async def _probe_all(self) -> None:
         await asyncio.gather(
@@ -391,7 +460,7 @@ class Router:
                     ),
                     timeout=self.request_timeout_s,
                 )
-                replica.mark_ok()
+                self._note_transition(replica, False, replica.mark_ok())
                 return status, payload, ctype
             except (_ProxyFailure, asyncio.TimeoutError) as exc:
                 sent = isinstance(exc, _ProxyFailure) and exc.sent
@@ -400,10 +469,9 @@ class Router:
                     last_error = "backend timed out"
                 else:
                     last_error = str(exc)
-                replica.mark_failed(
+                self._note_transition(replica, replica.mark_failed(
                     exc.cause if isinstance(exc, _ProxyFailure) else exc
-                )
-                self._m_healthy.set(0.0, label_value=replica.address)
+                ), False)
                 if sent and path not in IDEMPOTENT_ROUTES:
                     # The mutation may have been applied; replaying it
                     # elsewhere could double-apply. Tell the client.

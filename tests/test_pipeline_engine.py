@@ -297,7 +297,7 @@ class TestAsyncOffloader:
         with AsyncOffloader() as off:
             for k in range(20):
                 assert off.submit(seen.append, k)
-            assert off.flush(timeout=5.0)
+            assert off.flush(timeout=5.0) == 0  # drained, no errors
             assert seen == list(range(20))
         assert off.completed == 20
 
@@ -307,9 +307,12 @@ class TestAsyncOffloader:
 
         with AsyncOffloader() as off:
             off.submit(boom)
-            off.flush(timeout=5.0)
+            assert off.flush(timeout=5.0) == 1  # error count surfaced
             assert off.errors == 1
             assert isinstance(off.last_error, ValueError)
+            stats = off.stats()
+            assert stats["errors"] == 1
+            assert "ValueError" in stats["last_error"]
 
     def test_submit_after_close_refused(self):
         off = AsyncOffloader()

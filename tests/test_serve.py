@@ -1180,6 +1180,67 @@ def routed(fitted):
             }
 
 
+class TestReplicaHysteresis:
+    """Health transitions need K consecutive failures out and M
+    consecutive successes back in (ISSUE 10 satellite)."""
+
+    def _replica(self, **kw):
+        from repro.serve.router import ReplicaState
+        return ReplicaState("127.0.0.1", 9999, **kw)
+
+    def test_single_failure_does_not_eject(self):
+        r = self._replica()  # defaults: 3 out, 2 in
+        assert not r.mark_failed(OSError("blip"))
+        assert r.healthy and (r.failures, r.successes) == (1, 0)
+
+    def test_k_consecutive_failures_eject(self):
+        r = self._replica(unhealthy_after=3)
+        boom = OSError("down")
+        assert not r.mark_failed(boom)
+        assert not r.mark_failed(boom)
+        assert r.mark_failed(boom)  # third strike ejects
+        assert not r.healthy and r.marked_unhealthy == 1
+        assert not r.mark_failed(boom)  # already out: no new transition
+
+    def test_success_resets_the_failure_streak(self):
+        r = self._replica(unhealthy_after=2)
+        r.mark_failed(OSError("x"))
+        r.mark_ok()  # streak broken
+        assert not r.mark_failed(OSError("y"))
+        assert r.healthy
+
+    def test_m_consecutive_successes_readmit(self):
+        r = self._replica(unhealthy_after=1, healthy_after=2)
+        r.mark_failed(OSError("down"))
+        assert not r.healthy
+        assert not r.mark_ok()  # one good probe is not enough
+        assert not r.healthy
+        assert r.mark_ok()  # second consecutive success re-admits
+        assert r.healthy and r.readmitted == 1
+
+    def test_failure_resets_the_success_streak(self):
+        r = self._replica(unhealthy_after=1, healthy_after=2)
+        r.mark_failed(OSError("down"))
+        r.mark_ok()
+        r.mark_failed(OSError("still down"))  # resets successes
+        assert not r.mark_ok()
+        assert not r.healthy  # needs the full streak again
+
+    def test_transition_counters_in_describe(self):
+        r = self._replica(unhealthy_after=1, healthy_after=1)
+        r.mark_failed(OSError("a")); r.mark_ok()
+        r.mark_failed(OSError("b")); r.mark_ok()
+        d = r.describe()
+        assert d["marked_unhealthy"] == 2
+        assert d["readmitted"] == 2
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            self._replica(unhealthy_after=0)
+        with pytest.raises(ValueError):
+            self._replica(healthy_after=0)
+
+
 class TestRouter:
     def test_routed_predict_matches_offline(self, fitted, routed):
         mu = routed["client"].predict(fitted["test"])
@@ -1214,8 +1275,12 @@ class TestRouter:
             s.bind(("127.0.0.1", 0))
             dead.append(s.getsockname()[1])
             s.close()
+        # unhealthy_after=1: the initial probe ejects both dead ports
+        # immediately (the hysteresis default of 3 would keep them in
+        # the rotation until the prober accumulates the failures).
         router = Router([("127.0.0.1", p) for p in dead],
-                        probe_interval_s=0.2, request_timeout_s=2.0)
+                        probe_interval_s=0.2, request_timeout_s=2.0,
+                        unhealthy_after=1)
         with ServerThread(router) as hr:
             conn = http.client.HTTPConnection("127.0.0.1", hr.port,
                                               timeout=10)
